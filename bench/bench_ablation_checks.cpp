@@ -1,0 +1,53 @@
+// Ablation: contribution of each SCR check (DESIGN.md design-choice
+// ablations). Variants:
+//   S--   selectivity check only (no cost check, store every plan)
+//   SC-   selectivity + cost check (store every plan)
+//   S-R   selectivity + redundancy check (no cost check)
+//   SCR   the full technique (paper configuration, lambda_r = sqrt(lambda))
+// Expected shape: the cost check buys most of the optimizer-call savings
+// beyond the selectivity region; the redundancy check buys the plan-count
+// reduction at nearly no quality cost.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Ablation: SCR checks (lambda = 2) ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  struct Variant {
+    std::string name;
+    bool cost_check;
+    double lambda_r;  // 1.0 = store every new plan
+  };
+  std::vector<Variant> variants = {
+      {"S--  (sel only, store all)", false, 1.0},
+      {"SC-  (sel+cost, store all)", true, 1.0},
+      {"S-R  (sel+redundancy)", false, -1.0},
+      {"SCR  (full technique)", true, -1.0},
+  };
+
+  PrintTableHeader({"variant", "numOpt% avg", "plans avg", "recosts avg",
+                    "TC avg", "MSO p95"});
+  for (const auto& v : variants) {
+    auto factory = [&v] {
+      ScrOptions o;
+      o.lambda = 2.0;
+      o.enable_cost_check = v.cost_check;
+      o.lambda_r = v.lambda_r;
+      return std::make_unique<Scr>(o);
+    };
+    auto seqs = suite.RunAll(factory);
+    std::vector<double> recosts;
+    for (const auto& s : seqs) {
+      recosts.push_back(static_cast<double>(s.num_recost_calls));
+    }
+    PrintTableRow({v.name, FormatDouble(Mean(ExtractNumOptPct(seqs)), 1),
+                   FormatDouble(Mean(ExtractNumPlans(seqs)), 1),
+                   FormatDouble(Mean(recosts), 0),
+                   FormatDouble(Mean(ExtractTcr(seqs)), 3),
+                   FormatDouble(Percentile(ExtractMso(seqs), 95), 2)});
+  }
+  return 0;
+}

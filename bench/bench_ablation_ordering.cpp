@@ -1,0 +1,46 @@
+// Ablation: cost-check candidate ordering (Section 6.2). With the Recost
+// budget capped per getPlan, the order in which stored instances are tried
+// decides how often a reusable plan is found before the cap. Expected
+// shape: ascending-GL (the paper's heuristic) needs the fewest Recost calls
+// for the same reuse rate; insertion order wastes calls on poor candidates.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Ablation: cost-check candidate ordering (lambda = 1.2, "
+              "cap 4) ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  struct Variant {
+    std::string name;
+    CostCheckOrder order;
+  };
+  std::vector<Variant> variants = {
+      {"ascending GL (paper)", CostCheckOrder::kAscendingGl},
+      {"descending region area", CostCheckOrder::kDescendingRegionArea},
+      {"descending usage", CostCheckOrder::kDescendingUsage},
+      {"insertion order", CostCheckOrder::kInsertionOrder},
+  };
+
+  PrintTableHeader({"ordering", "numOpt% avg", "recosts avg", "TC avg"});
+  for (const auto& v : variants) {
+    auto factory = [&v] {
+      ScrOptions o;
+      o.lambda = 1.2;  // tight bound makes the cost check earn its keep
+      o.max_cost_check_candidates = 4;
+      o.cost_check_order = v.order;
+      return std::make_unique<Scr>(o);
+    };
+    auto seqs = suite.RunAll(factory);
+    std::vector<double> recosts;
+    for (const auto& s : seqs) {
+      recosts.push_back(static_cast<double>(s.num_recost_calls));
+    }
+    PrintTableRow({v.name, FormatDouble(Mean(ExtractNumOptPct(seqs)), 1),
+                   FormatDouble(Mean(recosts), 0),
+                   FormatDouble(Mean(ExtractTcr(seqs)), 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Appendix A: why selectivity-*distance* based reuse (Ellipse/Density/
+// Ranges neighborhoods) cannot bound sub-optimality. Instances at the SAME
+// Euclidean distance from an optimized instance, in different directions,
+// suffer wildly different sub-optimality when its plan is reused — because
+// cost movement depends on which dimension moved and on the local cost
+// coefficients, not on the distance. SCR's multiplicative G/L factors and
+// Recost adapt to direction; a radius cannot.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "optimizer/recost.h"
+#include "workload/instance_gen.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Appendix A: same selectivity distance, different "
+              "sub-optimality ==\n");
+  SchemaScale scale;
+  BenchmarkDb tpch = BuildTpchSkewed(scale);
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  Optimizer optimizer(&tpch.db);
+  RecostService recost(&optimizer.cost_model());
+
+  // Optimize a base instance, then probe points at equal distance delta in
+  // the four axis directions.
+  const double s0 = 0.11, s1 = 0.30, delta = 0.10;
+  QueryInstance base = InstanceForSelectivities(tpch.db, *bt.tmpl, {s0, s1});
+  OptimizationResult rb = optimizer.Optimize(base);
+  CachedPlan plan = MakeCachedPlan(rb);
+  std::printf("base instance sv=(%.2f, %.2f), optimal cost %.1f\n\n", s0, s1,
+              rb.cost);
+
+  PrintTableHeader({"probe (equal distance)", "SubOpt of reuse", "G*L",
+                    "sel-check verdict"});
+  struct Probe {
+    const char* name;
+    double p0, p1;
+  };
+  for (const Probe& p :
+       {Probe{"+delta in dim 0", s0 + delta, s1},
+        Probe{"-delta in dim 0", s0 - delta, s1},
+        Probe{"+delta in dim 1", s0, s1 + delta},
+        Probe{"-delta in dim 1", s0, s1 - delta}}) {
+    QueryInstance q =
+        InstanceForSelectivities(tpch.db, *bt.tmpl, {p.p0, p.p1});
+    SVector sv = ComputeSelectivityVector(tpch.db, q);
+    OptimizationResult rq = optimizer.Optimize(q);
+    double reuse_cost = recost.Recost(plan, sv);
+    double subopt = reuse_cost / rq.cost;
+    auto ratios = SelectivityRatios(rb.svector, sv);
+    double gl = ComputeG(ratios) * ComputeL(ratios);
+    PrintTableRow({p.name, FormatDouble(subopt, 3), FormatDouble(gl, 2),
+                   gl <= 2.0 ? "reusable (lambda=2)" : "needs cost check"});
+  }
+  std::printf(
+      "\nA circular neighborhood of radius %.2f treats all four probes "
+      "identically;\nthe realized sub-optimalities differ. SCR's checks are "
+      "direction-aware:\nG*L grows with multiplicative movement and the "
+      "cost check measures the\nactual plan cost, so reuse decisions track "
+      "the cost surface, not geometry.\n",
+      delta);
+
+  // Second exhibit: reuse from a low-selectivity base (where an index seek
+  // wins) at growing distances. The same step size is harmless in one
+  // dimension and increasingly catastrophic in the other — sub-optimality
+  // of distance-based reuse is unbounded (Appendix A's core claim).
+  const double b0 = 0.01, b1 = 0.30;
+  QueryInstance base2 =
+      InstanceForSelectivities(tpch.db, *bt.tmpl, {b0, b1});
+  OptimizationResult rb2 = optimizer.Optimize(base2);
+  CachedPlan plan2 = MakeCachedPlan(rb2);
+  std::printf("\nbase instance sv=(%.2f, %.2f) — index-seek plan, cost "
+              "%.1f\n\n",
+              b0, b1, rb2.cost);
+  PrintTableHeader({"step size", "SubOpt if +step in dim0",
+                    "SubOpt if +step in dim1"});
+  for (double step : {0.05, 0.15, 0.35, 0.65}) {
+    auto subopt_at = [&](double q0, double q1) {
+      QueryInstance q =
+          InstanceForSelectivities(tpch.db, *bt.tmpl, {q0, q1});
+      SVector sv = ComputeSelectivityVector(tpch.db, q);
+      return recost.Recost(plan2, sv) / optimizer.Optimize(q).cost;
+    };
+    PrintTableRow({FormatDouble(step, 2),
+                   FormatDouble(subopt_at(b0 + step, b1), 2),
+                   FormatDouble(subopt_at(b0, std::min(b1 + step, 0.95)), 2)});
+  }
+  std::printf("\nAny fixed reuse radius that admits the harmless dim-1 "
+              "moves also admits\nthe dim-0 moves whose sub-optimality "
+              "grows without bound.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Appendix E: choosing the redundancy threshold lambda_r. The paper's
+// sample experiment runs 4000 instances of TPC-DS Q18 at lambda = 1.1 and
+// reports plans retained / Recost calls per getPlan / TotalCostRatio as
+// lambda_r moves through 1, 1.01, sqrt(lambda) and beyond; sqrt(lambda) is
+// the knee. We run the Q18 analog plus a suite-wide sweep.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "workload/instance_gen.h"
+#include "workload/named_templates.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+namespace {
+
+struct Case {
+  std::string name;
+  double lambda_r;
+};
+
+std::vector<Case> Cases(double lambda) {
+  return {{"1.0 (store all)", 1.0},
+          {"1.01", 1.01},
+          {"sqrt(lambda)", std::sqrt(lambda)},
+          {"lambda", lambda}};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Appendix E: lambda_r sweep at lambda = 1.1 ==\n");
+  const double lambda = 1.1;
+
+  // Part 1: the paper's sample experiment on the Q18 analog.
+  {
+    SchemaScale scale;
+    std::vector<BenchmarkDb> dbs = BuildAllDatabases(scale);
+    BoundTemplate bt = BuildNamedTemplate(dbs, "TPCDS_Q18A");
+    Optimizer optimizer(&bt.db->db);
+    InstanceGenOptions gen;
+    gen.m = static_cast<int>(EnvInt64("SCRPQO_Q18_M", 4000));
+    auto instances = GenerateInstances(bt, gen);
+    Oracle oracle = Oracle::Build(optimizer, instances);
+    auto perm =
+        MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 1);
+
+    std::printf("\nTPCDS_Q18A, %zu instances (paper Q18: plans 77 -> 14 -> "
+                "5, recost/getPlan 8 -> 5 -> 3)\n",
+                instances.size());
+    PrintTableHeader({"lambda_r", "plans", "max recost/getPlan", "numOpt",
+                      "TC"});
+    for (const auto& c : Cases(lambda)) {
+      Scr scr(ScrOptions{.lambda = lambda, .lambda_r = c.lambda_r});
+      RunSequenceOptions ropts;
+      ropts.ordering_name = "random";
+      SequenceMetrics m =
+          RunSequence(optimizer, instances, perm, oracle, &scr, ropts);
+      PrintTableRow({c.name, std::to_string(m.num_plans),
+                     std::to_string(m.max_recost_per_get_plan),
+                     std::to_string(m.num_opt),
+                     FormatDouble(m.total_cost_ratio, 3)});
+    }
+  }
+
+  // Part 2: suite-wide sweep.
+  EvaluationSuite suite = MakeSuite();
+  std::printf("\nsuite-wide averages\n");
+  PrintTableHeader({"lambda_r", "avg plans", "avg numOpt %", "avg TC"});
+  for (const auto& c : Cases(lambda)) {
+    std::vector<double> plans, numopt, tcr;
+    for (const auto& tw : suite.workloads()) {
+      auto seqs = suite.RunTemplate(tw, [&] {
+        return std::make_unique<Scr>(
+            ScrOptions{.lambda = lambda, .lambda_r = c.lambda_r});
+      });
+      for (const auto& s : seqs) {
+        plans.push_back(static_cast<double>(s.num_plans));
+        numopt.push_back(s.NumOptPercent());
+        tcr.push_back(s.total_cost_ratio);
+      }
+    }
+    PrintTableRow({c.name, FormatDouble(Mean(plans), 1),
+                   FormatDouble(Mean(numopt), 1),
+                   FormatDouble(Mean(tcr), 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Appendix F: redundancy check for plans already in the cache. After
+// running SCR in store-everything mode (lambda_r = 1) over half a workload,
+// DropRedundantPlans garbage-collects plans whose instances are all
+// lambda-optimally covered by another cached plan; the second half of the
+// workload then runs against the compacted cache. Expected shape: a
+// substantial fraction of plans drops, quality stays within the bound, and
+// the optimizer-call rate on the second half barely moves.
+#include "bench/bench_util.h"
+#include "workload/instance_gen.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Appendix F: dropping redundant plans mid-stream ==\n");
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, 4);
+  Optimizer optimizer(&rd2.db);
+
+  InstanceGenOptions gen;
+  gen.m = 2000;
+  auto instances = GenerateInstances(bt, gen);
+  Oracle oracle = Oracle::Build(optimizer, instances);
+  auto perm = MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 3);
+
+  PrintTableHeader({"variant", "plans@mid", "plans after GC", "2nd-half opt%",
+                    "2nd-half viol"});
+  for (bool run_gc : {false, true}) {
+    Scr scr(ScrOptions{.lambda = 2.0, .lambda_r = 1.0});  // store everything
+    EngineContext engine(&rd2.db, &optimizer);
+    engine.SetOracle([&oracle](const WorkloadInstance& wi) {
+      return oracle.result(wi.id);
+    });
+    size_t half = perm.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scr.OnInstance(instances[static_cast<size_t>(perm[i])], &engine);
+    }
+    int64_t plans_mid = scr.NumPlansCached();
+    if (run_gc) scr.DropRedundantPlans(&engine);
+    int64_t plans_gc = scr.NumPlansCached();
+
+    int64_t opt_before = engine.num_optimizer_calls();
+    int violations = 0;
+    for (size_t i = half; i < perm.size(); ++i) {
+      const auto& wi = instances[static_cast<size_t>(perm[i])];
+      PlanChoice c = scr.OnInstance(wi, &engine);
+      double so = engine.RecostUncharged(*c.plan, wi.svector) /
+                  oracle.opt_cost(wi.id);
+      if (so > 2.0 * 1.001) ++violations;
+    }
+    double second_half_pct =
+        100.0 *
+        static_cast<double>(engine.num_optimizer_calls() - opt_before) /
+        static_cast<double>(perm.size() - half);
+    PrintTableRow({run_gc ? "with GC" : "no GC", std::to_string(plans_mid),
+                   std::to_string(plans_gc),
+                   FormatDouble(second_half_pct, 1),
+                   std::to_string(violations)});
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 6: MSO and TotalCostRatio distribution across all sequences for
+// Optimize-Once and Ellipse. Expected shape: both carry frequent large MSO
+// values; Ellipse improves TotalCostRatio over OptOnce but a significant
+// fraction of sequences still exceed TC = 10.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 6: MSO / TotalCostRatio, OptOnce vs Ellipse ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  for (const auto& nf : std::vector<NamedFactory>{
+           {"OptOnce", [] { return std::make_unique<OptOnce>(); }, 0.0},
+           {"Ellipse(0.9)",
+            [] {
+              return std::make_unique<Ellipse>(EllipseOptions{.delta = 0.9});
+            },
+            0.0}}) {
+    auto seqs = suite.RunAll(nf.factory);
+    std::printf("\n%s over %zu sequences\n", nf.name.c_str(), seqs.size());
+    PrintSummaryRow("  MSO", Summarize(ExtractMso(seqs)));
+    PrintSummaryRow("  TotalCostRatio", Summarize(ExtractTcr(seqs)));
+    std::printf("  sorted-curve deciles (10%%..100%% of sequences):\n");
+    PrintSortedCurve("  MSO curve", ExtractMso(seqs));
+    PrintSortedCurve("  TC  curve", ExtractTcr(seqs));
+    int tc_gt10 = 0;
+    for (const auto& s : seqs) {
+      if (s.total_cost_ratio > 10.0) ++tc_gt10;
+    }
+    std::printf("  sequences with TC > 10: %d (%.1f%%)\n", tc_gt10,
+                100.0 * tc_gt10 / static_cast<double>(seqs.size()));
+  }
+  return 0;
+}

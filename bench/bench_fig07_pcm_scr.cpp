@@ -1,0 +1,46 @@
+// Figure 7: MSO and TotalCostRatio distribution for PCM2 and SCR2.
+// Expected shape: both mostly respect the lambda = 2 bound; rare violations
+// from PCM/BCG assumption breaks, fewer for SCR than PCM; SCR2 handles ~99%
+// of sequences with TC comfortably close to 1.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 7: MSO / TotalCostRatio, PCM2 vs SCR2 ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  for (const auto& nf : {PcmFactory(2.0), ScrFactory(2.0)}) {
+    auto seqs = suite.RunAll(nf.factory, 2.0);
+    std::printf("\n%s over %zu sequences\n", nf.name.c_str(), seqs.size());
+    PrintSummaryRow("  MSO", Summarize(ExtractMso(seqs)));
+    PrintSummaryRow("  TotalCostRatio", Summarize(ExtractTcr(seqs)));
+    PrintSortedCurve("  MSO curve", ExtractMso(seqs));
+    PrintSortedCurve("  TC  curve", ExtractTcr(seqs));
+
+    int64_t instances = 0, violations = 0;
+    int seq_with_violation = 0;
+    for (const auto& s : seqs) {
+      instances += s.m;
+      violations += s.bound_violations;
+      if (s.bound_violations > 0) ++seq_with_violation;
+    }
+    std::printf(
+        "  bound (lambda=2) violations: %lld of %lld instances (%.3f%%), "
+        "in %d/%zu sequences\n",
+        static_cast<long long>(violations),
+        static_cast<long long>(instances),
+        100.0 * static_cast<double>(violations) /
+            static_cast<double>(instances),
+        seq_with_violation, seqs.size());
+    std::vector<double> tcr = ExtractTcr(seqs);
+    std::printf("  sequences with TC <= 2.16: %.1f%%\n",
+                100.0 *
+                    static_cast<double>(std::count_if(
+                        tcr.begin(), tcr.end(),
+                        [](double v) { return v <= 2.16; })) /
+                    static_cast<double>(tcr.size()));
+  }
+  return 0;
+}

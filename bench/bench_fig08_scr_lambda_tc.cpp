@@ -1,0 +1,24 @@
+// Figure 8: TotalCostRatio for SCR with lambda in {1.1, 1.2, 1.5, 2.0}.
+// Expected shape: TC stays consistently below the allowed lambda, with the
+// gap widening as lambda grows (avg TC near 1.1 even at lambda = 2).
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 8: SCR TotalCostRatio vs lambda ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"lambda", "TC avg", "TC p50", "TC p95", "TC max",
+                    "headroom"});
+  for (double lambda : {1.1, 1.2, 1.5, 2.0}) {
+    auto seqs = suite.RunAll(ScrFactory(lambda).factory, lambda);
+    DistSummary s = Summarize(ExtractTcr(seqs));
+    PrintTableRow({FormatDouble(lambda, 1), FormatDouble(s.avg, 3),
+                   FormatDouble(s.p50, 3), FormatDouble(s.p95, 3),
+                   FormatDouble(s.max, 3),
+                   FormatDouble(lambda - s.avg, 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 9: optimizer-call percentage (numOpt %) across techniques.
+// Expected shape: PCM2 very high on adversarial orderings; SCR2 close to
+// the best heuristic (Ranges); OptOnce trivially lowest.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 9: numOpt %% by technique ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"technique", "avg %", "p50 %", "p90 %", "p95 %",
+                    "max %"});
+  for (const auto& nf : AllTechniques(2.0)) {
+    auto seqs = suite.RunAll(nf.factory);
+    DistSummary s = Summarize(ExtractNumOptPct(seqs));
+    PrintTableRow({nf.name, FormatDouble(s.avg, 1), FormatDouble(s.p50, 1),
+                   FormatDouble(s.p90, 1), FormatDouble(s.p95, 1),
+                   FormatDouble(s.max, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 10: numOpt % for SCR as lambda varies.
+// Expected shape: large improvement from lambda 1.1 to 2 (paper: avg 12% ->
+// 3%, p95 ~35% -> ~13%).
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 10: SCR numOpt %% vs lambda ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"lambda", "avg %", "p50 %", "p90 %", "p95 %", "max %"});
+  for (double lambda : {1.1, 1.2, 1.5, 2.0}) {
+    auto seqs = suite.RunAll(ScrFactory(lambda).factory);
+    DistSummary s = Summarize(ExtractNumOptPct(seqs));
+    PrintTableRow({FormatDouble(lambda, 1), FormatDouble(s.avg, 1),
+                   FormatDouble(s.p50, 1), FormatDouble(s.p90, 1),
+                   FormatDouble(s.p95, 1), FormatDouble(s.max, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 11: numOpt % for a 4-dimensional query as the number of instances
+// m grows. Expected shape: every technique's optimizer-call fraction drops
+// with m; SCR1.1 approaches PCM2's quality/overhead point and SCR2 drops
+// toward ~1%.
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "workload/instance_gen.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 11: 4-d query, numOpt %% vs m ==\n");
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, 4);
+  Optimizer optimizer(&rd2.db);
+
+  int64_t max_m = EnvInt64("SCRPQO_MAX_M", 10000);
+  std::vector<int> ms;
+  for (int m = 1000; m <= max_m; m *= 2) ms.push_back(m);
+
+  PrintTableHeader({"m", "PCM2 %", "SCR1.1 %", "SCR2 %"});
+  for (int m : ms) {
+    InstanceGenOptions gen;
+    gen.m = m;
+    auto instances = GenerateInstances(bt, gen);
+    Oracle oracle = Oracle::Build(optimizer, instances);
+    std::vector<int> perm =
+        MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 3);
+
+    auto run = [&](const NamedFactory& nf) {
+      auto technique = nf.factory();
+      RunSequenceOptions ropts;
+      ropts.ordering_name = "random";
+      SequenceMetrics metrics = RunSequence(optimizer, instances, perm,
+                                            oracle, technique.get(), ropts);
+      return metrics.NumOptPercent();
+    };
+
+    PrintTableRow({std::to_string(m), FormatDouble(run(PcmFactory(2.0)), 2),
+                   FormatDouble(run(ScrFactory(1.1)), 2),
+                   FormatDouble(run(ScrFactory(2.0)), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 12: numOpt % as the number of parameterized predicates d grows
+// (RD2 sweep templates, d = 2..10). Expected shape: PCM2's optimizer calls
+// climb steeply (~+10%/dimension in the paper, beyond 50% at d=10) while
+// SCR2 starts lower and grows far more slowly.
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "workload/instance_gen.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 12: numOpt %% vs dimensions d (PCM2 vs SCR2) ==\n");
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  Optimizer optimizer(&rd2.db);
+  int m = static_cast<int>(EnvInt64("SCRPQO_M", 1000));
+
+  PrintTableHeader({"d", "PCM2 %", "SCR2 %"});
+  for (int d = 2; d <= 10; ++d) {
+    BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, d);
+    InstanceGenOptions gen;
+    gen.m = m;
+    gen.seed = 99 + static_cast<uint64_t>(d);
+    auto instances = GenerateInstances(bt, gen);
+    Oracle oracle = Oracle::Build(optimizer, instances);
+    std::vector<int> perm =
+        MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 3);
+
+    auto run = [&](const NamedFactory& nf) {
+      auto technique = nf.factory();
+      RunSequenceOptions ropts;
+      ropts.ordering_name = "random";
+      return RunSequence(optimizer, instances, perm, oracle, technique.get(),
+                         ropts)
+          .NumOptPercent();
+    };
+    PrintTableRow({std::to_string(d), FormatDouble(run(PcmFactory(2.0)), 1),
+                   FormatDouble(run(ScrFactory(2.0)), 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 13: plans cached (numPlans) by technique (paper shows log scale;
+// SCR stores roughly an order of magnitude fewer plans than the rest).
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 13: numPlans by technique ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"technique", "avg", "p50", "p90", "p95", "max"});
+  for (const auto& nf : AllTechniques(2.0)) {
+    auto seqs = suite.RunAll(nf.factory);
+    DistSummary s = Summarize(ExtractNumPlans(seqs));
+    PrintTableRow({nf.name, FormatDouble(s.avg, 1), FormatDouble(s.p50, 0),
+                   FormatDouble(s.p90, 0), FormatDouble(s.p95, 0),
+                   FormatDouble(s.max, 0)});
+  }
+  return 0;
+}

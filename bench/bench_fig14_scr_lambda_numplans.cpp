@@ -1,0 +1,21 @@
+// Figure 14: numPlans for SCR as lambda varies. Expected shape: plans
+// cached drop substantially as lambda loosens.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 14: SCR numPlans vs lambda ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"lambda", "avg", "p50", "p90", "p95", "max"});
+  for (double lambda : {1.1, 1.2, 1.5, 2.0}) {
+    auto seqs = suite.RunAll(ScrFactory(lambda).factory);
+    DistSummary s = Summarize(ExtractNumPlans(seqs));
+    PrintTableRow({FormatDouble(lambda, 1), FormatDouble(s.avg, 1),
+                   FormatDouble(s.p50, 0), FormatDouble(s.p90, 0),
+                   FormatDouble(s.p95, 0), FormatDouble(s.max, 0)});
+  }
+  return 0;
+}

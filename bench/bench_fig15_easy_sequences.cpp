@@ -1,0 +1,43 @@
+// Figure 15: sequences where Optimize-Once already achieves MSO < 2 ("easy"
+// workloads). A good online technique should recognize these and avoid
+// extra work: the paper reports SCR averaging < 2 plans and ~1.7% optimizer
+// calls there while other techniques still store tens of plans.
+#include "bench/bench_util.h"
+
+#include <set>
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 15: behaviour on sequences where OptOnce MSO < 2 ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  // Identify the easy sequences with OptOnce.
+  auto once_seqs =
+      suite.RunAll([] { return std::make_unique<OptOnce>(); });
+  std::set<std::pair<std::string, std::string>> easy;
+  for (const auto& s : once_seqs) {
+    if (s.mso < 2.0) easy.insert({s.template_name, s.ordering});
+  }
+  std::printf("easy sequences: %zu of %zu\n", easy.size(), once_seqs.size());
+  if (easy.empty()) {
+    std::printf("no easy sequences at this scale; nothing to compare\n");
+    return 0;
+  }
+
+  PrintTableHeader({"technique", "avg plans", "avg numOpt %"});
+  for (const auto& nf : AllTechniques(2.0)) {
+    auto seqs = suite.RunAll(nf.factory);
+    std::vector<double> plans, numopt;
+    for (const auto& s : seqs) {
+      if (easy.count({s.template_name, s.ordering}) > 0) {
+        plans.push_back(static_cast<double>(s.num_plans));
+        numopt.push_back(s.NumOptPercent());
+      }
+    }
+    PrintTableRow({nf.name, FormatDouble(Mean(plans), 1),
+                   FormatDouble(Mean(numopt), 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figures 16 and 17 (Appendix H.2): aggregate MSO and TotalCostRatio per
+// technique (average + 95th percentile). Expected shape: heuristics show an
+// order-of-magnitude worse average than SCR2 due to a heavy tail; SCR2's
+// average TC sits near 1.1; PCM2's TC is noticeably above SCR2's.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figures 16/17: aggregate MSO and TotalCostRatio ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  PrintTableHeader({"technique", "MSO avg", "MSO p95", "TC avg", "TC p95"});
+  for (const auto& nf : AllTechniques(2.0)) {
+    auto seqs = suite.RunAll(nf.factory);
+    DistSummary mso = Summarize(ExtractMso(seqs));
+    DistSummary tcr = Summarize(ExtractTcr(seqs));
+    PrintTableRow({nf.name, FormatDouble(mso.avg, 2),
+                   FormatDouble(mso.p95, 2), FormatDouble(tcr.avg, 2),
+                   FormatDouble(tcr.p95, 2)});
+  }
+  return 0;
+}

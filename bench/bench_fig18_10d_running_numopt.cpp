@@ -1,0 +1,78 @@
+// Figure 18 (Appendix H.3): running numOpt % for a 10-dimensional query as
+// the sequence grows to 5000 instances. Expected shape: SCR2 tracks the
+// best heuristic (Ellipse) downward while PCM2 stays much higher.
+#include "bench/bench_util.h"
+#include "common/env.h"
+#include "workload/instance_gen.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+namespace {
+
+/// Runs a technique over one long sequence, reporting cumulative numOpt %
+/// at checkpoints.
+std::vector<double> RunningNumOpt(const Optimizer& optimizer,
+                                  const std::vector<WorkloadInstance>& wis,
+                                  const std::vector<int>& perm,
+                                  const Oracle& oracle,
+                                  PqoTechnique* technique,
+                                  const std::vector<int>& checkpoints) {
+  EngineContext engine(&optimizer.db(), &optimizer);
+  engine.SetOracle(
+      [&oracle](const WorkloadInstance& wi) { return oracle.result(wi.id); });
+  std::vector<double> out;
+  size_t next_cp = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    technique->OnInstance(wis[static_cast<size_t>(perm[i])], &engine);
+    if (next_cp < checkpoints.size() &&
+        static_cast<int>(i + 1) == checkpoints[next_cp]) {
+      out.push_back(100.0 *
+                    static_cast<double>(engine.num_optimizer_calls()) /
+                    static_cast<double>(i + 1));
+      ++next_cp;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 18: 10-d query, running numOpt %% ==\n");
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, 10);
+  Optimizer optimizer(&rd2.db);
+
+  int total = static_cast<int>(EnvInt64("SCRPQO_MAX_M", 5000));
+  InstanceGenOptions gen;
+  gen.m = total;
+  auto instances = GenerateInstances(bt, gen);
+  Oracle oracle = Oracle::Build(optimizer, instances);
+  std::vector<int> perm =
+      MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 3);
+
+  std::vector<int> checkpoints;
+  for (int c = total / 5; c <= total; c += total / 5) checkpoints.push_back(c);
+
+  std::vector<NamedFactory> techniques = {
+      PcmFactory(2.0),
+      {"Ellipse(0.9)",
+       [] { return std::make_unique<Ellipse>(EllipseOptions{.delta = 0.9}); },
+       0.0},
+      ScrFactory(2.0)};
+
+  std::printf("%-14s", "m");
+  for (int c : checkpoints) std::printf("%-10d", c);
+  std::printf("\n");
+  for (const auto& nf : techniques) {
+    auto technique = nf.factory();
+    auto series = RunningNumOpt(optimizer, instances, perm, oracle,
+                                technique.get(), checkpoints);
+    std::printf("%-14s", nf.name.c_str());
+    for (double v : series) std::printf("%-10s", FormatDouble(v, 1).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 19 (Appendix H.4): SCR numOpt % under hard plan-cache budgets
+// k in {unlimited, 10, 5, 2}. Expected shape: budgets of 10 and 5 cost
+// little extra optimization (most sequences want fewer plans anyway); k = 2
+// forces evict/re-optimize cycles on plan-rich sequences and numOpt climbs.
+// We sweep both lambda = 2 (the paper's setting) and lambda = 1.1 (where
+// more plans are wanted, so budgets bind earlier at reduced m).
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 19: SCR numOpt %% vs plan budget k ==\n");
+  EvaluationSuite suite = MakeSuite();
+
+  for (double lambda : {2.0, 1.1}) {
+    std::printf("\nlambda = %.1f\n", lambda);
+    PrintTableHeader({"budget k", "avg %", "p50 %", "p95 %", "max %",
+                      "plans p95"});
+    for (int k : {0, 10, 5, 2}) {
+      auto factory = [k, lambda] {
+        return std::make_unique<Scr>(
+            ScrOptions{.lambda = lambda, .plan_budget = k});
+      };
+      auto seqs = suite.RunAll(factory);
+      DistSummary s = Summarize(ExtractNumOptPct(seqs));
+      DistSummary plans = Summarize(ExtractNumPlans(seqs));
+      PrintTableRow({k == 0 ? "unlimited" : std::to_string(k),
+                     FormatDouble(s.avg, 1), FormatDouble(s.p50, 1),
+                     FormatDouble(s.p95, 1), FormatDouble(s.max, 1),
+                     FormatDouble(plans.p95, 0)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 20 (Appendix H.5): numOpt % restricted to random orderings only.
+// Expected shape: most techniques improve relative to the all-orderings
+// number (adversarial orderings hurt them), while SCR's performance is
+// essentially ordering-insensitive.
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 20: numOpt %% (random orderings only) ==\n");
+  SuiteConfig cfg = SuiteConfig::FromEnv();
+  cfg.orderings = {OrderingKind::kRandom};
+  std::printf("# suite: %d templates, random ordering only, m=%d\n",
+              cfg.num_templates, cfg.m);
+  EvaluationSuite suite(cfg);
+
+  PrintTableHeader({"technique", "avg %", "p50 %", "p95 %", "max %"});
+  for (const auto& nf : AllTechniques(2.0)) {
+    auto seqs = suite.RunAll(nf.factory);
+    DistSummary s = Summarize(ExtractNumOptPct(seqs));
+    PrintTableRow({nf.name, FormatDouble(s.avg, 1), FormatDouble(s.p50, 1),
+                   FormatDouble(s.p95, 1), FormatDouble(s.max, 1)});
+  }
+  return 0;
+}

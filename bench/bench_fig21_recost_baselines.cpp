@@ -1,0 +1,66 @@
+// Figure 21 (Appendix H.6): existing techniques augmented with the
+// Recost-based redundancy check (lambda_r = sqrt(2)). Expected shape:
+// numPlans improves for every baseline (sometimes numOpt too), but MSO /
+// TotalCostRatio stay in the same bad range or get worse — the redundancy
+// check alone cannot provide quality guarantees.
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+using namespace scrpqo;
+using namespace scrpqo::bench;
+
+int main() {
+  std::printf("== Figure 21: baselines with Recost redundancy check ==\n");
+  EvaluationSuite suite = MakeSuite();
+  const double lr = std::sqrt(2.0);
+
+  struct Pair {
+    std::string name;
+    TechniqueFactory plain;
+    TechniqueFactory with_recost;
+  };
+  std::vector<Pair> pairs = {
+      {"PCM2",
+       [] { return std::make_unique<Pcm>(PcmOptions{.lambda = 2.0}); },
+       [lr] {
+         return std::make_unique<Pcm>(
+             PcmOptions{.lambda = 2.0, .recost_redundancy_lambda_r = lr});
+       }},
+      {"Ellipse",
+       [] { return std::make_unique<Ellipse>(EllipseOptions{.delta = 0.9}); },
+       [lr] {
+         return std::make_unique<Ellipse>(EllipseOptions{
+             .delta = 0.9, .recost_redundancy_lambda_r = lr});
+       }},
+      {"Density",
+       [] { return std::make_unique<Density>(DensityOptions{}); },
+       [lr] {
+         return std::make_unique<Density>(
+             DensityOptions{.recost_redundancy_lambda_r = lr});
+       }},
+      {"Ranges",
+       [] { return std::make_unique<Ranges>(RangesOptions{}); },
+       [lr] {
+         return std::make_unique<Ranges>(
+             RangesOptions{.recost_redundancy_lambda_r = lr});
+       }},
+  };
+
+  PrintTableHeader({"technique", "plans", "plans+R", "numOpt%", "numOpt%+R",
+                    "TCavg", "TCavg+R", "MSOp95", "MSOp95+R"});
+  for (const auto& p : pairs) {
+    auto plain = suite.RunAll(p.plain);
+    auto recost = suite.RunAll(p.with_recost);
+    PrintTableRow({p.name,
+                   FormatDouble(Mean(ExtractNumPlans(plain)), 1),
+                   FormatDouble(Mean(ExtractNumPlans(recost)), 1),
+                   FormatDouble(Mean(ExtractNumOptPct(plain)), 1),
+                   FormatDouble(Mean(ExtractNumOptPct(recost)), 1),
+                   FormatDouble(Mean(ExtractTcr(plain)), 2),
+                   FormatDouble(Mean(ExtractTcr(recost)), 2),
+                   FormatDouble(Percentile(ExtractMso(plain), 95), 2),
+                   FormatDouble(Percentile(ExtractMso(recost), 95), 2)});
+  }
+  return 0;
+}

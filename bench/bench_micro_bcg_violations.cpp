@@ -1,0 +1,85 @@
+// Micro-experiment (Section 7.2 / Appendix G): how often does the engine's
+// cost model actually violate the PCM and BCG assumptions the guarantees
+// rest on? For every optimal plan at a grid of instances we scale a single
+// selectivity dimension by alpha (directly in sVector space — Recost only
+// needs selectivities) and compare the re-derived cost against the
+// f(alpha) = alpha bounds:
+//     cost(P, qa)  <=  cost(P, qb)  <=  alpha * cost(P, qa).
+// The paper observes violations are rare; this harness quantifies "rare"
+// for our engine. Sort spills and n log n terms are the expected sources.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/math_util.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/recost.h"
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+using namespace scrpqo;
+
+int main() {
+  std::printf("== BCG/PCM violation frequency probe (Section 7.2) ==\n");
+  SchemaScale scale;
+  std::vector<BenchmarkDb> dbs = BuildAllDatabases(scale);
+  TemplateGenOptions topts;
+  topts.num_templates = 24;
+  std::vector<BoundTemplate> templates = BuildTemplates(dbs, topts);
+
+  int64_t checks = 0, pcm_violations = 0, bcg_violations = 0;
+  double worst_excess = 1.0, worst_drop = 1.0;
+
+  for (const auto& bt : templates) {
+    Optimizer optimizer(&bt.db->db);
+    RecostService recost(&optimizer.cost_model());
+    InstanceGenOptions gen;
+    gen.m = 60;
+    auto instances = GenerateInstances(bt, gen);
+    for (const auto& wi : instances) {
+      OptimizationResult r =
+          optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+      CachedPlan plan = MakeCachedPlan(r);
+      double base = recost.Recost(plan, wi.svector);
+      for (size_t dim = 0; dim < wi.svector.size(); ++dim) {
+        for (double alpha : {1.5, 2.0, 4.0, 8.0}) {
+          SVector scaled = wi.svector;
+          scaled[dim] = std::min(scaled[dim] * alpha, 1.0);
+          if (scaled[dim] <= wi.svector[dim]) continue;  // clamped away
+          double actual_alpha = scaled[dim] / wi.svector[dim];
+          double moved = recost.Recost(plan, scaled);
+          ++checks;
+          if (moved < base * 0.999) {
+            ++pcm_violations;
+            worst_drop = std::min(worst_drop, moved / base);
+          }
+          if (moved > actual_alpha * base * 1.001) {
+            ++bcg_violations;
+            worst_excess = std::max(worst_excess,
+                                    moved / (actual_alpha * base));
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("single-dimension scalings checked: %lld\n",
+              static_cast<long long>(checks));
+  std::printf("PCM (monotonicity) violations:     %lld (%.3f%%), worst "
+              "drop %.3fx\n",
+              static_cast<long long>(pcm_violations),
+              100.0 * static_cast<double>(pcm_violations) /
+                  static_cast<double>(checks),
+              worst_drop);
+  std::printf("BCG (f(a)=a) upper violations:     %lld (%.3f%%), worst "
+              "excess %.3fx\n",
+              static_cast<long long>(bcg_violations),
+              100.0 * static_cast<double>(bcg_violations) /
+                  static_cast<double>(checks),
+              worst_excess);
+  std::printf("(paper Section 7.2: such violations exist but are rare — "
+              "sort spills\nand superlinear terms are the sources; SCR's "
+              "Appendix G detection handles\nthe fallout.)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmark (Appendix B): "there can be alternative implementations
+// of Recost that require lesser memory overheads at the cost of increased
+// time overheads for each Recost call." We quantify that trade: Recost on a
+// live plan tree vs. Recost on a serialized plan (deserialize, re-derive,
+// discard), plus the memory footprint of each representation.
+#include <benchmark/benchmark.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_memory.h"
+#include "optimizer/plan_serde.h"
+#include "optimizer/recost.h"
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace {
+
+using namespace scrpqo;
+
+struct Fixture {
+  BenchmarkDb rd2;
+  BoundTemplate bt;
+  std::unique_ptr<Optimizer> optimizer;
+  std::vector<WorkloadInstance> instances;
+  CachedPlan cached;
+  std::string serialized;
+
+  Fixture() {
+    SchemaScale scale;
+    rd2 = BuildRd2(scale);
+    bt = BuildRd2TemplateWithDimensions(rd2, 4);
+    optimizer = std::make_unique<Optimizer>(&rd2.db);
+    InstanceGenOptions gen;
+    gen.m = 64;
+    instances = GenerateInstances(bt, gen);
+    OptimizationResult r = optimizer->OptimizeWithSVector(
+        instances[0].instance, instances[0].svector);
+    cached = MakeCachedPlan(r);
+    serialized = SerializePlan(*r.plan);
+  }
+
+  static Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+void BM_RecostLiveTree(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  RecostService recost(&f.optimizer->cost_model());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& wi = f.instances[i++ % f.instances.size()];
+    benchmark::DoNotOptimize(recost.Recost(f.cached, wi.svector));
+  }
+  state.counters["resident_bytes"] =
+      static_cast<double>(PlanMemoryBytes(*f.cached.plan));
+}
+BENCHMARK(BM_RecostLiveTree);
+
+void BM_RecostFromSerialized(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  const CostModel& cm = f.optimizer->cost_model();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& wi = f.instances[i++ % f.instances.size()];
+    auto plan = DeserializePlan(f.serialized);
+    benchmark::DoNotOptimize(
+        cm.RecostTree(*plan.ValueOrDie(), wi.svector));
+  }
+  state.counters["resident_bytes"] =
+      static_cast<double>(f.serialized.size());
+}
+BENCHMARK(BM_RecostFromSerialized);
+
+void BM_SerializePlan(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializePlan(*f.cached.plan));
+  }
+}
+BENCHMARK(BM_SerializePlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

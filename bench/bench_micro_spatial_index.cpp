@@ -1,0 +1,91 @@
+// Micro-benchmark (Section 6.2): when the instance list grows to thousands
+// of entries, the selectivity check's linear scan becomes comparable to
+// sVector computation; a spatial index answers the same queries while
+// visiting a fraction of the entries. Reports getPlan-side candidate-search
+// latency for scan vs k-d tree at growing list sizes, plus nodes visited.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "pqo/instance_index.h"
+
+namespace {
+
+using namespace scrpqo;
+
+constexpr int kDims = 4;
+
+std::vector<SVector> MakePoints(int n) {
+  Pcg32 rng(42);
+  std::vector<SVector> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    SVector sv(kDims);
+    for (auto& s : sv) s = rng.UniformDouble(0.001, 0.99);
+    pts.push_back(std::move(sv));
+  }
+  return pts;
+}
+
+void BM_SelectivityCheckScan(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto points = MakePoints(n);
+  auto queries = MakePoints(64);
+  size_t qi = 0;
+  const double lambda = 2.0;
+  for (auto _ : state) {
+    const SVector& q = queries[qi++ % queries.size()];
+    int hits = 0;
+    for (const auto& p : points) {
+      auto ratios = SelectivityRatios(p, q);
+      if (ComputeG(ratios) * ComputeL(ratios) <= lambda) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SelectivityCheckScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SelectivityCheckKdTree(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto points = MakePoints(n);
+  InstanceKdTree tree(kDims);
+  for (int i = 0; i < n; ++i) tree.Insert(i, points[static_cast<size_t>(i)]);
+  auto queries = MakePoints(64);
+  size_t qi = 0;
+  int64_t visited = 0;
+  int64_t query_count = 0;
+  for (auto _ : state) {
+    const SVector& q = queries[qi++ % queries.size()];
+    auto matches = tree.RangeQuery(q, 2.0);
+    visited += tree.last_query_nodes_visited();
+    ++query_count;
+    benchmark::DoNotOptimize(matches.size());
+  }
+  state.counters["nodes_visited_avg"] =
+      query_count > 0
+          ? static_cast<double>(visited) / static_cast<double>(query_count)
+          : 0.0;
+  state.counters["list_size"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SelectivityCheckKdTree)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CandidateStreamKdTree(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto points = MakePoints(n);
+  InstanceKdTree tree(kDims);
+  for (int i = 0; i < n; ++i) tree.Insert(i, points[static_cast<size_t>(i)]);
+  auto queries = MakePoints(64);
+  size_t qi = 0;
+  for (auto _ : state) {
+    const SVector& q = queries[qi++ % queries.size()];
+    auto top = tree.NearestByGl(q, 8);
+    benchmark::DoNotOptimize(top.size());
+  }
+}
+BENCHMARK(BM_CandidateStreamKdTree)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

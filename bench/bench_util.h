@@ -1,0 +1,70 @@
+// Shared setup for the figure/table benchmark binaries: standard technique
+// factories and the env-scaled evaluation suite.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "pqo/density.h"
+#include "pqo/ellipse.h"
+#include "pqo/opt_always.h"
+#include "pqo/opt_once.h"
+#include "pqo/pcm.h"
+#include "pqo/ranges.h"
+#include "pqo/scr.h"
+#include "workload/report.h"
+#include "workload/suite.h"
+
+namespace scrpqo::bench {
+
+/// Builds the evaluation suite from SCRPQO_* env overrides, printing its
+/// configuration so output files are self-describing.
+inline EvaluationSuite MakeSuite(bool materialize_rows = false) {
+  SuiteConfig cfg = SuiteConfig::FromEnv();
+  cfg.materialize_rows = materialize_rows;
+  std::printf(
+      "# suite: %d templates x 5 orderings, m=%d (x2 for d>3), scale=%.2f, "
+      "seed=%llu\n",
+      cfg.num_templates, cfg.m, cfg.scale,
+      static_cast<unsigned long long>(cfg.seed));
+  return EvaluationSuite(cfg);
+}
+
+/// The paper's Table 2 technique roster at a given lambda.
+struct NamedFactory {
+  std::string name;
+  TechniqueFactory factory;
+  double lambda_for_violations = 0.0;
+};
+
+inline NamedFactory ScrFactory(double lambda) {
+  return {"SCR" + FormatDouble(lambda, 1),
+          [lambda] { return std::make_unique<Scr>(ScrOptions{.lambda = lambda}); },
+          lambda};
+}
+
+inline NamedFactory PcmFactory(double lambda) {
+  return {"PCM" + FormatDouble(lambda, 1),
+          [lambda] { return std::make_unique<Pcm>(PcmOptions{.lambda = lambda}); },
+          lambda};
+}
+
+inline std::vector<NamedFactory> AllTechniques(double lambda = 2.0) {
+  return {
+      {"OptOnce", [] { return std::make_unique<OptOnce>(); }, 0.0},
+      PcmFactory(lambda),
+      {"Ellipse(0.9)",
+       [] { return std::make_unique<Ellipse>(EllipseOptions{.delta = 0.9}); },
+       0.0},
+      {"Density",
+       [] { return std::make_unique<Density>(DensityOptions{}); }, 0.0},
+      {"Ranges(0.01)",
+       [] { return std::make_unique<Ranges>(RangesOptions{}); }, 0.0},
+      ScrFactory(lambda),
+  };
+}
+
+}  // namespace scrpqo::bench

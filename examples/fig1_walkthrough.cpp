@@ -1,0 +1,78 @@
+// Walk-through of the paper's Section 3 / Figure 1 narrative, showing how
+// SCR's three checks interact on a short 2-d workload: which instances pass
+// the selectivity check, which need the (cheap) cost check, and which force
+// an optimizer call — plus the inference-region arithmetic (G, L, GL) for
+// each decision.
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "pqo/scr.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+using namespace scrpqo;
+
+int main() {
+  SchemaScale scale;
+  BenchmarkDb tpch = BuildTpchSkewed(scale);
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  Optimizer optimizer(&tpch.db);
+
+  const double lambda = 2.0;
+  std::printf("lambda = %.1f: a reused plan may cost at most %.1fx the "
+              "optimal plan\n\n", lambda, lambda);
+
+  std::vector<std::pair<double, double>> points = {
+      {0.05, 0.10},  // q1: first instance, must optimize
+      {0.06, 0.12},  // q2: GL small -> selectivity check passes
+      {0.09, 0.05},  // q3: GL moderate -> cost check decides
+      {0.70, 0.75},  // q4: far away -> optimize
+      {0.65, 0.80},  // q5: near q4 -> selectivity check passes
+      {0.10, 0.60},  // q6: mixed -> cost check or optimize
+  };
+
+  Scr scr(ScrOptions{.lambda = lambda});
+  EngineContext engine(&tpch.db, &optimizer);
+
+  SVector prev_opt;  // sVector of the most recently optimized instance
+  int qnum = 0;
+  for (auto [s0, s1] : points) {
+    ++qnum;
+    WorkloadInstance wi;
+    wi.id = qnum;
+    wi.instance = InstanceForSelectivities(tpch.db, *bt.tmpl, {s0, s1});
+    wi.svector = ComputeSelectivityVector(tpch.db, wi.instance);
+
+    // Show the check arithmetic against the last optimized instance.
+    if (!prev_opt.empty()) {
+      auto ratios = SelectivityRatios(prev_opt, wi.svector);
+      double g = ComputeG(ratios), l = ComputeL(ratios);
+      std::printf("q%d sv=(%.3f, %.3f): vs last optimized G=%.2f L=%.2f "
+                  "GL=%.2f (reusable by sel-check iff GL <= %.1f)\n",
+                  qnum, wi.svector[0], wi.svector[1], g, l, g * l, lambda);
+    } else {
+      std::printf("q%d sv=(%.3f, %.3f): empty cache\n", qnum, wi.svector[0],
+                  wi.svector[1]);
+    }
+
+    PlanChoice c = scr.OnInstance(wi, &engine);
+    if (c.optimized) {
+      std::printf("  -> optimizer call (plan cache now holds %lld plans)\n",
+                  static_cast<long long>(scr.NumPlansCached()));
+      prev_opt = wi.svector;
+    } else if (c.recost_calls_in_get_plan > 0) {
+      std::printf("  -> reused via cost check (%d Recost call%s)\n",
+                  c.recost_calls_in_get_plan,
+                  c.recost_calls_in_get_plan == 1 ? "" : "s");
+    } else {
+      std::printf("  -> reused via selectivity check (no engine call)\n");
+    }
+  }
+
+  std::printf("\ntotals: %lld optimizer calls, %lld Recost calls, "
+              "%lld plans cached for %zu instances\n",
+              static_cast<long long>(engine.num_optimizer_calls()),
+              static_cast<long long>(engine.num_recost_calls()),
+              static_cast<long long>(scr.NumPlansCached()), points.size());
+  return 0;
+}

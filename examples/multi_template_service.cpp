@@ -1,0 +1,90 @@
+// Simulates the deployment the paper targets: a database service receiving
+// interleaved instances of MANY parameterized queries. PqoManager routes
+// each to its template's SCR cache, choosing per-template lambda from a
+// short Optimize-Always warm-up (Section 6.2's "Choosing lambda"), and the
+// service-wide effect is measured against running Optimize-Always for
+// everything.
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "pqo/pqo_manager.h"
+#include "workload/instance_gen.h"
+#include "workload/named_templates.h"
+
+using namespace scrpqo;
+
+int main() {
+  SchemaScale scale;
+  std::vector<BenchmarkDb> dbs = BuildAllDatabases(scale);
+
+  // Four concurrent "applications", one per database.
+  std::vector<std::string> names = {"TPCH_SHIPPING", "TPCDS_Q18A",
+                                    "RD1_FUNNEL", "RD2_FLEET"};
+  struct App {
+    BoundTemplate bt;
+    std::vector<WorkloadInstance> instances;
+    std::unique_ptr<Optimizer> optimizer;
+    std::unique_ptr<EngineContext> engine;
+    size_t next = 0;
+  };
+  std::vector<App> apps;
+  for (size_t i = 0; i < names.size(); ++i) {
+    App app;
+    app.bt = BuildNamedTemplate(dbs, names[i]);
+    InstanceGenOptions gen;
+    gen.m = 400;
+    gen.seed = 11 + i;
+    app.instances = GenerateInstances(app.bt, gen);
+    app.optimizer = std::make_unique<Optimizer>(&app.bt.db->db);
+    app.engine = std::make_unique<EngineContext>(&app.bt.db->db,
+                                                 app.optimizer.get());
+    apps.push_back(std::move(app));
+  }
+
+  PqoManagerOptions opts;
+  opts.warmup_instances = 10;
+  opts.lambda_tight = 1.2;
+  opts.lambda_loose = 2.0;
+  PqoManager manager(opts);
+
+  // Interleave instances across applications, as a service would see them.
+  Pcg32 rng(3);
+  int64_t served = 0;
+  while (true) {
+    std::vector<size_t> alive;
+    for (size_t i = 0; i < apps.size(); ++i) {
+      if (apps[i].next < apps[i].instances.size()) alive.push_back(i);
+    }
+    if (alive.empty()) break;
+    size_t pick = alive[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(alive.size()) - 1))];
+    App& app = apps[pick];
+    manager.OnInstance(names[pick], app.instances[app.next++],
+                       app.engine.get());
+    ++served;
+  }
+
+  std::printf("served %lld instances across %lld templates\n",
+              static_cast<long long>(served),
+              static_cast<long long>(manager.NumTemplates()));
+  std::printf("total plans cached: %lld\n",
+              static_cast<long long>(manager.TotalPlansCached()));
+  int64_t total_opt = 0;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    std::printf(
+        "  %-14s lambda=%.1f  optimizer calls %lld / %zu (%.1f%%)\n",
+        names[i].c_str(), manager.LambdaFor(names[i]),
+        static_cast<long long>(apps[i].engine->num_optimizer_calls()),
+        apps[i].instances.size(),
+        100.0 *
+            static_cast<double>(apps[i].engine->num_optimizer_calls()) /
+            static_cast<double>(apps[i].instances.size()));
+    total_opt += apps[i].engine->num_optimizer_calls();
+  }
+  std::printf(
+      "\nservice-wide: %.1f%% optimizer calls vs 100%% under "
+      "Optimize-Always\n",
+      100.0 * static_cast<double>(total_opt) / static_cast<double>(served));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Demonstrates the hard plan-cache budget (Section 6.3.1): SCR keeps its
+// lambda-optimality guarantee under a budget k by evicting the
+// least-frequently-used plan together with every instance entry pointing at
+// it — eviction costs extra optimizer calls later but never quality.
+#include <cstdio>
+
+#include "pqo/scr.h"
+#include "workload/instance_gen.h"
+#include "workload/runner.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+using namespace scrpqo;
+
+int main() {
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, 4);
+  Optimizer optimizer(&rd2.db);
+
+  InstanceGenOptions gen;
+  gen.m = 1500;
+  auto instances = GenerateInstances(bt, gen);
+  Oracle oracle = Oracle::Build(optimizer, instances);
+  auto perm = MakeOrdering(OrderingKind::kRandom, oracle.OrderingInfo(), 1);
+
+  std::printf("4-d RD2 template, %zu instances, lambda = 2\n\n",
+              instances.size());
+  std::printf("%-10s %-10s %-10s %-14s %-10s\n", "budget k", "numOpt",
+              "numPlans", "TotalCostRatio", "MSO");
+  for (int k : {0, 10, 5, 2}) {
+    Scr scr(ScrOptions{.lambda = 2.0, .plan_budget = k});
+    RunSequenceOptions ropts;
+    ropts.lambda_for_violations = 2.0;
+    ropts.ordering_name = "random";
+    SequenceMetrics m =
+        RunSequence(optimizer, instances, perm, oracle, &scr, ropts);
+    char kbuf[16];
+    std::snprintf(kbuf, sizeof(kbuf), "%s",
+                  k == 0 ? "unlimited" : std::to_string(k).c_str());
+    std::printf("%-10s %-10lld %-10lld %-14.3f %-10.3f\n", kbuf,
+                static_cast<long long>(m.num_opt),
+                static_cast<long long>(m.num_plans), m.total_cost_ratio,
+                m.mso);
+  }
+  std::printf(
+      "\nTight budgets trade optimizer calls for memory; the bound on MSO "
+      "is\npreserved throughout (modulo the rare cost-model BCG "
+      "violations).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Renders a plan diagram (Reddy & Haritsa, VLDB 2005 — reference [18] of
+// the paper): the 2-d selectivity space of a parameterized query colored by
+// which plan the optimizer picks. Plan diagrams with many regions are what
+// make PQO hard — and what SCR's inference regions carve up safely.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_signature.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+using namespace scrpqo;
+
+int main() {
+  SchemaScale scale;
+  BenchmarkDb tpch = BuildTpchSkewed(scale);
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  Optimizer optimizer(&tpch.db);
+
+  const int kGrid = 40;
+  std::map<uint64_t, char> glyph_of;
+  std::map<uint64_t, int> count_of;
+  std::map<uint64_t, double> example_cost;
+  const char* glyphs =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+  std::vector<std::string> rows;
+  for (int yi = kGrid - 1; yi >= 0; --yi) {
+    std::string row;
+    for (int xi = 0; xi < kGrid; ++xi) {
+      // Log-spaced grid over [0.002, 0.95]^2.
+      auto coord = [&](int i) {
+        double lo = std::log(0.002), hi = std::log(0.95);
+        return std::exp(lo + (hi - lo) * (static_cast<double>(i) + 0.5) /
+                                 kGrid);
+      };
+      QueryInstance q = InstanceForSelectivities(
+          tpch.db, *bt.tmpl, {coord(xi), coord(yi)});
+      OptimizationResult r = optimizer.Optimize(q);
+      uint64_t sig = PlanSignatureHash(*r.plan);
+      if (glyph_of.find(sig) == glyph_of.end()) {
+        size_t next = glyph_of.size();
+        glyph_of[sig] = next < 62 ? glyphs[next] : '#';
+        example_cost[sig] = r.cost;
+      }
+      ++count_of[sig];
+      row.push_back(glyph_of[sig]);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("Plan diagram for %s (%dx%d grid, log-spaced selectivities)\n",
+              bt.tmpl->name().c_str(), kGrid, kGrid);
+  std::printf("x: selectivity of l_shipdate <= $0 (0.002 .. 0.95, log)\n");
+  std::printf("y: selectivity of o_totalprice <= $1 (0.002 .. 0.95, log)\n\n");
+  for (const auto& row : rows) std::printf("  %s\n", row.c_str());
+
+  std::printf("\n%zu distinct optimal plans:\n", glyph_of.size());
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (const auto& [sig, count] : count_of) by_count.push_back({count, sig});
+  std::sort(by_count.rbegin(), by_count.rend());
+  for (const auto& [count, sig] : by_count) {
+    std::printf("  %c  %5.1f%% of the space   (cost at first sighting: "
+                "%.1f)\n",
+                glyph_of[sig],
+                100.0 * count / static_cast<double>(kGrid * kGrid),
+                example_cost[sig]);
+  }
+  return 0;
+}

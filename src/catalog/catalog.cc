@@ -1,0 +1,71 @@
+#include "catalog/catalog.h"
+
+namespace scrpqo {
+
+int TableDef::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const IndexDef* TableDef::FindIndexOn(const std::string& column) const {
+  for (const auto& idx : indexes) {
+    if (idx.column == column) return &idx;
+  }
+  return nullptr;
+}
+
+Status Catalog::AddTable(TableDef def) {
+  if (tables_.count(def.name) > 0) {
+    return Status::AlreadyExists("table " + def.name + " already exists");
+  }
+  for (const auto& idx : def.indexes) {
+    if (!def.HasColumn(idx.column)) {
+      return Status::InvalidArgument("index " + idx.name +
+                                     " references unknown column " +
+                                     idx.column);
+    }
+  }
+  tables_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const TableDef& Catalog::GetTable(const std::string& name) const {
+  const TableDef* t = FindTable(name);
+  SCRPQO_CHECK(t != nullptr, ("unknown table: " + name).c_str());
+  return *t;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::SetColumnStats(const std::string& table,
+                             const std::string& column, ColumnStats stats) {
+  column_stats_[table + "." + column] = std::move(stats);
+}
+
+const ColumnStats* Catalog::FindColumnStats(const std::string& table,
+                                            const std::string& column) const {
+  auto it = column_stats_.find(table + "." + column);
+  return it == column_stats_.end() ? nullptr : &it->second;
+}
+
+const ColumnStats& Catalog::GetColumnStats(const std::string& table,
+                                           const std::string& column) const {
+  const ColumnStats* s = FindColumnStats(table, column);
+  SCRPQO_CHECK(s != nullptr,
+               ("missing stats for " + table + "." + column).c_str());
+  return *s;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,78 @@
+// Catalog: schema metadata (tables, columns, indexes) and column statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/value.h"
+#include "stats/histogram.h"
+
+namespace scrpqo {
+
+/// \brief How a generated column's values are distributed; the catalog keeps
+/// this only as documentation — estimation always goes through histograms.
+enum class ColumnDistribution {
+  kSequential,   // 0, 1, 2, ... (primary keys)
+  kUniform,      // uniform over [min, max]
+  kZipf,         // Zipfian ranks mapped onto [min, max]
+  kNormal,       // clipped normal
+  kForeignKey,   // uniform or zipfian reference into another table's PK
+};
+
+/// \brief Column definition plus data-generation parameters.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+  ColumnDistribution distribution = ColumnDistribution::kUniform;
+  double min_value = 0.0;
+  double max_value = 1000.0;
+  double zipf_theta = 0.0;       // skew for kZipf / kForeignKey
+  std::string ref_table;         // for kForeignKey
+};
+
+/// \brief Secondary index over a single column (sorted row-id list in the
+/// storage layer). `clustered` marks the physical sort order of the table.
+struct IndexDef {
+  std::string name;
+  std::string column;
+  bool clustered = false;
+};
+
+struct TableDef {
+  std::string name;
+  int64_t row_count = 0;
+  std::vector<ColumnDef> columns;
+  std::vector<IndexDef> indexes;
+
+  int ColumnIndex(const std::string& column) const;
+  bool HasColumn(const std::string& column) const {
+    return ColumnIndex(column) >= 0;
+  }
+  const IndexDef* FindIndexOn(const std::string& column) const;
+};
+
+/// \brief Schema + statistics registry for one database.
+class Catalog {
+ public:
+  Status AddTable(TableDef def);
+  const TableDef* FindTable(const std::string& name) const;
+  const TableDef& GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  void SetColumnStats(const std::string& table, const std::string& column,
+                      ColumnStats stats);
+  const ColumnStats* FindColumnStats(const std::string& table,
+                                     const std::string& column) const;
+  const ColumnStats& GetColumnStats(const std::string& table,
+                                    const std::string& column) const;
+
+ private:
+  std::map<std::string, TableDef> tables_;
+  std::map<std::string, ColumnStats> column_stats_;  // "table.column"
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace scrpqo {
+
+int64_t EnvInt64(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,17 @@
+// Environment-variable helpers for scaling benchmark workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scrpqo {
+
+/// Reads an integer from the environment, falling back to `def` when the
+/// variable is unset or unparsable. Used to scale benchmark sizes
+/// (e.g. SCRPQO_M for workload length) without recompiling.
+int64_t EnvInt64(const std::string& name, int64_t def);
+
+/// Reads a double from the environment with fallback.
+double EnvDouble(const std::string& name, double def);
+
+}  // namespace scrpqo

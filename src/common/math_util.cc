@@ -1,0 +1,79 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+constexpr double kSelectivityFloor = 1e-9;
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  if (p >= 100.0) return values.back();
+  double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double ComputeG(const std::vector<double>& ratios) {
+  double g = 1.0;
+  for (double r : ratios) {
+    if (r > 1.0) g *= r;
+  }
+  return g;
+}
+
+double ComputeL(const std::vector<double>& ratios) {
+  double l = 1.0;
+  for (double r : ratios) {
+    if (r < 1.0) l /= r;
+  }
+  return l;
+}
+
+std::vector<double> SelectivityRatios(const std::vector<double>& from,
+                                      const std::vector<double>& to) {
+  SCRPQO_CHECK(from.size() == to.size(),
+               "selectivity vectors must have equal dimensionality");
+  std::vector<double> ratios(from.size());
+  for (size_t i = 0; i < from.size(); ++i) {
+    double f = std::max(from[i], kSelectivityFloor);
+    double t = std::max(to[i], kSelectivityFloor);
+    ratios[i] = t / f;
+  }
+  return ratios;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  SCRPQO_CHECK(a.size() == b.size(),
+               "selectivity vectors must have equal dimensionality");
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace scrpqo

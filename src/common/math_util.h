@@ -1,0 +1,38 @@
+// Small numeric helpers shared across modules: percentiles, means, and the
+// G/L selectivity-ratio factors at the heart of the SCR selectivity check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scrpqo {
+
+/// \brief Percentile of a sample using linear interpolation between order
+/// statistics (the "R-7" definition used by numpy). `p` in [0, 100].
+/// Returns 0 for an empty sample.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+double Max(const std::vector<double>& values);
+
+/// \brief Net cost increment factor G = prod over dimensions with
+/// ratio > 1 of the ratio (paper Section 5.3). `ratios[i]` is
+/// s_i(qc) / s_i(qe).
+double ComputeG(const std::vector<double>& ratios);
+
+/// \brief Net cost decrement factor L = prod over dimensions with
+/// ratio < 1 of (1 / ratio) (paper Section 5.3).
+double ComputeL(const std::vector<double>& ratios);
+
+/// Component-wise ratios between two selectivity vectors; selectivities are
+/// clamped to a small positive floor so ratios stay finite.
+std::vector<double> SelectivityRatios(const std::vector<double>& from,
+                                      const std::vector<double>& to);
+
+/// Euclidean distance between two selectivity vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace scrpqo

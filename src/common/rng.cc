@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  state_ = 0u;
+  inc_ = (stream << 1u) | 1u;
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+int64_t Pcg32::UniformInt(int64_t lo, int64_t hi) {
+  SCRPQO_CHECK(lo <= hi, "UniformInt requires lo <= hi");
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested; combine two draws.
+    uint64_t v = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return static_cast<int64_t>(v);
+  }
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~range + 1) % range;  // == (2^64 - range) % range
+  for (;;) {
+    uint64_t v = (static_cast<uint64_t>(Next()) << 32) | Next();
+    if (v >= threshold) return lo + static_cast<int64_t>(v % range);
+  }
+}
+
+double Pcg32::UniformDouble() {
+  // 53 random bits into [0, 1).
+  uint64_t v = (static_cast<uint64_t>(Next()) << 32) | Next();
+  return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Pcg32::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Pcg32::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+  SCRPQO_CHECK(n > 0, "ZipfSampler requires n > 0");
+  SCRPQO_CHECK(theta >= 0.0, "ZipfSampler requires theta >= 0");
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[static_cast<size_t>(i)] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+int64_t ZipfSampler::Sample(Pcg32* rng) const {
+  double u = rng->UniformDouble();
+  // First index with cdf >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int64_t>(lo);
+}
+
+}  // namespace scrpqo

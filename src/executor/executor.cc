@@ -1,0 +1,618 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+
+/// Shared per-execution state.
+struct ExecContext {
+  const Database* db = nullptr;
+  const QueryInstance* instance = nullptr;
+  int num_tables = 0;
+
+  const TableData& Data(int table_index) const {
+    const QueryTemplate& tmpl = instance->query_template();
+    return db->GetTableData(
+        tmpl.tables()[static_cast<size_t>(table_index)]);
+  }
+};
+
+/// A leaf predicate compiled for execution: numeric comparison against the
+/// column's double view.
+struct CompiledPred {
+  const ColumnData* column = nullptr;
+  CompareOp op = CompareOp::kLe;
+  double value = 0.0;
+
+  bool Matches(int64_t row) const {
+    double v = column->GetDouble(row);
+    switch (op) {
+      case CompareOp::kLt:
+        return v < value;
+      case CompareOp::kLe:
+        return v <= value;
+      case CompareOp::kGt:
+        return v > value;
+      case CompareOp::kGe:
+        return v >= value;
+      case CompareOp::kEq:
+        return v == value;
+    }
+    return false;
+  }
+};
+
+std::vector<CompiledPred> CompilePreds(const ExecContext& ctx,
+                                       const LeafInfo& leaf,
+                                       int skip_pred = -1) {
+  std::vector<CompiledPred> out;
+  const TableData& data = ctx.Data(leaf.table_index);
+  for (size_t i = 0; i < leaf.preds.size(); ++i) {
+    if (static_cast<int>(i) == skip_pred) continue;
+    const PredSpec& p = leaf.preds[i];
+    CompiledPred cp;
+    cp.column = &data.column(p.column);
+    cp.op = p.op;
+    const Value& v =
+        p.parameterized() ? ctx.instance->param(p.param_slot) : p.literal;
+    cp.value = v.AsDouble();
+    out.push_back(cp);
+  }
+  return out;
+}
+
+bool MatchesAll(const std::vector<CompiledPred>& preds, int64_t row) {
+  for (const auto& p : preds) {
+    if (!p.Matches(row)) return false;
+  }
+  return true;
+}
+
+ExecRow MakeRow(int num_tables) {
+  ExecRow r;
+  r.ids.assign(static_cast<size_t>(num_tables), -1);
+  return r;
+}
+
+class TableScanIterator : public RowIterator {
+ public:
+  TableScanIterator(const ExecContext& ctx, const LeafInfo& leaf)
+      : ctx_(ctx), leaf_(leaf) {}
+
+  void Open() override {
+    preds_ = CompilePreds(ctx_, leaf_);
+    row_count_ = ctx_.Data(leaf_.table_index).row_count();
+    next_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    while (next_ < row_count_) {
+      int64_t r = next_++;
+      if (MatchesAll(preds_, r)) {
+        *row = MakeRow(ctx_.num_tables);
+        row->ids[static_cast<size_t>(leaf_.table_index)] = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const LeafInfo& leaf_;
+  std::vector<CompiledPred> preds_;
+  int64_t row_count_ = 0;
+  int64_t next_ = 0;
+};
+
+/// IndexSeek and IndexScanOrdered: range lookup (or full ordered walk) over
+/// the sorted index, residual predicates applied on fetch.
+class IndexAccessIterator : public RowIterator {
+ public:
+  IndexAccessIterator(const ExecContext& ctx, const LeafInfo& leaf)
+      : ctx_(ctx), leaf_(leaf) {}
+
+  void Open() override {
+    const TableData& data = ctx_.Data(leaf_.table_index);
+    const SortedIndex* index = data.FindIndex(leaf_.index_column);
+    SCRPQO_CHECK(index != nullptr, "plan references a missing index");
+    if (leaf_.seek_pred >= 0) {
+      const PredSpec& p = leaf_.preds[static_cast<size_t>(leaf_.seek_pred)];
+      const Value& v =
+          p.parameterized() ? ctx_.instance->param(p.param_slot) : p.literal;
+      matches_ = index->RangeLookup(p.op, v.AsDouble());
+    } else {
+      // Full ordered walk.
+      matches_ = index->RangeLookup(
+          CompareOp::kGe, -std::numeric_limits<double>::infinity());
+    }
+    preds_ = CompilePreds(ctx_, leaf_, leaf_.seek_pred);
+    next_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    while (next_ < matches_.size()) {
+      int64_t r = matches_[next_++];
+      if (MatchesAll(preds_, r)) {
+        *row = MakeRow(ctx_.num_tables);
+        row->ids[static_cast<size_t>(leaf_.table_index)] = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const LeafInfo& leaf_;
+  std::vector<CompiledPred> preds_;
+  std::vector<int64_t> matches_;
+  size_t next_ = 0;
+};
+
+double KeyOf(const ExecContext& ctx, const ExecRow& row, int table,
+             const std::string& column) {
+  int64_t id = row.ids[static_cast<size_t>(table)];
+  SCRPQO_CHECK(id >= 0, "join key table missing from row");
+  return ctx.Data(table).column(column).GetDouble(id);
+}
+
+ExecRow MergeRows(const ExecRow& a, const ExecRow& b) {
+  ExecRow out = a;
+  for (size_t i = 0; i < out.ids.size(); ++i) {
+    if (out.ids[i] < 0) out.ids[i] = b.ids[i];
+  }
+  return out;
+}
+
+/// Checks all join edges (beyond any already enforced by the access method).
+bool EdgesMatch(const ExecContext& ctx, const std::vector<JoinEdge>& edges,
+                size_t first, const ExecRow& row) {
+  for (size_t i = first; i < edges.size(); ++i) {
+    const JoinEdge& e = edges[i];
+    if (KeyOf(ctx, row, e.left_table, e.left_column) !=
+        KeyOf(ctx, row, e.right_table, e.right_column)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class SortIterator : public RowIterator {
+ public:
+  SortIterator(const ExecContext& ctx, const SortKey& key,
+               std::unique_ptr<RowIterator> child)
+      : ctx_(ctx), key_(key), child_(std::move(child)) {}
+
+  void Open() override {
+    child_->Open();
+    rows_.clear();
+    ExecRow r;
+    while (child_->Next(&r)) rows_.push_back(r);
+    const ColumnData& col = ctx_.Data(key_.table).column(key_.column);
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&](const ExecRow& a, const ExecRow& b) {
+                       int64_t ia = a.ids[static_cast<size_t>(key_.table)];
+                       int64_t ib = b.ids[static_cast<size_t>(key_.table)];
+                       SCRPQO_CHECK(ia >= 0 && ib >= 0,
+                                    "sort key table missing from row");
+                       return col.GetDouble(ia) < col.GetDouble(ib);
+                     });
+    next_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = rows_[next_++];
+    return true;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  SortKey key_;
+  std::unique_ptr<RowIterator> child_;
+  std::vector<ExecRow> rows_;
+  size_t next_ = 0;
+};
+
+class HashJoinIterator : public RowIterator {
+ public:
+  HashJoinIterator(const ExecContext& ctx, const JoinInfo& join,
+                   std::unique_ptr<RowIterator> probe,
+                   std::unique_ptr<RowIterator> build)
+      : ctx_(ctx),
+        join_(join),
+        probe_(std::move(probe)),
+        build_(std::move(build)) {}
+
+  void Open() override {
+    build_->Open();
+    probe_->Open();
+    table_.clear();
+    ExecRow r;
+    while (build_->Next(&r)) {
+      double key = KeyOf(ctx_, r, join_.edges[0].right_table,
+                         join_.edges[0].right_column);
+      table_[key].push_back(r);
+    }
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    for (;;) {
+      if (pending_pos_ < pending_.size()) {
+        *row = pending_[pending_pos_++];
+        return true;
+      }
+      ExecRow probe_row;
+      if (!probe_->Next(&probe_row)) return false;
+      pending_.clear();
+      pending_pos_ = 0;
+      double key = KeyOf(ctx_, probe_row, join_.edges[0].left_table,
+                         join_.edges[0].left_column);
+      auto it = table_.find(key);
+      if (it == table_.end()) continue;
+      for (const ExecRow& b : it->second) {
+        ExecRow merged = MergeRows(probe_row, b);
+        if (EdgesMatch(ctx_, join_.edges, 1, merged)) {
+          pending_.push_back(std::move(merged));
+        }
+      }
+    }
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const JoinInfo& join_;
+  std::unique_ptr<RowIterator> probe_;
+  std::unique_ptr<RowIterator> build_;
+  std::unordered_map<double, std::vector<ExecRow>> table_;
+  std::vector<ExecRow> pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// Merge join over sorted inputs; handles duplicate-key runs on both sides.
+class MergeJoinIterator : public RowIterator {
+ public:
+  MergeJoinIterator(const ExecContext& ctx, const JoinInfo& join,
+                    std::unique_ptr<RowIterator> left,
+                    std::unique_ptr<RowIterator> right)
+      : ctx_(ctx),
+        join_(join),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  void Open() override {
+    left_->Open();
+    right_->Open();
+    // Materialize both sides; inputs are already sorted by the merge key.
+    lrows_.clear();
+    rrows_.clear();
+    ExecRow r;
+    while (left_->Next(&r)) lrows_.push_back(r);
+    while (right_->Next(&r)) rrows_.push_back(r);
+    li_ = rj_ = 0;
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    const JoinEdge& e = join_.edges[0];
+    for (;;) {
+      if (pending_pos_ < pending_.size()) {
+        *row = pending_[pending_pos_++];
+        return true;
+      }
+      if (li_ >= lrows_.size() || rj_ >= rrows_.size()) return false;
+      double lk = KeyOf(ctx_, lrows_[li_], e.left_table, e.left_column);
+      double rk = KeyOf(ctx_, rrows_[rj_], e.right_table, e.right_column);
+      if (lk < rk) {
+        ++li_;
+        continue;
+      }
+      if (rk < lk) {
+        ++rj_;
+        continue;
+      }
+      // Equal-key runs on both sides: cross product of the runs.
+      size_t le = li_;
+      while (le < lrows_.size() &&
+             KeyOf(ctx_, lrows_[le], e.left_table, e.left_column) == lk) {
+        ++le;
+      }
+      size_t re = rj_;
+      while (re < rrows_.size() &&
+             KeyOf(ctx_, rrows_[re], e.right_table, e.right_column) == rk) {
+        ++re;
+      }
+      pending_.clear();
+      pending_pos_ = 0;
+      for (size_t i = li_; i < le; ++i) {
+        for (size_t j = rj_; j < re; ++j) {
+          ExecRow merged = MergeRows(lrows_[i], rrows_[j]);
+          if (EdgesMatch(ctx_, join_.edges, 1, merged)) {
+            pending_.push_back(std::move(merged));
+          }
+        }
+      }
+      li_ = le;
+      rj_ = re;
+    }
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const JoinInfo& join_;
+  std::unique_ptr<RowIterator> left_;
+  std::unique_ptr<RowIterator> right_;
+  std::vector<ExecRow> lrows_, rrows_;
+  size_t li_ = 0, rj_ = 0;
+  std::vector<ExecRow> pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// Indexed nested loops: per outer row, equality seek into the inner index,
+/// then inner residual predicates and residual edges.
+class IndexedNljIterator : public RowIterator {
+ public:
+  IndexedNljIterator(const ExecContext& ctx, const JoinInfo& join,
+                     const LeafInfo& inner,
+                     std::unique_ptr<RowIterator> outer)
+      : ctx_(ctx), join_(join), inner_(inner), outer_(std::move(outer)) {}
+
+  void Open() override {
+    outer_->Open();
+    const TableData& data = ctx_.Data(inner_.table_index);
+    index_ = data.FindIndex(inner_.index_column);
+    SCRPQO_CHECK(index_ != nullptr, "plan references a missing index");
+    inner_preds_ = CompilePreds(ctx_, inner_);
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    const JoinEdge& e = join_.edges[0];
+    for (;;) {
+      if (pending_pos_ < pending_.size()) {
+        *row = pending_[pending_pos_++];
+        return true;
+      }
+      ExecRow outer_row;
+      if (!outer_->Next(&outer_row)) return false;
+      double key = KeyOf(ctx_, outer_row, e.left_table, e.left_column);
+      pending_.clear();
+      pending_pos_ = 0;
+      for (int64_t r : index_->RangeLookup(CompareOp::kEq, key)) {
+        if (!MatchesAll(inner_preds_, r)) continue;
+        ExecRow merged = outer_row;
+        merged.ids[static_cast<size_t>(inner_.table_index)] = r;
+        if (EdgesMatch(ctx_, join_.edges, 1, merged)) {
+          pending_.push_back(std::move(merged));
+        }
+      }
+    }
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const JoinInfo& join_;
+  const LeafInfo& inner_;
+  std::unique_ptr<RowIterator> outer_;
+  const SortedIndex* index_ = nullptr;
+  std::vector<CompiledPred> inner_preds_;
+  std::vector<ExecRow> pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// Naive nested loops: inner side spooled once, rescanned per outer row.
+class NaiveNljIterator : public RowIterator {
+ public:
+  NaiveNljIterator(const ExecContext& ctx, const JoinInfo& join,
+                   std::unique_ptr<RowIterator> outer,
+                   std::unique_ptr<RowIterator> inner)
+      : ctx_(ctx),
+        join_(join),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)) {}
+
+  void Open() override {
+    outer_->Open();
+    inner_->Open();
+    spool_.clear();
+    ExecRow r;
+    while (inner_->Next(&r)) spool_.push_back(r);
+    have_outer_ = false;
+    spool_pos_ = 0;
+  }
+
+  bool Next(ExecRow* row) override {
+    for (;;) {
+      if (!have_outer_) {
+        if (!outer_->Next(&outer_row_)) return false;
+        have_outer_ = true;
+        spool_pos_ = 0;
+      }
+      while (spool_pos_ < spool_.size()) {
+        ExecRow merged = MergeRows(outer_row_, spool_[spool_pos_++]);
+        if (EdgesMatch(ctx_, join_.edges, 0, merged)) {
+          *row = merged;
+          return true;
+        }
+      }
+      have_outer_ = false;
+    }
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const JoinInfo& join_;
+  std::unique_ptr<RowIterator> outer_;
+  std::unique_ptr<RowIterator> inner_;
+  std::vector<ExecRow> spool_;
+  ExecRow outer_row_;
+  bool have_outer_ = false;
+  size_t spool_pos_ = 0;
+};
+
+/// Hash aggregation: emits one representative row per distinct group key.
+class HashAggIterator : public RowIterator {
+ public:
+  HashAggIterator(const ExecContext& ctx, const AggInfo& agg,
+                  std::unique_ptr<RowIterator> child)
+      : ctx_(ctx), agg_(agg), child_(std::move(child)) {}
+
+  void Open() override {
+    child_->Open();
+    groups_.clear();
+    ExecRow r;
+    while (child_->Next(&r)) {
+      double key = KeyOf(ctx_, r, agg_.group_table, agg_.group_column);
+      auto [it, inserted] = groups_.try_emplace(key, r);
+      (void)it;
+      (void)inserted;
+    }
+    it_ = groups_.begin();
+  }
+
+  bool Next(ExecRow* row) override {
+    if (it_ == groups_.end()) return false;
+    *row = it_->second;
+    ++it_;
+    return true;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const AggInfo& agg_;
+  std::unique_ptr<RowIterator> child_;
+  std::unordered_map<double, ExecRow> groups_;
+  std::unordered_map<double, ExecRow>::iterator it_;
+};
+
+/// Stream aggregation over a sorted child: group boundaries by key change.
+class StreamAggIterator : public RowIterator {
+ public:
+  StreamAggIterator(const ExecContext& ctx, const AggInfo& agg,
+                    std::unique_ptr<RowIterator> child)
+      : ctx_(ctx), agg_(agg), child_(std::move(child)) {}
+
+  void Open() override {
+    child_->Open();
+    have_pending_ = child_->Next(&pending_);
+  }
+
+  bool Next(ExecRow* row) override {
+    if (!have_pending_) return false;
+    *row = pending_;
+    double key = KeyOf(ctx_, pending_, agg_.group_table, agg_.group_column);
+    // Skip the rest of the run.
+    while ((have_pending_ = child_->Next(&pending_))) {
+      if (KeyOf(ctx_, pending_, agg_.group_table, agg_.group_column) != key) {
+        break;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const ExecContext& ctx_;
+  const AggInfo& agg_;
+  std::unique_ptr<RowIterator> child_;
+  ExecRow pending_;
+  bool have_pending_ = false;
+};
+
+std::unique_ptr<RowIterator> Build(const ExecContext& ctx,
+                                   const PhysicalPlanNode& plan) {
+  switch (plan.kind) {
+    case PhysicalOpKind::kTableScan:
+      return std::make_unique<TableScanIterator>(ctx, plan.leaf);
+    case PhysicalOpKind::kIndexSeek:
+    case PhysicalOpKind::kIndexScanOrdered:
+      return std::make_unique<IndexAccessIterator>(ctx, plan.leaf);
+    case PhysicalOpKind::kSort:
+      return std::make_unique<SortIterator>(ctx, plan.sort_key,
+                                            Build(ctx, *plan.children[0]));
+    case PhysicalOpKind::kHashJoin:
+      return std::make_unique<HashJoinIterator>(
+          ctx, plan.join, Build(ctx, *plan.children[0]),
+          Build(ctx, *plan.children[1]));
+    case PhysicalOpKind::kMergeJoin:
+      return std::make_unique<MergeJoinIterator>(
+          ctx, plan.join, Build(ctx, *plan.children[0]),
+          Build(ctx, *plan.children[1]));
+    case PhysicalOpKind::kIndexedNestedLoopsJoin:
+      return std::make_unique<IndexedNljIterator>(
+          ctx, plan.join, plan.children[1]->leaf,
+          Build(ctx, *plan.children[0]));
+    case PhysicalOpKind::kNaiveNestedLoopsJoin:
+      return std::make_unique<NaiveNljIterator>(
+          ctx, plan.join, Build(ctx, *plan.children[0]),
+          Build(ctx, *plan.children[1]));
+    case PhysicalOpKind::kHashAggregate:
+      return std::make_unique<HashAggIterator>(ctx, plan.agg,
+                                               Build(ctx, *plan.children[0]));
+    case PhysicalOpKind::kStreamAggregate:
+      return std::make_unique<StreamAggIterator>(
+          ctx, plan.agg, Build(ctx, *plan.children[0]));
+  }
+  SCRPQO_CHECK(false, "unknown physical operator");
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<RowIterator> BuildIterator(const Database& db,
+                                           const QueryInstance& instance,
+                                           const PhysicalPlanNode& plan) {
+  // The context must outlive the iterators; wrap both in a holder.
+  class Holder : public RowIterator {
+   public:
+    Holder(const Database& db, const QueryInstance& instance,
+           const PhysicalPlanNode& plan) {
+      ctx_.db = &db;
+      ctx_.instance = &instance;
+      ctx_.num_tables = instance.query_template().num_tables();
+      root_ = Build(ctx_, plan);
+    }
+    void Open() override { root_->Open(); }
+    bool Next(ExecRow* row) override { return root_->Next(row); }
+
+   private:
+    ExecContext ctx_;
+    std::unique_ptr<RowIterator> root_;
+  };
+  return std::make_unique<Holder>(db, instance, plan);
+}
+
+ExecutionResult ExecutePlan(const Database& db, const QueryInstance& instance,
+                            const PhysicalPlanNode& plan) {
+  auto start = std::chrono::steady_clock::now();
+  auto it = BuildIterator(db, instance, plan);
+  it->Open();
+  ExecutionResult result;
+  ExecRow row;
+  while (it->Next(&row)) {
+    ++result.rows;
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t id : row.ids) {
+      h ^= static_cast<uint64_t>(id + 1);
+      h *= 1099511628211ULL;
+    }
+    result.checksum += h;
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace scrpqo

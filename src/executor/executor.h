@@ -1,0 +1,54 @@
+// Volcano-style execution engine.
+//
+// Executes a physical plan against in-memory table data for a specific
+// query instance. Rows flowing between operators are tuples of base-table
+// row ids (one slot per template table), so joins and filters fetch column
+// values lazily from columnar storage. Parameter slots are bound at
+// execution time from the instance, which is what lets a cached plan be
+// executed for instances other than the one it was optimized for.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "optimizer/physical_plan.h"
+#include "query/query_instance.h"
+#include "storage/database.h"
+
+namespace scrpqo {
+
+/// A row in flight: row id per template table (-1 when the table is not in
+/// the subtree). Aggregate outputs reuse the representation with one
+/// representative row per group.
+struct ExecRow {
+  std::vector<int64_t> ids;
+};
+
+struct ExecutionResult {
+  int64_t rows = 0;
+  /// Order-independent checksum of output row ids, for result-equivalence
+  /// tests across physical alternatives.
+  uint64_t checksum = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// \brief Pull-based operator interface.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+  virtual void Open() = 0;
+  /// Produces the next row; returns false at end of stream.
+  virtual bool Next(ExecRow* row) = 0;
+};
+
+/// Builds the iterator tree for `plan` bound to `instance`.
+std::unique_ptr<RowIterator> BuildIterator(const Database& db,
+                                           const QueryInstance& instance,
+                                           const PhysicalPlanNode& plan);
+
+/// Runs the plan to completion and reports row count / checksum / wall time.
+ExecutionResult ExecutePlan(const Database& db, const QueryInstance& instance,
+                            const PhysicalPlanNode& plan);
+
+}  // namespace scrpqo

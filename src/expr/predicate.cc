@@ -1,0 +1,51 @@
+#include "expr/predicate.h"
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+    case CompareOp::kEq:
+      return c == 0;
+  }
+  return false;
+}
+
+std::string PredicateTemplate::ToString() const {
+  std::string rhs = parameterized() ? ("$" + std::to_string(param_slot))
+                                    : literal.ToString();
+  return "t" + std::to_string(table_index) + "." + column + " " +
+         CompareOpName(op) + " " + rhs;
+}
+
+std::string BoundPredicate::ToString() const {
+  return column + " " + CompareOpName(op) + " " + value.ToString();
+}
+
+}  // namespace scrpqo

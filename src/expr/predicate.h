@@ -1,0 +1,64 @@
+// Predicate templates: comparisons of a base-table column against either a
+// literal or a parameter slot. Parameterized one-sided range predicates are
+// the paper's workload model (Section 7.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "expr/value.h"
+
+namespace scrpqo {
+
+enum class CompareOp {
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+};
+
+std::string CompareOpName(CompareOp op);
+
+/// Evaluates `lhs op rhs`.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// Sentinel for PredicateTemplate::param_slot meaning "not parameterized".
+inline constexpr int kNoParamSlot = -1;
+
+/// \brief A single-column comparison in a query template.
+///
+/// `table_index` indexes into the template's table list; `column` names the
+/// column in that table. When `param_slot >= 0` the right-hand side is bound
+/// per query instance and the predicate contributes one dimension to the
+/// instance's selectivity vector; otherwise `literal` is fixed.
+struct PredicateTemplate {
+  int table_index = 0;
+  std::string column;
+  CompareOp op = CompareOp::kLe;
+  int param_slot = kNoParamSlot;
+  Value literal;
+
+  bool parameterized() const { return param_slot != kNoParamSlot; }
+
+  std::string ToString() const;
+};
+
+/// \brief A predicate with its right-hand side resolved for a specific
+/// query instance; this is what scans evaluate and histograms estimate.
+struct BoundPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kLe;
+  Value value;
+  /// Which selectivity dimension this predicate feeds (kNoParamSlot for
+  /// literal predicates); carried through the memo so Recost can rebind it.
+  int param_slot = kNoParamSlot;
+
+  bool Matches(const Value& column_value) const {
+    return EvalCompare(column_value, op, value);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace scrpqo

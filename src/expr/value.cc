@@ -1,0 +1,67 @@
+#include "expr/value.h"
+
+#include <cstring>
+#include <functional>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+std::string DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  // Stable numeric encoding of up to the first 8 bytes of the string.
+  const std::string& s = str();
+  double acc = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    unsigned char c = i < s.size() ? static_cast<unsigned char>(s[i]) : 0;
+    acc = acc * 256.0 + static_cast<double>(c);
+  }
+  return acc;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() && other.is_string()) {
+    int c = str().compare(other.str());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  SCRPQO_CHECK(!is_string() && !other.is_string(),
+               "cannot compare string with numeric value");
+  if (is_int64() && other.is_int64()) {
+    int64_t a = int64(), b = other.int64();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble(), b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return std::to_string(dbl());
+  return "'" + str() + "'";
+}
+
+size_t Value::Hash() const {
+  if (is_int64()) return std::hash<int64_t>()(int64());
+  if (is_double()) {
+    double d = dbl();
+    // Normalize -0.0 and integral doubles so int/double joins hash alike.
+    if (d == 0.0) d = 0.0;
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(str());
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,71 @@
+// Runtime values flowing through predicates and the executor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace scrpqo {
+
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string DataTypeName(DataType type);
+
+/// \brief A typed scalar value. Kept deliberately small: the engine's
+/// parameterized predicates are numeric range predicates, strings appear
+/// only as payload columns.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int64() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  int64_t int64() const { return std::get<int64_t>(v_); }
+  double dbl() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+
+  /// Numeric view used for histogram/range arithmetic. Strings order by
+  /// a stable 8-byte prefix encoding.
+  double AsDouble() const;
+
+  /// Three-way comparison consistent with AsDouble ordering for numerics
+  /// and lexicographic ordering for strings.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  std::string ToString() const;
+
+  /// Stable hash for hash joins / aggregation.
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace scrpqo

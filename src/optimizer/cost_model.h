@@ -1,0 +1,90 @@
+// Cost model shared between optimization-time costing and the Recost API.
+//
+// Costs follow the classic CPU + IO decomposition with asymptotic shapes
+// matching the operators the paper analyzes in Section 5.4:
+//   - scans: linear in input selectivity,
+//   - nested loops join: proportional to s_outer * s_inner,
+//   - hash join: proportional to s_outer + s_inner,
+//   - sort-based operators: n log n, plus spill discontinuities when inputs
+//     exceed the memory grant.
+// The model is deliberately NOT rigged to satisfy the paper's Bounded Cost
+// Growth assumption: sort's superlinearity and spill thresholds are exactly
+// the "rare violation" sources Section 7.2 reports.
+#pragma once
+
+#include <cstdint>
+
+#include "optimizer/physical_plan.h"
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+/// Tunable constants (optimizer cost units; absolute scale is arbitrary,
+/// only ratios matter for PQO metrics).
+struct CostParams {
+  double cpu_per_row = 0.0005;
+  double io_per_page = 1.0;
+  int64_t rows_per_page = 128;
+  /// B-tree descent cost for one seek.
+  double seek_base = 2.0;
+  /// Per-row CPU when walking index entries.
+  double index_row_cpu = 0.0002;
+  /// Random-IO cost of fetching a base row from a secondary index match.
+  double rid_lookup = 0.05;
+  double hash_build_per_row = 0.0012;
+  double hash_probe_per_row = 0.0006;
+  double merge_per_row = 0.0004;
+  double sort_per_row_log = 0.00012;
+  /// Rows that fit in the per-operator memory grant; sorts/hashes larger
+  /// than this pay spill IO (a BCG discontinuity source).
+  double memory_rows = 60000.0;
+  /// Spill IO multiplier (write + read one pass).
+  double spill_io_factor = 2.0;
+};
+
+/// \brief Derives output cardinality and cost for a plan (sub)tree given a
+/// selectivity vector. Used both by the optimizer's search (costing
+/// candidate operators whose children are already derived) and by
+/// ShrunkenMemo::Recost (re-deriving a cached tree bottom-up for a new
+/// instance).
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams()) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Selectivity of a leaf's full predicate set under `sv`.
+  double LeafSelectivity(const LeafInfo& leaf, const SVector& sv) const;
+
+  /// Selectivity of one predicate under `sv`.
+  double PredSelectivity(const PredSpec& pred, const SVector& sv) const;
+
+  /// Fills node->est_rows / est_local_cost / est_cost assuming children are
+  /// already derived. Non-const node variant used during plan construction.
+  void DeriveNode(PhysicalPlanNode* node, const SVector& sv) const;
+
+  /// Re-derives an entire tree bottom-up for a new selectivity vector,
+  /// returning the root's cumulative cost. The tree itself is immutable;
+  /// results are computed into a scratch recursion (this is the Recost hot
+  /// path and does not allocate plan nodes).
+  double RecostTree(const PhysicalPlanNode& root, const SVector& sv) const;
+
+ private:
+  struct Derived {
+    double rows = 0.0;
+    double cost = 0.0;  // cumulative
+  };
+
+  Derived DeriveRec(const PhysicalPlanNode& node, const SVector& sv) const;
+
+  /// Core formulas: given the node and derived children, compute output rows
+  /// and the operator's local cost.
+  Derived Combine(const PhysicalPlanNode& node, const SVector& sv,
+                  const Derived* child0, const Derived* child1) const;
+
+  double SortCost(double rows) const;
+
+  CostParams params_;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,76 @@
+// Memo-based top-down query optimizer.
+//
+// The search space is the space of join orders (all connected bushy trees)
+// times physical alternatives per operator (scan vs. index seek; hash,
+// merge, indexed and naive nested-loops joins; hash vs. stream aggregation)
+// with sort-order physical properties and Sort enforcers — a compact
+// Cascades-style optimizer in the spirit of the Microsoft SQL Server engine
+// the paper instruments. Groups are memoized by table subset (bitset) and
+// winners are memoized per (group, required order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+#include "query/query_instance.h"
+#include "storage/database.h"
+
+namespace scrpqo {
+
+/// Search-space statistics reported per optimizer call (also the basis for
+/// the shrunkenMemo pruning figure, Appendix B).
+struct MemoStats {
+  int num_groups = 0;
+  /// Logical alternatives considered (join splits + leaves).
+  int num_logical_exprs = 0;
+  /// Physical candidates costed.
+  int num_physical_exprs = 0;
+  /// Nodes in the winning plan.
+  int plan_nodes = 0;
+};
+
+struct OptimizationResult {
+  PlanPtr plan;
+  double cost = 0.0;
+  SVector svector;
+  MemoStats stats;
+};
+
+struct OptimizerOptions {
+  bool enable_merge_join = true;
+  bool enable_indexed_nlj = true;
+  bool enable_naive_nlj = true;
+  bool enable_index_seek = true;
+  CostParams cost_params;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Database* db,
+                     OptimizerOptions options = OptimizerOptions())
+      : db_(db), options_(options), cost_model_(options.cost_params) {}
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const Database& db() const { return *db_; }
+
+  /// Full optimization: computes the sVector and the cheapest plan.
+  OptimizationResult Optimize(const QueryInstance& instance) const;
+
+  /// Optimization with a precomputed sVector (avoids re-estimating when the
+  /// caller already ran the sVector API).
+  OptimizationResult OptimizeWithSVector(const QueryInstance& instance,
+                                         const SVector& sv) const;
+
+ private:
+  const Database* db_;
+  OptimizerOptions options_;
+  CostModel cost_model_;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,74 @@
+#include "optimizer/physical_plan.h"
+
+#include <sstream>
+
+namespace scrpqo {
+
+std::string PhysicalOpName(PhysicalOpKind kind) {
+  switch (kind) {
+    case PhysicalOpKind::kTableScan:
+      return "TableScan";
+    case PhysicalOpKind::kIndexSeek:
+      return "IndexSeek";
+    case PhysicalOpKind::kIndexScanOrdered:
+      return "IndexScanOrdered";
+    case PhysicalOpKind::kSort:
+      return "Sort";
+    case PhysicalOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysicalOpKind::kMergeJoin:
+      return "MergeJoin";
+    case PhysicalOpKind::kIndexedNestedLoopsJoin:
+      return "IndexedNLJ";
+    case PhysicalOpKind::kNaiveNestedLoopsJoin:
+      return "NaiveNLJ";
+    case PhysicalOpKind::kHashAggregate:
+      return "HashAgg";
+    case PhysicalOpKind::kStreamAggregate:
+      return "StreamAgg";
+  }
+  return "Unknown";
+}
+
+int PhysicalPlanNode::NodeCount() const {
+  int n = 1;
+  for (const auto& c : children) n += c->NodeCount();
+  return n;
+}
+
+std::string PhysicalPlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << PhysicalOpName(kind);
+  if (is_leaf()) {
+    os << " " << leaf.table;
+    if (!leaf.index_column.empty()) os << " [idx:" << leaf.index_column << "]";
+    if (!leaf.preds.empty()) {
+      os << " (";
+      for (size_t i = 0; i < leaf.preds.size(); ++i) {
+        if (i > 0) os << " AND ";
+        const auto& p = leaf.preds[i];
+        os << p.column << " " << CompareOpName(p.op) << " ";
+        if (p.parameterized()) {
+          os << "$" << p.param_slot;
+        } else {
+          os << p.literal.ToString();
+        }
+      }
+      os << ")";
+    }
+  } else if (is_join() && !join.edges.empty()) {
+    os << " on " << join.edges[0].ToString();
+  } else if (kind == PhysicalOpKind::kSort) {
+    os << " by " << sort_key.ToString();
+  } else if (kind == PhysicalOpKind::kHashAggregate ||
+             kind == PhysicalOpKind::kStreamAggregate) {
+    os << " group by t" << agg.group_table << "." << agg.group_column;
+  }
+  os << "  [rows=" << est_rows << " cost=" << est_cost << "]";
+  os << "\n";
+  for (const auto& c : children) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace scrpqo

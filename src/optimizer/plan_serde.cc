@@ -1,0 +1,351 @@
+#include "optimizer/plan_serde.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace scrpqo {
+
+namespace {
+
+// ---- writing ----
+
+void WriteEscaped(const std::string& s, std::ostringstream* os) {
+  *os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') *os << '\\';
+    *os << c;
+  }
+  *os << '"';
+}
+
+void WriteDouble(double v, std::ostringstream* os) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *os << buf;
+}
+
+void WriteValue(const Value& v, std::ostringstream* os) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      *os << "i" << v.int64();
+      break;
+    case DataType::kDouble:
+      *os << "d";
+      WriteDouble(v.dbl(), os);
+      break;
+    case DataType::kString:
+      *os << "s";
+      WriteEscaped(v.str(), os);
+      break;
+  }
+}
+
+void WriteNode(const PhysicalPlanNode& n, std::ostringstream* os) {
+  *os << "(" << static_cast<int>(n.kind);
+  // Leaf payload.
+  *os << " leaf[" << n.leaf.table_index << " ";
+  WriteEscaped(n.leaf.table, os);
+  *os << " ";
+  WriteDouble(n.leaf.base_rows, os);
+  *os << " ";
+  WriteEscaped(n.leaf.index_column, os);
+  *os << " " << n.leaf.seek_pred << " preds(";
+  for (const auto& p : n.leaf.preds) {
+    *os << "{";
+    WriteEscaped(p.column, os);
+    *os << " " << static_cast<int>(p.op) << " " << p.param_slot << " ";
+    WriteValue(p.literal, os);
+    *os << " ";
+    WriteDouble(p.literal_sel, os);
+    *os << "}";
+  }
+  *os << ")]";
+  // Join payload.
+  *os << " join[";
+  WriteDouble(n.join.join_sel, os);
+  *os << " ";
+  WriteDouble(n.join.per_probe_sel, os);
+  *os << " edges(";
+  for (const auto& e : n.join.edges) {
+    *os << "{" << e.left_table << " ";
+    WriteEscaped(e.left_column, os);
+    *os << " " << e.right_table << " ";
+    WriteEscaped(e.right_column, os);
+    *os << "}";
+  }
+  *os << ")]";
+  // Aggregate payload.
+  *os << " agg[" << n.agg.group_table << " ";
+  WriteEscaped(n.agg.group_column, os);
+  *os << " ";
+  WriteDouble(n.agg.group_distinct, os);
+  *os << "]";
+  // Sort key / output order.
+  *os << " sort[" << n.sort_key.table << " ";
+  WriteEscaped(n.sort_key.column, os);
+  *os << "]";
+  *os << " order[";
+  if (n.output_order.has_value()) {
+    *os << n.output_order->table << " ";
+    WriteEscaped(n.output_order->column, os);
+  }
+  *os << "]";
+  // Derived estimates (for the instance originally optimized).
+  *os << " est[";
+  WriteDouble(n.est_rows, os);
+  *os << " ";
+  WriteDouble(n.est_cost, os);
+  *os << " ";
+  WriteDouble(n.est_local_cost, os);
+  *os << "]";
+  *os << " children(";
+  for (const auto& c : n.children) WriteNode(*c, os);
+  *os << "))";
+}
+
+// ---- reading ----
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("plan parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWs() {
+    while (pos_ < data_.size() &&
+           std::isspace(static_cast<unsigned char>(data_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < data_.size() && data_[pos_] == c;
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (pos_ >= data_.size() || data_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ExpectTag(const std::string& tag) {
+    SkipWs();
+    if (data_.compare(pos_, tag.size(), tag) != 0) {
+      return Error("expected '" + tag + "'");
+    }
+    pos_ += tag.size();
+    return Status::OK();
+  }
+
+  Status ReadInt(int64_t* out) {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < data_.size() && (data_[pos_] == '-' || data_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < data_.size() &&
+           std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer");
+    *out = std::strtoll(data_.substr(start, pos_ - start).c_str(), nullptr,
+                        10);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* out) {
+    SkipWs();
+    const char* begin = data_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(begin, &end);
+    if (end == begin) return Error("expected number");
+    pos_ += static_cast<size_t>(end - begin);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    SkipWs();
+    if (pos_ >= data_.size() || data_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < data_.size() && data_[pos_] != '"') {
+      if (data_[pos_] == '\\' && pos_ + 1 < data_.size()) ++pos_;
+      out->push_back(data_[pos_++]);
+    }
+    if (pos_ >= data_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ReadValue(Value* out) {
+    SkipWs();
+    if (pos_ >= data_.size()) return Error("expected value");
+    char tag = data_[pos_++];
+    switch (tag) {
+      case 'i': {
+        int64_t v;
+        SCRPQO_RETURN_NOT_OK(ReadInt(&v));
+        *out = Value(v);
+        return Status::OK();
+      }
+      case 'd': {
+        double v;
+        SCRPQO_RETURN_NOT_OK(ReadDouble(&v));
+        *out = Value(v);
+        return Status::OK();
+      }
+      case 's': {
+        std::string v;
+        SCRPQO_RETURN_NOT_OK(ReadString(&v));
+        *out = Value(std::move(v));
+        return Status::OK();
+      }
+      default:
+        return Error("unknown value tag");
+    }
+  }
+
+  Status ReadNode(std::shared_ptr<PhysicalPlanNode>* out) {
+    SCRPQO_RETURN_NOT_OK(Expect('('));
+    auto node = std::make_shared<PhysicalPlanNode>();
+    int64_t kind;
+    SCRPQO_RETURN_NOT_OK(ReadInt(&kind));
+    if (kind < 0 || kind > static_cast<int>(PhysicalOpKind::kStreamAggregate)) {
+      return Error("invalid operator kind");
+    }
+    node->kind = static_cast<PhysicalOpKind>(kind);
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("leaf["));
+    int64_t ti;
+    SCRPQO_RETURN_NOT_OK(ReadInt(&ti));
+    node->leaf.table_index = static_cast<int>(ti);
+    SCRPQO_RETURN_NOT_OK(ReadString(&node->leaf.table));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->leaf.base_rows));
+    SCRPQO_RETURN_NOT_OK(ReadString(&node->leaf.index_column));
+    int64_t seek;
+    SCRPQO_RETURN_NOT_OK(ReadInt(&seek));
+    node->leaf.seek_pred = static_cast<int>(seek);
+    SCRPQO_RETURN_NOT_OK(ExpectTag("preds("));
+    while (Peek('{')) {
+      SCRPQO_RETURN_NOT_OK(Expect('{'));
+      PredSpec p;
+      SCRPQO_RETURN_NOT_OK(ReadString(&p.column));
+      int64_t op, slot;
+      SCRPQO_RETURN_NOT_OK(ReadInt(&op));
+      SCRPQO_RETURN_NOT_OK(ReadInt(&slot));
+      p.op = static_cast<CompareOp>(op);
+      p.param_slot = static_cast<int>(slot);
+      SCRPQO_RETURN_NOT_OK(ReadValue(&p.literal));
+      SCRPQO_RETURN_NOT_OK(ReadDouble(&p.literal_sel));
+      SCRPQO_RETURN_NOT_OK(Expect('}'));
+      node->leaf.preds.push_back(std::move(p));
+    }
+    SCRPQO_RETURN_NOT_OK(Expect(')'));
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("join["));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->join.join_sel));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->join.per_probe_sel));
+    SCRPQO_RETURN_NOT_OK(ExpectTag("edges("));
+    while (Peek('{')) {
+      SCRPQO_RETURN_NOT_OK(Expect('{'));
+      JoinEdge e;
+      int64_t lt, rt;
+      SCRPQO_RETURN_NOT_OK(ReadInt(&lt));
+      SCRPQO_RETURN_NOT_OK(ReadString(&e.left_column));
+      SCRPQO_RETURN_NOT_OK(ReadInt(&rt));
+      SCRPQO_RETURN_NOT_OK(ReadString(&e.right_column));
+      e.left_table = static_cast<int>(lt);
+      e.right_table = static_cast<int>(rt);
+      SCRPQO_RETURN_NOT_OK(Expect('}'));
+      node->join.edges.push_back(std::move(e));
+    }
+    SCRPQO_RETURN_NOT_OK(Expect(')'));
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("agg["));
+    int64_t gt;
+    SCRPQO_RETURN_NOT_OK(ReadInt(&gt));
+    node->agg.group_table = static_cast<int>(gt);
+    SCRPQO_RETURN_NOT_OK(ReadString(&node->agg.group_column));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->agg.group_distinct));
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("sort["));
+    int64_t st;
+    SCRPQO_RETURN_NOT_OK(ReadInt(&st));
+    node->sort_key.table = static_cast<int>(st);
+    SCRPQO_RETURN_NOT_OK(ReadString(&node->sort_key.column));
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("order["));
+    if (!Peek(']')) {
+      SortKey key;
+      int64_t ot;
+      SCRPQO_RETURN_NOT_OK(ReadInt(&ot));
+      key.table = static_cast<int>(ot);
+      SCRPQO_RETURN_NOT_OK(ReadString(&key.column));
+      node->output_order = key;
+    }
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("est["));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->est_rows));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->est_cost));
+    SCRPQO_RETURN_NOT_OK(ReadDouble(&node->est_local_cost));
+    SCRPQO_RETURN_NOT_OK(Expect(']'));
+
+    SCRPQO_RETURN_NOT_OK(ExpectTag("children("));
+    while (Peek('(')) {
+      std::shared_ptr<PhysicalPlanNode> child;
+      SCRPQO_RETURN_NOT_OK(ReadNode(&child));
+      node->children.push_back(std::move(child));
+    }
+    SCRPQO_RETURN_NOT_OK(Expect(')'));
+    SCRPQO_RETURN_NOT_OK(Expect(')'));
+    *out = std::move(node);
+    return Status::OK();
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= data_.size();
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializePlan(const PhysicalPlanNode& plan) {
+  std::ostringstream os;
+  WriteNode(plan, &os);
+  return os.str();
+}
+
+Result<PlanPtr> DeserializePlan(const std::string& data) {
+  Reader reader(data);
+  std::shared_ptr<PhysicalPlanNode> root;
+  Status st = reader.ReadNode(&root);
+  if (!st.ok()) return st;
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing data after plan");
+  }
+  return PlanPtr(root);
+}
+
+}  // namespace scrpqo

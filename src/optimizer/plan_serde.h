@@ -1,0 +1,30 @@
+// Plan serialization: a compact, human-readable round-trippable encoding of
+// PhysicalPlanNode trees.
+//
+// Two uses:
+//  * persisting a PQO plan cache across process restarts (plans are
+//    instance-independent, so a reloaded cache is immediately usable), and
+//  * the paper's Appendix B observation that Recost implementations can
+//    trade memory for time: storing serialized plans instead of live trees
+//    shrinks the cache at the cost of a deserialization step per Recost
+//    call (measured in bench_micro_recost_serde).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/physical_plan.h"
+
+namespace scrpqo {
+
+/// Serializes the plan tree. The encoding is line-free (single string of
+/// parenthesized tokens), stable across versions of this library, and
+/// contains everything DeserializePlan needs — including derivation
+/// metadata, so a deserialized plan re-costs and executes identically.
+std::string SerializePlan(const PhysicalPlanNode& plan);
+
+/// Parses a serialized plan. Fails with InvalidArgument on malformed input.
+Result<PlanPtr> DeserializePlan(const std::string& data);
+
+}  // namespace scrpqo

@@ -1,0 +1,64 @@
+#include "optimizer/plan_signature.h"
+
+#include <sstream>
+
+namespace scrpqo {
+
+namespace {
+
+void AppendSignature(const PhysicalPlanNode& node, std::ostringstream* os) {
+  *os << PhysicalOpName(node.kind) << "{";
+  if (node.is_leaf()) {
+    *os << "t=" << node.leaf.table;
+    if (!node.leaf.index_column.empty()) {
+      *os << ",i=" << node.leaf.index_column;
+    }
+    if (node.leaf.seek_pred >= 0) {
+      *os << ",p=" << node.leaf.seek_pred;
+    }
+    // Predicate shapes (not values) are part of the identity.
+    for (const auto& p : node.leaf.preds) {
+      *os << "," << p.column << CompareOpName(p.op)
+          << (p.parameterized() ? "$" + std::to_string(p.param_slot) : "#");
+    }
+  } else if (node.is_join()) {
+    for (size_t i = 0; i < node.join.edges.size(); ++i) {
+      if (i > 0) *os << "&";
+      *os << "e=" << node.join.edges[i].ToString();
+    }
+  } else if (node.kind == PhysicalOpKind::kSort) {
+    *os << "k=" << node.sort_key.ToString();
+  } else if (node.kind == PhysicalOpKind::kHashAggregate ||
+             node.kind == PhysicalOpKind::kStreamAggregate) {
+    *os << "g=t" << node.agg.group_table << "." << node.agg.group_column;
+  }
+  *os << "}";
+  if (!node.children.empty()) {
+    *os << "(";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *os << ",";
+      AppendSignature(*node.children[i], os);
+    }
+    *os << ")";
+  }
+}
+
+}  // namespace
+
+std::string PlanSignatureString(const PhysicalPlanNode& plan) {
+  std::ostringstream os;
+  AppendSignature(plan, &os);
+  return os.str();
+}
+
+uint64_t PlanSignatureHash(const PhysicalPlanNode& plan) {
+  std::string s = PlanSignatureString(plan);
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace scrpqo

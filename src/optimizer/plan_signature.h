@@ -1,0 +1,21 @@
+// Structural plan identity. Two plans are "the same plan" for PQO purposes
+// when their operator trees match on operator kinds, access paths and join
+// keys — parameter values are deliberately excluded, so the same cached plan
+// matches across query instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "optimizer/physical_plan.h"
+
+namespace scrpqo {
+
+/// Canonical single-line rendering of the plan structure, e.g.
+/// "HashJoin{e=t0.a=t1.b}(IndexSeek{t=orders,i=o_date,p=2},TableScan{t=line})"
+std::string PlanSignatureString(const PhysicalPlanNode& plan);
+
+/// 64-bit FNV-1a hash of the signature string.
+uint64_t PlanSignatureHash(const PhysicalPlanNode& plan);
+
+}  // namespace scrpqo

@@ -1,0 +1,161 @@
+#include "optimizer/plan_validate.h"
+
+#include <cstdint>
+#include <string>
+
+namespace scrpqo {
+
+namespace {
+
+std::string Describe(const PhysicalPlanNode& n) {
+  return PhysicalOpName(n.kind);
+}
+
+/// Recursive validation; fills `tables` with the bitset of template tables
+/// produced by the subtree.
+Status ValidateRec(const PhysicalPlanNode& n, const QueryTemplate& tmpl,
+                   const Catalog& catalog, uint32_t* tables) {
+  *tables = 0;
+
+  // Child-count expectations.
+  size_t expected_children = 0;
+  if (n.is_join()) {
+    expected_children = 2;
+  } else if (n.kind == PhysicalOpKind::kSort ||
+             n.kind == PhysicalOpKind::kHashAggregate ||
+             n.kind == PhysicalOpKind::kStreamAggregate) {
+    expected_children = 1;
+  }
+  if (n.children.size() != expected_children) {
+    return Status::Internal(Describe(n) + " has " +
+                            std::to_string(n.children.size()) +
+                            " children, expected " +
+                            std::to_string(expected_children));
+  }
+
+  // Validate children and collect their table sets.
+  uint32_t child_tables[2] = {0, 0};
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    SCRPQO_RETURN_NOT_OK(
+        ValidateRec(*n.children[i], tmpl, catalog, &child_tables[i]));
+  }
+
+  if (n.is_leaf()) {
+    int t = n.leaf.table_index;
+    if (t < 0 || t >= tmpl.num_tables()) {
+      return Status::Internal(Describe(n) + ": invalid table_index " +
+                              std::to_string(t));
+    }
+    const std::string& table = tmpl.tables()[static_cast<size_t>(t)];
+    if (n.leaf.table != table) {
+      return Status::Internal(Describe(n) + ": table name '" + n.leaf.table +
+                              "' does not match template table '" + table +
+                              "'");
+    }
+    const TableDef& def = catalog.GetTable(table);
+    for (const auto& p : n.leaf.preds) {
+      if (!def.HasColumn(p.column)) {
+        return Status::Internal(Describe(n) + ": predicate on unknown column " +
+                                table + "." + p.column);
+      }
+    }
+    if (n.kind == PhysicalOpKind::kIndexSeek ||
+        n.kind == PhysicalOpKind::kIndexScanOrdered) {
+      if (def.FindIndexOn(n.leaf.index_column) == nullptr) {
+        return Status::Internal(Describe(n) + ": no index on " + table + "." +
+                                n.leaf.index_column);
+      }
+      if (n.leaf.seek_pred >= 0) {
+        if (n.leaf.seek_pred >= static_cast<int>(n.leaf.preds.size())) {
+          return Status::Internal(Describe(n) + ": seek_pred out of range");
+        }
+        if (n.leaf.preds[static_cast<size_t>(n.leaf.seek_pred)].column !=
+            n.leaf.index_column) {
+          return Status::Internal(
+              Describe(n) + ": seek predicate is not on the index column");
+        }
+      }
+    }
+    *tables = 1u << t;
+  } else if (n.is_join()) {
+    if (n.join.edges.empty()) {
+      return Status::Internal(Describe(n) + ": join without edges");
+    }
+    if (!(n.join.join_sel > 0.0) || n.join.join_sel > 1.0) {
+      return Status::Internal(Describe(n) + ": join_sel out of (0, 1]");
+    }
+    for (const auto& e : n.join.edges) {
+      bool left_ok = (child_tables[0] >> e.left_table) & 1u;
+      bool right_ok = (child_tables[1] >> e.right_table) & 1u;
+      if (!left_ok || !right_ok) {
+        return Status::Internal(Describe(n) + ": edge " + e.ToString() +
+                                " references tables outside its children");
+      }
+    }
+    if (n.kind == PhysicalOpKind::kMergeJoin) {
+      const JoinEdge& key = n.join.edges[0];
+      SortKey lk{key.left_table, key.left_column};
+      SortKey rk{key.right_table, key.right_column};
+      const auto& lo = n.children[0]->output_order;
+      const auto& ro = n.children[1]->output_order;
+      if (!lo.has_value() || !(*lo == lk) || !ro.has_value() ||
+          !(*ro == rk)) {
+        return Status::Internal(
+            "MergeJoin children are not sorted on the merge keys");
+      }
+    }
+    if (n.kind == PhysicalOpKind::kIndexedNestedLoopsJoin) {
+      if (!n.children[1]->is_leaf()) {
+        return Status::Internal("IndexedNLJ inner must be a leaf");
+      }
+      if (n.children[1]->leaf.index_column !=
+          n.join.edges[0].right_column) {
+        return Status::Internal(
+            "IndexedNLJ inner index does not match the seek edge");
+      }
+      if (!(n.join.per_probe_sel > 0.0) || n.join.per_probe_sel > 1.0) {
+        return Status::Internal("IndexedNLJ per_probe_sel out of (0, 1]");
+      }
+    }
+    *tables = child_tables[0] | child_tables[1];
+  } else if (n.kind == PhysicalOpKind::kSort) {
+    if (!((child_tables[0] >> n.sort_key.table) & 1u)) {
+      return Status::Internal("Sort key " + n.sort_key.ToString() +
+                              " references a table absent from its subtree");
+    }
+    *tables = child_tables[0];
+  } else {  // aggregates
+    if (!((child_tables[0] >> n.agg.group_table) & 1u)) {
+      return Status::Internal(
+          Describe(n) + ": group table absent from its subtree");
+    }
+    if (n.kind == PhysicalOpKind::kStreamAggregate) {
+      SortKey key{n.agg.group_table, n.agg.group_column};
+      const auto& order = n.children[0]->output_order;
+      if (!order.has_value() || !(*order == key)) {
+        return Status::Internal(
+            "StreamAggregate child is not sorted on the group column");
+      }
+    }
+    *tables = child_tables[0];
+  }
+
+  // Declared output order must reference a produced table.
+  if (n.output_order.has_value() &&
+      !((*tables >> n.output_order->table) & 1u)) {
+    return Status::Internal(Describe(n) + ": output order " +
+                            n.output_order->ToString() +
+                            " references a table it does not produce");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePlan(const PhysicalPlanNode& plan, const QueryTemplate& tmpl,
+                    const Catalog& catalog) {
+  uint32_t tables = 0;
+  return ValidateRec(plan, tmpl, catalog, &tables);
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,28 @@
+// Structural plan validation: machine-checkable well-formedness invariants
+// for PhysicalPlanNode trees. Used by tests (every optimizer output across
+// the evaluation suite is validated) and available to embedders as a debug
+// gate before executing a deserialized or hand-built plan.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/physical_plan.h"
+#include "query/query_template.h"
+
+namespace scrpqo {
+
+/// Verifies the invariants the executor relies on:
+///  * child counts match the operator kind;
+///  * every leaf's table_index names a template table and its predicates
+///    reference existing columns of that table;
+///  * IndexSeek/IndexScanOrdered name an index column that is actually
+///    indexed in the catalog, and seek_pred (when set) indexes into preds;
+///  * Sort keys, aggregate group columns and join-edge endpoints reference
+///    tables PRESENT in the respective subtree (the bug class where an
+///    enforcer lands below the operator that introduces its table);
+///  * MergeJoin children's declared output order matches the merge keys;
+///  * join metadata (join_sel, per_probe_sel) is sane.
+Status ValidatePlan(const PhysicalPlanNode& plan, const QueryTemplate& tmpl,
+                    const Catalog& catalog);
+
+}  // namespace scrpqo

@@ -1,0 +1,14 @@
+#include "optimizer/recost.h"
+
+namespace scrpqo {
+
+CachedPlan MakeCachedPlan(const OptimizationResult& result) {
+  CachedPlan cached;
+  cached.plan = result.plan;
+  cached.signature = PlanSignatureHash(*result.plan);
+  cached.memo_physical_exprs = result.stats.num_physical_exprs;
+  cached.retained_nodes = result.stats.plan_nodes;
+  return cached;
+}
+
+}  // namespace scrpqo

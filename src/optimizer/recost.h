@@ -1,0 +1,66 @@
+// The Recost API (paper Appendix B).
+//
+// After optimizing instance qe, the engine extracts the winning plan from
+// the Memo and prunes away all groups/expressions not on the final plan —
+// the paper's "shrunkenMemo". Here CachedPlan is that cacheable
+// representation: the plan tree (which carries instance-independent
+// cardinality-derivation metadata) plus its identity and creation-time memo
+// statistics. Recost rebinds parameterized leaf selectivities and re-derives
+// cardinality and cost bottom-up — arithmetic only, no plan search — which
+// is why it is orders of magnitude cheaper than an optimizer call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/physical_plan.h"
+#include "optimizer/plan_signature.h"
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+/// \brief A cached, re-costable execution plan ("shrunkenMemo").
+struct CachedPlan {
+  PlanPtr plan;
+  uint64_t signature = 0;
+  /// Memo size when the plan was produced vs. retained nodes — the basis of
+  /// the ">= 70% pruning" observation in Appendix B.
+  int memo_physical_exprs = 0;
+  int retained_nodes = 0;
+
+  double PruningRatio() const {
+    if (memo_physical_exprs <= 0) return 0.0;
+    return 1.0 - static_cast<double>(retained_nodes) /
+                     static_cast<double>(memo_physical_exprs);
+  }
+};
+
+/// Builds the cacheable representation from an optimizer result.
+CachedPlan MakeCachedPlan(const OptimizationResult& result);
+
+/// \brief Engine API #2 (paper Appendix B): Cost(P, q) for an arbitrary
+/// already-cached plan P and query instance q, given q's selectivity vector.
+class RecostService {
+ public:
+  explicit RecostService(const CostModel* cost_model)
+      : cost_model_(cost_model) {}
+
+  /// Re-derives the plan's cost for `sv`. Thread-compatible and allocation-
+  /// free on the hot path.
+  double Recost(const CachedPlan& plan, const SVector& sv) const {
+    ++num_calls_;
+    return cost_model_->RecostTree(*plan.plan, sv);
+  }
+
+  int64_t num_calls() const { return num_calls_; }
+  void ResetCounters() { num_calls_ = 0; }
+
+ private:
+  const CostModel* cost_model_;
+  mutable int64_t num_calls_ = 0;
+};
+
+}  // namespace scrpqo

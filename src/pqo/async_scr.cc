@@ -1,0 +1,85 @@
+#include "pqo/async_scr.h"
+
+namespace scrpqo {
+
+AsyncScr::AsyncScr(ScrOptions options) : inner_(options) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+AsyncScr::~AsyncScr() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  worker_.join();
+}
+
+void AsyncScr::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock, [this] {
+      return shutting_down_ || !queue_.empty();
+    });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    worker_busy_ = true;
+    // manageCache mutates the cache (and issues Recost calls for the
+    // redundancy check); it runs under the cache lock so getPlan observes a
+    // consistent snapshot. The critical path only contends when it arrives
+    // mid-update — exactly the background-thread model of the paper.
+    inner_.RegisterOptimization(task.wi, std::move(task.result), engine_);
+    ++tasks_processed_;
+    worker_busy_ = false;
+    if (queue_.empty()) idle_.notify_all();
+  }
+}
+
+PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
+                                EngineContext* engine) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine_ = engine;
+    PlanChoice choice;
+    if (inner_.TryReuse(wi, engine, &choice)) return choice;
+  }
+
+  // Cache miss: optimize on the critical path (the query must run), hand
+  // the bookkeeping to the worker, and return the fresh optimal plan.
+  auto result = engine->Optimize(wi);
+  PlanChoice choice;
+  choice.optimized = true;
+  choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{wi, std::move(result)});
+  }
+  work_available_.notify_one();
+  return choice;
+}
+
+void AsyncScr::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+}
+
+int64_t AsyncScr::NumPlansCached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.NumPlansCached();
+}
+
+int64_t AsyncScr::PeakPlansCached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.PeakPlansCached();
+}
+
+int64_t AsyncScr::tasks_processed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_processed_;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,93 @@
+#include "pqo/cache_persistence.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "optimizer/plan_serde.h"
+
+namespace scrpqo {
+
+namespace {
+constexpr char kHeader[] = "scrpqo-cache-v1";
+}  // namespace
+
+std::string SaveScrCache(const Scr& scr) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  for (const auto& plan : scr.SnapshotPlans()) {
+    os << "P " << SerializePlan(*plan) << "\n";
+  }
+  for (const auto& e : scr.SnapshotInstances()) {
+    os << "I " << e.plan_ordinal << " ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g %.17g", e.opt_cost, e.subopt);
+    os << buf << " " << e.usage << " " << (e.cost_check_disabled ? 1 : 0)
+       << " " << e.v.size();
+    for (double s : e.v) {
+      std::snprintf(buf, sizeof(buf), " %.17g", s);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status LoadScrCache(const std::string& snapshot, Scr* scr) {
+  std::istringstream is(snapshot);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    return Status::InvalidArgument("bad cache snapshot header");
+  }
+  std::vector<PlanPtr> plans;
+  std::vector<Scr::SnapshotEntry> entries;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'P') {
+      Result<PlanPtr> plan = DeserializePlan(line.substr(2));
+      if (!plan.ok()) return plan.status();
+      plans.push_back(plan.MoveValueOrDie());
+    } else if (line[0] == 'I') {
+      std::istringstream ls(line.substr(2));
+      Scr::SnapshotEntry e;
+      int disabled = 0;
+      size_t d = 0;
+      if (!(ls >> e.plan_ordinal >> e.opt_cost >> e.subopt >> e.usage >>
+            disabled >> d)) {
+        return Status::InvalidArgument("malformed instance entry: " + line);
+      }
+      e.cost_check_disabled = disabled != 0;
+      e.v.resize(d);
+      for (size_t i = 0; i < d; ++i) {
+        if (!(ls >> e.v[i])) {
+          return Status::InvalidArgument("truncated selectivity vector");
+        }
+      }
+      entries.push_back(std::move(e));
+    } else {
+      return Status::InvalidArgument("unknown snapshot record: " + line);
+    }
+  }
+  return scr->Restore(plans, entries);
+}
+
+Status SaveScrCacheToFile(const Scr& scr, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::Internal("cannot open cache file for writing: " + path);
+  }
+  f << SaveScrCache(scr);
+  return f.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status LoadScrCacheFromFile(const std::string& path, Scr* scr) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::NotFound("cache file not found: " + path);
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return LoadScrCache(buf.str(), scr);
+}
+
+}  // namespace scrpqo

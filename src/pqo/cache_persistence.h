@@ -1,0 +1,32 @@
+// Plan-cache persistence: snapshot an SCR cache to text and restore it into
+// a fresh technique instance. Plans are instance-independent (parameter
+// slots, not values), so a restored cache is immediately usable for new
+// query instances — the PQO analogue of a persisted plan store surviving a
+// server restart.
+//
+// Format: one header line, then one line per live plan
+// (`P <subopt-table-idx...>` style is avoided — each line is
+// `P <serialized plan>`), then one line per live instance entry
+// (`I <plan-ordinal> <opt_cost> <subopt> <usage> <disabled> <d> <sv...>`).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "pqo/scr.h"
+
+namespace scrpqo {
+
+/// Serializes the live portion of the cache (plans + instance entries).
+std::string SaveScrCache(const Scr& scr);
+
+/// Restores a snapshot into `scr`, which must be freshly constructed (its
+/// cache empty) and configured compatibly (same lambda family). Returns
+/// InvalidArgument on malformed input.
+Status LoadScrCache(const std::string& snapshot, Scr* scr);
+
+/// File convenience wrappers.
+Status SaveScrCacheToFile(const Scr& scr, const std::string& path);
+Status LoadScrCacheFromFile(const std::string& path, Scr* scr);
+
+}  // namespace scrpqo

@@ -1,0 +1,52 @@
+#include "pqo/density.h"
+
+#include <map>
+
+#include "common/math_util.h"
+
+namespace scrpqo {
+
+PlanChoice Density::OnInstance(const WorkloadInstance& wi,
+                               EngineContext* engine) {
+  PlanChoice choice;
+  const SVector& sv = wi.svector;
+
+  // Vote among stored points inside the neighborhood.
+  std::map<int, int> votes;
+  int total = 0;
+  for (const Point& p : points_) {
+    if (!store_.entry(p.plan_id).live) continue;
+    if (EuclideanDistance(sv, p.sv) <= options_.radius) {
+      ++votes[p.plan_id];
+      ++total;
+    }
+  }
+  if (total >= options_.min_neighbors) {
+    int best_plan = -1;
+    int best_votes = 0;
+    for (const auto& [plan_id, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best_plan = plan_id;
+      }
+    }
+    if (best_plan >= 0 &&
+        static_cast<double>(best_votes) / static_cast<double>(total) >=
+            options_.confidence) {
+      store_.AddUsage(best_plan, 1);
+      choice.plan = store_.entry(best_plan).plan;
+      return choice;
+    }
+  }
+
+  auto result = engine->Optimize(wi);
+  choice.optimized = true;
+  CachedPlan cached = MakeCachedPlan(*result);
+  PlanStore::StoreResult stored = store_.StoreOrReuse(
+      cached, sv, result->cost, options_.recost_redundancy_lambda_r, engine);
+  points_.push_back(Point{sv, stored.plan_id});
+  choice.plan = store_.entry(stored.plan_id).plan;
+  return choice;
+}
+
+}  // namespace scrpqo

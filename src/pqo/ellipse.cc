@@ -1,0 +1,39 @@
+#include "pqo/ellipse.h"
+
+#include "common/math_util.h"
+
+namespace scrpqo {
+
+PlanChoice Ellipse::OnInstance(const WorkloadInstance& wi,
+                               EngineContext* engine) {
+  PlanChoice choice;
+  const SVector& sv = wi.svector;
+
+  for (const auto& [plan_id, points] : points_by_plan_) {
+    if (!store_.entry(plan_id).live || points.size() < 2) continue;
+    for (size_t i = 0; i < points.size(); ++i) {
+      for (size_t j = i + 1; j < points.size(); ++j) {
+        double focal = EuclideanDistance(points[i], points[j]);
+        if (focal <= 0.0) continue;
+        double spread = EuclideanDistance(sv, points[i]) +
+                        EuclideanDistance(sv, points[j]);
+        if (spread <= 0.0 || focal / spread >= options_.delta) {
+          store_.AddUsage(plan_id, 1);
+          choice.plan = store_.entry(plan_id).plan;
+          return choice;
+        }
+      }
+    }
+  }
+
+  auto result = engine->Optimize(wi);
+  choice.optimized = true;
+  CachedPlan cached = MakeCachedPlan(*result);
+  PlanStore::StoreResult stored = store_.StoreOrReuse(
+      cached, sv, result->cost, options_.recost_redundancy_lambda_r, engine);
+  points_by_plan_[stored.plan_id].push_back(sv);
+  choice.plan = store_.entry(stored.plan_id).plan;
+  return choice;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,83 @@
+// EngineContext: the database-engine surface visible to online PQO
+// techniques — exactly the three calls the paper assumes (Section 4.2):
+// sVector computation (done by the harness before dispatch), the
+// traditional optimizer call, and the Recost API. The context meters both
+// engine calls so optimization overheads can be reported per technique.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/recost.h"
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+/// \brief A workload element: an instance with its id within the sequence's
+/// underlying instance set and its precomputed sVector.
+struct WorkloadInstance {
+  int id = -1;
+  QueryInstance instance;
+  SVector svector;
+};
+
+/// \brief Oracle interface: lets the evaluation harness memoize optimizer
+/// results across techniques and orderings (the result for a given instance
+/// id is identical no matter who asks). Techniques are still charged the
+/// optimizer call. Null entries are not allowed.
+using OptimizeOracle =
+    std::function<std::shared_ptr<const OptimizationResult>(
+        const WorkloadInstance&)>;
+
+class EngineContext {
+ public:
+  EngineContext(const Database* db, const Optimizer* optimizer)
+      : db_(db),
+        optimizer_(optimizer),
+        recost_service_(&optimizer->cost_model()) {}
+
+  const Database& db() const { return *db_; }
+  const Optimizer& optimizer() const { return *optimizer_; }
+
+  /// Traditional optimizer call (charged to the calling technique).
+  std::shared_ptr<const OptimizationResult> Optimize(
+      const WorkloadInstance& wi) {
+    ++num_optimizer_calls_;
+    if (oracle_) return oracle_(wi);
+    auto result = std::make_shared<OptimizationResult>(
+        optimizer_->OptimizeWithSVector(wi.instance, wi.svector));
+    return result;
+  }
+
+  /// Recost API call (charged).
+  double Recost(const CachedPlan& plan, const SVector& sv) {
+    return recost_service_.Recost(plan, sv);
+  }
+
+  /// Uncharged recost used by evaluation machinery (computing SO of the
+  /// chosen plan) — not part of any technique's overhead.
+  double RecostUncharged(const CachedPlan& plan, const SVector& sv) const {
+    return optimizer_->cost_model().RecostTree(*plan.plan, sv);
+  }
+
+  void SetOracle(OptimizeOracle oracle) { oracle_ = std::move(oracle); }
+
+  int64_t num_optimizer_calls() const { return num_optimizer_calls_; }
+  int64_t num_recost_calls() const { return recost_service_.num_calls(); }
+
+  void ResetCounters() {
+    num_optimizer_calls_ = 0;
+    recost_service_.ResetCounters();
+  }
+
+ private:
+  const Database* db_;
+  const Optimizer* optimizer_;
+  RecostService recost_service_;
+  OptimizeOracle oracle_;
+  int64_t num_optimizer_calls_ = 0;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,147 @@
+#include "pqo/instance_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+constexpr double kSelFloor = 1e-9;
+}  // namespace
+
+InstanceKdTree::InstanceKdTree(int dimensions) : dimensions_(dimensions) {
+  SCRPQO_CHECK(dimensions >= 1, "k-d tree needs at least one dimension");
+}
+
+std::vector<double> InstanceKdTree::ToLogPoint(const SVector& sv) const {
+  SCRPQO_CHECK(static_cast<int>(sv.size()) == dimensions_,
+               "selectivity vector dimensionality mismatch");
+  std::vector<double> p(sv.size());
+  for (size_t i = 0; i < sv.size(); ++i) {
+    p[i] = std::log(std::max(sv[i], kSelFloor));
+  }
+  return p;
+}
+
+void InstanceKdTree::Insert(int64_t id, const SVector& sv) {
+  std::vector<double> point = ToLogPoint(sv);
+  std::unique_ptr<Node>* slot = &root_;
+  int depth = 0;
+  while (*slot != nullptr) {
+    int dim = (*slot)->split_dim;
+    bool go_left = point[static_cast<size_t>(dim)] <
+                   (*slot)->point[static_cast<size_t>(dim)];
+    slot = go_left ? &(*slot)->left : &(*slot)->right;
+    ++depth;
+  }
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->point = std::move(point);
+  node->split_dim = depth % dimensions_;
+  *slot = std::move(node);
+  ++live_count_;
+}
+
+void InstanceKdTree::Remove(int64_t id) {
+  // Lazy deletion: walk the whole tree (removals are rare — budget
+  // evictions only).
+  std::vector<Node*> stack;
+  if (root_) stack.push_back(root_.get());
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->id == id && n->live) {
+      n->live = false;
+      --live_count_;
+      return;
+    }
+    if (n->left) stack.push_back(n->left.get());
+    if (n->right) stack.push_back(n->right.get());
+  }
+}
+
+void InstanceKdTree::RangeRec(const Node* node, const std::vector<double>& q,
+                              double bound, std::vector<Match>* out) const {
+  if (node == nullptr) return;
+  ++nodes_visited_;
+  double dist = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    dist += std::fabs(q[i] - node->point[i]);
+    if (dist > bound) break;
+  }
+  if (node->live && dist <= bound) {
+    out->push_back(Match{node->id, dist});
+  }
+  int dim = node->split_dim;
+  double delta = q[static_cast<size_t>(dim)] -
+                 node->point[static_cast<size_t>(dim)];
+  // The near side always; the far side only if the splitting plane is
+  // within `bound` (L1 balls project to intervals per axis).
+  const Node* near = delta < 0 ? node->left.get() : node->right.get();
+  const Node* far = delta < 0 ? node->right.get() : node->left.get();
+  RangeRec(near, q, bound, out);
+  if (std::fabs(delta) <= bound) RangeRec(far, q, bound, out);
+}
+
+std::vector<InstanceKdTree::Match> InstanceKdTree::RangeQuery(
+    const SVector& sv, double gl_bound) const {
+  nodes_visited_ = 0;
+  std::vector<Match> out;
+  if (gl_bound < 1.0) return out;
+  RangeRec(root_.get(), ToLogPoint(sv), std::log(gl_bound), &out);
+  return out;
+}
+
+void InstanceKdTree::NearestRec(const Node* node,
+                                const std::vector<double>& q, int k,
+                                std::vector<Match>* heap) const {
+  if (node == nullptr) return;
+  ++nodes_visited_;
+  double dist = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    dist += std::fabs(q[i] - node->point[i]);
+  }
+  auto worst = [&heap]() {
+    return heap->empty() ? std::numeric_limits<double>::infinity()
+                         : heap->front().log_gl;
+  };
+  auto cmp = [](const Match& a, const Match& b) {
+    return a.log_gl < b.log_gl;  // max-heap on distance
+  };
+  if (node->live &&
+      (static_cast<int>(heap->size()) < k || dist < worst())) {
+    heap->push_back(Match{node->id, dist});
+    std::push_heap(heap->begin(), heap->end(), cmp);
+    if (static_cast<int>(heap->size()) > k) {
+      std::pop_heap(heap->begin(), heap->end(), cmp);
+      heap->pop_back();
+    }
+  }
+  int dim = node->split_dim;
+  double delta = q[static_cast<size_t>(dim)] -
+                 node->point[static_cast<size_t>(dim)];
+  const Node* near = delta < 0 ? node->left.get() : node->right.get();
+  const Node* far = delta < 0 ? node->right.get() : node->left.get();
+  NearestRec(near, q, k, heap);
+  if (static_cast<int>(heap->size()) < k || std::fabs(delta) < worst()) {
+    NearestRec(far, q, k, heap);
+  }
+}
+
+std::vector<InstanceKdTree::Match> InstanceKdTree::NearestByGl(
+    const SVector& sv, int k) const {
+  nodes_visited_ = 0;
+  std::vector<Match> heap;
+  if (k <= 0) return heap;
+  NearestRec(root_.get(), ToLogPoint(sv), k, &heap);
+  std::sort(heap.begin(), heap.end(),
+            [](const Match& a, const Match& b) {
+              return a.log_gl < b.log_gl;
+            });
+  return heap;
+}
+
+}  // namespace scrpqo

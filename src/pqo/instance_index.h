@@ -1,0 +1,76 @@
+// Spatial index over stored instances (paper Section 6.2: "the overheads
+// can also be improved by exploiting ... a spatial index that can provide
+// such instances without scanning the entire list").
+//
+// The selectivity check asks: does any stored instance qe satisfy
+// G(qe, qc) * L(qe, qc) <= bound? Working in log-selectivity space turns
+// G*L into an L1 distance: log(G*L) = sum_i |log s_i(qc) - log s_i(qe)|.
+// A k-d tree over log-selectivity points therefore answers the check as an
+// L1 range query, and enumerates cost-check candidates in ascending-GL
+// order as a nearest-neighbour sweep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+class InstanceKdTree {
+ public:
+  /// `dimensions` is the template's d; points are inserted incrementally.
+  explicit InstanceKdTree(int dimensions);
+
+  /// Inserts a stored instance's selectivity vector under `id` (an opaque
+  /// caller key, e.g. the instance-list position).
+  void Insert(int64_t id, const SVector& sv);
+
+  /// Marks an entry dead (lazily skipped by queries).
+  void Remove(int64_t id);
+
+  struct Match {
+    int64_t id = -1;
+    /// log(G * L) between the stored point and the query point.
+    double log_gl = 0.0;
+  };
+
+  /// All live entries with G*L <= gl_bound for `sv`, unordered.
+  std::vector<Match> RangeQuery(const SVector& sv, double gl_bound) const;
+
+  /// The `k` live entries with smallest G*L for `sv`, ascending. This is
+  /// the cost-check candidate stream.
+  std::vector<Match> NearestByGl(const SVector& sv, int k) const;
+
+  int64_t size() const { return live_count_; }
+
+  /// Nodes visited by the last query (instrumentation for the pruning
+  /// claim: visits << size once the tree is populated).
+  int64_t last_query_nodes_visited() const { return nodes_visited_; }
+
+ private:
+  struct Node {
+    int64_t id;
+    std::vector<double> point;  // log-selectivities
+    int split_dim = 0;
+    bool live = true;
+    std::unique_ptr<Node> left, right;
+  };
+
+  std::vector<double> ToLogPoint(const SVector& sv) const;
+
+  void RangeRec(const Node* node, const std::vector<double>& q,
+                double bound, std::vector<Match>* out) const;
+
+  /// Best-first k-NN under L1 distance.
+  void NearestRec(const Node* node, const std::vector<double>& q, int k,
+                  std::vector<Match>* heap) const;
+
+  int dimensions_;
+  std::unique_ptr<Node> root_;
+  int64_t live_count_ = 0;
+  mutable int64_t nodes_visited_ = 0;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,45 @@
+// Evaluation metrics for one workload sequence (paper Section 2.1):
+// per-instance sub-optimality SO, worst case MSO, aggregate TotalCostRatio,
+// optimizer-call fraction numOpt and peak plan-cache size numPlans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scrpqo {
+
+struct SequenceMetrics {
+  std::string technique;
+  std::string template_name;
+  std::string ordering;
+  int64_t m = 0;  // sequence length
+
+  std::vector<double> so_per_instance;
+  double mso = 1.0;
+  double total_cost_ratio = 1.0;
+  /// Instances whose SO exceeded the configured bound (BCG/PCM violation
+  /// fallout, Section 7.2). Only meaningful for bounded techniques.
+  int64_t bound_violations = 0;
+
+  int64_t num_opt = 0;
+  double NumOptPercent() const {
+    return m == 0 ? 0.0
+                  : 100.0 * static_cast<double>(num_opt) /
+                        static_cast<double>(m);
+  }
+
+  int64_t num_plans = 0;  // peak plans cached
+  int64_t num_recost_calls = 0;
+  int max_recost_per_get_plan = 0;
+
+  /// Wall-clock spent inside technique decision making + charged engine
+  /// calls, for overhead reporting.
+  double technique_seconds = 0.0;
+
+  /// Sums used for TotalCostRatio.
+  double total_chosen_cost = 0.0;
+  double total_optimal_cost = 0.0;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,14 @@
+#include "pqo/opt_always.h"
+
+namespace scrpqo {
+
+PlanChoice OptAlways::OnInstance(const WorkloadInstance& wi,
+                                 EngineContext* engine) {
+  auto result = engine->Optimize(wi);
+  PlanChoice choice;
+  choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+  choice.optimized = true;
+  return choice;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,21 @@
+// Optimize-Always: optimize every instance (paper Section 1). The quality
+// gold standard and the overhead worst case; caches nothing.
+#pragma once
+
+#include "pqo/technique.h"
+
+namespace scrpqo {
+
+/// \brief The quality gold standard: every instance gets its own optimal
+/// plan at the price of one optimizer call per instance.
+class OptAlways : public PqoTechnique {
+ public:
+  std::string name() const override { return "OptAlways"; }
+
+  PlanChoice OnInstance(const WorkloadInstance& wi,
+                        EngineContext* engine) override;
+
+  int64_t NumPlansCached() const override { return 0; }
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,17 @@
+#include "pqo/opt_once.h"
+
+namespace scrpqo {
+
+PlanChoice OptOnce::OnInstance(const WorkloadInstance& wi,
+                               EngineContext* engine) {
+  PlanChoice choice;
+  if (cached_ == nullptr) {
+    auto result = engine->Optimize(wi);
+    cached_ = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+    choice.optimized = true;
+  }
+  choice.plan = cached_;
+  return choice;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,27 @@
+// Optimize-Once: optimize the first instance and reuse its plan for every
+// later instance — the default behaviour of commercial plan caches the paper
+// cites (Section 1). Arbitrarily sub-optimal, but a single optimizer call.
+#pragma once
+
+#include <memory>
+
+#include "pqo/technique.h"
+
+namespace scrpqo {
+
+/// \brief The overhead gold standard: one optimizer call ever, with
+/// unbounded sub-optimality risk for every later instance.
+class OptOnce : public PqoTechnique {
+ public:
+  std::string name() const override { return "OptOnce"; }
+
+  PlanChoice OnInstance(const WorkloadInstance& wi,
+                        EngineContext* engine) override;
+
+  int64_t NumPlansCached() const override { return cached_ ? 1 : 0; }
+
+ private:
+  std::shared_ptr<const CachedPlan> cached_;
+};
+
+}  // namespace scrpqo

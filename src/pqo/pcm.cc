@@ -1,0 +1,71 @@
+#include "pqo/pcm.h"
+
+#include <limits>
+#include <sstream>
+
+namespace scrpqo {
+
+namespace {
+
+/// a dominates b when a >= b in every selectivity dimension.
+bool Dominates(const SVector& a, const SVector& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Pcm::name() const {
+  std::ostringstream os;
+  os << "PCM" << options_.lambda;
+  if (options_.recost_redundancy_lambda_r >= 1.0) os << "+R";
+  return os.str();
+}
+
+PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  PlanChoice choice;
+  const SVector& sv = wi.svector;
+
+  // Inference: cheapest dominating point q2 and costliest dominated point
+  // q1; reuse q2's plan iff cost(q2) <= lambda * cost(q1). Under PCM,
+  // cost(P2, qc) <= cost(P2, q2) and opt(qc) >= opt(q1), so the chosen
+  // plan's sub-optimality is bounded by lambda.
+  double best_upper = std::numeric_limits<double>::infinity();
+  int upper_plan = -1;
+  double best_lower = 0.0;
+  bool have_lower = false;
+  for (const Point& p : points_) {
+    if (Dominates(p.sv, sv)) {
+      if (p.opt_cost < best_upper) {
+        best_upper = p.opt_cost;
+        upper_plan = p.plan_id;
+      }
+    }
+    if (Dominates(sv, p.sv)) {
+      if (!have_lower || p.opt_cost > best_lower) {
+        best_lower = p.opt_cost;
+        have_lower = true;
+      }
+    }
+  }
+  if (upper_plan >= 0 && have_lower && best_lower > 0.0 &&
+      best_upper <= options_.lambda * best_lower) {
+    store_.AddUsage(upper_plan, 1);
+    choice.plan = store_.entry(upper_plan).plan;
+    return choice;
+  }
+
+  // Optimize and store.
+  auto result = engine->Optimize(wi);
+  choice.optimized = true;
+  CachedPlan cached = MakeCachedPlan(*result);
+  PlanStore::StoreResult stored = store_.StoreOrReuse(
+      cached, sv, result->cost, options_.recost_redundancy_lambda_r, engine);
+  points_.push_back(Point{sv, result->cost, stored.plan_id});
+  choice.plan = store_.entry(stored.plan_id).plan;
+  return choice;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,50 @@
+// PCM (Bounded Progressive Parametric Query Optimization, Bizarro et al.,
+// TKDE 2009): the only prior online technique with a sub-optimality
+// guarantee. Inference (paper Table 1): reuse is allowed when the new
+// instance lies in the rectangle spanned by two previously optimized
+// instances q1 <= qc <= q2 (component-wise selectivity domination) whose
+// optimal costs are within the lambda factor; the dominating instance's
+// plan is then lambda-optimal at qc under the Plan Cost Monotonicity
+// assumption.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pqo/plan_store.h"
+#include "pqo/technique.h"
+
+namespace scrpqo {
+
+struct PcmOptions {
+  double lambda = 2.0;
+  /// Appendix H.6 variant: when >= 1, run the Recost redundancy check
+  /// before storing a new plan (not part of the original technique).
+  double recost_redundancy_lambda_r = -1.0;
+};
+
+class Pcm : public PqoTechnique {
+ public:
+  explicit Pcm(PcmOptions options) : options_(options) {}
+
+  std::string name() const override;
+
+  PlanChoice OnInstance(const WorkloadInstance& wi,
+                        EngineContext* engine) override;
+
+  int64_t NumPlansCached() const override { return store_.NumLive(); }
+  int64_t PeakPlansCached() const override { return store_.Peak(); }
+
+ private:
+  struct Point {
+    SVector sv;
+    double opt_cost = 0.0;
+    int plan_id = -1;
+  };
+
+  PcmOptions options_;
+  PlanStore store_;
+  std::vector<Point> points_;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,91 @@
+#include "pqo/plan_store.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+PlanStore::StoreResult PlanStore::StoreOrReuse(const CachedPlan& plan,
+                                               const SVector& sv,
+                                               double opt_cost,
+                                               double lambda_r,
+                                               EngineContext* engine) {
+  StoreResult result;
+  auto it = by_signature_.find(plan.signature);
+  if (it != by_signature_.end() &&
+      entries_[static_cast<size_t>(it->second)].live) {
+    result.plan_id = it->second;
+    result.subopt = 1.0;
+    result.already_present = true;
+    return result;
+  }
+
+  if (lambda_r >= 1.0 && num_live_ > 0) {
+    // Redundancy check: find the cheapest cached plan at sv via Recost.
+    double min_cost = std::numeric_limits<double>::infinity();
+    int min_id = -1;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].live) continue;
+      double c = engine->Recost(*entries_[i].plan, sv);
+      if (c < min_cost) {
+        min_cost = c;
+        min_id = static_cast<int>(i);
+      }
+    }
+    if (min_id >= 0 && opt_cost > 0.0) {
+      double s_min = min_cost / opt_cost;
+      if (s_min <= lambda_r) {
+        result.plan_id = min_id;
+        result.subopt = s_min;
+        result.reused_existing = true;
+        return result;
+      }
+    }
+  }
+
+  // Store the new plan.
+  Entry e;
+  e.plan = std::make_shared<CachedPlan>(plan);
+  e.total_usage = 0;
+  e.live = true;
+  entries_.push_back(std::move(e));
+  int id = static_cast<int>(entries_.size()) - 1;
+  by_signature_[plan.signature] = id;
+  ++num_live_;
+  peak_ = std::max(peak_, num_live_);
+  result.plan_id = id;
+  result.subopt = 1.0;
+  return result;
+}
+
+std::vector<int> PlanStore::LivePlanIds() const {
+  std::vector<int> ids;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].live) ids.push_back(static_cast<int>(i));
+  }
+  return ids;
+}
+
+void PlanStore::Drop(int plan_id) {
+  Entry& e = entries_[static_cast<size_t>(plan_id)];
+  SCRPQO_CHECK(e.live, "dropping a plan that is not live");
+  e.live = false;
+  --num_live_;
+  by_signature_.erase(e.plan->signature);
+}
+
+int PlanStore::MinUsagePlanId() const {
+  int best = -1;
+  int64_t best_usage = std::numeric_limits<int64_t>::max();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].live) continue;
+    if (entries_[i].total_usage < best_usage) {
+      best_usage = entries_[i].total_usage;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,78 @@
+// Shared plan-cache bookkeeping: a list of distinct plans keyed by
+// structural signature, with peak-size tracking and an optional Recost-based
+// redundancy check on insert (used natively by SCR, and by the
+// Recost-augmented baseline variants of the paper's Appendix H.6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "optimizer/recost.h"
+#include "pqo/engine_context.h"
+
+namespace scrpqo {
+
+class PlanStore {
+ public:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    /// Aggregate usage across instance entries pointing at this plan (for
+    /// LFU eviction under a plan budget).
+    int64_t total_usage = 0;
+    bool live = true;
+  };
+
+  /// Outcome of StoreOrReuse.
+  struct StoreResult {
+    int plan_id = -1;
+    /// Sub-optimality of the stored/reused plan at the optimized instance
+    /// (1.0 when the new plan itself was stored or already present).
+    double subopt = 1.0;
+    /// True when the redundancy check discarded the new plan in favor of an
+    /// existing one.
+    bool reused_existing = false;
+    /// True when the new plan's signature was already present.
+    bool already_present = false;
+  };
+
+  /// Registers the optimal plan found for an instance with optimal cost
+  /// `opt_cost` at selectivities `sv`. When `lambda_r >= 1` and the plan is
+  /// new, runs the redundancy check: re-costs every live cached plan at `sv`
+  /// (charged to `engine`) and discards the new plan if the best cached one
+  /// is within `lambda_r` of optimal (paper Section 6.3).
+  StoreResult StoreOrReuse(const CachedPlan& plan, const SVector& sv,
+                           double opt_cost, double lambda_r,
+                           EngineContext* engine);
+
+  const Entry& entry(int plan_id) const {
+    return entries_[static_cast<size_t>(plan_id)];
+  }
+  Entry& entry(int plan_id) { return entries_[static_cast<size_t>(plan_id)]; }
+
+  void AddUsage(int plan_id, int64_t delta) {
+    entries_[static_cast<size_t>(plan_id)].total_usage += delta;
+  }
+
+  /// Live plan ids.
+  std::vector<int> LivePlanIds() const;
+
+  /// Marks a plan dead (budget eviction). The caller is responsible for
+  /// removing instance entries that point at it.
+  void Drop(int plan_id);
+
+  /// Live plan with the minimum total usage (LFU victim), -1 if none.
+  int MinUsagePlanId() const;
+
+  int64_t NumLive() const { return num_live_; }
+  int64_t Peak() const { return peak_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<uint64_t, int> by_signature_;
+  int64_t num_live_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace scrpqo

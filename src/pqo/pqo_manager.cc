@@ -1,0 +1,74 @@
+#include "pqo/pqo_manager.h"
+
+namespace scrpqo {
+
+void PqoManager::FinishWarmup(TemplateCache* cache) {
+  // Section 6.2's guidance: templates whose optimization overhead is
+  // significant relative to execution get a tight bound (plan quality is
+  // cheap to protect); templates where optimization dwarfs execution get
+  // the loose bound (avoid optimizer calls at modest quality risk). We
+  // proxy "execution cost" with the optimizer-estimated cost of the warmed
+  // instances: cheap templates => optimization dominates => loose lambda.
+  double avg_cost = cache->warmup_seen > 0
+                        ? cache->warmup_cost_sum /
+                              static_cast<double>(cache->warmup_seen)
+                        : 0.0;
+  // Threshold: one optimizer call is worth roughly a plan of cost ~100 in
+  // our engine's units (see bench_table3's measured per-call time).
+  constexpr double kOptimizerWorth = 100.0;
+  cache->lambda = avg_cost >= kOptimizerWorth ? options_.lambda_tight
+                                              : options_.lambda_loose;
+  ScrOptions opts;
+  opts.lambda = cache->lambda;
+  opts.plan_budget = options_.plan_budget;
+  opts.use_spatial_index = options_.use_spatial_index;
+  cache->scr = std::make_unique<Scr>(opts);
+}
+
+PlanChoice PqoManager::OnInstance(const std::string& template_key,
+                                  const WorkloadInstance& wi,
+                                  EngineContext* engine) {
+  TemplateCache& cache = caches_[template_key];
+  if (cache.scr == nullptr && options_.warmup_instances <= 0) {
+    cache.lambda = options_.default_lambda;
+    ScrOptions opts;
+    opts.lambda = cache.lambda;
+    opts.plan_budget = options_.plan_budget;
+    opts.use_spatial_index = options_.use_spatial_index;
+    cache.scr = std::make_unique<Scr>(opts);
+  }
+  if (cache.scr == nullptr) {
+    // Warm-up phase: Optimize-Always while measuring costs.
+    auto result = engine->Optimize(wi);
+    ++cache.warmup_seen;
+    cache.warmup_cost_sum += result->cost;
+    PlanChoice choice;
+    choice.optimized = true;
+    choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+    if (cache.warmup_seen >= options_.warmup_instances) {
+      FinishWarmup(&cache);
+    }
+    return choice;
+  }
+  return cache.scr->OnInstance(wi, engine);
+}
+
+int64_t PqoManager::TotalPlansCached() const {
+  int64_t total = 0;
+  for (const auto& [key, cache] : caches_) {
+    if (cache.scr != nullptr) total += cache.scr->NumPlansCached();
+  }
+  return total;
+}
+
+void PqoManager::InvalidateTemplate(const std::string& template_key) {
+  caches_.erase(template_key);
+}
+
+double PqoManager::LambdaFor(const std::string& template_key) const {
+  auto it = caches_.find(template_key);
+  if (it == caches_.end()) return 0.0;
+  return it->second.lambda;
+}
+
+}  // namespace scrpqo

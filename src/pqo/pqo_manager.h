@@ -1,0 +1,75 @@
+// PqoManager: the process-level entry point a database engine would embed.
+//
+// The paper's plan cache is per query template (Section 2 fixes one
+// template Q). A real engine serves many templates concurrently, chooses a
+// per-template lambda from observed optimize/execution cost ratios
+// (Section 6.2 "Choosing lambda"), and evicts whole template caches under
+// memory pressure. PqoManager provides that wrapper: it keys SCR instances
+// by template identity, runs the lambda-selection warm-up, and exposes
+// aggregate statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pqo/scr.h"
+
+namespace scrpqo {
+
+struct PqoManagerOptions {
+  /// Default bound when warm-up based selection is disabled.
+  double default_lambda = 2.0;
+  /// Section 6.2: optimize the first `warmup_instances` of each template
+  /// with Optimize-Always and pick lambda from the ratio of optimization
+  /// overhead to execution cost (proxied here by the optimizer-estimated
+  /// cost of the instances).
+  int warmup_instances = 0;
+  /// Lambda range used by warm-up selection.
+  double lambda_tight = 1.1;
+  double lambda_loose = 2.0;
+  /// Per-template plan budget (0 = unlimited).
+  int plan_budget = 0;
+  /// Passed through to each template's SCR cache.
+  bool use_spatial_index = false;
+};
+
+class PqoManager {
+ public:
+  explicit PqoManager(PqoManagerOptions options) : options_(options) {}
+
+  /// Routes one instance of `template_key` (usually the normalized SQL
+  /// text or QueryTemplate::name) through that template's cache.
+  PlanChoice OnInstance(const std::string& template_key,
+                        const WorkloadInstance& wi, EngineContext* engine);
+
+  /// Number of templates currently tracked.
+  int64_t NumTemplates() const {
+    return static_cast<int64_t>(caches_.size());
+  }
+
+  /// Plans cached across all templates.
+  int64_t TotalPlansCached() const;
+
+  /// Drops one template's cache entirely (e.g. on schema change).
+  void InvalidateTemplate(const std::string& template_key);
+
+  /// The lambda a template's cache ended up using (0 if unknown template).
+  double LambdaFor(const std::string& template_key) const;
+
+ private:
+  struct TemplateCache {
+    std::unique_ptr<Scr> scr;
+    int warmup_seen = 0;
+    double warmup_cost_sum = 0.0;
+    double lambda = 0.0;
+  };
+
+  void FinishWarmup(TemplateCache* cache);
+
+  PqoManagerOptions options_;
+  std::map<std::string, TemplateCache> caches_;
+};
+
+}  // namespace scrpqo

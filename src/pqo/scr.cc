@@ -1,0 +1,392 @@
+#include "pqo/scr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+/// Tolerance when classifying a cost-check observation as a BCG/PCM
+/// violation (Appendix G); absorbs floating-point noise.
+constexpr double kViolationSlack = 1.02;
+}  // namespace
+
+Scr::Scr(ScrOptions options) : options_(options) {
+  SCRPQO_CHECK(options_.lambda >= 1.0, "lambda must be >= 1");
+  lambda_r_effective_ = options_.lambda_r >= 1.0
+                            ? options_.lambda_r
+                            : std::sqrt(options_.lambda);
+}
+
+double Scr::RegionArea(const InstanceEntry& e) const {
+  // Proportional to the paper's ((lambda-1)/lambda) * ln(lambda) * prod(s_i)
+  // formula (Section 5.3); the lambda factor is shared across entries under
+  // a static bound, so the selectivity product alone orders entries.
+  double area = 1.0;
+  for (double s : e.v) area *= s;
+  return area;
+}
+
+double Scr::LambdaFor(const InstanceEntry& e) const {
+  if (!options_.dynamic_lambda) return options_.lambda;
+  double c_ref =
+      cost_count_ > 0 ? cost_sum_ / static_cast<double>(cost_count_) : 1.0;
+  c_ref = std::max(c_ref, 1e-12);
+  return options_.lambda_min +
+         (options_.lambda_max - options_.lambda_min) *
+             std::exp(-e.opt_cost / c_ref);
+}
+
+int64_t Scr::NumInstancesStored() const {
+  int64_t n = 0;
+  for (const auto& e : instances_) {
+    if (e.live) ++n;
+  }
+  return n;
+}
+
+PlanChoice Scr::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  PlanChoice choice;
+  if (TryReuse(wi, engine, &choice)) return choice;
+
+  // ---- Optimize + manageCache (Algorithm 2) ----
+  auto result = engine->Optimize(wi);
+  choice.optimized = true;
+  ManageCache(wi, result, engine, &choice);
+  return choice;
+}
+
+void Scr::RegisterOptimization(
+    const WorkloadInstance& wi,
+    std::shared_ptr<const OptimizationResult> result, EngineContext* engine) {
+  PlanChoice ignored;
+  ManageCache(wi, std::move(result), engine, &ignored);
+}
+
+bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
+                   PlanChoice* choice_out) {
+  PlanChoice& choice = *choice_out;
+  const SVector& sv = wi.svector;
+
+  // ---- Selectivity check (Algorithm 1, first loop) ----
+  // While scanning, collect cost-check candidates in increasing GL order
+  // (Section 6.2 heuristic: small GL is most likely to pass).
+  struct Candidate {
+    double gl;
+    size_t entry;
+    double l;
+  };
+  std::vector<Candidate> candidates;
+  if (options_.use_spatial_index && index_ != nullptr) {
+    // Spatial path (Section 6.2): log(G*L) is the L1 distance in
+    // log-selectivity space, so the selectivity check is a range query with
+    // the loosest possible per-entry bound (lambda; entry sub-optimality
+    // only tightens it), verified per hit.
+    double envelope =
+        options_.dynamic_lambda ? options_.lambda_max : options_.lambda;
+    for (const auto& m : index_->RangeQuery(sv, envelope)) {
+      InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
+      if (!e.live) continue;
+      if (std::exp(m.log_gl) <= LambdaFor(e) / e.subopt) {
+        ++e.usage;
+        store_.AddUsage(e.plan_id, 1);
+        choice.plan = store_.entry(e.plan_id).plan;
+        return true;
+      }
+    }
+    if (options_.enable_cost_check) {
+      // Nearest-by-GL sweep; overfetch to survive the disabled-entry
+      // filter.
+      int want = options_.max_cost_check_candidates > 0
+                     ? options_.max_cost_check_candidates
+                     : static_cast<int>(instances_.size());
+      for (const auto& m : index_->NearestByGl(sv, 2 * want + 4)) {
+        InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
+        if (!e.live || e.cost_check_disabled) continue;
+        std::vector<double> ratios = SelectivityRatios(e.v, sv);
+        candidates.push_back(Candidate{std::exp(m.log_gl),
+                                       static_cast<size_t>(m.id),
+                                       ComputeL(ratios)});
+      }
+    }
+  } else {
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      InstanceEntry& e = instances_[i];
+      if (!e.live) continue;
+      std::vector<double> ratios = SelectivityRatios(e.v, sv);
+      double g = ComputeG(ratios);
+      double l = ComputeL(ratios);
+      double bound = LambdaFor(e) / e.subopt;
+      if (g * l <= bound) {
+        ++e.usage;
+        store_.AddUsage(e.plan_id, 1);
+        choice.plan = store_.entry(e.plan_id).plan;
+        return true;
+      }
+      if (options_.enable_cost_check && !e.cost_check_disabled) {
+        candidates.push_back(Candidate{g * l, i, l});
+      }
+    }
+  }
+
+  // ---- Cost check (Algorithm 1, second loop) ----
+  switch (options_.cost_check_order) {
+    case CostCheckOrder::kAscendingGl:
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.gl < b.gl;
+                });
+      break;
+    case CostCheckOrder::kDescendingRegionArea:
+      // Area of the selectivity-based region grows with the product of the
+      // entry's selectivities (Section 5.3); bigger regions are broader
+      // matches, so try them first.
+      std::sort(candidates.begin(), candidates.end(),
+                [this](const Candidate& a, const Candidate& b) {
+                  return RegionArea(instances_[a.entry]) >
+                         RegionArea(instances_[b.entry]);
+                });
+      break;
+    case CostCheckOrder::kDescendingUsage:
+      std::sort(candidates.begin(), candidates.end(),
+                [this](const Candidate& a, const Candidate& b) {
+                  return instances_[a.entry].usage >
+                         instances_[b.entry].usage;
+                });
+      break;
+    case CostCheckOrder::kInsertionOrder:
+      break;  // already in insertion order
+  }
+  if (options_.max_cost_check_candidates > 0 &&
+      static_cast<int>(candidates.size()) >
+          options_.max_cost_check_candidates) {
+    candidates.resize(
+        static_cast<size_t>(options_.max_cost_check_candidates));
+  }
+  int recosts = 0;
+  for (const Candidate& c : candidates) {
+    InstanceEntry& e = instances_[c.entry];
+    double new_cost = engine->Recost(*store_.entry(e.plan_id).plan, sv);
+    ++recosts;
+    double r = new_cost / std::max(e.opt_cost, 1e-30);
+
+    if (options_.detect_violations) {
+      // Appendix G: the cached plan's cost at qe is S * C. BCG implies
+      // cost(P, qc) <= G * cost(P, qe) and >= cost(P, qe) / L; observing
+      // either bound broken means the assumption failed for this entry.
+      std::vector<double> ratios = SelectivityRatios(e.v, sv);
+      double g = ComputeG(ratios);
+      double plan_cost_at_e = e.subopt * e.opt_cost;
+      if (new_cost > kViolationSlack * g * plan_cost_at_e ||
+          new_cost * kViolationSlack < plan_cost_at_e / c.l) {
+        e.cost_check_disabled = true;
+        ++violations_detected_;
+        continue;
+      }
+    }
+
+    if (r * c.l <= LambdaFor(e) / e.subopt) {
+      ++e.usage;
+      store_.AddUsage(e.plan_id, 1);
+      choice.plan = store_.entry(e.plan_id).plan;
+      choice.recost_calls_in_get_plan = recosts;
+      max_recost_calls_per_get_plan_ =
+          std::max(max_recost_calls_per_get_plan_, recosts);
+      return true;
+    }
+  }
+  max_recost_calls_per_get_plan_ =
+      std::max(max_recost_calls_per_get_plan_, recosts);
+  choice.recost_calls_in_get_plan = recosts;
+  return false;
+}
+
+void Scr::ManageCache(const WorkloadInstance& wi,
+                      std::shared_ptr<const OptimizationResult> result,
+                      EngineContext* engine, PlanChoice* choice) {
+  const SVector& sv = wi.svector;
+  cost_sum_ += result->cost;
+  ++cost_count_;
+
+  CachedPlan cached = MakeCachedPlan(*result);
+  PlanStore::StoreResult stored =
+      store_.StoreOrReuse(cached, sv, result->cost, lambda_r_effective_,
+                          engine);
+
+  if (!stored.already_present && !stored.reused_existing) {
+    // A genuinely new plan entered the cache; enforce the budget.
+    if (options_.plan_budget > 0 &&
+        store_.NumLive() > options_.plan_budget) {
+      EvictForBudget();
+    }
+  }
+
+  InstanceEntry entry;
+  entry.v = sv;
+  entry.plan_id = stored.plan_id;
+  entry.opt_cost = result->cost;
+  entry.subopt = stored.subopt;
+  entry.usage = 1;
+  instances_.push_back(std::move(entry));
+  if (options_.use_spatial_index) {
+    if (index_ == nullptr) {
+      index_ = std::make_unique<InstanceKdTree>(
+          static_cast<int>(sv.size()));
+    }
+    index_->Insert(static_cast<int64_t>(instances_.size()) - 1, sv);
+  }
+  store_.AddUsage(stored.plan_id, 1);
+  choice->plan = store_.entry(stored.plan_id).plan;
+}
+
+void Scr::EvictForBudget() {
+  while (store_.NumLive() > options_.plan_budget) {
+    int victim = store_.MinUsagePlanId();
+    // Never evict the plan just inserted if it is the only live one.
+    if (victim < 0) break;
+    store_.Drop(victim);
+    // Dropping the instance entries keeps the lambda-optimality guarantee
+    // intact (Section 6.3.1): no future inference can use the gone plan.
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      InstanceEntry& e = instances_[i];
+      if (e.live && e.plan_id == victim) {
+        e.live = false;
+        if (index_ != nullptr) index_->Remove(static_cast<int64_t>(i));
+      }
+    }
+  }
+}
+
+std::vector<PlanPtr> Scr::SnapshotPlans() const {
+  std::vector<PlanPtr> out;
+  for (int id : store_.LivePlanIds()) {
+    out.push_back(store_.entry(id).plan->plan);
+  }
+  return out;
+}
+
+std::vector<Scr::SnapshotEntry> Scr::SnapshotInstances() const {
+  // Map live plan ids to snapshot ordinals.
+  std::map<int, int> ordinal_of;
+  int ordinal = 0;
+  for (int id : store_.LivePlanIds()) ordinal_of[id] = ordinal++;
+  std::vector<SnapshotEntry> out;
+  for (const auto& e : instances_) {
+    if (!e.live) continue;
+    auto it = ordinal_of.find(e.plan_id);
+    if (it == ordinal_of.end()) continue;
+    SnapshotEntry se;
+    se.v = e.v;
+    se.plan_ordinal = it->second;
+    se.opt_cost = e.opt_cost;
+    se.subopt = e.subopt;
+    se.usage = e.usage;
+    se.cost_check_disabled = e.cost_check_disabled;
+    out.push_back(std::move(se));
+  }
+  return out;
+}
+
+Status Scr::Restore(const std::vector<PlanPtr>& plans,
+                    const std::vector<SnapshotEntry>& entries) {
+  if (store_.NumLive() != 0 || !instances_.empty()) {
+    return Status::InvalidArgument(
+        "Restore requires a freshly constructed (empty) cache");
+  }
+  std::vector<int> plan_ids;
+  for (const auto& plan : plans) {
+    if (plan == nullptr) return Status::InvalidArgument("null plan");
+    OptimizationResult fake;
+    fake.plan = plan;
+    CachedPlan cached = MakeCachedPlan(fake);
+    // Insert without the redundancy check (lambda_r < 1 disables it).
+    PlanStore::StoreResult r = store_.StoreOrReuse(cached, {}, 0.0, -1.0,
+                                                   /*engine=*/nullptr);
+    plan_ids.push_back(r.plan_id);
+  }
+  for (const auto& se : entries) {
+    if (se.plan_ordinal < 0 ||
+        se.plan_ordinal >= static_cast<int>(plan_ids.size())) {
+      return Status::InvalidArgument("instance entry has bad plan ordinal");
+    }
+    if (!(se.opt_cost > 0.0) || se.subopt < 1.0) {
+      return Status::InvalidArgument("instance entry has bad cost fields");
+    }
+    InstanceEntry e;
+    e.v = se.v;
+    e.plan_id = plan_ids[static_cast<size_t>(se.plan_ordinal)];
+    e.opt_cost = se.opt_cost;
+    e.subopt = se.subopt;
+    e.usage = se.usage;
+    e.cost_check_disabled = se.cost_check_disabled;
+    instances_.push_back(std::move(e));
+    store_.AddUsage(instances_.back().plan_id, se.usage);
+    if (options_.use_spatial_index) {
+      if (index_ == nullptr) {
+        index_ = std::make_unique<InstanceKdTree>(
+            static_cast<int>(se.v.size()));
+      }
+      index_->Insert(static_cast<int64_t>(instances_.size()) - 1, se.v);
+    }
+    cost_sum_ += se.opt_cost;
+    ++cost_count_;
+  }
+  return Status::OK();
+}
+
+int Scr::DropRedundantPlans(EngineContext* engine) {
+  int dropped = 0;
+  for (int plan_id : store_.LivePlanIds()) {
+    // Collect the live instances served by this plan.
+    std::vector<size_t> served;
+    for (size_t i = 0; i < instances_.size(); ++i) {
+      if (instances_[i].live && instances_[i].plan_id == plan_id) {
+        served.push_back(i);
+      }
+    }
+    // Each instance must have some *other* cached plan within its lambda
+    // bound; record the best alternative per instance.
+    struct Alt {
+      int plan_id = -1;
+      double subopt = 0.0;
+    };
+    std::vector<Alt> alts(served.size());
+    bool all_covered = true;
+    for (size_t s = 0; s < served.size() && all_covered; ++s) {
+      const InstanceEntry& e = instances_[served[s]];
+      double best = std::numeric_limits<double>::infinity();
+      int best_id = -1;
+      for (int other : store_.LivePlanIds()) {
+        if (other == plan_id) continue;
+        double c = engine->Recost(*store_.entry(other).plan, e.v);
+        if (c < best) {
+          best = c;
+          best_id = other;
+        }
+      }
+      double subopt = best / std::max(e.opt_cost, 1e-30);
+      if (best_id >= 0 && subopt <= LambdaFor(e)) {
+        alts[s] = Alt{best_id, subopt};
+      } else {
+        all_covered = false;
+      }
+    }
+    if (!all_covered || served.empty()) continue;
+    // Re-point the instances and drop the plan.
+    for (size_t s = 0; s < served.size(); ++s) {
+      InstanceEntry& e = instances_[served[s]];
+      e.plan_id = alts[s].plan_id;
+      e.subopt = alts[s].subopt;
+      store_.AddUsage(alts[s].plan_id, e.usage);
+    }
+    store_.Drop(plan_id);
+    ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace scrpqo

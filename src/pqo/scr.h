@@ -1,0 +1,176 @@
+// SCR: the paper's technique (Selectivity check, Cost check, Redundancy
+// check). getPlan implements Algorithm 1 with the GL-ordering heuristic for
+// bounding Recost calls (Section 6.2); manageCache implements Algorithm 2
+// including the lambda_r redundancy check and the LFU plan-budget eviction
+// (Section 6.3.1). Optional extensions: dynamic per-cost lambda
+// (Appendix D), BCG-violation detection (Appendix G) and the redundancy
+// check for existing plans (Appendix F).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "pqo/instance_index.h"
+#include "pqo/plan_store.h"
+#include "pqo/technique.h"
+
+namespace scrpqo {
+
+/// How getPlan orders cost-check candidates (Section 6.2: "instances with
+/// large values of GL are less likely to satisfy the cost check", plus the
+/// alternative heuristics the paper lists for improving average overheads).
+enum class CostCheckOrder {
+  /// Increasing G*L — the paper's primary heuristic.
+  kAscendingGl,
+  /// Decreasing selectivity-region area (a function of V and lambda).
+  kDescendingRegionArea,
+  /// Decreasing usage count U (most-reused instances first).
+  kDescendingUsage,
+  /// Instance-list insertion order (no heuristic; ablation baseline).
+  kInsertionOrder,
+};
+
+struct ScrOptions {
+  /// Sub-optimality bound lambda (>= 1).
+  double lambda = 2.0;
+  /// Redundancy-check threshold lambda_r; < 0 selects the paper's default
+  /// sqrt(lambda) (Appendix E). Use exactly 1.0 to disable plan rejection
+  /// ("store every new plan").
+  double lambda_r = -1.0;
+  /// Plan-cache budget k (0 = unlimited). Section 6.3.1.
+  int plan_budget = 0;
+  /// Maximum cost-check candidates per getPlan, taken in `cost_check_order`
+  /// order (Section 6.2 heuristic). <= 0 disables the cap.
+  int max_cost_check_candidates = 8;
+  CostCheckOrder cost_check_order = CostCheckOrder::kAscendingGl;
+  /// Ablation switch: disable the Recost-based cost check entirely
+  /// (selectivity check + redundancy check only).
+  bool enable_cost_check = true;
+  /// Answer the selectivity check and candidate selection through a k-d
+  /// tree over log-selectivities instead of scanning the instance list
+  /// (Section 6.2's spatial-index suggestion). Semantically identical for
+  /// static lambda; requires cost_check_order == kAscendingGl.
+  bool use_spatial_index = false;
+  /// Appendix D: when true, the per-entry bound becomes
+  /// lambda(C) = lambda_min + (lambda_max - lambda_min) * exp(-C / c_ref),
+  /// giving cheap instances a looser bound. c_ref adapts to the running
+  /// mean optimal cost.
+  bool dynamic_lambda = false;
+  double lambda_min = 1.1;
+  double lambda_max = 10.0;
+  /// Appendix G: detect PCM/BCG violations during cost checks and stop
+  /// using offending instances for inference.
+  bool detect_violations = true;
+};
+
+class Scr : public PqoTechnique {
+ public:
+  explicit Scr(ScrOptions options);
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "SCR" << options_.lambda;
+    if (options_.plan_budget > 0) os << "(k=" << options_.plan_budget << ")";
+    if (options_.dynamic_lambda) os << "(dyn)";
+    return os.str();
+  }
+
+  PlanChoice OnInstance(const WorkloadInstance& wi,
+                        EngineContext* engine) override;
+
+  /// getPlan's cache-only half: runs the selectivity and cost checks and,
+  /// on a hit, fills `choice` and returns true. No optimizer call is ever
+  /// made. Exposed so AsyncScr can keep this on the critical path while
+  /// deferring manageCache.
+  bool TryReuse(const WorkloadInstance& wi, EngineContext* engine,
+                PlanChoice* choice);
+
+  /// manageCache's entry point for an externally-performed optimization
+  /// (Algorithm 2). Thread-compatible: callers serialize access.
+  void RegisterOptimization(const WorkloadInstance& wi,
+                            std::shared_ptr<const OptimizationResult> result,
+                            EngineContext* engine);
+
+  int64_t NumPlansCached() const override { return store_.NumLive(); }
+  int64_t PeakPlansCached() const override { return store_.Peak(); }
+
+  /// Instance-list size (bookkeeping-overhead metric, Section 6.1).
+  int64_t NumInstancesStored() const;
+
+  /// Maximum Recost calls any single getPlan invocation needed so far
+  /// (Section 7.3's getPlan-overhead discussion).
+  int max_recost_calls_per_get_plan() const {
+    return max_recost_calls_per_get_plan_;
+  }
+
+  /// Violations detected via Appendix G.
+  int64_t violations_detected() const { return violations_detected_; }
+
+  /// Appendix F: drops plans that became redundant (every instance pointing
+  /// at them is lambda-optimally served by another cached plan). Recost
+  /// calls are charged to `engine`. Returns the number of plans dropped.
+  int DropRedundantPlans(EngineContext* engine);
+
+  // --- cache persistence (see pqo/cache_persistence.h) ---
+
+  /// One instance-list 5-tuple in snapshot form; `plan_ordinal` indexes the
+  /// vector returned by SnapshotPlans().
+  struct SnapshotEntry {
+    SVector v;
+    int plan_ordinal = -1;
+    double opt_cost = 0.0;
+    double subopt = 1.0;
+    int64_t usage = 0;
+    bool cost_check_disabled = false;
+  };
+
+  /// Live cached plans, in a stable ordinal order.
+  std::vector<PlanPtr> SnapshotPlans() const;
+  /// Live instance entries referencing SnapshotPlans() ordinals.
+  std::vector<SnapshotEntry> SnapshotInstances() const;
+  /// Rebuilds the cache from a snapshot. The cache must be empty.
+  Status Restore(const std::vector<PlanPtr>& plans,
+                 const std::vector<SnapshotEntry>& entries);
+
+ private:
+  /// The paper's instance-list 5-tuple <V, PP, C, S, U> (Section 6.1).
+  struct InstanceEntry {
+    SVector v;          // selectivity vector of the optimized instance
+    int plan_id = -1;   // PP: pointer into the plan store
+    double opt_cost = 0.0;  // C: optimal cost at this instance
+    double subopt = 1.0;    // S: sub-optimality of plan at this instance
+    int64_t usage = 0;      // U
+    bool live = true;
+    /// Appendix G: excluded from future cost-check inference.
+    bool cost_check_disabled = false;
+  };
+
+  /// Effective lambda for an entry (Appendix D dynamic mode).
+  double LambdaFor(const InstanceEntry& e) const;
+
+  /// Relative area of the entry's selectivity-based inference region
+  /// (Section 5.3), used by CostCheckOrder::kDescendingRegionArea.
+  double RegionArea(const InstanceEntry& e) const;
+
+  void ManageCache(const WorkloadInstance& wi,
+                   std::shared_ptr<const OptimizationResult> result,
+                   EngineContext* engine, PlanChoice* choice);
+
+  void EvictForBudget();
+
+  ScrOptions options_;
+  double lambda_r_effective_;
+  PlanStore store_;
+  std::vector<InstanceEntry> instances_;
+  /// Lazily created on first insert when use_spatial_index is set.
+  std::unique_ptr<InstanceKdTree> index_;
+  int max_recost_calls_per_get_plan_ = 0;
+  int64_t violations_detected_ = 0;
+  // Running mean of optimal costs (reference scale for dynamic lambda).
+  double cost_sum_ = 0.0;
+  int64_t cost_count_ = 0;
+};
+
+}  // namespace scrpqo

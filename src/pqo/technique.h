@@ -1,0 +1,48 @@
+// The online-PQO technique interface (paper Section 2): techniques see the
+// workload one instance at a time and must immediately return the plan to
+// execute, optionally invoking the engine's optimizer or Recost APIs
+// (metered by EngineContext).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "optimizer/recost.h"
+#include "pqo/engine_context.h"
+
+namespace scrpqo {
+
+/// What the technique decided for one instance.
+struct PlanChoice {
+  /// The plan handed to the executor. Never null.
+  std::shared_ptr<const CachedPlan> plan;
+  /// True when the technique invoked the optimizer for this instance.
+  bool optimized = false;
+  /// Recost calls made inside this getPlan invocation (SCR cost check);
+  /// used for per-call overhead reporting.
+  int recost_calls_in_get_plan = 0;
+};
+
+class PqoTechnique {
+ public:
+  virtual ~PqoTechnique() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Processes the next instance of the workload sequence.
+  virtual PlanChoice OnInstance(const WorkloadInstance& wi,
+                                EngineContext* engine) = 0;
+
+  /// Number of plans currently cached.
+  virtual int64_t NumPlansCached() const = 0;
+
+  /// Peak number of plans cached over the sequence so far (the paper's
+  /// numPlans metric).
+  virtual int64_t PeakPlansCached() const { return NumPlansCached(); }
+};
+
+/// Factory used by the harness to create one fresh technique per sequence.
+using TechniqueFactory = std::function<std::unique_ptr<PqoTechnique>()>;
+
+}  // namespace scrpqo

@@ -1,0 +1,185 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace scrpqo {
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return text;
+    case TokenType::kNumber:
+      return std::to_string(number);
+    case TokenType::kString:
+      return "'" + text + "'";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kQuestion:
+      return "?";
+    case TokenType::kDollarParam:
+      return "$" + std::to_string(param_index);
+    case TokenType::kEnd:
+      return "<end>";
+  }
+  return "<?>";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto make = [&i](TokenType t) {
+    Token tok;
+    tok.type = t;
+    tok.position = i;
+    return tok;
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      Token tok;
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      tok.position = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_int = true;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') is_int = false;
+        ++i;
+      }
+      Token tok;
+      tok.type = TokenType::kNumber;
+      tok.number = std::strtod(sql.c_str() + start, nullptr);
+      tok.number_is_int = is_int;
+      tok.position = start;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        size_t start = ++i;
+        while (i < sql.size() && sql[i] != '\'') ++i;
+        if (i >= sql.size()) {
+          return Status::InvalidArgument(
+              "unterminated string literal at offset " +
+              std::to_string(start - 1));
+        }
+        Token tok;
+        tok.type = TokenType::kString;
+        tok.text = sql.substr(start, i - start);
+        tok.position = start - 1;
+        tokens.push_back(std::move(tok));
+        ++i;  // closing quote
+        break;
+      }
+      case ',':
+        tokens.push_back(make(TokenType::kComma));
+        ++i;
+        break;
+      case '.':
+        tokens.push_back(make(TokenType::kDot));
+        ++i;
+        break;
+      case '*':
+        tokens.push_back(make(TokenType::kStar));
+        ++i;
+        break;
+      case '(':
+        tokens.push_back(make(TokenType::kLParen));
+        ++i;
+        break;
+      case ')':
+        tokens.push_back(make(TokenType::kRParen));
+        ++i;
+        break;
+      case '=':
+        tokens.push_back(make(TokenType::kEq));
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          tokens.push_back(make(TokenType::kLe));
+          i += 2;
+        } else {
+          tokens.push_back(make(TokenType::kLt));
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < sql.size() && sql[i + 1] == '=') {
+          tokens.push_back(make(TokenType::kGe));
+          i += 2;
+        } else {
+          tokens.push_back(make(TokenType::kGt));
+          ++i;
+        }
+        break;
+      case '?':
+        tokens.push_back(make(TokenType::kQuestion));
+        ++i;
+        break;
+      case '$': {
+        size_t start = ++i;
+        while (i < sql.size() &&
+               std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+        if (i == start) {
+          return Status::InvalidArgument("expected digits after $ at offset " +
+                                         std::to_string(start - 1));
+        }
+        Token tok;
+        tok.type = TokenType::kDollarParam;
+        tok.param_index = std::atoi(sql.substr(start, i - start).c_str());
+        tok.position = start - 1;
+        tokens.push_back(std::move(tok));
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+    }
+  }
+  tokens.push_back(make(TokenType::kEnd));
+  return tokens;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,48 @@
+// Minimal SQL lexer for the template front end (see parser.h for the
+// accepted grammar).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+enum class TokenType {
+  kIdentifier,   // table, column, keyword (keywords resolved by parser)
+  kNumber,       // integer or decimal literal
+  kString,       // 'quoted'
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,           // =
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kQuestion,     // ? positional parameter
+  kDollarParam,  // $N explicit parameter
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // identifier / string body
+  double number = 0.0;   // kNumber value
+  bool number_is_int = false;
+  int param_index = -1;  // kDollarParam slot
+  size_t position = 0;   // byte offset, for error messages
+
+  std::string ToString() const;
+};
+
+/// Tokenizes `sql`. Identifiers are case-preserved (the parser compares
+/// keywords case-insensitively). Returns InvalidArgument on stray
+/// characters or unterminated strings.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace scrpqo

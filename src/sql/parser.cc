@@ -1,0 +1,420 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace scrpqo {
+
+namespace {
+
+bool IsKeyword(const Token& tok, const char* kw) {
+  if (tok.type != TokenType::kIdentifier) return false;
+  const std::string& s = tok.text;
+  size_t n = 0;
+  while (kw[n] != '\0') ++n;
+  if (s.size() != n) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Propagate a Status error out of a Result-returning method.
+#define SCRPQO_RETURN_NOT_OK_RESULT(expr)     \
+  do {                                        \
+    ::scrpqo::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(const Catalog& catalog, std::vector<Token> tokens, std::string name)
+      : catalog_(catalog), tokens_(std::move(tokens)), name_(std::move(name)) {}
+
+  Result<std::shared_ptr<QueryTemplate>> Parse() {
+    SCRPQO_RETURN_NOT_OK_RESULT(ExpectKeyword("SELECT"));
+    SCRPQO_RETURN_NOT_OK_RESULT(ParseSelectList());
+    SCRPQO_RETURN_NOT_OK_RESULT(ExpectKeyword("FROM"));
+    SCRPQO_RETURN_NOT_OK_RESULT(ParseFromList());
+
+    tmpl_ = std::make_shared<QueryTemplate>(name_, table_names_);
+
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      SCRPQO_RETURN_NOT_OK_RESULT(ParseConditions());
+    }
+    if (IsKeyword(Peek(), "GROUP")) {
+      Advance();
+      SCRPQO_RETURN_NOT_OK_RESULT(ExpectKeyword("BY"));
+      SCRPQO_RETURN_NOT_OK_RESULT(ParseGroupBy());
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Fail("unexpected trailing input: " + Peek().ToString());
+    }
+    // Resolve deferred validation: selected columns.
+    for (const auto& [tbl, col] : selected_columns_) {
+      Status st = CheckColumn(tbl, col);
+      if (!st.ok()) return st;
+    }
+    if (!tmpl_->IsJoinGraphConnected()) {
+      return Fail("join graph is not connected (missing join conditions)");
+    }
+    // Normalize '?' parameters: assign slots in encounter order.
+    Status st = AttachPredicates();
+    if (!st.ok()) return st;
+    return tmpl_;
+  }
+
+ private:
+  struct PendingPredicate {
+    int table_index;
+    std::string column;
+    CompareOp op;
+    bool parameterized;
+    int explicit_slot;  // -1 for '?'
+    Value literal;
+    size_t order;  // encounter order for '?' slot numbering
+  };
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (near offset " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) {
+      return Fail(std::string("expected ") + kw + ", got " +
+                  Peek().ToString());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return Fail(std::string("expected ") + what + ", got " +
+                  Peek().ToString());
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectList() {
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      return Status::OK();
+    }
+    if (IsKeyword(Peek(), "COUNT")) {
+      Advance();
+      SCRPQO_RETURN_NOT_OK_RESULT(Expect(TokenType::kLParen, "("));
+      SCRPQO_RETURN_NOT_OK_RESULT(Expect(TokenType::kStar, "*"));
+      SCRPQO_RETURN_NOT_OK_RESULT(Expect(TokenType::kRParen, ")"));
+      return Status::OK();
+    }
+    // Column list: qualified or bare names, validated after FROM is known.
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Fail("expected column name in select list");
+      }
+      std::string first = Advance().text;
+      if (Peek().type == TokenType::kDot) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Fail("expected column after '.'");
+        }
+        selected_columns_.emplace_back(first, Advance().text);
+      } else {
+        selected_columns_.emplace_back("", first);
+      }
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList() {
+    for (;;) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Fail("expected table name in FROM");
+      }
+      std::string table = Advance().text;
+      if (catalog_.FindTable(table) == nullptr) {
+        return Status::InvalidArgument("unknown table: " + table);
+      }
+      std::string alias = table;
+      // Optional alias (an identifier that is not a clause keyword).
+      if (Peek().type == TokenType::kIdentifier && !IsKeyword(Peek(), "WHERE") &&
+          !IsKeyword(Peek(), "GROUP")) {
+        alias = Advance().text;
+      }
+      if (alias_to_index_.count(alias) > 0) {
+        return Status::InvalidArgument("duplicate table alias: " + alias);
+      }
+      alias_to_index_[alias] = static_cast<int>(table_names_.size());
+      table_names_.push_back(table);
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  /// Resolves "alias.column" or a bare "column" against the FROM tables.
+  Status ResolveColumn(std::string qualifier, std::string column,
+                       int* table_index) {
+    if (!qualifier.empty()) {
+      auto it = alias_to_index_.find(qualifier);
+      if (it == alias_to_index_.end()) {
+        return Status::InvalidArgument("unknown table alias: " + qualifier);
+      }
+      *table_index = it->second;
+      return CheckColumn(qualifier, column);
+    }
+    // Bare column: must be unambiguous across FROM tables.
+    int found = -1;
+    for (size_t i = 0; i < table_names_.size(); ++i) {
+      if (catalog_.GetTable(table_names_[i]).HasColumn(column)) {
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous column: " + column);
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument("unknown column: " + column);
+    }
+    *table_index = found;
+    return Status::OK();
+  }
+
+  Status CheckColumn(const std::string& alias, const std::string& column) {
+    if (alias.empty()) {
+      int ignored;
+      return ResolveColumn("", column, &ignored);
+    }
+    auto it = alias_to_index_.find(alias);
+    if (it == alias_to_index_.end()) {
+      return Status::InvalidArgument("unknown table alias: " + alias);
+    }
+    const std::string& table =
+        table_names_[static_cast<size_t>(it->second)];
+    if (!catalog_.GetTable(table).HasColumn(column)) {
+      return Status::InvalidArgument("unknown column: " + table + "." +
+                                     column);
+    }
+    return Status::OK();
+  }
+
+  /// Parses one side of a condition: returns (table_index, column).
+  Status ParseColumnRef(int* table_index, std::string* column) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Fail("expected column reference");
+    }
+    std::string first = Advance().text;
+    if (Peek().type == TokenType::kDot) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Fail("expected column after '.'");
+      }
+      *column = Advance().text;
+      return ResolveColumn(first, *column, table_index);
+    }
+    *column = first;
+    return ResolveColumn("", *column, table_index);
+  }
+
+  static CompareOp OpFromToken(TokenType t) {
+    switch (t) {
+      case TokenType::kLt:
+        return CompareOp::kLt;
+      case TokenType::kLe:
+        return CompareOp::kLe;
+      case TokenType::kGt:
+        return CompareOp::kGt;
+      case TokenType::kGe:
+        return CompareOp::kGe;
+      default:
+        return CompareOp::kEq;
+    }
+  }
+
+  Status ParseConditions() {
+    for (;;) {
+      int lt;
+      std::string lcol;
+      SCRPQO_RETURN_NOT_OK_RESULT(ParseColumnRef(&lt, &lcol));
+
+      TokenType op_type = Peek().type;
+      if (op_type != TokenType::kEq && op_type != TokenType::kLt &&
+          op_type != TokenType::kLe && op_type != TokenType::kGt &&
+          op_type != TokenType::kGe) {
+        return Fail("expected comparison operator");
+      }
+      Advance();
+
+      const Token& rhs = Peek();
+      if (rhs.type == TokenType::kIdentifier) {
+        // Join condition: column = column.
+        if (op_type != TokenType::kEq) {
+          return Fail("join conditions must use '='");
+        }
+        int rt;
+        std::string rcol;
+        SCRPQO_RETURN_NOT_OK_RESULT(ParseColumnRef(&rt, &rcol));
+        if (lt == rt) {
+          return Fail("self-join conditions are not supported");
+        }
+        JoinEdge e;
+        e.left_table = lt;
+        e.left_column = lcol;
+        e.right_table = rt;
+        e.right_column = rcol;
+        tmpl_->AddJoin(e);
+      } else if (rhs.type == TokenType::kQuestion ||
+                 rhs.type == TokenType::kDollarParam) {
+        Advance();
+        if (rhs.type == TokenType::kQuestion) {
+          if (uses_dollar_) return Fail("cannot mix '?' and '$N' parameters");
+          uses_question_ = true;
+        } else {
+          if (uses_question_) {
+            return Fail("cannot mix '?' and '$N' parameters");
+          }
+          uses_dollar_ = true;
+        }
+        PendingPredicate p;
+        p.table_index = lt;
+        p.column = lcol;
+        p.op = OpFromToken(op_type);
+        p.parameterized = true;
+        p.explicit_slot =
+            rhs.type == TokenType::kDollarParam ? rhs.param_index : -1;
+        p.order = pending_.size();
+        pending_.push_back(std::move(p));
+      } else if (rhs.type == TokenType::kNumber ||
+                 rhs.type == TokenType::kString) {
+        Advance();
+        PendingPredicate p;
+        p.table_index = lt;
+        p.column = lcol;
+        p.op = OpFromToken(op_type);
+        p.parameterized = false;
+        p.explicit_slot = -1;
+        if (rhs.type == TokenType::kString) {
+          p.literal = Value(rhs.text);
+        } else if (rhs.number_is_int) {
+          p.literal = Value(static_cast<int64_t>(rhs.number));
+        } else {
+          p.literal = Value(rhs.number);
+        }
+        p.order = pending_.size();
+        pending_.push_back(std::move(p));
+      } else {
+        return Fail("expected column, literal or parameter after operator");
+      }
+
+      if (!IsKeyword(Peek(), "AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy() {
+    int t;
+    std::string col;
+    SCRPQO_RETURN_NOT_OK_RESULT(ParseColumnRef(&t, &col));
+    AggregateSpec agg;
+    agg.enabled = true;
+    agg.group_table = t;
+    agg.group_column = col;
+    tmpl_->SetAggregate(agg);
+    return Status::OK();
+  }
+
+  Status AttachPredicates() {
+    // Determine slot numbering: '?' by encounter order; '$N' must form a
+    // dense range starting at 0.
+    std::vector<const PendingPredicate*> params;
+    for (const auto& p : pending_) {
+      if (p.parameterized) params.push_back(&p);
+    }
+    std::vector<const PendingPredicate*> by_slot(params.size(), nullptr);
+    if (uses_dollar_) {
+      for (const auto* p : params) {
+        if (p->explicit_slot < 0 ||
+            p->explicit_slot >= static_cast<int>(params.size())) {
+          return Status::InvalidArgument(
+              "$N parameters must be dense starting at $0");
+        }
+        if (by_slot[static_cast<size_t>(p->explicit_slot)] != nullptr) {
+          return Status::InvalidArgument(
+              "duplicate parameter slot $" +
+              std::to_string(p->explicit_slot));
+        }
+        by_slot[static_cast<size_t>(p->explicit_slot)] = p;
+      }
+    } else {
+      for (size_t i = 0; i < params.size(); ++i) by_slot[i] = params[i];
+    }
+    // Parameterized predicates first (slot order), then literals.
+    for (size_t slot = 0; slot < by_slot.size(); ++slot) {
+      const PendingPredicate* p = by_slot[slot];
+      PredicateTemplate pt;
+      pt.table_index = p->table_index;
+      pt.column = p->column;
+      pt.op = p->op;
+      pt.param_slot = static_cast<int>(slot);
+      Status st = tmpl_->AddPredicate(std::move(pt));
+      if (!st.ok()) return st;
+    }
+    for (const auto& p : pending_) {
+      if (p.parameterized) continue;
+      PredicateTemplate pt;
+      pt.table_index = p.table_index;
+      pt.column = p.column;
+      pt.op = p.op;
+      pt.literal = p.literal;
+      Status st = tmpl_->AddPredicate(std::move(pt));
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+#undef SCRPQO_RETURN_NOT_OK_RESULT
+
+  const Catalog& catalog_;
+  std::vector<Token> tokens_;
+  std::string name_;
+  size_t pos_ = 0;
+
+  std::vector<std::string> table_names_;
+  std::map<std::string, int> alias_to_index_;
+  std::vector<std::pair<std::string, std::string>> selected_columns_;
+  std::vector<PendingPredicate> pending_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  bool uses_question_ = false;
+  bool uses_dollar_ = false;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<QueryTemplate>> ParseQueryTemplate(
+    const Catalog& catalog, const std::string& sql,
+    const std::string& template_name) {
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(catalog, tokens.MoveValueOrDie(), template_name);
+  return parser.Parse();
+}
+
+}  // namespace scrpqo

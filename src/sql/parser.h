@@ -1,0 +1,40 @@
+// SQL template front end: parses a parameterized SQL statement into a
+// QueryTemplate validated against a catalog.
+//
+// Accepted grammar (case-insensitive keywords):
+//
+//   SELECT ( '*' | COUNT '(' '*' ')' | select_columns )
+//   FROM table [alias] ( ',' table [alias] )*
+//   WHERE condition ( AND condition )*
+//   [ GROUP BY qualified_column ]
+//
+//   condition      := qualified_column '=' qualified_column     -- join edge
+//                   | qualified_column cmp rhs                  -- filter
+//   cmp            := '=' | '<' | '<=' | '>' | '>='
+//   rhs            := number | 'string' | '?' | '$' digits
+//   qualified_column := name '.' column | column   (unambiguous bare names
+//                       are resolved against the FROM tables)
+//
+// '?' parameters take slots in order of appearance; '$N' names slot N
+// explicitly (the two styles cannot be mixed). The select list does not
+// affect planning (the engine's plans are row-id based) but is validated.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query_template.h"
+
+namespace scrpqo {
+
+/// Parses `sql` into a QueryTemplate. Every table and column is validated
+/// against `catalog`; join conditions become edges, parameterized
+/// comparisons become the template's dimensions (numbered by slot), and
+/// literal comparisons become fixed predicates.
+Result<std::shared_ptr<QueryTemplate>> ParseQueryTemplate(
+    const Catalog& catalog, const std::string& sql,
+    const std::string& template_name = "sql_template");
+
+}  // namespace scrpqo

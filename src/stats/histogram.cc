@@ -1,0 +1,146 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             int num_buckets) {
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+  SCRPQO_CHECK(num_buckets > 0, "num_buckets must be positive");
+  std::sort(values.begin(), values.end());
+  h.row_count_ = static_cast<int64_t>(values.size());
+  h.min_ = values.front();
+  h.max_ = values.back();
+
+  int64_t n = h.row_count_;
+  int buckets = static_cast<int>(
+      std::min<int64_t>(num_buckets, n));
+  int64_t target_depth = (n + buckets - 1) / buckets;
+
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t end = std::min(values.size(), i + static_cast<size_t>(target_depth));
+    // Extend the bucket so equal values never straddle a boundary; this keeps
+    // the CDF well-defined at bucket edges.
+    while (end < values.size() && values[end] == values[end - 1]) ++end;
+    double ub = values[end - 1];
+    int64_t count = static_cast<int64_t>(end - i);
+    int64_t distinct = 1;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (values[j] != values[j - 1]) ++distinct;
+    }
+    h.upper_bounds_.push_back(ub);
+    h.counts_.push_back(count);
+    h.distincts_.push_back(distinct);
+    h.distinct_total_ += distinct;
+    i = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::CdfLe(double c) const {
+  if (empty()) return 0.0;
+  if (c < min_) return 0.0;
+  if (c >= max_) return 1.0;
+  double cum = 0.0;
+  double lower = min_;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    double upper = upper_bounds_[b];
+    double bucket_rows = static_cast<double>(counts_[b]);
+    if (c >= upper) {
+      cum += bucket_rows;
+      lower = upper;
+      continue;
+    }
+    // c falls inside bucket b: interpolate uniformly.
+    double width = upper - lower;
+    double frac = width <= 0.0 ? 1.0 : (c - lower) / width;
+    frac = std::clamp(frac, 0.0, 1.0);
+    cum += bucket_rows * frac;
+    break;
+  }
+  return cum / static_cast<double>(row_count_);
+}
+
+double EquiDepthHistogram::EstimateEq(double c) const {
+  if (empty() || c < min_ || c > max_) return 0.0;
+  double lower = min_;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    double upper = upper_bounds_[b];
+    if (c <= upper) {
+      double bucket_frac =
+          static_cast<double>(counts_[b]) / static_cast<double>(row_count_);
+      double d = static_cast<double>(std::max<int64_t>(distincts_[b], 1));
+      return bucket_frac / d;
+    }
+    lower = upper;
+  }
+  (void)lower;
+  return 0.0;
+}
+
+double EquiDepthHistogram::EstimateSelectivity(CompareOp op,
+                                               double c) const {
+  if (empty()) return 0.0;
+  switch (op) {
+    case CompareOp::kLe:
+      return CdfLe(c);
+    case CompareOp::kLt:
+      return std::max(0.0, CdfLe(c) - EstimateEq(c));
+    case CompareOp::kGt:
+      return std::max(0.0, 1.0 - CdfLe(c));
+    case CompareOp::kGe:
+      return std::min(1.0, 1.0 - CdfLe(c) + EstimateEq(c));
+    case CompareOp::kEq:
+      return EstimateEq(c);
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::QuantileForSelectivity(CompareOp op,
+                                                  double target) const {
+  SCRPQO_CHECK(op != CompareOp::kEq,
+               "QuantileForSelectivity requires a range operator");
+  if (empty()) return 0.0;
+  target = std::clamp(target, 0.0, 1.0);
+  // For > / >= predicates a target selectivity t corresponds to the
+  // (1 - t) quantile of the CDF.
+  double cdf_target =
+      (op == CompareOp::kGt || op == CompareOp::kGe) ? 1.0 - target : target;
+
+  if (cdf_target <= 0.0) return min_ - 1.0;
+  if (cdf_target >= 1.0) return max_;
+
+  double cum = 0.0;
+  double lower = min_;
+  double total = static_cast<double>(row_count_);
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    double upper = upper_bounds_[b];
+    double bucket_rows = static_cast<double>(counts_[b]);
+    double next_cum = cum + bucket_rows;
+    if (next_cum / total >= cdf_target) {
+      double need = cdf_target * total - cum;
+      double frac = bucket_rows <= 0.0 ? 0.0 : need / bucket_rows;
+      return lower + (upper - lower) * frac;
+    }
+    cum = next_cum;
+    lower = upper;
+  }
+  return max_;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::ostringstream os;
+  os << "EquiDepthHistogram(rows=" << row_count_
+     << ", distinct=" << distinct_total_ << ", buckets="
+     << upper_bounds_.size() << ", range=[" << min_ << ", " << max_ << "])";
+  return os.str();
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,155 @@
+#include "storage/database.h"
+
+#include <cmath>
+
+namespace scrpqo {
+
+const TableData& Database::GetTableData(const std::string& table) const {
+  auto it = data_.find(table);
+  SCRPQO_CHECK(it != data_.end(), ("no data for table: " + table).c_str());
+  return *it->second;
+}
+
+void Database::AddTableData(const std::string& table,
+                            std::unique_ptr<TableData> data) {
+  data_[table] = std::move(data);
+}
+
+namespace {
+
+// Generates the numeric values of one column according to its definition.
+std::vector<double> GenerateColumnValues(const ColumnDef& col,
+                                         int64_t row_count,
+                                         const Catalog& catalog,
+                                         Pcg32* rng) {
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(row_count));
+  switch (col.distribution) {
+    case ColumnDistribution::kSequential: {
+      for (int64_t i = 0; i < row_count; ++i) {
+        values.push_back(static_cast<double>(i));
+      }
+      break;
+    }
+    case ColumnDistribution::kUniform: {
+      for (int64_t i = 0; i < row_count; ++i) {
+        values.push_back(rng->UniformDouble(col.min_value, col.max_value));
+      }
+      break;
+    }
+    case ColumnDistribution::kZipf: {
+      // Zipfian ranks spread over the value domain; heavy skew toward
+      // min_value. Rank count capped to keep the sampler cheap.
+      int64_t domain = static_cast<int64_t>(col.max_value - col.min_value) + 1;
+      int64_t ranks = std::min<int64_t>(domain, 100000);
+      ZipfSampler zipf(std::max<int64_t>(ranks, 1), col.zipf_theta);
+      double step = ranks <= 1 ? 0.0
+                               : (col.max_value - col.min_value) /
+                                     static_cast<double>(ranks - 1);
+      for (int64_t i = 0; i < row_count; ++i) {
+        int64_t r = zipf.Sample(rng);
+        values.push_back(col.min_value + static_cast<double>(r) * step);
+      }
+      break;
+    }
+    case ColumnDistribution::kNormal: {
+      double mean = (col.min_value + col.max_value) / 2.0;
+      double stddev = (col.max_value - col.min_value) / 6.0;
+      for (int64_t i = 0; i < row_count; ++i) {
+        double v = rng->Normal(mean, stddev);
+        v = std::min(std::max(v, col.min_value), col.max_value);
+        values.push_back(v);
+      }
+      break;
+    }
+    case ColumnDistribution::kForeignKey: {
+      const TableDef* ref = catalog.FindTable(col.ref_table);
+      SCRPQO_CHECK(ref != nullptr, "foreign key references unknown table");
+      int64_t ref_rows = ref->row_count;
+      if (col.zipf_theta > 0.0) {
+        ZipfSampler zipf(ref_rows, col.zipf_theta);
+        for (int64_t i = 0; i < row_count; ++i) {
+          values.push_back(static_cast<double>(zipf.Sample(rng)));
+        }
+      } else {
+        for (int64_t i = 0; i < row_count; ++i) {
+          values.push_back(
+              static_cast<double>(rng->UniformInt(0, ref_rows - 1)));
+        }
+      }
+      break;
+    }
+  }
+  return values;
+}
+
+ColumnData MaterializeColumn(const ColumnDef& col,
+                             const std::vector<double>& values) {
+  ColumnData data(col.type);
+  for (double v : values) {
+    switch (col.type) {
+      case DataType::kInt64:
+        data.AppendInt64(static_cast<int64_t>(std::llround(v)));
+        break;
+      case DataType::kDouble:
+        data.AppendDouble(v);
+        break;
+      case DataType::kString:
+        // Payload strings keyed by the numeric value so ordering survives.
+        data.AppendString("s" + std::to_string(
+                                     static_cast<int64_t>(std::llround(v))));
+        break;
+    }
+  }
+  return data;
+}
+
+std::vector<double> RoundForType(const ColumnDef& col,
+                                 std::vector<double> values) {
+  if (col.type == DataType::kInt64) {
+    for (auto& v : values) v = static_cast<double>(std::llround(v));
+  }
+  return values;
+}
+
+}  // namespace
+
+Database GenerateDatabase(std::vector<TableDef> table_defs,
+                          const GeneratorOptions& options) {
+  Database db;
+  Pcg32 rng(options.seed);
+  for (auto& def : table_defs) {
+    Status st = db.catalog().AddTable(def);
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+  for (const auto& def : table_defs) {
+    std::vector<ColumnData> columns;
+    for (const auto& col : def.columns) {
+      std::vector<double> values = RoundForType(
+          col, GenerateColumnValues(col, def.row_count, db.catalog(), &rng));
+      // Statistics mirror what the engine would compute from the data.
+      ColumnStats stats;
+      stats.row_count = def.row_count;
+      stats.histogram =
+          EquiDepthHistogram::Build(values, options.histogram_buckets);
+      stats.distinct_count = stats.histogram.distinct_count();
+      stats.min_value = stats.histogram.min_value();
+      stats.max_value = stats.histogram.max_value();
+      db.catalog().SetColumnStats(def.name, col.name, std::move(stats));
+      if (options.materialize_rows) {
+        columns.push_back(MaterializeColumn(col, values));
+      }
+    }
+    if (options.materialize_rows) {
+      auto data = std::make_unique<TableData>(
+          db.catalog().FindTable(def.name), std::move(columns));
+      for (const auto& idx : def.indexes) {
+        data->BuildIndex(idx.column);
+      }
+      db.AddTableData(def.name, std::move(data));
+    }
+  }
+  return db;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,64 @@
+// Database: a catalog plus generated in-memory data and statistics. This is
+// the "engine instance" that the optimizer, executor and PQO layers run
+// against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table_data.h"
+
+namespace scrpqo {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  const TableData& GetTableData(const std::string& table) const;
+  bool HasTableData(const std::string& table) const {
+    return data_.count(table) > 0;
+  }
+
+  void AddTableData(const std::string& table, std::unique_ptr<TableData> data);
+
+  /// \brief Page size in rows, used by the cost model for IO estimates.
+  static constexpr int64_t kRowsPerPage = 128;
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<TableData>> data_;
+};
+
+/// \brief Options for generating a database from table definitions.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+  int histogram_buckets = 64;
+  /// When true (default) TableData is populated; when false only statistics
+  /// are generated (enough for optimization-only experiments, much faster).
+  bool materialize_rows = true;
+};
+
+/// \brief Generates data, statistics and indexes for every table in
+/// `table_defs` (in order, so foreign keys can reference earlier tables).
+///
+/// Statistics are computed from the generated values, exactly as an engine's
+/// UPDATE STATISTICS would, so estimation error behaves realistically.
+/// With `materialize_rows == false` values are still generated to build
+/// histograms but are not retained.
+Database GenerateDatabase(std::vector<TableDef> table_defs,
+                          const GeneratorOptions& options);
+
+}  // namespace scrpqo

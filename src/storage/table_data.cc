@@ -1,0 +1,125 @@
+#include "storage/table_data.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scrpqo {
+
+int64_t ColumnData::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(ints_.size());
+    case DataType::kDouble:
+      return static_cast<int64_t>(dbls_.size());
+    case DataType::kString:
+      return static_cast<int64_t>(strs_.size());
+  }
+  return 0;
+}
+
+Value ColumnData::GetValue(int64_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[static_cast<size_t>(row)]);
+    case DataType::kDouble:
+      return Value(dbls_[static_cast<size_t>(row)]);
+    case DataType::kString:
+      return Value(strs_[static_cast<size_t>(row)]);
+  }
+  return Value();
+}
+
+double ColumnData::GetDouble(int64_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[static_cast<size_t>(row)]);
+    case DataType::kDouble:
+      return dbls_[static_cast<size_t>(row)];
+    case DataType::kString:
+      return GetValue(row).AsDouble();
+  }
+  return 0.0;
+}
+
+std::vector<double> ColumnData::ToDoubles() const {
+  std::vector<double> out;
+  int64_t n = size();
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(GetDouble(i));
+  return out;
+}
+
+SortedIndex SortedIndex::Build(const ColumnData& column) {
+  SortedIndex idx;
+  int64_t n = column.size();
+  idx.rows_.resize(static_cast<size_t>(n));
+  std::iota(idx.rows_.begin(), idx.rows_.end(), int64_t{0});
+  std::vector<double> keys(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) keys[static_cast<size_t>(i)] = column.GetDouble(i);
+  std::sort(idx.rows_.begin(), idx.rows_.end(), [&](int64_t a, int64_t b) {
+    double ka = keys[static_cast<size_t>(a)], kb = keys[static_cast<size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  idx.keys_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    idx.keys_[static_cast<size_t>(i)] =
+        keys[static_cast<size_t>(idx.rows_[static_cast<size_t>(i)])];
+  }
+  return idx;
+}
+
+std::vector<int64_t> SortedIndex::RangeLookup(CompareOp op,
+                                              double value) const {
+  auto lo = keys_.begin();
+  auto hi = keys_.end();
+  switch (op) {
+    case CompareOp::kLt:
+      hi = std::lower_bound(keys_.begin(), keys_.end(), value);
+      break;
+    case CompareOp::kLe:
+      hi = std::upper_bound(keys_.begin(), keys_.end(), value);
+      break;
+    case CompareOp::kGt:
+      lo = std::upper_bound(keys_.begin(), keys_.end(), value);
+      break;
+    case CompareOp::kGe:
+      lo = std::lower_bound(keys_.begin(), keys_.end(), value);
+      break;
+    case CompareOp::kEq:
+      lo = std::lower_bound(keys_.begin(), keys_.end(), value);
+      hi = std::upper_bound(keys_.begin(), keys_.end(), value);
+      break;
+  }
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    out.push_back(rows_[static_cast<size_t>(it - keys_.begin())]);
+  }
+  return out;
+}
+
+TableData::TableData(const TableDef* def, std::vector<ColumnData> columns)
+    : def_(def), columns_(std::move(columns)) {
+  row_count_ = columns_.empty() ? 0 : columns_[0].size();
+  for (const auto& c : columns_) {
+    SCRPQO_CHECK(c.size() == row_count_, "ragged columns in TableData");
+  }
+}
+
+const ColumnData& TableData::column(const std::string& name) const {
+  int idx = def_->ColumnIndex(name);
+  SCRPQO_CHECK(idx >= 0, ("unknown column: " + name).c_str());
+  return columns_[static_cast<size_t>(idx)];
+}
+
+void TableData::BuildIndex(const std::string& column) {
+  indexes_[column] = SortedIndex::Build(this->column(column));
+}
+
+const SortedIndex* TableData::FindIndex(const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,82 @@
+// In-memory columnar table storage plus single-column sorted indexes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/predicate.h"
+#include "expr/value.h"
+
+namespace scrpqo {
+
+/// \brief One column's values in typed storage.
+class ColumnData {
+ public:
+  explicit ColumnData(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  int64_t size() const;
+
+  void AppendInt64(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { dbls_.push_back(v); }
+  void AppendString(std::string v) { strs_.push_back(std::move(v)); }
+
+  Value GetValue(int64_t row) const;
+  /// Numeric view used by predicates / histograms (strings get the stable
+  /// prefix encoding from Value::AsDouble).
+  double GetDouble(int64_t row) const;
+
+  /// All values as doubles (for histogram construction).
+  std::vector<double> ToDoubles() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> dbls_;
+  std::vector<std::string> strs_;
+};
+
+/// \brief A single-column index: row ids sorted by key value. Supports
+/// range lookups returning qualifying row ids in key order.
+class SortedIndex {
+ public:
+  SortedIndex() = default;
+  static SortedIndex Build(const ColumnData& column);
+
+  /// Row ids whose key satisfies `op value`, in ascending key order.
+  std::vector<int64_t> RangeLookup(CompareOp op, double value) const;
+
+  int64_t size() const { return static_cast<int64_t>(keys_.size()); }
+
+ private:
+  std::vector<double> keys_;     // sorted
+  std::vector<int64_t> rows_;    // row id for keys_[i]
+};
+
+/// \brief All data for one table.
+class TableData {
+ public:
+  TableData() = default;
+  TableData(const TableDef* def, std::vector<ColumnData> columns);
+
+  const TableDef& def() const { return *def_; }
+  int64_t row_count() const { return row_count_; }
+  const ColumnData& column(int index) const { return columns_[index]; }
+  const ColumnData& column(const std::string& name) const;
+
+  void BuildIndex(const std::string& column);
+  const SortedIndex* FindIndex(const std::string& column) const;
+
+ private:
+  const TableDef* def_ = nullptr;
+  int64_t row_count_ = 0;
+  std::vector<ColumnData> columns_;
+  std::map<std::string, SortedIndex> indexes_;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,68 @@
+#include "workload/instance_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+namespace {
+
+double SampleSmall(Pcg32* rng, const InstanceGenOptions& o) {
+  // Log-uniform: small selectivities span orders of magnitude.
+  double lo = std::log(o.small_lo), hi = std::log(o.small_hi);
+  return std::exp(rng->UniformDouble(lo, hi));
+}
+
+double SampleLarge(Pcg32* rng, const InstanceGenOptions& o) {
+  return rng->UniformDouble(o.large_lo, o.large_hi);
+}
+
+}  // namespace
+
+std::vector<WorkloadInstance> GenerateInstances(
+    const BoundTemplate& bt, const InstanceGenOptions& options) {
+  const QueryTemplate& tmpl = *bt.tmpl;
+  const Database& db = bt.db->db;
+  int d = tmpl.dimensions();
+  Pcg32 rng(options.seed ^ (static_cast<uint64_t>(d) << 32));
+
+  // d+2 regions: 0 = all small, 1 = all large, 2+i = large only in dim i.
+  int num_regions = d + 2;
+  std::vector<SVector> targets;
+  targets.reserve(static_cast<size_t>(options.m));
+  for (int k = 0; k < options.m; ++k) {
+    int region = k % num_regions;
+    SVector t(static_cast<size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      bool large;
+      if (region == 0) {
+        large = false;
+      } else if (region == 1) {
+        large = true;
+      } else {
+        large = (i == region - 2);
+      }
+      t[static_cast<size_t>(i)] =
+          large ? SampleLarge(&rng, options) : SampleSmall(&rng, options);
+    }
+    targets.push_back(std::move(t));
+  }
+  rng.Shuffle(&targets);
+
+  std::vector<WorkloadInstance> out;
+  out.reserve(targets.size());
+  for (size_t k = 0; k < targets.size(); ++k) {
+    WorkloadInstance wi;
+    wi.id = static_cast<int>(k);
+    wi.instance = InstanceForSelectivities(db, tmpl, targets[k]);
+    // The sVector the techniques see is the engine's own estimate for the
+    // realized parameter values (not the sampling target).
+    wi.svector = ComputeSelectivityVector(db, wi.instance);
+    out.push_back(std::move(wi));
+  }
+  return out;
+}
+
+}  // namespace scrpqo

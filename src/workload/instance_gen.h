@@ -1,0 +1,37 @@
+// Workload instance generation (paper Section 7.1): the selectivity space
+// is bucketized into d+2 regions — Region0 (all predicates selective),
+// Region1 (all predicates non-selective) and Region_di (only predicate i
+// non-selective) — and m/(d+2) instances are sampled per region, then
+// shuffled. This yields widely varying selectivities, many distinct optimal
+// plans, and genuine reuse opportunities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pqo/engine_context.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+
+struct InstanceGenOptions {
+  int m = 1000;
+  uint64_t seed = 99;
+  /// "Small" selectivities are log-uniform in [small_lo, small_hi]. The
+  /// width of this band governs how conservative SCR's L factor gets at
+  /// high dimensionality (see EXPERIMENTS.md calibration note): one decade
+  /// keeps d = 10 workloads in the paper's reuse regime.
+  double small_lo = 0.005;
+  double small_hi = 0.05;
+  /// "Large" selectivities are uniform in [large_lo, large_hi].
+  double large_lo = 0.15;
+  double large_hi = 0.95;
+};
+
+/// Generates the instance *set* for a template (ids 0..m-1). The set is
+/// region-bucketized and shuffled; specific evaluation orderings are
+/// produced separately (orderings.h).
+std::vector<WorkloadInstance> GenerateInstances(
+    const BoundTemplate& bt, const InstanceGenOptions& options);
+
+}  // namespace scrpqo

@@ -1,0 +1,211 @@
+#include "workload/named_templates.h"
+
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+
+struct Builder {
+  std::string database;
+  std::string description;
+  std::function<std::shared_ptr<QueryTemplate>()> make;
+};
+
+void AddJoin(QueryTemplate* tmpl, int lt, const char* lc, int rt,
+             const char* rc) {
+  JoinEdge e;
+  e.left_table = lt;
+  e.left_column = lc;
+  e.right_table = rt;
+  e.right_column = rc;
+  tmpl->AddJoin(e);
+}
+
+void AddParam(QueryTemplate* tmpl, int t, const char* col, CompareOp op,
+              int slot) {
+  PredicateTemplate p;
+  p.table_index = t;
+  p.column = col;
+  p.op = op;
+  p.param_slot = slot;
+  Status st = tmpl->AddPredicate(std::move(p));
+  SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+}
+
+void AddLiteral(QueryTemplate* tmpl, int t, const char* col, CompareOp op,
+                Value v) {
+  PredicateTemplate p;
+  p.table_index = t;
+  p.column = col;
+  p.op = op;
+  p.literal = std::move(v);
+  Status st = tmpl->AddPredicate(std::move(p));
+  SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+}
+
+void SetAgg(QueryTemplate* tmpl, int t, const char* col) {
+  AggregateSpec agg;
+  agg.enabled = true;
+  agg.group_table = t;
+  agg.group_column = col;
+  tmpl->SetAggregate(agg);
+}
+
+const std::map<std::string, Builder>& Registry() {
+  static const std::map<std::string, Builder>* registry = [] {
+    auto* r = new std::map<std::string, Builder>();
+
+    (*r)["TPCH_PRICING"] = {
+        "TPCH",
+        "lineitem pricing scan: 2-d range filter on a single fact table",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "TPCH_PRICING", std::vector<std::string>{"lineitem"});
+          AddParam(t.get(), 0, "l_shipdate", CompareOp::kLe, 0);
+          AddParam(t.get(), 0, "l_discount", CompareOp::kGe, 1);
+          return t;
+        }};
+
+    (*r)["TPCH_SHIPPING"] = {
+        "TPCH",
+        "3-way pipeline lineitem-orders-customer with date and price params",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "TPCH_SHIPPING",
+              std::vector<std::string>{"lineitem", "orders", "customer"});
+          AddJoin(t.get(), 0, "l_orderkey", 1, "o_key");
+          AddJoin(t.get(), 1, "o_custkey", 2, "c_key");
+          AddParam(t.get(), 0, "l_shipdate", CompareOp::kLe, 0);
+          AddParam(t.get(), 1, "o_orderdate", CompareOp::kGe, 1);
+          AddLiteral(t.get(), 2, "c_mktsegment", CompareOp::kLe,
+                     Value(int64_t{2}));
+          return t;
+        }};
+
+    (*r)["TPCH_PARTS"] = {
+        "TPCH",
+        "4-way bushy shape: lineitem joins part and supplier, grouped by "
+        "part size",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "TPCH_PARTS", std::vector<std::string>{"lineitem", "part",
+                                                     "supplier", "orders"});
+          AddJoin(t.get(), 0, "l_partkey", 1, "p_key");
+          AddJoin(t.get(), 0, "l_suppkey", 2, "s_key");
+          AddJoin(t.get(), 0, "l_orderkey", 3, "o_key");
+          AddParam(t.get(), 1, "p_size", CompareOp::kLe, 0);
+          AddParam(t.get(), 0, "l_quantity", CompareOp::kGe, 1);
+          AddParam(t.get(), 3, "o_totalprice", CompareOp::kLe, 2);
+          SetAgg(t.get(), 1, "p_size");
+          return t;
+        }};
+
+    (*r)["TPCDS_Q18A"] = {
+        "TPCDS",
+        "analog of the paper's Q18 experiments: star join over store_sales "
+        "with customer demographics and date filters, grouped by item "
+        "category",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "TPCDS_Q18A",
+              std::vector<std::string>{"store_sales", "customer_ds", "item",
+                                       "date_dim"});
+          AddJoin(t.get(), 0, "ss_customer", 1, "cd_key");
+          AddJoin(t.get(), 0, "ss_item", 2, "i_key");
+          AddJoin(t.get(), 0, "ss_date", 3, "d_key");
+          AddParam(t.get(), 1, "cd_dep_count", CompareOp::kLe, 0);
+          AddParam(t.get(), 3, "d_year", CompareOp::kLe, 1);
+          AddParam(t.get(), 1, "cd_birth_year", CompareOp::kGe, 2);
+          SetAgg(t.get(), 2, "i_category");
+          return t;
+        }};
+
+    (*r)["TPCDS_Q25A"] = {
+        "TPCDS",
+        "analog of the paper's Q25 dynamic-lambda experiment: sales by "
+        "store with price and profit parameters",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "TPCDS_Q25A",
+              std::vector<std::string>{"store_sales", "store", "item"});
+          AddJoin(t.get(), 0, "ss_store", 1, "st_key");
+          AddJoin(t.get(), 0, "ss_item", 2, "i_key");
+          AddParam(t.get(), 0, "ss_sales_price", CompareOp::kLe, 0);
+          AddParam(t.get(), 0, "ss_net_profit", CompareOp::kGe, 1);
+          AddParam(t.get(), 2, "i_price", CompareOp::kLe, 2);
+          return t;
+        }};
+
+    (*r)["RD1_FUNNEL"] = {
+        "RD1",
+        "operational funnel: events by user and account with score and "
+        "latency parameters",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "RD1_FUNNEL",
+              std::vector<std::string>{"event", "app_user", "account"});
+          AddJoin(t.get(), 0, "e_user", 1, "u_key");
+          AddJoin(t.get(), 1, "u_account", 2, "a_key");
+          AddParam(t.get(), 0, "e_latency_ms", CompareOp::kGe, 0);
+          AddParam(t.get(), 1, "u_score", CompareOp::kLe, 1);
+          AddParam(t.get(), 2, "a_mrr", CompareOp::kGe, 2);
+          return t;
+        }};
+
+    (*r)["RD2_FLEET"] = {
+        "RD2",
+        "high-dimensional fleet health: readings and alerts per device "
+        "with six parameters (d = 6)",
+        [] {
+          auto t = std::make_shared<QueryTemplate>(
+              "RD2_FLEET", std::vector<std::string>{"reading", "device",
+                                                    "site", "alert"});
+          AddJoin(t.get(), 0, "r_device", 1, "dv_key");
+          AddJoin(t.get(), 0, "r_site", 2, "si_key");
+          AddJoin(t.get(), 3, "al_device", 1, "dv_key");
+          AddParam(t.get(), 0, "r_power", CompareOp::kGe, 0);
+          AddParam(t.get(), 0, "r_errors", CompareOp::kGe, 1);
+          AddParam(t.get(), 1, "dv_age", CompareOp::kLe, 2);
+          AddParam(t.get(), 2, "si_capacity", CompareOp::kGe, 3);
+          AddParam(t.get(), 3, "al_severity", CompareOp::kGe, 4);
+          AddParam(t.get(), 3, "al_duration", CompareOp::kLe, 5);
+          return t;
+        }};
+
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+std::vector<NamedTemplate> ListNamedTemplates() {
+  std::vector<NamedTemplate> out;
+  for (const auto& [name, builder] : Registry()) {
+    out.push_back(NamedTemplate{name, builder.database,
+                                builder.description});
+  }
+  return out;
+}
+
+BoundTemplate BuildNamedTemplate(const std::vector<BenchmarkDb>& dbs,
+                                 const std::string& name) {
+  auto it = Registry().find(name);
+  SCRPQO_CHECK(it != Registry().end(),
+               ("unknown named template: " + name).c_str());
+  const BenchmarkDb* db = nullptr;
+  for (const auto& candidate : dbs) {
+    if (candidate.name == it->second.database) db = &candidate;
+  }
+  SCRPQO_CHECK(db != nullptr, "database for named template not provided");
+  BoundTemplate bt;
+  bt.db = db;
+  bt.tmpl = it->second.make();
+  return bt;
+}
+
+}  // namespace scrpqo

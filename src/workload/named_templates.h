@@ -1,0 +1,32 @@
+// Hand-written named query templates, analogous to the benchmark queries
+// the paper calls out by name (TPC-DS Q18 and Q25 appear in Sections 7.3
+// and Appendices D/E; TPC-H-style join pipelines drive the overview
+// examples). Unlike the generated suite these have fixed, documented
+// shapes, so experiments quoting "Q18" are reproducible statements about a
+// specific query.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/templates.h"
+
+namespace scrpqo {
+
+/// A named template plus the database it belongs to ("TPCH", "TPCDS",
+/// "RD1", "RD2").
+struct NamedTemplate {
+  std::string name;
+  std::string database;
+  std::string description;
+};
+
+/// Catalog of available named templates.
+std::vector<NamedTemplate> ListNamedTemplates();
+
+/// Builds a named template against the matching database from `dbs`
+/// (as returned by BuildAllDatabases). Aborts on unknown name.
+BoundTemplate BuildNamedTemplate(const std::vector<BenchmarkDb>& dbs,
+                                 const std::string& name);
+
+}  // namespace scrpqo

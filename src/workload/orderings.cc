@@ -1,0 +1,93 @@
+#include "workload/orderings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace scrpqo {
+
+std::string OrderingName(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kRandom:
+      return "random";
+    case OrderingKind::kDecreasingCost:
+      return "dec-cost";
+    case OrderingKind::kRoundRobinByPlan:
+      return "round-robin";
+    case OrderingKind::kInsideOut:
+      return "inside-out";
+    case OrderingKind::kOutsideIn:
+      return "outside-in";
+  }
+  return "unknown";
+}
+
+std::vector<OrderingKind> AllOrderings() {
+  return {OrderingKind::kRandom, OrderingKind::kDecreasingCost,
+          OrderingKind::kRoundRobinByPlan, OrderingKind::kInsideOut,
+          OrderingKind::kOutsideIn};
+}
+
+std::vector<int> MakeOrdering(OrderingKind kind,
+                              const std::vector<InstanceOracleInfo>& info,
+                              uint64_t seed) {
+  int n = static_cast<int>(info.size());
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+
+  switch (kind) {
+    case OrderingKind::kRandom: {
+      Pcg32 rng(seed);
+      rng.Shuffle(&perm);
+      break;
+    }
+    case OrderingKind::kDecreasingCost: {
+      std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+        return info[static_cast<size_t>(a)].opt_cost >
+               info[static_cast<size_t>(b)].opt_cost;
+      });
+      break;
+    }
+    case OrderingKind::kRoundRobinByPlan: {
+      // Group by optimal plan, then emit one instance per group per round.
+      std::map<uint64_t, std::vector<int>> by_plan;
+      for (int i = 0; i < n; ++i) {
+        by_plan[info[static_cast<size_t>(i)].plan_signature].push_back(i);
+      }
+      perm.clear();
+      bool emitted = true;
+      size_t round = 0;
+      while (emitted) {
+        emitted = false;
+        for (auto& [sig, members] : by_plan) {
+          if (round < members.size()) {
+            perm.push_back(members[round]);
+            emitted = true;
+          }
+        }
+        ++round;
+      }
+      break;
+    }
+    case OrderingKind::kInsideOut:
+    case OrderingKind::kOutsideIn: {
+      std::vector<double> costs;
+      costs.reserve(static_cast<size_t>(n));
+      for (const auto& ii : info) costs.push_back(ii.opt_cost);
+      double median = Percentile(costs, 50.0);
+      std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+        double da = std::fabs(info[static_cast<size_t>(a)].opt_cost - median);
+        double db = std::fabs(info[static_cast<size_t>(b)].opt_cost - median);
+        return kind == OrderingKind::kInsideOut ? da < db : da > db;
+      });
+      break;
+    }
+  }
+  return perm;
+}
+
+}  // namespace scrpqo

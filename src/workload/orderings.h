@@ -1,0 +1,41 @@
+// Sequence orderings (paper Appendix H.1): from one instance set, build
+// permutations stressing different technique weaknesses — random,
+// decreasing optimal cost, round-robin across optimal-plan regions,
+// inside-out (near-average costs first) and outside-in (extremes first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "pqo/engine_context.h"
+
+namespace scrpqo {
+
+enum class OrderingKind {
+  kRandom,
+  kDecreasingCost,
+  kRoundRobinByPlan,
+  kInsideOut,
+  kOutsideIn,
+};
+
+std::string OrderingName(OrderingKind kind);
+
+/// All five evaluation orderings.
+std::vector<OrderingKind> AllOrderings();
+
+/// Per-instance information orderings depend on: the optimal cost and a
+/// plan-region identifier (the optimal plan's signature).
+struct InstanceOracleInfo {
+  double opt_cost = 0.0;
+  uint64_t plan_signature = 0;
+};
+
+/// Returns a permutation of [0, n): position -> instance-set index.
+std::vector<int> MakeOrdering(OrderingKind kind,
+                              const std::vector<InstanceOracleInfo>& info,
+                              uint64_t seed);
+
+}  // namespace scrpqo

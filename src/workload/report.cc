@@ -1,0 +1,91 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace scrpqo {
+
+DistSummary Summarize(const std::vector<double>& values) {
+  DistSummary s;
+  s.avg = Mean(values);
+  s.p50 = Percentile(values, 50.0);
+  s.p90 = Percentile(values, 90.0);
+  s.p95 = Percentile(values, 95.0);
+  s.max = Max(values);
+  return s;
+}
+
+std::vector<double> ExtractMso(const std::vector<SequenceMetrics>& seqs) {
+  std::vector<double> v;
+  v.reserve(seqs.size());
+  for (const auto& s : seqs) v.push_back(s.mso);
+  return v;
+}
+
+std::vector<double> ExtractTcr(const std::vector<SequenceMetrics>& seqs) {
+  std::vector<double> v;
+  v.reserve(seqs.size());
+  for (const auto& s : seqs) v.push_back(s.total_cost_ratio);
+  return v;
+}
+
+std::vector<double> ExtractNumOptPct(
+    const std::vector<SequenceMetrics>& seqs) {
+  std::vector<double> v;
+  v.reserve(seqs.size());
+  for (const auto& s : seqs) v.push_back(s.NumOptPercent());
+  return v;
+}
+
+std::vector<double> ExtractNumPlans(const std::vector<SequenceMetrics>& seqs) {
+  std::vector<double> v;
+  v.reserve(seqs.size());
+  for (const auto& s : seqs) v.push_back(static_cast<double>(s.num_plans));
+  return v;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void PrintSummaryRow(const std::string& label, const DistSummary& s) {
+  std::printf("%-28s avg=%-8s p50=%-8s p90=%-8s p95=%-8s max=%s\n",
+              label.c_str(), FormatDouble(s.avg).c_str(),
+              FormatDouble(s.p50).c_str(), FormatDouble(s.p90).c_str(),
+              FormatDouble(s.p95).c_str(), FormatDouble(s.max).c_str());
+}
+
+void PrintSortedCurve(const std::string& label, std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::printf("%-28s", label.c_str());
+  for (int decile = 10; decile <= 100; decile += 10) {
+    double p = Percentile(values, static_cast<double>(decile));
+    std::printf(" %8s", FormatDouble(p).c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 30 : 14, columns[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 30 : 14, "------");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 30 : 14, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,44 @@
+// Text-table reporting helpers shared by the figure/table benchmarks:
+// distribution summaries (avg / p50 / p90 / p95 / max) and decile curves of
+// sequences sorted by a metric (the paper's "sorted by TotalCostRatio"
+// figure style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pqo/metrics.h"
+
+namespace scrpqo {
+
+/// Summary of one scalar across sequences.
+struct DistSummary {
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+DistSummary Summarize(const std::vector<double>& values);
+
+/// Extracts one scalar per sequence.
+std::vector<double> ExtractMso(const std::vector<SequenceMetrics>& seqs);
+std::vector<double> ExtractTcr(const std::vector<SequenceMetrics>& seqs);
+std::vector<double> ExtractNumOptPct(const std::vector<SequenceMetrics>& seqs);
+std::vector<double> ExtractNumPlans(const std::vector<SequenceMetrics>& seqs);
+
+/// Prints "metric: avg=... p50=... p90=... p95=... max=..." with a label.
+void PrintSummaryRow(const std::string& label, const DistSummary& s);
+
+/// Prints the decile curve of `values` sorted ascending (the shape of the
+/// paper's per-sequence distribution figures).
+void PrintSortedCurve(const std::string& label, std::vector<double> values);
+
+/// Prints a fixed-width table header / row.
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace scrpqo

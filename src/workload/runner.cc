@@ -1,0 +1,104 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/status.h"
+#include "optimizer/plan_signature.h"
+
+namespace scrpqo {
+
+Oracle Oracle::Build(const Optimizer& optimizer,
+                     const std::vector<WorkloadInstance>& instances) {
+  Oracle oracle;
+  oracle.results_.reserve(instances.size());
+  oracle.plans_.reserve(instances.size());
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& wi : instances) {
+    auto result = std::make_shared<OptimizationResult>(
+        optimizer.OptimizeWithSVector(wi.instance, wi.svector));
+    oracle.plans_.push_back(
+        std::make_shared<CachedPlan>(MakeCachedPlan(*result)));
+    oracle.results_.push_back(std::move(result));
+  }
+  auto end = std::chrono::steady_clock::now();
+  if (!instances.empty()) {
+    oracle.avg_optimize_seconds_ =
+        std::chrono::duration<double>(end - start).count() /
+        static_cast<double>(instances.size());
+  }
+  return oracle;
+}
+
+std::vector<InstanceOracleInfo> Oracle::OrderingInfo() const {
+  std::vector<InstanceOracleInfo> info;
+  info.reserve(results_.size());
+  for (size_t i = 0; i < results_.size(); ++i) {
+    InstanceOracleInfo ii;
+    ii.opt_cost = results_[i]->cost;
+    ii.plan_signature = plans_[i]->signature;
+    info.push_back(ii);
+  }
+  return info;
+}
+
+SequenceMetrics RunSequence(const Optimizer& optimizer,
+                            const std::vector<WorkloadInstance>& instances,
+                            const std::vector<int>& permutation,
+                            const Oracle& oracle, PqoTechnique* technique,
+                            const RunSequenceOptions& options) {
+  SCRPQO_CHECK(permutation.size() <= instances.size(),
+               "permutation longer than instance set");
+  EngineContext engine(&optimizer.db(), &optimizer);
+  engine.SetOracle([&oracle](const WorkloadInstance& wi) {
+    return oracle.result(wi.id);
+  });
+
+  SequenceMetrics metrics;
+  metrics.technique = technique->name();
+  metrics.ordering = options.ordering_name;
+  metrics.m = static_cast<int64_t>(permutation.size());
+
+  auto start = std::chrono::steady_clock::now();
+  for (int idx : permutation) {
+    const WorkloadInstance& wi = instances[static_cast<size_t>(idx)];
+    PlanChoice choice = technique->OnInstance(wi, &engine);
+    SCRPQO_CHECK(choice.plan != nullptr, "technique returned no plan");
+
+    double opt_cost = oracle.opt_cost(wi.id);
+    double chosen_cost;
+    if (choice.plan->signature == oracle.cached_plan(wi.id).signature) {
+      chosen_cost = opt_cost;  // exactly the optimal plan
+    } else {
+      chosen_cost = engine.RecostUncharged(*choice.plan, wi.svector);
+    }
+    double so = opt_cost > 0.0 ? chosen_cost / opt_cost : 1.0;
+    // Guard against cost-model degeneracies: SO is >= 1 by definition of
+    // optimality; tiny dips below 1 are tie-costs of equivalent plans.
+    so = std::max(so, 1.0);
+    metrics.so_per_instance.push_back(so);
+    metrics.mso = std::max(metrics.mso, so);
+    metrics.total_chosen_cost += chosen_cost;
+    metrics.total_optimal_cost += opt_cost;
+    if (options.lambda_for_violations > 0.0 &&
+        so > options.lambda_for_violations * 1.0000001) {
+      ++metrics.bound_violations;
+    }
+    metrics.max_recost_per_get_plan = std::max(
+        metrics.max_recost_per_get_plan, choice.recost_calls_in_get_plan);
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  metrics.technique_seconds =
+      std::chrono::duration<double>(end - start).count();
+  metrics.num_opt = engine.num_optimizer_calls();
+  metrics.num_recost_calls = engine.num_recost_calls();
+  metrics.num_plans = technique->PeakPlansCached();
+  metrics.total_cost_ratio =
+      metrics.total_optimal_cost > 0.0
+          ? metrics.total_chosen_cost / metrics.total_optimal_cost
+          : 1.0;
+  return metrics;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,371 @@
+#include "workload/schemas.h"
+
+#include <cmath>
+
+namespace scrpqo {
+
+namespace {
+
+int64_t Scaled(double base, const SchemaScale& scale) {
+  return std::max<int64_t>(16, static_cast<int64_t>(base * scale.factor));
+}
+
+ColumnDef Pk(const std::string& name) {
+  ColumnDef c;
+  c.name = name;
+  c.type = DataType::kInt64;
+  c.distribution = ColumnDistribution::kSequential;
+  return c;
+}
+
+ColumnDef Fk(const std::string& name, const std::string& ref,
+             double zipf = 0.0) {
+  ColumnDef c;
+  c.name = name;
+  c.type = DataType::kInt64;
+  c.distribution = ColumnDistribution::kForeignKey;
+  c.ref_table = ref;
+  c.zipf_theta = zipf;
+  return c;
+}
+
+ColumnDef Num(const std::string& name, double lo, double hi,
+              ColumnDistribution dist = ColumnDistribution::kUniform,
+              double zipf = 0.0, DataType type = DataType::kInt64) {
+  ColumnDef c;
+  c.name = name;
+  c.type = type;
+  c.distribution = dist;
+  c.min_value = lo;
+  c.max_value = hi;
+  c.zipf_theta = zipf;
+  return c;
+}
+
+IndexDef Idx(const std::string& column) {
+  IndexDef i;
+  i.name = "ix_" + column;
+  i.column = column;
+  return i;
+}
+
+Database Gen(std::vector<TableDef> defs, const SchemaScale& scale,
+             uint64_t seed_offset) {
+  GeneratorOptions opts;
+  opts.seed = scale.seed + seed_offset;
+  opts.materialize_rows = scale.materialize_rows;
+  return GenerateDatabase(std::move(defs), opts);
+}
+
+}  // namespace
+
+BenchmarkDb BuildTpchSkewed(const SchemaScale& scale) {
+  std::vector<TableDef> defs;
+
+  {
+    TableDef t;
+    t.name = "nation";
+    t.row_count = 25;
+    t.columns = {Pk("n_key"), Num("n_region", 0, 4)};
+    t.indexes = {Idx("n_key")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "supplier";
+    t.row_count = Scaled(1000, scale);
+    t.columns = {Pk("s_key"), Fk("s_nation", "nation"),
+                 Num("s_acctbal", -999, 9999,
+                     ColumnDistribution::kUniform, 0.0, DataType::kDouble)};
+    t.indexes = {Idx("s_key"), Idx("s_nation")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "customer";
+    t.row_count = Scaled(15000, scale);
+    t.columns = {Pk("c_key"), Fk("c_nation", "nation"),
+                 Num("c_acctbal", -999, 9999,
+                     ColumnDistribution::kZipf, 0.8, DataType::kDouble),
+                 Num("c_mktsegment", 0, 4)};
+    t.indexes = {Idx("c_key"), Idx("c_acctbal")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "part";
+    t.row_count = Scaled(20000, scale);
+    t.columns = {Pk("p_key"),
+                 Num("p_size", 1, 50, ColumnDistribution::kZipf, 1.0),
+                 Num("p_retailprice", 900, 2100,
+                     ColumnDistribution::kNormal, 0.0, DataType::kDouble)};
+    t.indexes = {Idx("p_key"), Idx("p_size")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "orders";
+    t.row_count = Scaled(60000, scale);
+    t.columns = {Pk("o_key"), Fk("o_custkey", "customer", 0.6),
+                 Num("o_orderdate", 0, 2500,
+                     ColumnDistribution::kZipf, 0.5),
+                 Num("o_totalprice", 800, 500000,
+                     ColumnDistribution::kZipf, 1.0, DataType::kDouble)};
+    t.indexes = {Idx("o_key"), Idx("o_custkey"), Idx("o_orderdate")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "lineitem";
+    t.row_count = Scaled(120000, scale);
+    t.columns = {Pk("l_key"), Fk("l_orderkey", "orders", 0.4),
+                 Fk("l_partkey", "part"), Fk("l_suppkey", "supplier"),
+                 Num("l_quantity", 1, 50),
+                 Num("l_extendedprice", 900, 105000,
+                     ColumnDistribution::kZipf, 0.9, DataType::kDouble),
+                 Num("l_shipdate", 0, 2500, ColumnDistribution::kUniform),
+                 Num("l_discount", 0, 10)};
+    t.indexes = {Idx("l_orderkey"), Idx("l_partkey"), Idx("l_suppkey"),
+                 Idx("l_shipdate")};
+    defs.push_back(t);
+  }
+
+  BenchmarkDb b;
+  b.name = "TPCH";
+  b.db = Gen(std::move(defs), scale, 1);
+  b.fks = {
+      {"supplier", "s_nation", "nation", "n_key"},
+      {"customer", "c_nation", "nation", "n_key"},
+      {"orders", "o_custkey", "customer", "c_key"},
+      {"lineitem", "l_orderkey", "orders", "o_key"},
+      {"lineitem", "l_partkey", "part", "p_key"},
+      {"lineitem", "l_suppkey", "supplier", "s_key"},
+  };
+  return b;
+}
+
+BenchmarkDb BuildDsLike(const SchemaScale& scale) {
+  std::vector<TableDef> defs;
+
+  {
+    TableDef t;
+    t.name = "date_dim";
+    t.row_count = Scaled(2000, scale);
+    t.columns = {Pk("d_key"), Num("d_year", 1998, 2003),
+                 Num("d_moy", 1, 12), Num("d_dom", 1, 31)};
+    t.indexes = {Idx("d_key"), Idx("d_year")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "item";
+    t.row_count = Scaled(9000, scale);
+    t.columns = {Pk("i_key"),
+                 Num("i_price", 1, 300, ColumnDistribution::kZipf, 0.9,
+                     DataType::kDouble),
+                 Num("i_category", 0, 9),
+                 Num("i_brand", 0, 400, ColumnDistribution::kZipf, 1.1)};
+    t.indexes = {Idx("i_key"), Idx("i_price")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "store";
+    t.row_count = Scaled(120, scale);
+    t.columns = {Pk("st_key"), Num("st_sqft", 5000, 90000),
+                 Num("st_county", 0, 30)};
+    t.indexes = {Idx("st_key")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "customer_ds";
+    t.row_count = Scaled(25000, scale);
+    t.columns = {Pk("cd_key"), Num("cd_income", 1000, 200000,
+                                   ColumnDistribution::kZipf, 0.7),
+                 Num("cd_dep_count", 0, 9),
+                 Num("cd_birth_year", 1930, 2000)};
+    t.indexes = {Idx("cd_key"), Idx("cd_income")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "store_sales";
+    t.row_count = Scaled(140000, scale);
+    t.columns = {Fk("ss_date", "date_dim", 0.5),
+                 Fk("ss_item", "item", 0.9),
+                 Fk("ss_store", "store"),
+                 Fk("ss_customer", "customer_ds", 0.4),
+                 Num("ss_quantity", 1, 100),
+                 Num("ss_sales_price", 1, 300,
+                     ColumnDistribution::kZipf, 0.8, DataType::kDouble),
+                 Num("ss_net_profit", -5000, 10000,
+                     ColumnDistribution::kNormal, 0.0, DataType::kDouble)};
+    t.indexes = {Idx("ss_date"), Idx("ss_item"), Idx("ss_store"),
+                 Idx("ss_customer"), Idx("ss_sales_price")};
+    defs.push_back(t);
+  }
+
+  BenchmarkDb b;
+  b.name = "TPCDS";
+  b.db = Gen(std::move(defs), scale, 2);
+  b.fks = {
+      {"store_sales", "ss_date", "date_dim", "d_key"},
+      {"store_sales", "ss_item", "item", "i_key"},
+      {"store_sales", "ss_store", "store", "st_key"},
+      {"store_sales", "ss_customer", "customer_ds", "cd_key"},
+  };
+  return b;
+}
+
+BenchmarkDb BuildRd1(const SchemaScale& scale) {
+  // An operational-style schema: accounts -> users -> events chain with a
+  // lookup dimension. Mixed distributions, some unindexed predicate columns.
+  std::vector<TableDef> defs;
+
+  {
+    TableDef t;
+    t.name = "account";
+    t.row_count = Scaled(4000, scale);
+    t.columns = {Pk("a_key"), Num("a_plan", 0, 5),
+                 Num("a_mrr", 0, 100000, ColumnDistribution::kZipf, 1.2,
+                     DataType::kDouble),
+                 Num("a_created", 0, 3650)};
+    t.indexes = {Idx("a_key"), Idx("a_created")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "app_user";
+    t.row_count = Scaled(30000, scale);
+    t.columns = {Pk("u_key"), Fk("u_account", "account", 0.9),
+                 Num("u_age_days", 0, 3650, ColumnDistribution::kZipf, 0.6),
+                 Num("u_score", 0, 1000, ColumnDistribution::kNormal, 0.0,
+                     DataType::kDouble)};
+    t.indexes = {Idx("u_key"), Idx("u_account"), Idx("u_score")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "event";
+    t.row_count = Scaled(150000, scale);
+    t.columns = {Fk("e_user", "app_user", 0.8),
+                 Num("e_type", 0, 40, ColumnDistribution::kZipf, 1.3),
+                 Num("e_latency_ms", 1, 30000, ColumnDistribution::kZipf,
+                     1.0, DataType::kDouble),
+                 Num("e_day", 0, 365)};
+    t.indexes = {Idx("e_user"), Idx("e_day")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "event_type_dim";
+    t.row_count = 64;
+    t.columns = {Pk("et_key"), Num("et_severity", 0, 4)};
+    t.indexes = {Idx("et_key")};
+    defs.push_back(t);
+  }
+
+  BenchmarkDb b;
+  b.name = "RD1";
+  b.db = Gen(std::move(defs), scale, 3);
+  b.fks = {
+      {"app_user", "u_account", "account", "a_key"},
+      {"event", "e_user", "app_user", "u_key"},
+      {"event", "e_type", "event_type_dim", "et_key"},
+  };
+  return b;
+}
+
+BenchmarkDb BuildRd2(const SchemaScale& scale) {
+  // A wide analytics schema supporting high-dimensional templates
+  // (many filterable numeric measures per table; d up to 10).
+  std::vector<TableDef> defs;
+
+  {
+    TableDef t;
+    t.name = "device";
+    t.row_count = Scaled(12000, scale);
+    t.columns = {Pk("dv_key"), Num("dv_model", 0, 200),
+                 Num("dv_fw", 0, 50, ColumnDistribution::kZipf, 0.8),
+                 Num("dv_age", 0, 2000),
+                 Num("dv_health", 0, 100, ColumnDistribution::kNormal, 0.0,
+                     DataType::kDouble)};
+    t.indexes = {Idx("dv_key"), Idx("dv_age")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "site";
+    t.row_count = Scaled(800, scale);
+    t.columns = {Pk("si_key"), Num("si_region", 0, 20),
+                 Num("si_capacity", 10, 5000, ColumnDistribution::kZipf, 0.7),
+                 Num("si_uptime", 0, 100, ColumnDistribution::kNormal, 0.0,
+                     DataType::kDouble)};
+    t.indexes = {Idx("si_key")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "reading";
+    t.row_count = Scaled(160000, scale);
+    t.columns = {Fk("r_device", "device", 0.7), Fk("r_site", "site", 0.5),
+                 Num("r_hour", 0, 8760),
+                 Num("r_temp", -40, 120, ColumnDistribution::kNormal, 0.0,
+                     DataType::kDouble),
+                 Num("r_power", 0, 10000, ColumnDistribution::kZipf, 0.9,
+                     DataType::kDouble),
+                 Num("r_voltage", 100, 260, ColumnDistribution::kNormal,
+                     0.0, DataType::kDouble),
+                 Num("r_errors", 0, 500, ColumnDistribution::kZipf, 1.4),
+                 Num("r_signal", 0, 100)};
+    t.indexes = {Idx("r_device"), Idx("r_site"), Idx("r_hour"),
+                 Idx("r_power")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "alert";
+    t.row_count = Scaled(40000, scale);
+    t.columns = {Fk("al_device", "device", 1.0),
+                 Num("al_severity", 0, 10, ColumnDistribution::kZipf, 1.1),
+                 Num("al_duration", 1, 86400, ColumnDistribution::kZipf,
+                     0.9),
+                 Num("al_day", 0, 365)};
+    t.indexes = {Idx("al_device"), Idx("al_day")};
+    defs.push_back(t);
+  }
+  {
+    TableDef t;
+    t.name = "maintenance";
+    t.row_count = Scaled(8000, scale);
+    t.columns = {Fk("m_site", "site"), Num("m_cost", 10, 100000,
+                                           ColumnDistribution::kZipf, 1.0,
+                                           DataType::kDouble),
+                 Num("m_day", 0, 365), Num("m_crew", 1, 20)};
+    t.indexes = {Idx("m_site")};
+    defs.push_back(t);
+  }
+
+  BenchmarkDb b;
+  b.name = "RD2";
+  b.db = Gen(std::move(defs), scale, 4);
+  b.fks = {
+      {"reading", "r_device", "device", "dv_key"},
+      {"reading", "r_site", "site", "si_key"},
+      {"alert", "al_device", "device", "dv_key"},
+      {"maintenance", "m_site", "site", "si_key"},
+  };
+  return b;
+}
+
+std::vector<BenchmarkDb> BuildAllDatabases(const SchemaScale& scale) {
+  std::vector<BenchmarkDb> dbs;
+  dbs.push_back(BuildTpchSkewed(scale));
+  dbs.push_back(BuildDsLike(scale));
+  dbs.push_back(BuildRd1(scale));
+  dbs.push_back(BuildRd2(scale));
+  return dbs;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,45 @@
+// The four evaluation databases (paper Section 7.1): a skewed TPC-H-like
+// schema, a TPC-DS-like star schema, and two "real-world-like" databases
+// RD1 and RD2 (RD2 is wide enough to support high-dimensional templates,
+// d >= 5 up to 10). Row counts are laptop-scale; selectivity geometry, skew
+// and index structure — the drivers of PQO behaviour — are preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace scrpqo {
+
+/// \brief A foreign-key relationship usable as a join edge by templates.
+struct FkEdge {
+  std::string child_table;
+  std::string child_column;
+  std::string parent_table;
+  std::string parent_column;
+};
+
+/// \brief One evaluation database: data + the join graph templates draw on.
+struct BenchmarkDb {
+  std::string name;
+  Database db;
+  std::vector<FkEdge> fks;
+};
+
+/// Scale factor multiplies all row counts (1.0 = default laptop scale).
+struct SchemaScale {
+  double factor = 1.0;
+  bool materialize_rows = false;
+  uint64_t seed = 20170514;  // SIGMOD'17 opening day
+};
+
+BenchmarkDb BuildTpchSkewed(const SchemaScale& scale);
+BenchmarkDb BuildDsLike(const SchemaScale& scale);
+BenchmarkDb BuildRd1(const SchemaScale& scale);
+BenchmarkDb BuildRd2(const SchemaScale& scale);
+
+/// All four databases in evaluation order.
+std::vector<BenchmarkDb> BuildAllDatabases(const SchemaScale& scale);
+
+}  // namespace scrpqo

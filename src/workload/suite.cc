@@ -1,0 +1,118 @@
+#include "workload/suite.h"
+
+#include <cstdio>
+
+#include <atomic>
+#include <thread>
+
+#include "common/env.h"
+
+namespace scrpqo {
+
+SuiteConfig SuiteConfig::FromEnv() {
+  SuiteConfig c;
+  c.num_templates =
+      static_cast<int>(EnvInt64("SCRPQO_TEMPLATES", c.num_templates));
+  c.m = static_cast<int>(EnvInt64("SCRPQO_M", c.m));
+  c.scale = EnvDouble("SCRPQO_SCALE", c.scale);
+  c.seed = static_cast<uint64_t>(EnvInt64("SCRPQO_SEED",
+                                          static_cast<int64_t>(c.seed)));
+  return c;
+}
+
+EvaluationSuite::EvaluationSuite(SuiteConfig config)
+    : config_(std::move(config)) {
+  SchemaScale scale;
+  scale.factor = config_.scale;
+  scale.materialize_rows = config_.materialize_rows;
+  scale.seed = config_.seed;
+  dbs_ = BuildAllDatabases(scale);
+
+  TemplateGenOptions topts;
+  topts.num_templates = config_.num_templates;
+  topts.seed = config_.seed + 1;
+  std::vector<BoundTemplate> templates = BuildTemplates(dbs_, topts);
+
+  for (auto& bt : templates) {
+    TemplateWorkload tw;
+    tw.bound = bt;
+    tw.optimizer = std::make_unique<Optimizer>(&bt.db->db);
+    InstanceGenOptions iopts;
+    // Paper: 1000 instances, 2000 for d > 3.
+    iopts.m = bt.tmpl->dimensions() > 3 ? config_.m * 2 : config_.m;
+    iopts.seed = config_.seed + 1000 + workloads_.size();
+    tw.instances = GenerateInstances(tw.bound, iopts);
+    tw.oracle = Oracle::Build(*tw.optimizer, tw.instances);
+    workloads_.push_back(std::move(tw));
+  }
+}
+
+std::vector<SequenceMetrics> EvaluationSuite::RunTemplate(
+    const TemplateWorkload& tw, const TechniqueFactory& factory,
+    double lambda_for_violations) const {
+  std::vector<OrderingKind> orderings =
+      config_.orderings.empty() ? AllOrderings() : config_.orderings;
+  std::vector<InstanceOracleInfo> info = tw.oracle.OrderingInfo();
+
+  std::vector<SequenceMetrics> out;
+  for (OrderingKind kind : orderings) {
+    std::vector<int> perm = MakeOrdering(kind, info, config_.seed + 77);
+    std::unique_ptr<PqoTechnique> technique = factory();
+    RunSequenceOptions ropts;
+    ropts.lambda_for_violations = lambda_for_violations;
+    ropts.ordering_name = OrderingName(kind);
+    SequenceMetrics metrics =
+        RunSequence(*tw.optimizer, tw.instances, perm, tw.oracle,
+                    technique.get(), ropts);
+    metrics.template_name = tw.bound.tmpl->name();
+    out.push_back(std::move(metrics));
+  }
+  return out;
+}
+
+std::vector<SequenceMetrics> EvaluationSuite::RunAll(
+    const TechniqueFactory& factory, double lambda_for_violations,
+    bool progress) const {
+  int threads = static_cast<int>(
+      EnvInt64("SCRPQO_THREADS",
+               std::min<int64_t>(
+                   4, static_cast<int64_t>(
+                          std::max(1u, std::thread::hardware_concurrency())))));
+  threads = std::max(1, std::min<int>(threads,
+                                      static_cast<int>(workloads_.size())));
+
+  // Each template's sequences land in a fixed slot, so the output order is
+  // identical to the serial run no matter how workers interleave.
+  std::vector<std::vector<SequenceMetrics>> per_template(workloads_.size());
+  std::atomic<size_t> next{0};
+  std::atomic<int> done{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1);
+      if (i >= workloads_.size()) return;
+      per_template[i] =
+          RunTemplate(workloads_[i], factory, lambda_for_violations);
+      int d = done.fetch_add(1) + 1;
+      if (progress && d % 20 == 0) {
+        std::fprintf(stderr, "  ... %d/%zu templates\n", d,
+                     workloads_.size());
+      }
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  std::vector<SequenceMetrics> all;
+  for (auto& seqs : per_template) {
+    for (auto& s : seqs) all.push_back(std::move(s));
+  }
+  return all;
+}
+
+}  // namespace scrpqo

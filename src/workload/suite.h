@@ -1,0 +1,78 @@
+// The full evaluation suite: N templates x 5 orderings (paper Section 7.1's
+// 90 x 5 = 450 sequences). Benchmarks scale it via environment variables:
+//   SCRPQO_TEMPLATES  number of templates (default 90)
+//   SCRPQO_M          instances per sequence (default 400; paper used
+//                     1000/2000 — shapes are stable from a few hundred)
+//   SCRPQO_SCALE      database row-count scale factor (default 1.0)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "pqo/metrics.h"
+#include "pqo/technique.h"
+#include "workload/instance_gen.h"
+#include "workload/runner.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+
+struct SuiteConfig {
+  int num_templates = 90;
+  int m = 400;
+  double scale = 1.0;
+  uint64_t seed = 20170514;
+  bool materialize_rows = false;
+  /// Restrict to a subset of orderings (empty = all five).
+  std::vector<OrderingKind> orderings;
+
+  /// Reads SCRPQO_* environment overrides.
+  static SuiteConfig FromEnv();
+};
+
+/// \brief Owns the databases, templates, instance sets and oracles, and
+/// runs technique factories over every (template, ordering) sequence.
+class EvaluationSuite {
+ public:
+  explicit EvaluationSuite(SuiteConfig config);
+
+  /// One entry per template.
+  struct TemplateWorkload {
+    BoundTemplate bound;
+    std::unique_ptr<Optimizer> optimizer;
+    std::vector<WorkloadInstance> instances;
+    Oracle oracle;
+  };
+
+  const std::vector<BenchmarkDb>& databases() const { return dbs_; }
+  const std::vector<TemplateWorkload>& workloads() const {
+    return workloads_;
+  }
+  const SuiteConfig& config() const { return config_; }
+
+  /// Runs `factory` (fresh technique per sequence) over every template and
+  /// every configured ordering; returns one SequenceMetrics per sequence,
+  /// in deterministic (template, ordering) order regardless of parallelism.
+  /// Templates are independent (own optimizer, oracle and technique
+  /// instances), so they run on `SCRPQO_THREADS` workers (default: up to 4
+  /// hardware threads).
+  std::vector<SequenceMetrics> RunAll(const TechniqueFactory& factory,
+                                      double lambda_for_violations = 0.0,
+                                      bool progress = false) const;
+
+  /// Runs over a single template (all configured orderings).
+  std::vector<SequenceMetrics> RunTemplate(
+      const TemplateWorkload& tw, const TechniqueFactory& factory,
+      double lambda_for_violations = 0.0) const;
+
+ private:
+  SuiteConfig config_;
+  std::vector<BenchmarkDb> dbs_;
+  std::vector<TemplateWorkload> workloads_;
+};
+
+}  // namespace scrpqo

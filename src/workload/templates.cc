@@ -1,0 +1,271 @@
+#include "workload/templates.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace scrpqo {
+
+namespace {
+
+/// Columns usable as predicate targets: generated numeric measures (not
+/// keys, not foreign keys).
+std::vector<std::string> PredicateColumns(const TableDef& def) {
+  std::vector<std::string> out;
+  for (const auto& c : def.columns) {
+    if (c.distribution == ColumnDistribution::kUniform ||
+        c.distribution == ColumnDistribution::kZipf ||
+        c.distribution == ColumnDistribution::kNormal) {
+      out.push_back(c.name);
+    }
+  }
+  return out;
+}
+
+/// Builds one template by walking the database's FK graph.
+std::shared_ptr<QueryTemplate> MakeTemplate(const BenchmarkDb& db,
+                                            const std::string& name,
+                                            int num_tables, int dimensions,
+                                            Pcg32* rng) {
+  // Pick a connected set of tables by randomly growing along FK edges.
+  std::vector<std::string> chosen;
+  std::vector<const FkEdge*> used_edges;
+  {
+    // Start from the child side of a random edge so growth is possible.
+    const FkEdge& e0 = db.fks[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(db.fks.size()) - 1))];
+    chosen.push_back(e0.child_table);
+    for (int guard = 0;
+         static_cast<int>(chosen.size()) < num_tables && guard < 200;
+         ++guard) {
+      // Edges with exactly one endpoint inside the chosen set.
+      std::vector<const FkEdge*> frontier;
+      for (const auto& e : db.fks) {
+        bool child_in = std::find(chosen.begin(), chosen.end(),
+                                  e.child_table) != chosen.end();
+        bool parent_in = std::find(chosen.begin(), chosen.end(),
+                                   e.parent_table) != chosen.end();
+        if (child_in != parent_in) frontier.push_back(&e);
+      }
+      if (frontier.empty()) break;
+      const FkEdge* pick = frontier[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(frontier.size()) - 1))];
+      bool child_in = std::find(chosen.begin(), chosen.end(),
+                                pick->child_table) != chosen.end();
+      chosen.push_back(child_in ? pick->parent_table : pick->child_table);
+      used_edges.push_back(pick);
+    }
+  }
+
+  auto tmpl = std::make_shared<QueryTemplate>(name, chosen);
+  auto table_index = [&chosen](const std::string& t) {
+    auto it = std::find(chosen.begin(), chosen.end(), t);
+    return static_cast<int>(it - chosen.begin());
+  };
+  for (const FkEdge* e : used_edges) {
+    JoinEdge je;
+    je.left_table = table_index(e->child_table);
+    je.left_column = e->child_column;
+    je.right_table = table_index(e->parent_table);
+    je.right_column = e->parent_column;
+    tmpl->AddJoin(je);
+  }
+
+  // Collect (table, column) slots eligible for parameterized predicates.
+  std::vector<std::pair<int, std::string>> slots;
+  for (size_t ti = 0; ti < chosen.size(); ++ti) {
+    for (const auto& col :
+         PredicateColumns(db.db.catalog().GetTable(chosen[ti]))) {
+      slots.emplace_back(static_cast<int>(ti), col);
+    }
+  }
+  rng->Shuffle(&slots);
+  int d = std::min<int>(dimensions, static_cast<int>(slots.size()));
+  SCRPQO_CHECK(d >= 1, "template has no eligible predicate columns");
+  for (int slot = 0; slot < d; ++slot) {
+    PredicateTemplate p;
+    p.table_index = slots[static_cast<size_t>(slot)].first;
+    p.column = slots[static_cast<size_t>(slot)].second;
+    // One-sided range predicates (paper Section 7.1).
+    p.op = rng->UniformDouble() < 0.5 ? CompareOp::kLe : CompareOp::kGe;
+    p.param_slot = slot;
+    Status st = tmpl->AddPredicate(std::move(p));
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+
+  // Occasionally a fixed literal predicate on a leftover column.
+  if (static_cast<int>(slots.size()) > d && rng->UniformDouble() < 0.35) {
+    const auto& [ti, col] = slots[static_cast<size_t>(d)];
+    const ColumnStats& stats =
+        db.db.catalog().GetColumnStats(chosen[static_cast<size_t>(ti)], col);
+    PredicateTemplate p;
+    p.table_index = ti;
+    p.column = col;
+    p.op = CompareOp::kLe;
+    // Literal at roughly the 60th percentile of the column.
+    double v = stats.histogram.QuantileForSelectivity(CompareOp::kLe, 0.6);
+    p.literal = Value(v);
+    Status st = tmpl->AddPredicate(std::move(p));
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+
+  // Occasionally aggregate.
+  if (rng->UniformDouble() < 0.3) {
+    // Group by a low-cardinality column when available.
+    for (size_t ti = 0; ti < chosen.size(); ++ti) {
+      auto cols = PredicateColumns(db.db.catalog().GetTable(chosen[ti]));
+      if (cols.empty()) continue;
+      AggregateSpec agg;
+      agg.enabled = true;
+      agg.group_table = static_cast<int>(ti);
+      agg.group_column = cols.front();
+      tmpl->SetAggregate(agg);
+      break;
+    }
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+std::vector<BoundTemplate> BuildTemplates(const std::vector<BenchmarkDb>& dbs,
+                                          const TemplateGenOptions& options) {
+  Pcg32 rng(options.seed);
+  std::vector<BoundTemplate> out;
+
+  // Locate RD2 for high-dimensional templates.
+  const BenchmarkDb* rd2 = nullptr;
+  for (const auto& db : dbs) {
+    if (db.name == "RD2") rd2 = &db;
+  }
+
+  for (int i = 0; i < options.num_templates; ++i) {
+    // Dimension schedule: roughly one third with d >= 4 (paper Sec 7.1).
+    int d;
+    double u = rng.UniformDouble();
+    if (u < 0.25) {
+      d = 1 + static_cast<int>(rng.UniformInt(0, 1));  // 1-2
+    } else if (u < 0.67) {
+      d = 2 + static_cast<int>(rng.UniformInt(0, 1));  // 2-3
+    } else if (u < 0.88) {
+      d = 4 + static_cast<int>(rng.UniformInt(0, 1));  // 4-5
+    } else {
+      d = 5 + static_cast<int>(
+                  rng.UniformInt(0, options.max_dimensions - 5));  // 5-10
+    }
+    const BenchmarkDb* db;
+    if (d >= 5 && rd2 != nullptr) {
+      db = rd2;
+    } else {
+      db = &dbs[static_cast<size_t>(i) % dbs.size()];
+    }
+    int num_tables =
+        2 + static_cast<int>(rng.UniformInt(0, options.max_tables - 2));
+    std::string name =
+        db->name + "_Q" + std::to_string(i) + "_d" + std::to_string(d);
+    BoundTemplate bt;
+    bt.db = db;
+    bt.tmpl = MakeTemplate(*db, name, num_tables, d, &rng);
+    out.push_back(std::move(bt));
+  }
+  return out;
+}
+
+BoundTemplate BuildExample2dTemplate(const BenchmarkDb& tpch) {
+  auto tmpl = std::make_shared<QueryTemplate>(
+      "TPCH_example_2d",
+      std::vector<std::string>{"lineitem", "orders", "customer"});
+  {
+    JoinEdge e;
+    e.left_table = 0;
+    e.left_column = "l_orderkey";
+    e.right_table = 1;
+    e.right_column = "o_key";
+    tmpl->AddJoin(e);
+  }
+  {
+    JoinEdge e;
+    e.left_table = 1;
+    e.left_column = "o_custkey";
+    e.right_table = 2;
+    e.right_column = "c_key";
+    tmpl->AddJoin(e);
+  }
+  {
+    PredicateTemplate p;
+    p.table_index = 0;
+    p.column = "l_shipdate";
+    p.op = CompareOp::kLe;
+    p.param_slot = 0;
+    Status st = tmpl->AddPredicate(std::move(p));
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+  {
+    PredicateTemplate p;
+    p.table_index = 1;
+    p.column = "o_totalprice";
+    p.op = CompareOp::kLe;
+    p.param_slot = 1;
+    Status st = tmpl->AddPredicate(std::move(p));
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+  BoundTemplate bt;
+  bt.db = &tpch;
+  bt.tmpl = tmpl;
+  return bt;
+}
+
+BoundTemplate BuildRd2TemplateWithDimensions(const BenchmarkDb& rd2, int d) {
+  SCRPQO_CHECK(d >= 1 && d <= 10, "d must be in [1, 10]");
+  auto tmpl = std::make_shared<QueryTemplate>(
+      "RD2_sweep_d" + std::to_string(d),
+      std::vector<std::string>{"reading", "device", "site", "alert"});
+  {
+    JoinEdge e;
+    e.left_table = 0;
+    e.left_column = "r_device";
+    e.right_table = 1;
+    e.right_column = "dv_key";
+    tmpl->AddJoin(e);
+  }
+  {
+    JoinEdge e;
+    e.left_table = 0;
+    e.left_column = "r_site";
+    e.right_table = 2;
+    e.right_column = "si_key";
+    tmpl->AddJoin(e);
+  }
+  {
+    JoinEdge e;
+    e.left_table = 3;
+    e.left_column = "al_device";
+    e.right_table = 1;
+    e.right_column = "dv_key";
+    tmpl->AddJoin(e);
+  }
+  // A fixed priority order of predicate slots spanning all four tables.
+  const std::vector<std::pair<int, std::string>> slots = {
+      {0, "r_power"},   {1, "dv_age"},     {3, "al_severity"},
+      {0, "r_temp"},    {2, "si_capacity"}, {3, "al_duration"},
+      {0, "r_errors"},  {1, "dv_health"},  {2, "si_uptime"},
+      {0, "r_signal"},
+  };
+  for (int i = 0; i < d; ++i) {
+    PredicateTemplate p;
+    p.table_index = slots[static_cast<size_t>(i)].first;
+    p.column = slots[static_cast<size_t>(i)].second;
+    p.op = i % 2 == 0 ? CompareOp::kLe : CompareOp::kGe;
+    p.param_slot = i;
+    Status st = tmpl->AddPredicate(std::move(p));
+    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  }
+  BoundTemplate bt;
+  bt.db = &rd2;
+  bt.tmpl = tmpl;
+  return bt;
+}
+
+}  // namespace scrpqo

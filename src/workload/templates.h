@@ -1,0 +1,45 @@
+// Programmatic construction of the evaluation's 90 parameterized query
+// templates (paper Section 7.1): joins of 2-6 tables along foreign-key
+// edges, with 1-10 parameterized one-sided range predicates (about a third
+// of templates have d >= 4; RD2 supplies the d >= 5 templates), occasional
+// literal predicates, and occasional aggregation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query_template.h"
+#include "workload/schemas.h"
+
+namespace scrpqo {
+
+/// \brief A template bound to the database it queries.
+struct BoundTemplate {
+  const BenchmarkDb* db = nullptr;
+  std::shared_ptr<QueryTemplate> tmpl;
+};
+
+struct TemplateGenOptions {
+  int num_templates = 90;
+  uint64_t seed = 7;
+  int max_tables = 6;
+  int max_dimensions = 10;
+};
+
+/// Generates templates deterministically across the given databases.
+/// Templates are distributed round-robin over databases, except that all
+/// templates with d >= 5 are placed on RD2 (mirroring the paper, where only
+/// RD2 supported high-dimensional templates).
+std::vector<BoundTemplate> BuildTemplates(
+    const std::vector<BenchmarkDb>& dbs, const TemplateGenOptions& options);
+
+/// A specific 2-d template over the TPC-H-like database used by the
+/// Figure 1 walk-through and several unit tests.
+BoundTemplate BuildExample2dTemplate(const BenchmarkDb& tpch);
+
+/// A d-dimensional template over RD2 (d in [1, 10]) for the dimensionality
+/// sweeps (Figures 11, 12, 18).
+BoundTemplate BuildRd2TemplateWithDimensions(const BenchmarkDb& rd2, int d);
+
+}  // namespace scrpqo

@@ -1,0 +1,111 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+std::string SerializeTrace(const std::vector<WorkloadInstance>& instances) {
+  std::ostringstream os;
+  for (const auto& wi : instances) {
+    os << wi.id;
+    for (const auto& p : wi.instance.params()) {
+      char buf[40];
+      if (p.is_int64()) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(p.int64()));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", p.AsDouble());
+      }
+      os << "," << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<WorkloadInstance>> ParseTrace(const BoundTemplate& bt,
+                                                 const std::string& csv) {
+  const QueryTemplate& tmpl = *bt.tmpl;
+  std::vector<WorkloadInstance> out;
+  std::istringstream is(csv);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    if (static_cast<int>(cells.size()) != 1 + tmpl.dimensions()) {
+      return Status::InvalidArgument(
+          "trace line " + std::to_string(lineno) + ": expected " +
+          std::to_string(1 + tmpl.dimensions()) + " fields, got " +
+          std::to_string(cells.size()));
+    }
+    WorkloadInstance wi;
+    char* end = nullptr;
+    wi.id = static_cast<int>(std::strtol(cells[0].c_str(), &end, 10));
+    if (end == cells[0].c_str()) {
+      return Status::InvalidArgument("trace line " + std::to_string(lineno) +
+                                     ": bad id");
+    }
+    std::vector<Value> params;
+    for (int slot = 0; slot < tmpl.dimensions(); ++slot) {
+      const std::string& c = cells[static_cast<size_t>(slot) + 1];
+      const PredicateTemplate& pred = tmpl.PredicateForSlot(slot);
+      const std::string& table =
+          tmpl.tables()[static_cast<size_t>(pred.table_index)];
+      const TableDef& def = bt.db->db.catalog().GetTable(table);
+      int ci = def.ColumnIndex(pred.column);
+      if (ci < 0) {
+        return Status::InvalidArgument("trace references unknown column " +
+                                       pred.column);
+      }
+      end = nullptr;
+      double v = std::strtod(c.c_str(), &end);
+      if (end == c.c_str()) {
+        return Status::InvalidArgument("trace line " +
+                                       std::to_string(lineno) +
+                                       ": bad parameter value '" + c + "'");
+      }
+      if (def.columns[static_cast<size_t>(ci)].type == DataType::kInt64) {
+        params.emplace_back(static_cast<int64_t>(v));
+      } else {
+        params.emplace_back(v);
+      }
+    }
+    wi.instance = QueryInstance(bt.tmpl.get(), std::move(params));
+    wi.svector = ComputeSelectivityVector(bt.db->db, wi.instance);
+    out.push_back(std::move(wi));
+  }
+  return out;
+}
+
+Status SaveTrace(const std::vector<WorkloadInstance>& instances,
+                 const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  f << SerializeTrace(instances);
+  return f.good() ? Status::OK()
+                  : Status::Internal("write failed: " + path);
+}
+
+Result<std::vector<WorkloadInstance>> LoadTrace(const BoundTemplate& bt,
+                                                const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::NotFound("trace file not found: " + path);
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return ParseTrace(bt, buf.str());
+}
+
+}  // namespace scrpqo

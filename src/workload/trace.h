@@ -1,0 +1,34 @@
+// Workload trace persistence: save an instance sequence to CSV and replay
+// it later (or against a different technique/build). Traces store parameter
+// values, not selectivities — on load, sVectors are recomputed against the
+// current catalog statistics, exactly as a replayed production trace would
+// be.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pqo/engine_context.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+
+/// Serializes the instances (id + parameter values) as CSV text:
+///   id,param0,param1,...
+/// Doubles are printed round-trippably; string parameters are not supported
+/// (the engine's parameterized predicates are numeric).
+std::string SerializeTrace(const std::vector<WorkloadInstance>& instances);
+
+/// Parses CSV text into instances of `bt.tmpl`, recomputing sVectors
+/// against `bt.db`'s statistics.
+Result<std::vector<WorkloadInstance>> ParseTrace(const BoundTemplate& bt,
+                                                 const std::string& csv);
+
+/// File convenience wrappers.
+Status SaveTrace(const std::vector<WorkloadInstance>& instances,
+                 const std::string& path);
+Result<std::vector<WorkloadInstance>> LoadTrace(const BoundTemplate& bt,
+                                                const std::string& path);
+
+}  // namespace scrpqo

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "pqo/async_scr.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class AsyncScrTest : public ::testing::Test {
+ protected:
+  AsyncScrTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  WorkloadInstance MakeWi(int id, double s0, double s1) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(AsyncScrTest, ProcessesAllTasks) {
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(3);
+  int optimized = 0;
+  for (int i = 0; i < 100; ++i) {
+    PlanChoice c = scr.OnInstance(MakeWi(i, rng.UniformDouble(0.01, 0.9),
+                                         rng.UniformDouble(0.01, 0.9)),
+                                  &engine);
+    ASSERT_NE(c.plan, nullptr);
+    if (c.optimized) ++optimized;
+  }
+  scr.Flush();
+  EXPECT_EQ(scr.tasks_processed(), optimized);
+  EXPECT_GE(scr.NumPlansCached(), 1);
+}
+
+TEST_F(AsyncScrTest, ReturnsFreshOptimalPlanOnMiss) {
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  WorkloadInstance wi = MakeWi(0, 0.3, 0.3);
+  PlanChoice c = scr.OnInstance(wi, &engine);
+  EXPECT_TRUE(c.optimized);
+  // The returned plan is the instance's own optimum.
+  OptimizationResult opt =
+      optimizer_.OptimizeWithSVector(wi.instance, wi.svector);
+  EXPECT_EQ(c.plan->signature, MakeCachedPlan(opt).signature);
+}
+
+TEST_F(AsyncScrTest, ReusesAfterFlush) {
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  scr.OnInstance(MakeWi(0, 0.3, 0.3), &engine);
+  scr.Flush();  // manageCache applied
+  PlanChoice c = scr.OnInstance(MakeWi(1, 0.31, 0.31), &engine);
+  EXPECT_FALSE(c.optimized);
+}
+
+TEST_F(AsyncScrTest, GuaranteeHolds) {
+  const double lambda = 2.0;
+  AsyncScr scr(ScrOptions{.lambda = lambda});
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(7);
+  int violations = 0;
+  for (int i = 0; i < 200; ++i) {
+    WorkloadInstance wi = MakeWi(i, rng.UniformDouble(0.01, 0.9),
+                                 rng.UniformDouble(0.01, 0.9));
+    PlanChoice c = scr.OnInstance(wi, &engine);
+    double opt =
+        optimizer_.OptimizeWithSVector(wi.instance, wi.svector).cost;
+    if (engine.RecostUncharged(*c.plan, wi.svector) / opt > lambda * 1.001) {
+      ++violations;
+    }
+  }
+  scr.Flush();
+  EXPECT_LE(violations, 4);
+}
+
+TEST_F(AsyncScrTest, ComparableCacheStateToSyncScr) {
+  // Async application order matches arrival order here (single worker,
+  // FIFO), so after Flush the cache must match the synchronous run.
+  ScrOptions opts{.lambda = 1.5};
+  AsyncScr async_scr(opts);
+  Scr sync_scr(opts);
+  EngineContext async_engine(&db_, &optimizer_);
+  EngineContext sync_engine(&db_, &optimizer_);
+  Pcg32 rng(9);
+  for (int i = 0; i < 150; ++i) {
+    WorkloadInstance wi = MakeWi(i, rng.UniformDouble(0.01, 0.9),
+                                 rng.UniformDouble(0.01, 0.9));
+    async_scr.OnInstance(wi, &async_engine);
+    async_scr.Flush();  // lockstep: isolate semantics from races
+    sync_scr.OnInstance(wi, &sync_engine);
+  }
+  EXPECT_EQ(async_scr.NumPlansCached(), sync_scr.NumPlansCached());
+  EXPECT_EQ(async_engine.num_optimizer_calls(),
+            sync_engine.num_optimizer_calls());
+}
+
+TEST_F(AsyncScrTest, NameReflectsWrapper) {
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  EXPECT_EQ(scr.name(), "AsyncSCR2");
+}
+
+TEST_F(AsyncScrTest, DestructorDrainsCleanly) {
+  EngineContext engine(&db_, &optimizer_);
+  {
+    AsyncScr scr(ScrOptions{.lambda = 1.1});
+    Pcg32 rng(11);
+    for (int i = 0; i < 50; ++i) {
+      scr.OnInstance(MakeWi(i, rng.UniformDouble(0.01, 0.9),
+                            rng.UniformDouble(0.01, 0.9)),
+                     &engine);
+    }
+    // No Flush: destructor must join without deadlock or crash.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "pqo/density.h"
+#include "pqo/ellipse.h"
+#include "pqo/opt_always.h"
+#include "pqo/opt_once.h"
+#include "pqo/pcm.h"
+#include "pqo/ranges.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  WorkloadInstance MakeWi(int id, double s0, double s1) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(BaselinesTest, OptAlwaysOptimizesEverything) {
+  OptAlways t;
+  EngineContext engine(&db_, &optimizer_);
+  for (int i = 0; i < 10; ++i) {
+    PlanChoice c = t.OnInstance(MakeWi(i, 0.5, 0.5), &engine);
+    EXPECT_TRUE(c.optimized);
+  }
+  EXPECT_EQ(engine.num_optimizer_calls(), 10);
+  EXPECT_EQ(t.NumPlansCached(), 0);
+}
+
+TEST_F(BaselinesTest, OptOnceOptimizesExactlyOnce) {
+  OptOnce t;
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice first = t.OnInstance(MakeWi(0, 0.01, 0.01), &engine);
+  EXPECT_TRUE(first.optimized);
+  for (int i = 1; i < 10; ++i) {
+    PlanChoice c = t.OnInstance(MakeWi(i, 0.9, 0.9), &engine);
+    EXPECT_FALSE(c.optimized);
+    EXPECT_EQ(c.plan->signature, first.plan->signature);
+  }
+  EXPECT_EQ(engine.num_optimizer_calls(), 1);
+  EXPECT_EQ(t.NumPlansCached(), 1);
+}
+
+TEST_F(BaselinesTest, PcmInfersInsideDominatedRectangle) {
+  Pcm t(PcmOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  // Two corners whose optimal costs are within lambda of each other.
+  t.OnInstance(MakeWi(0, 0.30, 0.30), &engine);
+  t.OnInstance(MakeWi(1, 0.40, 0.40), &engine);
+  int64_t calls = engine.num_optimizer_calls();
+  // qc strictly between the corners: either inference succeeds (no new
+  // call) or costs were not within lambda — check the actual cost ratio.
+  double c_low =
+      optimizer_.Optimize(MakeWi(0, 0.30, 0.30).instance).cost;
+  double c_high =
+      optimizer_.Optimize(MakeWi(1, 0.40, 0.40).instance).cost;
+  PlanChoice c = t.OnInstance(MakeWi(2, 0.35, 0.35), &engine);
+  if (c_high <= 2.0 * c_low) {
+    EXPECT_FALSE(c.optimized);
+    EXPECT_EQ(engine.num_optimizer_calls(), calls);
+  } else {
+    EXPECT_TRUE(c.optimized);
+  }
+}
+
+TEST_F(BaselinesTest, PcmDoesNotInferOutsideRectangles) {
+  Pcm t(PcmOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  t.OnInstance(MakeWi(0, 0.3, 0.3), &engine);
+  t.OnInstance(MakeWi(1, 0.4, 0.4), &engine);
+  // Incomparable point (one dim above, one below): no domination pair.
+  PlanChoice c = t.OnInstance(MakeWi(2, 0.9, 0.01), &engine);
+  EXPECT_TRUE(c.optimized);
+}
+
+TEST_F(BaselinesTest, PcmGuaranteeHolds) {
+  const double lambda = 2.0;
+  Pcm t(PcmOptions{.lambda = lambda});
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(4);
+  int violations = 0;
+  for (int i = 0; i < 200; ++i) {
+    WorkloadInstance wi = MakeWi(i, rng.UniformDouble(0.01, 0.9),
+                                 rng.UniformDouble(0.01, 0.9));
+    PlanChoice c = t.OnInstance(wi, &engine);
+    double opt = optimizer_.OptimizeWithSVector(wi.instance, wi.svector).cost;
+    if (engine.RecostUncharged(*c.plan, wi.svector) / opt > lambda * 1.001) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, 8);  // PCM violations occur when monotonicity breaks
+}
+
+TEST_F(BaselinesTest, EllipseNeedsTwoPointsWithSamePlan) {
+  Ellipse t(EllipseOptions{.delta = 0.9});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice c0 = t.OnInstance(MakeWi(0, 0.30, 0.30), &engine);
+  EXPECT_TRUE(c0.optimized);
+  // A single stored point can never form an ellipse.
+  PlanChoice c1 = t.OnInstance(MakeWi(1, 0.31, 0.31), &engine);
+  EXPECT_TRUE(c1.optimized);
+}
+
+TEST_F(BaselinesTest, EllipseInfersBetweenFoci) {
+  Ellipse t(EllipseOptions{.delta = 0.9});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice a = t.OnInstance(MakeWi(0, 0.30, 0.30), &engine);
+  PlanChoice b = t.OnInstance(MakeWi(1, 0.34, 0.34), &engine);
+  if (a.plan->signature == b.plan->signature) {
+    // Midpoint lies inside the ellipse (sum of focal distances is minimal
+    // on the segment).
+    PlanChoice mid = t.OnInstance(MakeWi(2, 0.32, 0.32), &engine);
+    EXPECT_FALSE(mid.optimized);
+    // A far point is outside.
+    PlanChoice far = t.OnInstance(MakeWi(3, 0.9, 0.9), &engine);
+    EXPECT_TRUE(far.optimized);
+  }
+}
+
+TEST_F(BaselinesTest, DensityNeedsQuorum) {
+  Density t(DensityOptions{.radius = 0.1, .confidence = 0.5,
+                           .min_neighbors = 2});
+  EngineContext engine(&db_, &optimizer_);
+  EXPECT_TRUE(t.OnInstance(MakeWi(0, 0.50, 0.50), &engine).optimized);
+  // One neighbor is below quorum.
+  EXPECT_TRUE(t.OnInstance(MakeWi(1, 0.52, 0.52), &engine).optimized);
+  // Now two stored points near (0.5, 0.5); if they share a plan, the next
+  // nearby instance is inferred.
+  PlanChoice c = t.OnInstance(MakeWi(2, 0.51, 0.51), &engine);
+  // Whether inference fires depends on plan agreement; if it fired, no
+  // optimizer call was charged.
+  if (!c.optimized) {
+    EXPECT_EQ(engine.num_optimizer_calls(), 2);
+  }
+}
+
+TEST_F(BaselinesTest, RangesReusesInsideExpandedMbr) {
+  Ranges t(RangesOptions{.margin = 0.01});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice a = t.OnInstance(MakeWi(0, 0.40, 0.40), &engine);
+  EXPECT_TRUE(a.optimized);
+  // Within the margin of the stored point's degenerate MBR.
+  PlanChoice b = t.OnInstance(MakeWi(1, 0.405, 0.405), &engine);
+  EXPECT_FALSE(b.optimized);
+  EXPECT_EQ(b.plan->signature, a.plan->signature);
+  // Far outside any rectangle.
+  PlanChoice c = t.OnInstance(MakeWi(2, 0.05, 0.9), &engine);
+  EXPECT_TRUE(c.optimized);
+}
+
+TEST_F(BaselinesTest, RangesMbrGrowsWithOptimizedPoints) {
+  Ranges t(RangesOptions{.margin = 0.01});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice a = t.OnInstance(MakeWi(0, 0.40, 0.40), &engine);
+  PlanChoice b = t.OnInstance(MakeWi(1, 0.50, 0.50), &engine);
+  if (a.plan->signature == b.plan->signature) {
+    // The rectangle now spans [0.40, 0.50]^2: an interior point reuses.
+    PlanChoice mid = t.OnInstance(MakeWi(2, 0.45, 0.45), &engine);
+    EXPECT_FALSE(mid.optimized);
+  }
+}
+
+TEST_F(BaselinesTest, RecostRedundancyVariantStoresFewerPlans) {
+  // Log-uniform sampling touches the index/scan crossover region where many
+  // near-equivalent plans appear — the case redundancy rejection targets.
+  auto run = [&](double lambda_r) {
+    Ellipse t(EllipseOptions{.delta = 0.9,
+                             .recost_redundancy_lambda_r = lambda_r});
+    EngineContext engine(&db_, &optimizer_);
+    Pcg32 rng(9);
+    for (int i = 0; i < 200; ++i) {
+      double s0 = std::exp(rng.UniformDouble(std::log(0.001), std::log(0.9)));
+      double s1 = std::exp(rng.UniformDouble(std::log(0.001), std::log(0.9)));
+      t.OnInstance(MakeWi(i, s0, s1), &engine);
+    }
+    return t.PeakPlansCached();
+  };
+  int64_t plain = run(-1.0);
+  int64_t with_recost = run(2.0);
+  EXPECT_LE(with_recost, plain);
+  if (plain >= 5) {
+    EXPECT_LT(with_recost, plain);
+  }
+}
+
+TEST_F(BaselinesTest, TechniqueNames) {
+  EXPECT_EQ(Pcm(PcmOptions{.lambda = 2.0}).name(), "PCM2");
+  EXPECT_EQ(OptAlways().name(), "OptAlways");
+  EXPECT_EQ(OptOnce().name(), "OptOnce");
+  EXPECT_EQ(Ranges(RangesOptions{}).name(), "Ranges(0.01)");
+  Pcm pr(PcmOptions{.lambda = 2.0, .recost_redundancy_lambda_r = 1.4});
+  EXPECT_EQ(pr.name(), "PCM2+R");
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "pqo/cache_persistence.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class CachePersistenceTest : public ::testing::Test {
+ protected:
+  CachePersistenceTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  WorkloadInstance MakeWi(int id, double s0, double s1) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  /// Warms an SCR cache with a deterministic stream.
+  void Warm(Scr* scr, EngineContext* engine, int m = 150) {
+    Pcg32 rng(5);
+    for (int i = 0; i < m; ++i) {
+      scr->OnInstance(MakeWi(i, rng.UniformDouble(0.005, 0.95),
+                             rng.UniformDouble(0.005, 0.95)),
+                      engine);
+    }
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(CachePersistenceTest, RoundTripPreservesCacheShape) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine);
+
+  std::string snapshot = SaveScrCache(scr);
+  Scr restored(ScrOptions{.lambda = 1.5});
+  Status st = LoadScrCache(snapshot, &restored);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(restored.NumPlansCached(), scr.NumPlansCached());
+  EXPECT_EQ(restored.NumInstancesStored(), scr.NumInstancesStored());
+}
+
+TEST_F(CachePersistenceTest, RestoredCacheMakesSameDecisions) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine);
+
+  Scr restored(ScrOptions{.lambda = 1.5});
+  ASSERT_TRUE(LoadScrCache(SaveScrCache(scr), &restored).ok());
+
+  // A fresh probe stream must get identical reuse decisions and plans.
+  EngineContext e1(&db_, &optimizer_);
+  EngineContext e2(&db_, &optimizer_);
+  Pcg32 rng(9);
+  for (int i = 0; i < 80; ++i) {
+    WorkloadInstance wi = MakeWi(1000 + i, rng.UniformDouble(0.005, 0.95),
+                                 rng.UniformDouble(0.005, 0.95));
+    PlanChoice a = scr.OnInstance(wi, &e1);
+    PlanChoice b = restored.OnInstance(wi, &e2);
+    EXPECT_EQ(a.optimized, b.optimized) << "instance " << i;
+    EXPECT_EQ(a.plan->signature, b.plan->signature) << "instance " << i;
+  }
+  EXPECT_EQ(e1.num_optimizer_calls(), e2.num_optimizer_calls());
+}
+
+TEST_F(CachePersistenceTest, RestoreRequiresEmptyCache) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 30);
+  std::string snapshot = SaveScrCache(scr);
+  // Restoring into a non-empty cache is rejected.
+  Status st = LoadScrCache(snapshot, &scr);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(CachePersistenceTest, RejectsMalformedSnapshots) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EXPECT_FALSE(LoadScrCache("", &scr).ok());
+  EXPECT_FALSE(LoadScrCache("wrong-header\n", &scr).ok());
+  EXPECT_FALSE(LoadScrCache("scrpqo-cache-v1\nX junk\n", &scr).ok());
+  EXPECT_FALSE(
+      LoadScrCache("scrpqo-cache-v1\nI 0 1.0 1.0 1 0 2 0.5\n", &scr).ok());
+  // Instance referencing a plan ordinal that does not exist.
+  EXPECT_FALSE(
+      LoadScrCache("scrpqo-cache-v1\nI 3 1.0 1.0 1 0 1 0.5\n", &scr).ok());
+}
+
+TEST_F(CachePersistenceTest, FileRoundTrip) {
+  Scr scr(ScrOptions{.lambda = 2.0});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 60);
+  std::string path = ::testing::TempDir() + "/scrpqo_cache_test.txt";
+  ASSERT_TRUE(SaveScrCacheToFile(scr, path).ok());
+  Scr restored(ScrOptions{.lambda = 2.0});
+  Status st = LoadScrCacheFromFile(path, &restored);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(restored.NumPlansCached(), scr.NumPlansCached());
+  std::remove(path.c_str());
+}
+
+TEST_F(CachePersistenceTest, SpatialIndexRebuiltOnRestore) {
+  ScrOptions opts{.lambda = 1.5};
+  opts.use_spatial_index = true;
+  Scr scr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 100);
+
+  Scr restored(opts);
+  ASSERT_TRUE(LoadScrCache(SaveScrCache(scr), &restored).ok());
+  // Reuse must work through the index immediately.
+  EngineContext e2(&db_, &optimizer_);
+  PlanChoice c = restored.OnInstance(MakeWi(5000, 0.3, 0.3), &e2);
+  EXPECT_NE(c.plan, nullptr);
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,64 @@
+// End-to-end estimation accuracy: the optimizer's estimated output
+// cardinality must track the executor's actual row counts within histogram
+// resolution across the selectivity grid. This pins the whole pipeline
+// (histograms -> leaf selectivities -> join cardinality model) to ground
+// truth.
+#include <gtest/gtest.h>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class CardinalityAccuracyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CardinalityAccuracyTest, EstimateTracksActual) {
+  static Database db = testing::MakeSmallDatabase(20000, 500, 31);
+  static auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  auto [s0, s1] = GetParam();
+  QueryInstance q = InstanceForSelectivities(db, *tmpl, {s0, s1});
+  OptimizationResult r = optimizer.Optimize(q);
+  ExecutionResult exec = ExecutePlan(db, q, *r.plan);
+
+  double actual = static_cast<double>(exec.rows);
+  double est = r.plan->est_rows;
+  if (actual < 50) {
+    // Tiny results: absolute tolerance (independence assumption noise).
+    EXPECT_NEAR(est, actual, 60.0);
+  } else {
+    // Sizeable results: within 2.5x either way.
+    EXPECT_GT(est, actual / 2.5) << "underestimate";
+    EXPECT_LT(est, actual * 2.5) << "overestimate";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CardinalityAccuracyTest,
+    ::testing::Values(std::make_pair(0.02, 0.1), std::make_pair(0.05, 0.5),
+                      std::make_pair(0.1, 0.9), std::make_pair(0.3, 0.3),
+                      std::make_pair(0.5, 0.7), std::make_pair(0.7, 0.2),
+                      std::make_pair(0.9, 0.9), std::make_pair(0.95, 0.5)));
+
+TEST(CardinalityAccuracyTest, SingleTableExact) {
+  // Without joins the only error source is the histogram itself: estimates
+  // must be tight.
+  Database db = testing::MakeSmallDatabase(20000, 500, 33);
+  auto tmpl = testing::MakeScanTemplate();
+  Optimizer optimizer(&db);
+  for (double s : {0.05, 0.2, 0.5, 0.8}) {
+    QueryInstance q = InstanceForSelectivities(db, *tmpl, {s});
+    OptimizationResult r = optimizer.Optimize(q);
+    ExecutionResult exec = ExecutePlan(db, q, *r.plan);
+    EXPECT_NEAR(r.plan->est_rows, static_cast<double>(exec.rows),
+                20000 * 0.02)
+        << "s=" << s;
+  }
+}
+
+}  // namespace
+}  // namespace scrpqo

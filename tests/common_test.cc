@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/env.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace scrpqo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kInternal, StatusCode::kNotImplemented}) {
+    EXPECT_NE(Status::CodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Pcg32Test, DeterministicAcrossInstances) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, UniformIntInRange) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-7, 13);
+    EXPECT_GE(v, -7);
+    EXPECT_LE(v, 13);
+  }
+}
+
+TEST(Pcg32Test, UniformIntSingleton) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(9, 9), 9);
+  }
+}
+
+TEST(Pcg32Test, UniformIntCoversAllValues) {
+  Pcg32 rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[rng.UniformInt(0, 9)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700) << "value " << v << " badly underrepresented";
+  }
+}
+
+TEST(Pcg32Test, UniformDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, NormalHasRequestedMoments) {
+  Pcg32 rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Pcg32Test, ShuffleIsPermutation) {
+  Pcg32 rng(5);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Pcg32 rng(5);
+  ZipfSampler zipf(10, 0.0);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 50000.0, 0.1, 0.02) << "rank " << v;
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  Pcg32 rng(5);
+  ZipfSampler zipf(1000, 1.2);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) < 10) ++low;
+  }
+  // With theta=1.2, the first 10 ranks carry far more than 10/1000 of mass.
+  EXPECT_GT(static_cast<double>(low) / n, 0.4);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Pcg32 rng(5);
+  ZipfSampler zipf(17, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 17);
+  }
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, EndpointsAndMedian) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_EQ(Percentile(v, 100.0), 5.0);
+  EXPECT_EQ(Percentile(v, 50.0), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_NEAR(Percentile(v, 25.0), 2.5, 1e-12);
+  EXPECT_NEAR(Percentile(v, 75.0), 7.5, 1e-12);
+}
+
+TEST(MeanMaxTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Max({}), 0.0);
+  EXPECT_NEAR(Mean({1, 2, 3, 4}), 2.5, 1e-12);
+  EXPECT_EQ(Max({1, 7, 3}), 7.0);
+}
+
+TEST(GlFactorsTest, GCollectsIncreases) {
+  // ratios: dim0 doubled, dim1 halved, dim2 unchanged.
+  std::vector<double> ratios{2.0, 0.5, 1.0};
+  EXPECT_NEAR(ComputeG(ratios), 2.0, 1e-12);
+  EXPECT_NEAR(ComputeL(ratios), 2.0, 1e-12);
+}
+
+TEST(GlFactorsTest, IdentityWhenEqual) {
+  std::vector<double> ratios{1.0, 1.0};
+  EXPECT_EQ(ComputeG(ratios), 1.0);
+  EXPECT_EQ(ComputeL(ratios), 1.0);
+}
+
+TEST(GlFactorsTest, MultiDimensionalProduct) {
+  std::vector<double> ratios{3.0, 2.0, 0.25, 0.5};
+  EXPECT_NEAR(ComputeG(ratios), 6.0, 1e-12);
+  EXPECT_NEAR(ComputeL(ratios), 8.0, 1e-12);
+}
+
+TEST(SelectivityRatiosTest, ComputesComponentwise) {
+  std::vector<double> from{0.1, 0.4};
+  std::vector<double> to{0.2, 0.1};
+  auto r = SelectivityRatios(from, to);
+  EXPECT_NEAR(r[0], 2.0, 1e-12);
+  EXPECT_NEAR(r[1], 0.25, 1e-12);
+}
+
+TEST(SelectivityRatiosTest, FloorsZeroSelectivities) {
+  auto r = SelectivityRatios({0.0, 0.5}, {0.1, 0.5});
+  EXPECT_TRUE(std::isfinite(r[0]));
+  EXPECT_GT(r[0], 1.0);
+}
+
+TEST(EuclideanDistanceTest, Basics) {
+  EXPECT_NEAR(EuclideanDistance({0, 0}, {3, 4}), 5.0, 1e-12);
+  EXPECT_EQ(EuclideanDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(EnvTest, FallsBackOnMissing) {
+  ::unsetenv("SCRPQO_TEST_ENV_VAR");
+  EXPECT_EQ(EnvInt64("SCRPQO_TEST_ENV_VAR", 17), 17);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+}
+
+TEST(EnvTest, ParsesValues) {
+  ::setenv("SCRPQO_TEST_ENV_VAR", "123", 1);
+  EXPECT_EQ(EnvInt64("SCRPQO_TEST_ENV_VAR", 17), 123);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "1.75", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 1.75);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "junk", 1);
+  EXPECT_EQ(EnvInt64("SCRPQO_TEST_ENV_VAR", 17), 17);
+  ::unsetenv("SCRPQO_TEST_ENV_VAR");
+}
+
+/// Property sweep: G * L of the ratio vector from a to b equals the product
+/// of max(r, 1/r) over dimensions — both factors capture total "movement".
+class GlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlPropertyTest, GlEqualsTotalMovement) {
+  Pcg32 rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    int d = static_cast<int>(rng.UniformInt(1, 8));
+    std::vector<double> a(static_cast<size_t>(d)), b(static_cast<size_t>(d));
+    for (int i = 0; i < d; ++i) {
+      a[static_cast<size_t>(i)] = rng.UniformDouble(0.001, 1.0);
+      b[static_cast<size_t>(i)] = rng.UniformDouble(0.001, 1.0);
+    }
+    auto ratios = SelectivityRatios(a, b);
+    double expected = 1.0;
+    for (double r : ratios) expected *= std::max(r, 1.0 / r);
+    EXPECT_NEAR(ComputeG(ratios) * ComputeL(ratios), expected,
+                expected * 1e-9);
+    // Symmetry: swapping a and b swaps G and L.
+    auto rev = SelectivityRatios(b, a);
+    EXPECT_NEAR(ComputeG(ratios), ComputeL(rev), ComputeG(ratios) * 1e-9);
+    EXPECT_NEAR(ComputeL(ratios), ComputeG(rev), ComputeL(ratios) * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace scrpqo

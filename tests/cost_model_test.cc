@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+
+namespace scrpqo {
+namespace {
+
+std::shared_ptr<PhysicalPlanNode> Scan(double base_rows,
+                                       std::vector<PredSpec> preds = {}) {
+  auto n = std::make_shared<PhysicalPlanNode>();
+  n->kind = PhysicalOpKind::kTableScan;
+  n->leaf.table_index = 0;
+  n->leaf.table = "t";
+  n->leaf.base_rows = base_rows;
+  n->leaf.preds = std::move(preds);
+  return n;
+}
+
+PredSpec ParamPred(int slot) {
+  PredSpec p;
+  p.column = "c";
+  p.op = CompareOp::kLe;
+  p.param_slot = slot;
+  return p;
+}
+
+PredSpec LiteralPred(double sel) {
+  PredSpec p;
+  p.column = "c";
+  p.op = CompareOp::kLe;
+  p.literal_sel = sel;
+  return p;
+}
+
+TEST(CostModelTest, PredSelectivityReadsSlotOrLiteral) {
+  CostModel cm;
+  SVector sv{0.3};
+  EXPECT_EQ(cm.PredSelectivity(ParamPred(0), sv), 0.3);
+  EXPECT_EQ(cm.PredSelectivity(LiteralPred(0.7), sv), 0.7);
+}
+
+TEST(CostModelTest, LeafSelectivityIsProduct) {
+  CostModel cm;
+  LeafInfo leaf;
+  leaf.preds = {ParamPred(0), LiteralPred(0.5)};
+  SVector sv{0.4};
+  EXPECT_NEAR(cm.LeafSelectivity(leaf, sv), 0.2, 1e-12);
+}
+
+TEST(CostModelTest, TableScanCostIndependentOfSelectivity) {
+  CostModel cm;
+  auto scan = Scan(10000, {ParamPred(0)});
+  cm.DeriveNode(scan.get(), {0.1});
+  double c1 = scan->est_cost;
+  double r1 = scan->est_rows;
+  cm.DeriveNode(scan.get(), {0.9});
+  EXPECT_EQ(scan->est_cost, c1);       // full scan reads everything anyway
+  EXPECT_NEAR(scan->est_rows, 9.0 * r1, 1e-6);
+}
+
+TEST(CostModelTest, IndexSeekCostScalesLinearly) {
+  CostModel cm;
+  auto seek = Scan(100000, {ParamPred(0)});
+  seek->kind = PhysicalOpKind::kIndexSeek;
+  seek->leaf.index_column = "c";
+  seek->leaf.seek_pred = 0;
+  cm.DeriveNode(seek.get(), {0.01});
+  double c_small = seek->est_cost;
+  cm.DeriveNode(seek.get(), {0.02});
+  double c_double = seek->est_cost;
+  // Doubling selectivity must not grow cost by more than 2x (BCG with
+  // f(alpha) = alpha), and should grow noticeably.
+  EXPECT_LT(c_double, 2.0 * c_small * 1.0001);
+  EXPECT_GT(c_double, 1.5 * c_small);
+}
+
+TEST(CostModelTest, SeekVsScanCrossover) {
+  // At tiny selectivity a seek beats the scan; at high selectivity the
+  // RID lookups make it lose. The optimizer needs this crossover to produce
+  // distinct plans across the selectivity space.
+  CostModel cm;
+  auto scan = Scan(100000, {ParamPred(0)});
+  auto seek = Scan(100000, {ParamPred(0)});
+  seek->kind = PhysicalOpKind::kIndexSeek;
+  seek->leaf.index_column = "c";
+  seek->leaf.seek_pred = 0;
+
+  cm.DeriveNode(scan.get(), {0.001});
+  cm.DeriveNode(seek.get(), {0.001});
+  EXPECT_LT(seek->est_cost, scan->est_cost);
+
+  cm.DeriveNode(scan.get(), {0.9});
+  cm.DeriveNode(seek.get(), {0.9});
+  EXPECT_GT(seek->est_cost, scan->est_cost);
+}
+
+TEST(CostModelTest, HashJoinCostAdditiveInInputs) {
+  CostModel cm;
+  SVector sv{};
+  auto mk = [&](double lrows, double rrows) {
+    auto l = Scan(lrows);
+    auto r = Scan(rrows);
+    cm.DeriveNode(l.get(), sv);
+    cm.DeriveNode(r.get(), sv);
+    auto hj = std::make_shared<PhysicalPlanNode>();
+    hj->kind = PhysicalOpKind::kHashJoin;
+    hj->children = {l, r};
+    hj->join.join_sel = 1e-4;
+    cm.DeriveNode(hj.get(), sv);
+    return hj->est_local_cost;
+  };
+  double base = mk(10000, 10000);
+  double double_probe = mk(20000, 10000);
+  // s1 + s2 shape: doubling one input grows local cost by < 2x.
+  EXPECT_LT(double_probe, 2.0 * base);
+  EXPECT_GT(double_probe, base);
+}
+
+TEST(CostModelTest, NaiveNljCostMultiplicative) {
+  CostModel cm;
+  SVector sv{};
+  auto mk = [&](double lrows, double rrows) {
+    auto l = Scan(lrows);
+    auto r = Scan(rrows);
+    cm.DeriveNode(l.get(), sv);
+    cm.DeriveNode(r.get(), sv);
+    auto nlj = std::make_shared<PhysicalPlanNode>();
+    nlj->kind = PhysicalOpKind::kNaiveNestedLoopsJoin;
+    nlj->children = {l, r};
+    nlj->join.join_sel = 1e-4;
+    cm.DeriveNode(nlj.get(), sv);
+    return nlj->est_cost;
+  };
+  double base = mk(1000, 1000);
+  double quad = mk(2000, 2000);
+  // s1 * s2 shape: doubling both inputs roughly quadruples cost.
+  EXPECT_GT(quad, 3.0 * base);
+}
+
+TEST(CostModelTest, SortSpillDiscontinuity) {
+  CostModel cm;
+  double mem = cm.params().memory_rows;
+  auto below = Scan(mem * 0.99);
+  auto above = Scan(mem * 1.01);
+  SVector sv{};
+  cm.DeriveNode(below.get(), sv);
+  cm.DeriveNode(above.get(), sv);
+  auto mk_sort = [&](std::shared_ptr<PhysicalPlanNode> child) {
+    auto s = std::make_shared<PhysicalPlanNode>();
+    s->kind = PhysicalOpKind::kSort;
+    s->sort_key = SortKey{0, "c"};
+    s->children = {child};
+    cm.DeriveNode(s.get(), sv);
+    return s->est_local_cost;
+  };
+  double c_below = mk_sort(below);
+  double c_above = mk_sort(above);
+  // The 2% input growth must produce a much larger cost jump (spill IO) —
+  // this is a deliberate BCG-violation source (paper Section 5.4).
+  EXPECT_GT(c_above, 1.5 * c_below);
+}
+
+TEST(CostModelTest, AggregateOutputCappedByDistinct) {
+  CostModel cm;
+  auto child = Scan(50000);
+  SVector sv{};
+  cm.DeriveNode(child.get(), sv);
+  auto agg = std::make_shared<PhysicalPlanNode>();
+  agg->kind = PhysicalOpKind::kHashAggregate;
+  agg->children = {child};
+  agg->agg.group_distinct = 20;
+  cm.DeriveNode(agg.get(), sv);
+  EXPECT_EQ(agg->est_rows, 20.0);
+}
+
+TEST(CostModelTest, RecostTreeMatchesDeriveNode) {
+  CostModel cm;
+  SVector sv{0.2};
+  auto l = Scan(10000, {ParamPred(0)});
+  auto r = Scan(500);
+  cm.DeriveNode(l.get(), sv);
+  cm.DeriveNode(r.get(), sv);
+  auto hj = std::make_shared<PhysicalPlanNode>();
+  hj->kind = PhysicalOpKind::kHashJoin;
+  hj->children = {l, r};
+  hj->join.join_sel = 1e-3;
+  cm.DeriveNode(hj.get(), sv);
+  EXPECT_NEAR(cm.RecostTree(*hj, sv), hj->est_cost, 1e-9);
+}
+
+/// BCG property sweep (paper Section 5.4): for linear-shaped operators,
+/// scaling one selectivity dimension by alpha scales plan cost by at most
+/// alpha (f(alpha) = alpha), and cost is monotone (PCM).
+class BcgPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BcgPropertyTest, ScanAndJoinRespectBcg) {
+  CostModel cm;
+  double alpha = GetParam();
+  auto l = Scan(20000, {ParamPred(0)});
+  auto r = Scan(3000, {ParamPred(1)});
+  auto hj = std::make_shared<PhysicalPlanNode>();
+  hj->kind = PhysicalOpKind::kHashJoin;
+  hj->children = {l, r};
+  hj->join.join_sel = 1e-3;
+
+  SVector base{0.05, 0.1};
+  cm.DeriveNode(l.get(), base);
+  cm.DeriveNode(r.get(), base);
+  cm.DeriveNode(hj.get(), base);
+  double c0 = hj->est_cost;
+
+  for (int dim = 0; dim < 2; ++dim) {
+    SVector scaled = base;
+    scaled[static_cast<size_t>(dim)] *= alpha;
+    double c1 = cm.RecostTree(*hj, scaled);
+    EXPECT_GE(c1, c0 * 0.999) << "PCM violated in dim " << dim;
+    EXPECT_LE(c1, alpha * c0 * 1.001) << "BCG violated in dim " << dim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, BcgPropertyTest,
+                         ::testing::Values(1.5, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,139 @@
+// Cross-database property sweep: for generated templates over ALL four
+// evaluation schemas, core engine invariants must hold — the optimizer is
+// deterministic and internally consistent, Recost agrees with optimization,
+// and different physical plans produce identical query results on real
+// data. This is the repository's broadest end-to-end net.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_signature.h"
+#include "optimizer/plan_validate.h"
+#include "optimizer/recost.h"
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+namespace {
+
+/// One shared small-scale materialized universe (building four databases
+/// with rows is the expensive part).
+struct Universe {
+  std::vector<BenchmarkDb> dbs;
+  std::vector<BoundTemplate> templates;
+
+  Universe() {
+    SchemaScale scale;
+    scale.factor = 0.12;
+    scale.materialize_rows = true;
+    dbs = BuildAllDatabases(scale);
+    TemplateGenOptions topts;
+    topts.num_templates = 16;
+    topts.max_tables = 4;  // keep brute executions fast
+    templates = BuildTemplates(dbs, topts);
+  }
+
+  static Universe& Get() {
+    static Universe* u = new Universe();
+    return *u;
+  }
+};
+
+class CrossDbTest : public ::testing::TestWithParam<int> {
+ protected:
+  const BoundTemplate& Template() {
+    return Universe::Get().templates[static_cast<size_t>(GetParam())];
+  }
+};
+
+TEST_P(CrossDbTest, OptimizeRecostInvariant) {
+  const BoundTemplate& bt = Template();
+  Optimizer optimizer(&bt.db->db);
+  RecostService recost(&optimizer.cost_model());
+  InstanceGenOptions gen;
+  gen.m = 6;
+  gen.seed = 500 + static_cast<uint64_t>(GetParam());
+  for (const auto& wi : GenerateInstances(bt, gen)) {
+    OptimizationResult r =
+        optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+    ASSERT_NE(r.plan, nullptr);
+    EXPECT_GT(r.cost, 0.0);
+    Status valid = ValidatePlan(*r.plan, *bt.tmpl, bt.db->db.catalog());
+    EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n"
+                            << r.plan->ToString();
+    CachedPlan cached = MakeCachedPlan(r);
+    EXPECT_NEAR(recost.Recost(cached, wi.svector), r.cost, r.cost * 1e-9)
+        << bt.tmpl->name();
+    // Determinism.
+    OptimizationResult again =
+        optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+    EXPECT_EQ(PlanSignatureHash(*again.plan), cached.signature);
+    EXPECT_EQ(again.cost, r.cost);
+  }
+}
+
+TEST_P(CrossDbTest, PhysicalAlternativesAgreeOnResults) {
+  const BoundTemplate& bt = Template();
+  InstanceGenOptions gen;
+  gen.m = 3;
+  gen.seed = 900 + static_cast<uint64_t>(GetParam());
+  for (const auto& wi : GenerateInstances(bt, gen)) {
+    std::set<int64_t> row_counts;
+    std::set<uint64_t> checksums;
+    for (int mask = 0; mask < 4; ++mask) {
+      OptimizerOptions opts;
+      opts.enable_merge_join = mask & 1;
+      opts.enable_indexed_nlj = mask & 2;
+      Optimizer optimizer(&bt.db->db, opts);
+      OptimizationResult r =
+          optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+      ExecutionResult exec = ExecutePlan(bt.db->db, wi.instance, *r.plan);
+      row_counts.insert(exec.rows);
+      checksums.insert(exec.checksum);
+    }
+    EXPECT_EQ(row_counts.size(), 1u)
+        << bt.tmpl->name() << " " << wi.instance.ToString();
+    // Aggregates emit one *representative* row per group; which row
+    // represents a group legitimately depends on the physical plan, so the
+    // checksum comparison only applies to non-aggregate templates.
+    if (!bt.tmpl->aggregate().enabled) {
+      EXPECT_EQ(checksums.size(), 1u)
+          << bt.tmpl->name() << " " << wi.instance.ToString();
+    }
+  }
+}
+
+TEST_P(CrossDbTest, MonotoneCostAlongEachDimension) {
+  // PCM sanity for *optimal* costs: admitting more rows should not make the
+  // optimal plan cheaper (small tolerance for estimation noise).
+  const BoundTemplate& bt = Template();
+  Optimizer optimizer(&bt.db->db);
+  int d = bt.tmpl->dimensions();
+  for (int dim = 0; dim < d; ++dim) {
+    double prev = 0.0;
+    for (double s : {0.02, 0.2, 0.6, 0.95}) {
+      SVector targets(static_cast<size_t>(d), 0.3);
+      targets[static_cast<size_t>(dim)] = s;
+      QueryInstance q = InstanceForSelectivities(bt.db->db, *bt.tmpl,
+                                                 targets);
+      OptimizationResult r = optimizer.Optimize(q);
+      EXPECT_GE(r.cost, prev * 0.97)
+          << bt.tmpl->name() << " dim=" << dim << " s=" << s;
+      prev = std::max(prev, r.cost);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, CrossDbTest, ::testing::Range(0, 16),
+                         [](const auto& info) {
+                           return Universe::Get()
+                               .templates[static_cast<size_t>(info.param)]
+                               .tmpl->name();
+                         });
+
+}  // namespace
+}  // namespace scrpqo

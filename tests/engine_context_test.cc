@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pqo/engine_context.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class EngineContextTest : public ::testing::Test {
+ protected:
+  EngineContextTest()
+      : db_(testing::MakeSmallDatabase(5000, 200)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  WorkloadInstance MakeWi(int id, double s0, double s1) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(EngineContextTest, CountsOptimizerCalls) {
+  EngineContext engine(&db_, &optimizer_);
+  EXPECT_EQ(engine.num_optimizer_calls(), 0);
+  engine.Optimize(MakeWi(0, 0.3, 0.3));
+  engine.Optimize(MakeWi(1, 0.5, 0.5));
+  EXPECT_EQ(engine.num_optimizer_calls(), 2);
+  engine.ResetCounters();
+  EXPECT_EQ(engine.num_optimizer_calls(), 0);
+}
+
+TEST_F(EngineContextTest, CountsRecostCalls) {
+  EngineContext engine(&db_, &optimizer_);
+  auto r = engine.Optimize(MakeWi(0, 0.3, 0.3));
+  CachedPlan cached = MakeCachedPlan(*r);
+  engine.Recost(cached, r->svector);
+  engine.Recost(cached, r->svector);
+  EXPECT_EQ(engine.num_recost_calls(), 2);
+}
+
+TEST_F(EngineContextTest, UnchargedRecostDoesNotCount) {
+  EngineContext engine(&db_, &optimizer_);
+  auto r = engine.Optimize(MakeWi(0, 0.3, 0.3));
+  CachedPlan cached = MakeCachedPlan(*r);
+  double a = engine.RecostUncharged(cached, r->svector);
+  EXPECT_EQ(engine.num_recost_calls(), 0);
+  double b = engine.Recost(cached, r->svector);
+  EXPECT_EQ(a, b);  // same arithmetic either way
+}
+
+TEST_F(EngineContextTest, OracleShortCircuitsButStillCharges) {
+  EngineContext engine(&db_, &optimizer_);
+  WorkloadInstance wi = MakeWi(7, 0.4, 0.6);
+  auto canned = std::make_shared<OptimizationResult>(
+      optimizer_.OptimizeWithSVector(wi.instance, wi.svector));
+  int oracle_hits = 0;
+  engine.SetOracle([&](const WorkloadInstance& q)
+                       -> std::shared_ptr<const OptimizationResult> {
+    ++oracle_hits;
+    EXPECT_EQ(q.id, 7);
+    return canned;
+  });
+  auto r = engine.Optimize(wi);
+  EXPECT_EQ(oracle_hits, 1);
+  EXPECT_EQ(r.get(), canned.get());
+  EXPECT_EQ(engine.num_optimizer_calls(), 1);  // charged despite the oracle
+}
+
+TEST_F(EngineContextTest, OptimizeWithoutOracleMatchesDirectCall) {
+  EngineContext engine(&db_, &optimizer_);
+  WorkloadInstance wi = MakeWi(0, 0.25, 0.75);
+  auto via_engine = engine.Optimize(wi);
+  OptimizationResult direct =
+      optimizer_.OptimizeWithSVector(wi.instance, wi.svector);
+  EXPECT_EQ(via_engine->cost, direct.cost);
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,196 @@
+// Executor edge cases: empty inputs per operator, duplicate-key runs in
+// merge join, ordered output of index access, and iterator re-Open
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  ExecutorEdgeTest()
+      : db_(testing::MakeSmallDatabase(2000, 100)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  /// Builds the plan tree for a specific optimizer subspace.
+  PlanPtr PlanWith(const QueryInstance& q, bool merge, bool inlj,
+                   bool seek) {
+    OptimizerOptions opts;
+    opts.enable_merge_join = merge;
+    opts.enable_indexed_nlj = inlj;
+    opts.enable_index_seek = seek;
+    opts.enable_naive_nlj = !merge && !inlj;  // force naive NLJ sometimes
+    Optimizer o(&db_, opts);
+    return o.Optimize(q).plan;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(ExecutorEdgeTest, EmptyProbeSideHashJoin) {
+  // Parameter below the column minimum: zero fact rows qualify.
+  QueryInstance q(tmpl_.get(), {Value(int64_t{-1}), Value(int64_t{100})});
+  PlanPtr plan = PlanWith(q, false, false, false);
+  ExecutionResult r = ExecutePlan(db_, q, *plan);
+  EXPECT_EQ(r.rows, 0);
+}
+
+TEST_F(ExecutorEdgeTest, EmptyBuildSideHashJoin) {
+  QueryInstance q(tmpl_.get(), {Value(int64_t{20000}), Value(int64_t{-1})});
+  PlanPtr plan = PlanWith(q, false, false, false);
+  ExecutionResult r = ExecutePlan(db_, q, *plan);
+  EXPECT_EQ(r.rows, 0);
+}
+
+TEST_F(ExecutorEdgeTest, EmptyInputsMergeJoin) {
+  QueryInstance q(tmpl_.get(), {Value(int64_t{-1}), Value(int64_t{-1})});
+  PlanPtr plan = PlanWith(q, true, false, false);
+  ExecutionResult r = ExecutePlan(db_, q, *plan);
+  EXPECT_EQ(r.rows, 0);
+}
+
+TEST_F(ExecutorEdgeTest, EmptyOuterIndexedNlj) {
+  QueryInstance q(tmpl_.get(), {Value(int64_t{-1}), Value(int64_t{100})});
+  PlanPtr plan = PlanWith(q, false, true, true);
+  ExecutionResult r = ExecutePlan(db_, q, *plan);
+  EXPECT_EQ(r.rows, 0);
+}
+
+TEST_F(ExecutorEdgeTest, MergeJoinHandlesDuplicateKeyRuns) {
+  // fact.f_dim is a many-to-one FK into dim: duplicate keys on the fact
+  // side are the norm. Compare merge-join to hash-join results exactly.
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.8, 0.9});
+  ExecutionResult mj = ExecutePlan(db_, q, *PlanWith(q, true, false, false));
+  ExecutionResult hj =
+      ExecutePlan(db_, q, *PlanWith(q, false, false, false));
+  EXPECT_GT(mj.rows, 0);
+  EXPECT_EQ(mj.rows, hj.rows);
+  EXPECT_EQ(mj.checksum, hj.checksum);
+}
+
+TEST_F(ExecutorEdgeTest, IndexAccessProducesKeyOrder) {
+  auto scan_tmpl = testing::MakeScanTemplate();
+  QueryInstance q = InstanceForSelectivities(db_, *scan_tmpl, {0.4});
+  OptimizationResult r = optimizer_.Optimize(q);
+  // Find (or construct) an index-seek leaf for fact.f_value.
+  auto seek = std::make_shared<PhysicalPlanNode>();
+  seek->kind = PhysicalOpKind::kIndexSeek;
+  seek->leaf.table_index = 0;
+  seek->leaf.table = "fact";
+  seek->leaf.base_rows = 2000;
+  PredSpec p;
+  p.column = "f_value";
+  p.op = CompareOp::kLe;
+  p.param_slot = 0;
+  seek->leaf.preds.push_back(p);
+  seek->leaf.index_column = "f_value";
+  seek->leaf.seek_pred = 0;
+
+  auto it = BuildIterator(db_, q, *seek);
+  it->Open();
+  ExecRow row;
+  double prev = -1e300;
+  const ColumnData& col = db_.GetTableData("fact").column("f_value");
+  int count = 0;
+  while (it->Next(&row)) {
+    double v = col.GetDouble(row.ids[0]);
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++count;
+  }
+  EXPECT_GT(count, 0);
+  (void)r;
+}
+
+TEST_F(ExecutorEdgeTest, IteratorReOpenRestarts) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.5});
+  OptimizationResult r = optimizer_.Optimize(q);
+  auto it = BuildIterator(db_, q, *r.plan);
+  it->Open();
+  int64_t first = 0;
+  ExecRow row;
+  while (it->Next(&row)) ++first;
+  it->Open();  // restart
+  int64_t second = 0;
+  while (it->Next(&row)) ++second;
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0);
+}
+
+TEST_F(ExecutorEdgeTest, NaiveNljMatchesHashJoin) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.2, 0.4});
+  OptimizerOptions naive_only;
+  naive_only.enable_merge_join = false;
+  naive_only.enable_indexed_nlj = false;
+  naive_only.enable_index_seek = false;
+  // Force naive NLJ by comparing against a manually built one.
+  Optimizer o(&db_, naive_only);
+  OptimizationResult base = o.Optimize(q);
+
+  auto nlj = std::make_shared<PhysicalPlanNode>();
+  nlj->kind = PhysicalOpKind::kNaiveNestedLoopsJoin;
+  nlj->children = base.plan->children;
+  nlj->join = base.plan->join;
+  if (!base.plan->is_join()) GTEST_SKIP() << "unexpected plan shape";
+
+  ExecutionResult a = ExecutePlan(db_, q, *base.plan);
+  ExecutionResult b = ExecutePlan(db_, q, *nlj);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST_F(ExecutorEdgeTest, StreamAggMatchesHashAgg) {
+  QueryTemplate tmpl("agg_q", {"fact", "dim"});
+  JoinEdge e;
+  e.left_table = 0;
+  e.left_column = "f_dim";
+  e.right_table = 1;
+  e.right_column = "d_key";
+  tmpl.AddJoin(e);
+  PredicateTemplate p;
+  p.table_index = 0;
+  p.column = "f_value";
+  p.op = CompareOp::kLe;
+  p.param_slot = 0;
+  ASSERT_TRUE(tmpl.AddPredicate(std::move(p)).ok());
+  AggregateSpec agg;
+  agg.enabled = true;
+  agg.group_table = 1;
+  agg.group_column = "d_attr";
+  tmpl.SetAggregate(agg);
+  QueryInstance q = InstanceForSelectivities(db_, tmpl, {0.6});
+
+  OptimizationResult r = optimizer_.Optimize(q);
+  // Build both aggregate variants over the same child.
+  PlanPtr child = r.plan->children[0];
+  auto ha = std::make_shared<PhysicalPlanNode>();
+  ha->kind = PhysicalOpKind::kHashAggregate;
+  ha->children = {child};
+  ha->agg = r.plan->agg;
+  auto sort = std::make_shared<PhysicalPlanNode>();
+  sort->kind = PhysicalOpKind::kSort;
+  sort->sort_key = SortKey{1, "d_attr"};
+  sort->children = {child};
+  auto sa = std::make_shared<PhysicalPlanNode>();
+  sa->kind = PhysicalOpKind::kStreamAggregate;
+  sa->children = {sort};
+  sa->agg = r.plan->agg;
+
+  ExecutionResult a = ExecutePlan(db_, q, *ha);
+  ExecutionResult b = ExecutePlan(db_, q, *sa);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_GT(a.rows, 0);
+}
+
+}  // namespace
+}  // namespace scrpqo

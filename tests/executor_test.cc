@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : db_(testing::MakeSmallDatabase(3000, 150)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  QueryInstance Instance(double s0, double s1) {
+    return InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+  }
+
+  /// Brute-force reference: row count of the filtered join.
+  int64_t ReferenceJoinCount(const QueryInstance& q) {
+    const TableData& fact = db_.GetTableData("fact");
+    const TableData& dim = db_.GetTableData("dim");
+    double p0 = q.param(0).AsDouble();
+    double p1 = q.param(1).AsDouble();
+    const ColumnData& f_dim = fact.column("f_dim");
+    const ColumnData& f_value = fact.column("f_value");
+    const ColumnData& d_key = dim.column("d_key");
+    const ColumnData& d_attr = dim.column("d_attr");
+    int64_t count = 0;
+    for (int64_t i = 0; i < fact.row_count(); ++i) {
+      if (f_value.GetDouble(i) > p0) continue;
+      for (int64_t j = 0; j < dim.row_count(); ++j) {
+        if (d_attr.GetDouble(j) > p1) continue;
+        if (f_dim.GetDouble(i) == d_key.GetDouble(j)) ++count;
+      }
+    }
+    return count;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(ExecutorTest, OptimalPlanMatchesBruteForce) {
+  for (auto [s0, s1] : {std::make_pair(0.05, 0.5), std::make_pair(0.5, 0.9),
+                        std::make_pair(0.9, 0.1)}) {
+    QueryInstance q = Instance(s0, s1);
+    OptimizationResult r = optimizer_.Optimize(q);
+    ExecutionResult exec = ExecutePlan(db_, q, *r.plan);
+    EXPECT_EQ(exec.rows, ReferenceJoinCount(q))
+        << "s0=" << s0 << " s1=" << s1 << "\n"
+        << r.plan->ToString();
+  }
+}
+
+TEST_F(ExecutorTest, AllJoinAlgorithmsAgree) {
+  // Force different physical spaces and check identical results — the
+  // classic result-equivalence property for executor operators.
+  QueryInstance q = Instance(0.15, 0.6);
+  std::set<int64_t> row_counts;
+  std::set<uint64_t> checksums;
+  for (int mask = 0; mask < 8; ++mask) {
+    OptimizerOptions opts;
+    opts.enable_merge_join = mask & 1;
+    opts.enable_indexed_nlj = mask & 2;
+    opts.enable_index_seek = mask & 4;
+    Optimizer optimizer(&db_, opts);
+    OptimizationResult r = optimizer.Optimize(q);
+    ExecutionResult exec = ExecutePlan(db_, q, *r.plan);
+    row_counts.insert(exec.rows);
+    checksums.insert(exec.checksum);
+  }
+  EXPECT_EQ(row_counts.size(), 1u);
+  EXPECT_EQ(checksums.size(), 1u);
+}
+
+TEST_F(ExecutorTest, CachedPlanExecutesForOtherInstances) {
+  // A plan optimized for qa, executed for qb, must produce qb's result —
+  // parameters bind at execution time (plan-reuse correctness).
+  QueryInstance qa = Instance(0.1, 0.5);
+  QueryInstance qb = Instance(0.6, 0.2);
+  OptimizationResult ra = optimizer_.Optimize(qa);
+  ExecutionResult exec = ExecutePlan(db_, qb, *ra.plan);
+  EXPECT_EQ(exec.rows, ReferenceJoinCount(qb));
+}
+
+TEST_F(ExecutorTest, SingleTableScan) {
+  auto scan_tmpl = testing::MakeScanTemplate();
+  QueryInstance q = InstanceForSelectivities(db_, *scan_tmpl, {0.25});
+  OptimizationResult r = optimizer_.Optimize(q);
+  ExecutionResult exec = ExecutePlan(db_, q, *r.plan);
+
+  const ColumnData& f_value = db_.GetTableData("fact").column("f_value");
+  double p0 = q.param(0).AsDouble();
+  int64_t expected = 0;
+  for (int64_t i = 0; i < f_value.size(); ++i) {
+    if (f_value.GetDouble(i) <= p0) ++expected;
+  }
+  EXPECT_EQ(exec.rows, expected);
+}
+
+TEST_F(ExecutorTest, EmptyResultHandled) {
+  auto scan_tmpl = testing::MakeScanTemplate();
+  QueryInstance q(scan_tmpl.get(), {Value(int64_t{-10})});
+  OptimizationResult r = optimizer_.Optimize(q);
+  ExecutionResult exec = ExecutePlan(db_, q, *r.plan);
+  EXPECT_EQ(exec.rows, 0);
+  EXPECT_EQ(exec.checksum, 0u);
+}
+
+TEST_F(ExecutorTest, AggregatePlanCountsGroups) {
+  QueryTemplate tmpl("agg_q", {"fact", "dim"});
+  JoinEdge e;
+  e.left_table = 0;
+  e.left_column = "f_dim";
+  e.right_table = 1;
+  e.right_column = "d_key";
+  tmpl.AddJoin(e);
+  PredicateTemplate p;
+  p.table_index = 0;
+  p.column = "f_value";
+  p.op = CompareOp::kLe;
+  p.param_slot = 0;
+  ASSERT_TRUE(tmpl.AddPredicate(std::move(p)).ok());
+  AggregateSpec agg;
+  agg.enabled = true;
+  agg.group_table = 1;
+  agg.group_column = "d_attr";
+  tmpl.SetAggregate(agg);
+
+  QueryInstance q = InstanceForSelectivities(db_, tmpl, {0.5});
+  OptimizationResult r = optimizer_.Optimize(q);
+  ExecutionResult exec = ExecutePlan(db_, q, *r.plan);
+
+  // Reference: distinct d_attr values among joined rows.
+  const TableData& fact = db_.GetTableData("fact");
+  const TableData& dim = db_.GetTableData("dim");
+  double p0 = q.param(0).AsDouble();
+  std::set<double> groups;
+  for (int64_t i = 0; i < fact.row_count(); ++i) {
+    if (fact.column("f_value").GetDouble(i) > p0) continue;
+    int64_t d = fact.column("f_dim").GetValue(i).int64();
+    groups.insert(dim.column("d_attr").GetDouble(d));
+  }
+  EXPECT_EQ(exec.rows, static_cast<int64_t>(groups.size()))
+      << r.plan->ToString();
+}
+
+TEST_F(ExecutorTest, ChecksumOrderIndependent) {
+  // Same logical result through different plans yields the same checksum
+  // (it is a sum over per-row hashes).
+  QueryInstance q = Instance(0.3, 0.7);
+  OptimizerOptions hash_only;
+  hash_only.enable_merge_join = false;
+  hash_only.enable_indexed_nlj = false;
+  Optimizer o1(&db_, hash_only);
+  OptimizerOptions nlj_only;
+  nlj_only.enable_merge_join = false;
+  Optimizer o2(&db_, nlj_only);
+  ExecutionResult e1 = ExecutePlan(db_, q, *o1.Optimize(q).plan);
+  ExecutionResult e2 = ExecutePlan(db_, q, *o2.Optimize(q).plan);
+  EXPECT_EQ(e1.rows, e2.rows);
+  EXPECT_EQ(e1.checksum, e2.checksum);
+}
+
+/// Property sweep over the selectivity grid: optimizer plan output always
+/// matches brute force.
+class ExecutorGridTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ExecutorGridTest, MatchesBruteForce) {
+  static Database db = testing::MakeSmallDatabase(1500, 80, 21);
+  static auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  auto [s0, s1] = GetParam();
+  QueryInstance q = InstanceForSelectivities(db, *tmpl, {s0, s1});
+  OptimizationResult r = optimizer.Optimize(q);
+  ExecutionResult exec = ExecutePlan(db, q, *r.plan);
+
+  const TableData& fact = db.GetTableData("fact");
+  const TableData& dim = db.GetTableData("dim");
+  double p0 = q.param(0).AsDouble();
+  double p1 = q.param(1).AsDouble();
+  int64_t expected = 0;
+  for (int64_t i = 0; i < fact.row_count(); ++i) {
+    if (fact.column("f_value").GetDouble(i) > p0) continue;
+    int64_t d = fact.column("f_dim").GetValue(i).int64();
+    if (dim.column("d_attr").GetDouble(d) <= p1) ++expected;
+  }
+  EXPECT_EQ(exec.rows, expected) << r.plan->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExecutorGridTest,
+    ::testing::Values(std::make_pair(0.01, 0.01), std::make_pair(0.01, 0.95),
+                      std::make_pair(0.2, 0.4), std::make_pair(0.5, 0.5),
+                      std::make_pair(0.8, 0.1), std::make_pair(0.95, 0.95)));
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "expr/predicate.h"
+#include "expr/value.h"
+
+namespace scrpqo {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s(std::string("abc"));
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_EQ(d.dbl(), 2.5);
+  EXPECT_EQ(s.str(), "abc");
+  EXPECT_EQ(i.type(), DataType::kInt64);
+  EXPECT_EQ(d.type(), DataType::kDouble);
+  EXPECT_EQ(s.type(), DataType::kString);
+}
+
+TEST(ValueTest, DefaultIsZeroInt) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_TRUE(Value(int64_t{2}) < Value(2.5));
+  EXPECT_TRUE(Value(2.5) > Value(int64_t{2}));
+  EXPECT_TRUE(Value(int64_t{3}) == Value(3.0));
+}
+
+TEST(ValueTest, Int64ComparisonIsExact) {
+  // Values beyond double's 53-bit mantissa must still compare correctly.
+  int64_t big = (int64_t{1} << 60) + 1;
+  EXPECT_TRUE(Value(big) > Value(big - 1));
+  EXPECT_TRUE(Value(big) == Value(big));
+}
+
+TEST(ValueTest, StringComparisonLexicographic) {
+  EXPECT_TRUE(Value(std::string("apple")) < Value(std::string("banana")));
+  EXPECT_TRUE(Value(std::string("b")) > Value(std::string("azzz")));
+  EXPECT_TRUE(Value(std::string("x")) == Value(std::string("x")));
+}
+
+TEST(ValueTest, AsDoubleOrdersStringPrefixes) {
+  EXPECT_LT(Value(std::string("aaa")).AsDouble(),
+            Value(std::string("aab")).AsDouble());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(std::string("hi")).ToString(), "'hi'");
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value(std::string("k")).Hash(), Value(std::string("k")).Hash());
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_EQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_EQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_EQ(CompareOpName(CompareOp::kGt), ">");
+  EXPECT_EQ(CompareOpName(CompareOp::kGe), ">=");
+  EXPECT_EQ(CompareOpName(CompareOp::kEq), "=");
+}
+
+TEST(EvalCompareTest, AllOperators) {
+  Value a(int64_t{3}), b(int64_t{5});
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kGt, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kGe, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kEq, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kEq, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kGe, a));
+}
+
+TEST(PredicateTemplateTest, ParameterizedFlag) {
+  PredicateTemplate p;
+  EXPECT_FALSE(p.parameterized());
+  p.param_slot = 0;
+  EXPECT_TRUE(p.parameterized());
+}
+
+TEST(PredicateTemplateTest, ToStringShowsSlotOrLiteral) {
+  PredicateTemplate p;
+  p.table_index = 1;
+  p.column = "price";
+  p.op = CompareOp::kLe;
+  p.param_slot = 2;
+  EXPECT_EQ(p.ToString(), "t1.price <= $2");
+  p.param_slot = kNoParamSlot;
+  p.literal = Value(int64_t{10});
+  EXPECT_EQ(p.ToString(), "t1.price <= 10");
+}
+
+TEST(BoundPredicateTest, Matches) {
+  BoundPredicate bp;
+  bp.column = "x";
+  bp.op = CompareOp::kGe;
+  bp.value = Value(int64_t{10});
+  EXPECT_TRUE(bp.Matches(Value(int64_t{10})));
+  EXPECT_TRUE(bp.Matches(Value(int64_t{11})));
+  EXPECT_FALSE(bp.Matches(Value(int64_t{9})));
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,131 @@
+// Robustness sweeps: random and mutated inputs to the SQL front end and the
+// plan deserializer must never crash or corrupt state — they either parse
+// or fail with a clean Status.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_serde.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+std::string RandomString(Pcg32* rng, int max_len) {
+  // Characters the lexers care about, plus noise.
+  static const char kAlphabet[] =
+      "abcXYZ019 _.,*()<>=?$'\"\\\n\t;:+-{}[]";
+  int len = static_cast<int>(rng->UniformInt(0, max_len));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng->UniformInt(
+        0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)]);
+  }
+  return s;
+}
+
+TEST(FuzzTest, LexerNeverCrashes) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    auto r = Tokenize(RandomString(&rng, 120));
+    if (r.ok()) {
+      EXPECT_EQ(r.ValueOrDie().back().type, TokenType::kEnd);
+    }
+  }
+}
+
+TEST(FuzzTest, ParserNeverCrashes) {
+  Database db = testing::MakeSmallDatabase(200, 20);
+  Pcg32 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    auto r = ParseQueryTemplate(db.catalog(), RandomString(&rng, 150));
+    // Random garbage should essentially never parse; if it does, the
+    // result must still be a valid connected template.
+    if (r.ok()) {
+      EXPECT_TRUE(r.ValueOrDie()->IsJoinGraphConnected());
+    }
+  }
+}
+
+TEST(FuzzTest, ParserSurvivesMutatedValidSql) {
+  Database db = testing::MakeSmallDatabase(200, 20);
+  const std::string base =
+      "SELECT * FROM fact, dim WHERE fact.f_dim = dim.d_key AND "
+      "fact.f_value <= ? AND dim.d_attr >= ?";
+  Pcg32 rng(3);
+  int parsed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, '?');
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+      }
+    }
+    auto r = ParseQueryTemplate(db.catalog(), mutated);
+    if (r.ok()) ++parsed;
+  }
+  // Some mutations stay valid; most must not — and none may crash.
+  EXPECT_LT(parsed, 1000);
+}
+
+TEST(FuzzTest, PlanDeserializerNeverCrashes) {
+  Database db = testing::MakeSmallDatabase(2000, 100);
+  auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  OptimizationResult r = optimizer.Optimize(
+      InstanceForSelectivities(db, *tmpl, {0.3, 0.5}));
+  std::string valid = SerializePlan(*r.plan);
+
+  Pcg32 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    std::string mutated = valid;
+    int edits = 1 + static_cast<int>(rng.UniformInt(0, 5));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1,
+                         static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+      }
+    }
+    auto parsed = DeserializePlan(mutated);
+    // Either a clean failure or a structurally sound plan.
+    if (parsed.ok()) {
+      EXPECT_GE(parsed.ValueOrDie()->NodeCount(), 1);
+    }
+  }
+}
+
+TEST(FuzzTest, PlanDeserializerRandomGarbage) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    auto r = DeserializePlan(RandomString(&rng, 200));
+    EXPECT_FALSE(r.ok());  // random text is never a plan
+  }
+}
+
+}  // namespace
+}  // namespace scrpqo

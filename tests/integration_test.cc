@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/math_util.h"
+#include "pqo/opt_always.h"
+#include "pqo/opt_once.h"
+#include "pqo/pcm.h"
+#include "pqo/scr.h"
+#include "workload/report.h"
+#include "workload/suite.h"
+
+namespace scrpqo {
+namespace {
+
+/// One shared miniature suite: building databases + oracles is the
+/// expensive part, so all integration tests reuse it.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static EvaluationSuite& Suite() {
+    static EvaluationSuite* suite = [] {
+      SuiteConfig cfg;
+      cfg.num_templates = 8;
+      cfg.m = 120;
+      cfg.scale = 0.3;
+      return new EvaluationSuite(cfg);
+    }();
+    return *suite;
+  }
+};
+
+TEST_F(IntegrationTest, SuiteShape) {
+  EXPECT_EQ(Suite().workloads().size(), 8u);
+  for (const auto& tw : Suite().workloads()) {
+    int expected_m = tw.bound.tmpl->dimensions() > 3 ? 240 : 120;
+    EXPECT_EQ(static_cast<int>(tw.instances.size()), expected_m);
+    EXPECT_EQ(tw.oracle.size(), expected_m);
+  }
+}
+
+TEST_F(IntegrationTest, OracleCostsPositive) {
+  for (const auto& tw : Suite().workloads()) {
+    for (int i = 0; i < tw.oracle.size(); ++i) {
+      EXPECT_GT(tw.oracle.opt_cost(i), 0.0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, OptAlwaysIsAlwaysOptimal) {
+  auto seqs = Suite().RunAll(
+      [] { return std::make_unique<OptAlways>(); });
+  for (const auto& s : seqs) {
+    EXPECT_NEAR(s.mso, 1.0, 1e-9);
+    EXPECT_NEAR(s.total_cost_ratio, 1.0, 1e-9);
+    EXPECT_EQ(s.num_opt, s.m);
+  }
+}
+
+TEST_F(IntegrationTest, OptOnceSingleCall) {
+  auto seqs = Suite().RunAll([] { return std::make_unique<OptOnce>(); });
+  for (const auto& s : seqs) {
+    EXPECT_EQ(s.num_opt, 1);
+    EXPECT_EQ(s.num_plans, 1);
+    EXPECT_GE(s.mso, 1.0);
+  }
+}
+
+TEST_F(IntegrationTest, ScrBeatsOptAlwaysOnOverheadAndOptOnceOnQuality) {
+  auto scr_seqs = Suite().RunAll(
+      [] { return std::make_unique<Scr>(ScrOptions{.lambda = 2.0}); }, 2.0);
+  auto once_seqs =
+      Suite().RunAll([] { return std::make_unique<OptOnce>(); });
+
+  double scr_numopt = Mean(ExtractNumOptPct(scr_seqs));
+  EXPECT_LT(scr_numopt, 50.0);  // far fewer calls than OptAlways' 100%
+
+  double scr_tcr = Mean(ExtractTcr(scr_seqs));
+  double once_tcr = Mean(ExtractTcr(once_seqs));
+  EXPECT_LT(scr_tcr, once_tcr);  // far better quality than OptOnce
+  EXPECT_LT(scr_tcr, 1.6);
+}
+
+TEST_F(IntegrationTest, ScrBoundHoldsAlmostEverywhere) {
+  auto seqs = Suite().RunAll(
+      [] { return std::make_unique<Scr>(ScrOptions{.lambda = 2.0}); }, 2.0);
+  int64_t total_instances = 0, violations = 0;
+  for (const auto& s : seqs) {
+    total_instances += s.m;
+    violations += s.bound_violations;
+  }
+  // Violations stem from genuine BCG breaks and must be rare (< 2%).
+  EXPECT_LT(static_cast<double>(violations),
+            0.02 * static_cast<double>(total_instances))
+      << violations << " of " << total_instances;
+}
+
+TEST_F(IntegrationTest, ScrStoresFewerPlansThanPcm) {
+  auto scr_seqs = Suite().RunAll(
+      [] { return std::make_unique<Scr>(ScrOptions{.lambda = 2.0}); });
+  auto pcm_seqs = Suite().RunAll(
+      [] { return std::make_unique<Pcm>(PcmOptions{.lambda = 2.0}); });
+  EXPECT_LT(Mean(ExtractNumPlans(scr_seqs)),
+            Mean(ExtractNumPlans(pcm_seqs)));
+}
+
+TEST_F(IntegrationTest, ScrFewerOptCallsThanPcm) {
+  auto scr_seqs = Suite().RunAll(
+      [] { return std::make_unique<Scr>(ScrOptions{.lambda = 2.0}); });
+  auto pcm_seqs = Suite().RunAll(
+      [] { return std::make_unique<Pcm>(PcmOptions{.lambda = 2.0}); });
+  EXPECT_LT(Mean(ExtractNumOptPct(scr_seqs)),
+            Mean(ExtractNumOptPct(pcm_seqs)));
+}
+
+TEST_F(IntegrationTest, LambdaTradeoffMonotone) {
+  auto run = [&](double lambda) {
+    auto seqs = Suite().RunAll([lambda] {
+      return std::make_unique<Scr>(ScrOptions{.lambda = lambda});
+    });
+    return Mean(ExtractNumOptPct(seqs));
+  };
+  double tight = run(1.1);
+  double loose = run(2.0);
+  EXPECT_LE(loose, tight);
+}
+
+TEST_F(IntegrationTest, ReportHelpers) {
+  auto seqs = Suite().RunAll([] { return std::make_unique<OptOnce>(); });
+  DistSummary s = Summarize(ExtractTcr(seqs));
+  EXPECT_GE(s.max, s.p95);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_GT(s.avg, 0.0);
+}
+
+TEST_F(IntegrationTest, MetricsInternallyConsistent) {
+  auto seqs = Suite().RunAll(
+      [] { return std::make_unique<Scr>(ScrOptions{.lambda = 1.5}); });
+  for (const auto& s : seqs) {
+    EXPECT_EQ(static_cast<int64_t>(s.so_per_instance.size()), s.m);
+    // numPlans <= numOpt <= m (Section 2.1).
+    EXPECT_LE(s.num_plans, s.num_opt);
+    EXPECT_LE(s.num_opt, s.m);
+    EXPECT_GE(s.mso, s.total_cost_ratio * 0.999);
+    for (double so : s.so_per_instance) EXPECT_GE(so, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,104 @@
+// Coverage for the remaining support surfaces: suite env configuration,
+// report rendering, token rendering, and technique wiring details.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/math_util.h"
+#include "pqo/opt_once.h"
+#include "sql/lexer.h"
+#include "workload/report.h"
+#include "workload/suite.h"
+
+namespace scrpqo {
+namespace {
+
+TEST(SuiteConfigTest, EnvOverrides) {
+  ::setenv("SCRPQO_TEMPLATES", "7", 1);
+  ::setenv("SCRPQO_M", "123", 1);
+  ::setenv("SCRPQO_SCALE", "0.5", 1);
+  ::setenv("SCRPQO_SEED", "99", 1);
+  SuiteConfig c = SuiteConfig::FromEnv();
+  EXPECT_EQ(c.num_templates, 7);
+  EXPECT_EQ(c.m, 123);
+  EXPECT_EQ(c.scale, 0.5);
+  EXPECT_EQ(c.seed, 99u);
+  ::unsetenv("SCRPQO_TEMPLATES");
+  ::unsetenv("SCRPQO_M");
+  ::unsetenv("SCRPQO_SCALE");
+  ::unsetenv("SCRPQO_SEED");
+  SuiteConfig d = SuiteConfig::FromEnv();
+  EXPECT_EQ(d.num_templates, 90);
+  EXPECT_EQ(d.m, 400);
+}
+
+TEST(ReportTest, SummaryRowRenders) {
+  ::testing::internal::CaptureStdout();
+  PrintSummaryRow("metric", Summarize({1.0, 2.0, 3.0, 4.0}));
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("metric"), std::string::npos);
+  EXPECT_NE(out.find("avg=2.50"), std::string::npos);
+  EXPECT_NE(out.find("max=4.00"), std::string::npos);
+}
+
+TEST(ReportTest, SortedCurvePrintsDeciles) {
+  ::testing::internal::CaptureStdout();
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  PrintSortedCurve("curve", v);
+  std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("curve"), std::string::npos);
+  EXPECT_NE(out.find("100.00"), std::string::npos);  // the 100% decile
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  ::testing::internal::CaptureStdout();
+  PrintTableHeader({"first", "second"});
+  PrintTableRow({"a", "b"});
+  std::string out = ::testing::internal::GetCapturedStdout();
+  // First column is 30 wide: "second" starts at offset 30 of line 1.
+  size_t second = out.find("second");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_EQ(second, 30u);
+}
+
+TEST(ReportTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.23456, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(LexerTokenTest, ToStringRendersAllKinds) {
+  auto r = Tokenize("abc 1.5 'str' , . * ( ) = < <= > >= ? $2");
+  ASSERT_TRUE(r.ok());
+  std::string all;
+  for (const auto& t : r.ValueOrDie()) all += t.ToString() + " ";
+  EXPECT_NE(all.find("abc"), std::string::npos);
+  EXPECT_NE(all.find("'str'"), std::string::npos);
+  EXPECT_NE(all.find("$2"), std::string::npos);
+  EXPECT_NE(all.find("<end>"), std::string::npos);
+}
+
+TEST(TechniqueDefaultsTest, PeakDefaultsToCurrent) {
+  // The base-class default for PeakPlansCached is NumPlansCached.
+  OptOnce t;
+  EXPECT_EQ(t.PeakPlansCached(), t.NumPlansCached());
+}
+
+TEST(SummarizeTest, SingleValue) {
+  DistSummary s = Summarize({7.0});
+  EXPECT_EQ(s.avg, 7.0);
+  EXPECT_EQ(s.p50, 7.0);
+  EXPECT_EQ(s.p95, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+}
+
+TEST(SummarizeTest, Empty) {
+  DistSummary s = Summarize({});
+  EXPECT_EQ(s.avg, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optimizer/optimizer.h"
+#include "workload/instance_gen.h"
+#include "workload/named_templates.h"
+#include "workload/runner.h"
+
+namespace scrpqo {
+namespace {
+
+class NamedTemplatesTest : public ::testing::Test {
+ protected:
+  static std::vector<BenchmarkDb>& Dbs() {
+    static std::vector<BenchmarkDb>* dbs = [] {
+      SchemaScale scale;
+      scale.factor = 0.2;
+      return new std::vector<BenchmarkDb>(BuildAllDatabases(scale));
+    }();
+    return *dbs;
+  }
+};
+
+TEST_F(NamedTemplatesTest, CatalogNonEmptyAndUnique) {
+  auto listed = ListNamedTemplates();
+  EXPECT_GE(listed.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& nt : listed) {
+    EXPECT_TRUE(names.insert(nt.name).second) << "duplicate " << nt.name;
+    EXPECT_FALSE(nt.description.empty());
+  }
+}
+
+TEST_F(NamedTemplatesTest, AllBuildAndValidate) {
+  for (const auto& nt : ListNamedTemplates()) {
+    BoundTemplate bt = BuildNamedTemplate(Dbs(), nt.name);
+    EXPECT_EQ(bt.tmpl->name(), nt.name);
+    EXPECT_EQ(bt.db->name, nt.database);
+    EXPECT_TRUE(bt.tmpl->IsJoinGraphConnected()) << nt.name;
+    EXPECT_GE(bt.tmpl->dimensions(), 1) << nt.name;
+    for (const auto& p : bt.tmpl->predicates()) {
+      const std::string& table =
+          bt.tmpl->tables()[static_cast<size_t>(p.table_index)];
+      EXPECT_TRUE(bt.db->db.catalog().GetTable(table).HasColumn(p.column))
+          << nt.name << " " << p.ToString();
+    }
+  }
+}
+
+TEST_F(NamedTemplatesTest, AllOptimizeAcrossSelectivities) {
+  for (const auto& nt : ListNamedTemplates()) {
+    BoundTemplate bt = BuildNamedTemplate(Dbs(), nt.name);
+    Optimizer optimizer(&bt.db->db);
+    InstanceGenOptions gen;
+    gen.m = 8;
+    for (const auto& wi : GenerateInstances(bt, gen)) {
+      OptimizationResult r =
+          optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+      EXPECT_GT(r.cost, 0.0) << nt.name;
+      EXPECT_NE(r.plan, nullptr) << nt.name;
+    }
+  }
+}
+
+TEST_F(NamedTemplatesTest, FleetTemplateIsHighDimensional) {
+  BoundTemplate bt = BuildNamedTemplate(Dbs(), "RD2_FLEET");
+  EXPECT_EQ(bt.tmpl->dimensions(), 6);
+}
+
+TEST_F(NamedTemplatesTest, Q18AnalogHasPlanVariety) {
+  BoundTemplate bt = BuildNamedTemplate(Dbs(), "TPCDS_Q18A");
+  Optimizer optimizer(&bt.db->db);
+  InstanceGenOptions gen;
+  gen.m = 60;
+  std::set<uint64_t> plans;
+  for (const auto& wi : GenerateInstances(bt, gen)) {
+    OptimizationResult r =
+        optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+    plans.insert(MakeCachedPlan(r).signature);
+  }
+  // The paper's Q18 workloads feature hundreds of plans at full scale; at
+  // laptop scale we still need genuine variety for the experiments to mean
+  // anything.
+  EXPECT_GE(plans.size(), 4u);
+}
+
+}  // namespace
+}  // namespace scrpqo

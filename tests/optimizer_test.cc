@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_signature.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  QueryInstance Instance(double s0, double s1) {
+    return InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(OptimizerTest, ProducesValidPlan) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.1, 0.5));
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_GT(r.cost, 0.0);
+  EXPECT_EQ(r.svector.size(), 2u);
+  EXPECT_GT(r.stats.num_groups, 0);
+  EXPECT_GT(r.stats.num_physical_exprs, 0);
+  EXPECT_EQ(r.stats.plan_nodes, r.plan->NodeCount());
+}
+
+TEST_F(OptimizerTest, Deterministic) {
+  QueryInstance q = Instance(0.2, 0.3);
+  OptimizationResult a = optimizer_.Optimize(q);
+  OptimizationResult b = optimizer_.Optimize(q);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(PlanSignatureString(*a.plan), PlanSignatureString(*b.plan));
+}
+
+TEST_F(OptimizerTest, PlanCostMatchesDerivedRoot) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.05, 0.8));
+  EXPECT_NEAR(r.cost, r.plan->est_cost, 1e-9);
+}
+
+TEST_F(OptimizerTest, PlanChangesAcrossSelectivitySpace) {
+  std::set<std::string> signatures;
+  for (double s0 : {0.002, 0.05, 0.3, 0.9}) {
+    for (double s1 : {0.01, 0.5, 0.95}) {
+      OptimizationResult r = optimizer_.Optimize(Instance(s0, s1));
+      signatures.insert(PlanSignatureString(*r.plan));
+    }
+  }
+  // A realistic optimizer must pick different plans in different regions.
+  EXPECT_GE(signatures.size(), 3u);
+}
+
+TEST_F(OptimizerTest, LowSelectivityPrefersIndexAccess) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.001, 0.9));
+  // Somewhere in the plan the fact table must be accessed via its index.
+  std::function<bool(const PhysicalPlanNode&)> has_seek =
+      [&](const PhysicalPlanNode& n) {
+        if (n.kind == PhysicalOpKind::kIndexSeek && n.leaf.table == "fact" &&
+            n.leaf.index_column == "f_value") {
+          return true;
+        }
+        for (const auto& c : n.children) {
+          if (has_seek(*c)) return true;
+        }
+        return false;
+      };
+  EXPECT_TRUE(has_seek(*r.plan)) << r.plan->ToString();
+}
+
+TEST_F(OptimizerTest, HighSelectivityPrefersScan) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.95, 0.95));
+  std::function<bool(const PhysicalPlanNode&)> fact_scanned =
+      [&](const PhysicalPlanNode& n) {
+        if (n.kind == PhysicalOpKind::kTableScan && n.leaf.table == "fact") {
+          return true;
+        }
+        for (const auto& c : n.children) {
+          if (fact_scanned(*c)) return true;
+        }
+        return false;
+      };
+  EXPECT_TRUE(fact_scanned(*r.plan)) << r.plan->ToString();
+}
+
+TEST_F(OptimizerTest, CostMonotoneInSelectivityMostly) {
+  // Optimal cost should (weakly) increase as predicates admit more rows.
+  double prev = 0.0;
+  for (double s : {0.01, 0.05, 0.2, 0.5, 0.9}) {
+    OptimizationResult r = optimizer_.Optimize(Instance(s, 0.5));
+    EXPECT_GE(r.cost, prev * 0.98) << "at s=" << s;
+    prev = r.cost;
+  }
+}
+
+TEST_F(OptimizerTest, BeatsOrMatchesEveryAlternative) {
+  // The chosen plan's cost must be <= the cost of plans found by optimizers
+  // with pruned search spaces (each subset-optimizer explores a subspace).
+  QueryInstance q = Instance(0.08, 0.4);
+  OptimizationResult full = optimizer_.Optimize(q);
+  for (int mask = 1; mask < 8; ++mask) {
+    OptimizerOptions opts;
+    opts.enable_merge_join = mask & 1;
+    opts.enable_indexed_nlj = mask & 2;
+    opts.enable_index_seek = mask & 4;
+    Optimizer restricted(&db_, opts);
+    OptimizationResult r = restricted.Optimize(q);
+    EXPECT_LE(full.cost, r.cost * 1.0001) << "mask=" << mask;
+  }
+}
+
+TEST_F(OptimizerTest, SingleTableTemplate) {
+  auto scan_tmpl = testing::MakeScanTemplate();
+  QueryInstance q = InstanceForSelectivities(db_, *scan_tmpl, {0.3});
+  OptimizationResult r = optimizer_.Optimize(q);
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_TRUE(r.plan->is_leaf());
+}
+
+TEST_F(OptimizerTest, AggregateTemplateGetsAggRoot) {
+  QueryTemplate tmpl("agg_q", {"fact", "dim"});
+  JoinEdge e;
+  e.left_table = 0;
+  e.left_column = "f_dim";
+  e.right_table = 1;
+  e.right_column = "d_key";
+  tmpl.AddJoin(e);
+  PredicateTemplate p;
+  p.table_index = 0;
+  p.column = "f_value";
+  p.op = CompareOp::kLe;
+  p.param_slot = 0;
+  ASSERT_TRUE(tmpl.AddPredicate(std::move(p)).ok());
+  AggregateSpec agg;
+  agg.enabled = true;
+  agg.group_table = 1;
+  agg.group_column = "d_attr";
+  tmpl.SetAggregate(agg);
+
+  QueryInstance q = InstanceForSelectivities(db_, tmpl, {0.4});
+  OptimizationResult r = optimizer_.Optimize(q);
+  EXPECT_TRUE(r.plan->kind == PhysicalOpKind::kHashAggregate ||
+              r.plan->kind == PhysicalOpKind::kStreamAggregate)
+      << r.plan->ToString();
+}
+
+TEST(PlanSignatureTest, StableAcrossInstancesOfSamePlan) {
+  Database db = testing::MakeSmallDatabase(20000, 500);
+  auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  // Two nearby instances that should get the same plan shape.
+  auto r1 = optimizer.Optimize(InstanceForSelectivities(db, *tmpl,
+                                                        {0.30, 0.50}));
+  auto r2 = optimizer.Optimize(InstanceForSelectivities(db, *tmpl,
+                                                        {0.31, 0.51}));
+  EXPECT_EQ(PlanSignatureString(*r1.plan), PlanSignatureString(*r2.plan));
+  EXPECT_EQ(PlanSignatureHash(*r1.plan), PlanSignatureHash(*r2.plan));
+}
+
+TEST(PlanSignatureTest, DifferentPlansDiffer) {
+  Database db = testing::MakeSmallDatabase(20000, 500);
+  auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  auto r1 = optimizer.Optimize(InstanceForSelectivities(db, *tmpl,
+                                                        {0.001, 0.1}));
+  auto r2 = optimizer.Optimize(InstanceForSelectivities(db, *tmpl,
+                                                        {0.95, 0.95}));
+  EXPECT_NE(PlanSignatureString(*r1.plan), PlanSignatureString(*r2.plan));
+  EXPECT_NE(PlanSignatureHash(*r1.plan), PlanSignatureHash(*r2.plan));
+}
+
+TEST(PlanSignatureTest, SignatureMentionsStructure) {
+  Database db = testing::MakeSmallDatabase(1000, 100);
+  auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  auto r = optimizer.Optimize(InstanceForSelectivities(db, *tmpl, {0.5, 0.5}));
+  std::string sig = PlanSignatureString(*r.plan);
+  EXPECT_NE(sig.find("fact"), std::string::npos);
+  EXPECT_NE(sig.find("dim"), std::string::npos);
+}
+
+/// Property: across a grid of instances, optimization is internally
+/// consistent — root cost equals the recursive derivation of its own tree.
+class OptimizerGridTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(OptimizerGridTest, RootCostConsistent) {
+  static Database db = testing::MakeSmallDatabase(20000, 500);
+  static auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db);
+  auto [s0, s1] = GetParam();
+  QueryInstance q = InstanceForSelectivities(db, *tmpl, {s0, s1});
+  OptimizationResult r = optimizer.Optimize(q);
+  double recost = optimizer.cost_model().RecostTree(*r.plan, r.svector);
+  EXPECT_NEAR(recost, r.cost, std::abs(r.cost) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerGridTest,
+    ::testing::Values(std::make_pair(0.001, 0.001), std::make_pair(0.001, 0.9),
+                      std::make_pair(0.05, 0.05), std::make_pair(0.1, 0.6),
+                      std::make_pair(0.4, 0.2), std::make_pair(0.9, 0.001),
+                      std::make_pair(0.9, 0.9), std::make_pair(0.5, 0.5)));
+
+}  // namespace
+}  // namespace scrpqo

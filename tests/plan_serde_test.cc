@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_serde.h"
+#include "optimizer/plan_signature.h"
+#include "executor/executor.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class PlanSerdeTest : public ::testing::Test {
+ protected:
+  PlanSerdeTest()
+      : db_(testing::MakeSmallDatabase(5000, 200)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  OptimizationResult OptimizeAt(double s0, double s1) {
+    return optimizer_.Optimize(
+        InstanceForSelectivities(db_, *tmpl_, {s0, s1}));
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(PlanSerdeTest, RoundTripPreservesSignature) {
+  for (auto [s0, s1] : {std::make_pair(0.001, 0.9), std::make_pair(0.3, 0.3),
+                        std::make_pair(0.9, 0.05)}) {
+    OptimizationResult r = OptimizeAt(s0, s1);
+    std::string data = SerializePlan(*r.plan);
+    auto restored = DeserializePlan(data);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(PlanSignatureString(*restored.ValueOrDie()),
+              PlanSignatureString(*r.plan));
+  }
+}
+
+TEST_F(PlanSerdeTest, RoundTripPreservesRecost) {
+  OptimizationResult r = OptimizeAt(0.2, 0.6);
+  auto restored = DeserializePlan(SerializePlan(*r.plan));
+  ASSERT_TRUE(restored.ok());
+  const CostModel& cm = optimizer_.cost_model();
+  // Same cost at the original instance and at a shifted one.
+  EXPECT_NEAR(cm.RecostTree(*restored.ValueOrDie(), r.svector), r.cost,
+              r.cost * 1e-9);
+  SVector moved = r.svector;
+  moved[0] *= 1.7;
+  EXPECT_NEAR(cm.RecostTree(*restored.ValueOrDie(), moved),
+              cm.RecostTree(*r.plan, moved), r.cost * 1e-9);
+}
+
+TEST_F(PlanSerdeTest, RoundTripPreservesEstimates) {
+  OptimizationResult r = OptimizeAt(0.4, 0.4);
+  auto restored = DeserializePlan(SerializePlan(*r.plan));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie()->est_rows, r.plan->est_rows);
+  EXPECT_EQ(restored.ValueOrDie()->est_cost, r.plan->est_cost);
+  EXPECT_EQ(restored.ValueOrDie()->NodeCount(), r.plan->NodeCount());
+}
+
+TEST_F(PlanSerdeTest, DeserializedPlanExecutes) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.5});
+  OptimizationResult r = optimizer_.Optimize(q);
+  auto restored = DeserializePlan(SerializePlan(*r.plan));
+  ASSERT_TRUE(restored.ok());
+  ExecutionResult orig = ExecutePlan(db_, q, *r.plan);
+  ExecutionResult again = ExecutePlan(db_, q, *restored.ValueOrDie());
+  EXPECT_EQ(orig.rows, again.rows);
+  EXPECT_EQ(orig.checksum, again.checksum);
+}
+
+TEST_F(PlanSerdeTest, SerializationIsDeterministic) {
+  OptimizationResult r = OptimizeAt(0.25, 0.75);
+  EXPECT_EQ(SerializePlan(*r.plan), SerializePlan(*r.plan));
+  auto restored = DeserializePlan(SerializePlan(*r.plan));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(SerializePlan(*restored.ValueOrDie()), SerializePlan(*r.plan));
+}
+
+TEST_F(PlanSerdeTest, StringValuesEscape) {
+  // A predicate literal with quotes/backslashes must survive.
+  auto node = std::make_shared<PhysicalPlanNode>();
+  node->kind = PhysicalOpKind::kTableScan;
+  node->leaf.table_index = 0;
+  node->leaf.table = "t";
+  node->leaf.base_rows = 10;
+  PredSpec p;
+  p.column = "c";
+  p.op = CompareOp::kEq;
+  p.literal = Value(std::string("a\"b\\c"));
+  p.literal_sel = 0.5;
+  node->leaf.preds.push_back(p);
+  auto restored = DeserializePlan(SerializePlan(*node));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.ValueOrDie()->leaf.preds[0].literal.str(), "a\"b\\c");
+}
+
+TEST_F(PlanSerdeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializePlan("").ok());
+  EXPECT_FALSE(DeserializePlan("(9999 junk").ok());
+  EXPECT_FALSE(DeserializePlan("not a plan at all").ok());
+  OptimizationResult r = OptimizeAt(0.5, 0.5);
+  std::string data = SerializePlan(*r.plan);
+  EXPECT_FALSE(DeserializePlan(data.substr(0, data.size() / 2)).ok());
+  EXPECT_FALSE(DeserializePlan(data + " extra").ok());
+}
+
+}  // namespace
+}  // namespace scrpqo

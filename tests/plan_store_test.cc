@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "pqo/plan_store.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class PlanStoreTest : public ::testing::Test {
+ protected:
+  PlanStoreTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_),
+        engine_(&db_, &optimizer_) {}
+
+  struct Optimized {
+    CachedPlan plan;
+    SVector sv;
+    double cost;
+  };
+
+  Optimized OptimizeAt(double s0, double s1) {
+    QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    OptimizationResult r = optimizer_.Optimize(q);
+    return {MakeCachedPlan(r), r.svector, r.cost};
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+  EngineContext engine_;
+};
+
+TEST_F(PlanStoreTest, StoresNewPlan) {
+  PlanStore store;
+  Optimized o = OptimizeAt(0.1, 0.5);
+  auto r = store.StoreOrReuse(o.plan, o.sv, o.cost, -1.0, &engine_);
+  EXPECT_GE(r.plan_id, 0);
+  EXPECT_FALSE(r.already_present);
+  EXPECT_FALSE(r.reused_existing);
+  EXPECT_EQ(r.subopt, 1.0);
+  EXPECT_EQ(store.NumLive(), 1);
+  EXPECT_EQ(store.Peak(), 1);
+}
+
+TEST_F(PlanStoreTest, DetectsAlreadyPresent) {
+  PlanStore store;
+  Optimized a = OptimizeAt(0.10, 0.50);
+  Optimized b = OptimizeAt(0.11, 0.51);  // same plan shape expected
+  auto ra = store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  auto rb = store.StoreOrReuse(b.plan, b.sv, b.cost, -1.0, &engine_);
+  if (a.plan.signature == b.plan.signature) {
+    EXPECT_TRUE(rb.already_present);
+    EXPECT_EQ(ra.plan_id, rb.plan_id);
+    EXPECT_EQ(store.NumLive(), 1);
+  } else {
+    EXPECT_EQ(store.NumLive(), 2);
+  }
+}
+
+TEST_F(PlanStoreTest, RedundancyCheckReusesCloseEnoughPlan) {
+  PlanStore store;
+  Optimized a = OptimizeAt(0.10, 0.50);
+  store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  // Find an instance with a different optimal plan.
+  for (double s0 : {0.001, 0.3, 0.6, 0.95}) {
+    Optimized b = OptimizeAt(s0, 0.9);
+    if (b.plan.signature == a.plan.signature) continue;
+    // With an absurdly loose threshold the new plan must be rejected.
+    auto r = store.StoreOrReuse(b.plan, b.sv, b.cost, 1e9, &engine_);
+    EXPECT_TRUE(r.reused_existing);
+    EXPECT_GE(r.subopt, 1.0);
+    EXPECT_EQ(store.NumLive(), 1);
+    return;
+  }
+  GTEST_SKIP() << "no second plan shape found at this scale";
+}
+
+TEST_F(PlanStoreTest, RedundancyCheckChargesRecostCalls) {
+  PlanStore store;
+  Optimized a = OptimizeAt(0.10, 0.50);
+  store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  int64_t before = engine_.num_recost_calls();
+  Optimized b = OptimizeAt(0.9, 0.01);
+  store.StoreOrReuse(b.plan, b.sv, b.cost, 1.5, &engine_);
+  EXPECT_GT(engine_.num_recost_calls(), before);
+}
+
+TEST_F(PlanStoreTest, DropAndUsageTracking) {
+  PlanStore store;
+  Optimized a = OptimizeAt(0.01, 0.1);
+  Optimized b = OptimizeAt(0.9, 0.9);
+  auto ra = store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  auto rb = store.StoreOrReuse(b.plan, b.sv, b.cost, -1.0, &engine_);
+  if (a.plan.signature == b.plan.signature) {
+    GTEST_SKIP() << "need two distinct plans";
+  }
+  store.AddUsage(ra.plan_id, 5);
+  store.AddUsage(rb.plan_id, 2);
+  EXPECT_EQ(store.MinUsagePlanId(), rb.plan_id);
+  store.Drop(rb.plan_id);
+  EXPECT_EQ(store.NumLive(), 1);
+  EXPECT_EQ(store.Peak(), 2);  // peak is sticky
+  EXPECT_EQ(store.MinUsagePlanId(), ra.plan_id);
+  EXPECT_EQ(store.LivePlanIds().size(), 1u);
+}
+
+TEST_F(PlanStoreTest, DroppedSignatureCanBeReinserted) {
+  PlanStore store;
+  Optimized a = OptimizeAt(0.2, 0.2);
+  auto r1 = store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  store.Drop(r1.plan_id);
+  auto r2 = store.StoreOrReuse(a.plan, a.sv, a.cost, -1.0, &engine_);
+  EXPECT_FALSE(r2.already_present);
+  EXPECT_NE(r2.plan_id, r1.plan_id);
+  EXPECT_EQ(store.NumLive(), 1);
+}
+
+TEST_F(PlanStoreTest, PeakTracksHighWaterMark) {
+  PlanStore store;
+  int stored = 0;
+  for (double s0 : {0.001, 0.05, 0.3, 0.6, 0.95}) {
+    Optimized o = OptimizeAt(s0, s0);
+    auto r = store.StoreOrReuse(o.plan, o.sv, o.cost, -1.0, &engine_);
+    if (!r.already_present) ++stored;
+  }
+  EXPECT_EQ(store.Peak(), stored);
+  EXPECT_EQ(store.NumLive(), stored);
+}
+
+}  // namespace
+}  // namespace scrpqo

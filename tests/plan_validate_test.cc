@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_validate.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+#include "workload/instance_gen.h"
+#include "workload/named_templates.h"
+
+namespace scrpqo {
+namespace {
+
+class PlanValidateTest : public ::testing::Test {
+ protected:
+  PlanValidateTest()
+      : db_(testing::MakeSmallDatabase(5000, 200)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(PlanValidateTest, OptimizerOutputValidates) {
+  for (auto [s0, s1] : {std::make_pair(0.001, 0.9), std::make_pair(0.3, 0.3),
+                        std::make_pair(0.9, 0.05)}) {
+    QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+    OptimizationResult r = optimizer_.Optimize(q);
+    Status st = ValidatePlan(*r.plan, *tmpl_, db_.catalog());
+    EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << r.plan->ToString();
+  }
+}
+
+TEST_F(PlanValidateTest, DetectsSortOnAbsentTable) {
+  // Regression shape for the fixed optimizer bug: a Sort keyed on table 0
+  // below a subtree that only produces table 1.
+  auto leaf = std::make_shared<PhysicalPlanNode>();
+  leaf->kind = PhysicalOpKind::kTableScan;
+  leaf->leaf.table_index = 1;
+  leaf->leaf.table = "dim";
+  leaf->leaf.base_rows = 200;
+  auto sort = std::make_shared<PhysicalPlanNode>();
+  sort->kind = PhysicalOpKind::kSort;
+  sort->sort_key = SortKey{0, "f_value"};
+  sort->children = {leaf};
+  Status st = ValidatePlan(*sort, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("absent"), std::string::npos);
+}
+
+TEST_F(PlanValidateTest, DetectsWrongChildCount) {
+  auto hj = std::make_shared<PhysicalPlanNode>();
+  hj->kind = PhysicalOpKind::kHashJoin;
+  Status st = ValidatePlan(*hj, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlanValidateTest, DetectsUnknownPredicateColumn) {
+  auto leaf = std::make_shared<PhysicalPlanNode>();
+  leaf->kind = PhysicalOpKind::kTableScan;
+  leaf->leaf.table_index = 0;
+  leaf->leaf.table = "fact";
+  leaf->leaf.base_rows = 5000;
+  PredSpec p;
+  p.column = "no_such_column";
+  leaf->leaf.preds.push_back(p);
+  Status st = ValidatePlan(*leaf, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlanValidateTest, DetectsSeekOnUnindexedColumn) {
+  auto seek = std::make_shared<PhysicalPlanNode>();
+  seek->kind = PhysicalOpKind::kIndexSeek;
+  seek->leaf.table_index = 0;
+  seek->leaf.table = "fact";
+  seek->leaf.base_rows = 5000;
+  seek->leaf.index_column = "f_weight";  // not indexed in the fixture
+  Status st = ValidatePlan(*seek, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlanValidateTest, DetectsMergeJoinWithUnsortedChildren) {
+  auto l = std::make_shared<PhysicalPlanNode>();
+  l->kind = PhysicalOpKind::kTableScan;
+  l->leaf.table_index = 0;
+  l->leaf.table = "fact";
+  l->leaf.base_rows = 5000;
+  auto r = std::make_shared<PhysicalPlanNode>();
+  r->kind = PhysicalOpKind::kTableScan;
+  r->leaf.table_index = 1;
+  r->leaf.table = "dim";
+  r->leaf.base_rows = 200;
+  auto mj = std::make_shared<PhysicalPlanNode>();
+  mj->kind = PhysicalOpKind::kMergeJoin;
+  mj->children = {l, r};
+  JoinEdge e;
+  e.left_table = 0;
+  e.left_column = "f_dim";
+  e.right_table = 1;
+  e.right_column = "d_key";
+  mj->join.edges = {e};
+  mj->join.join_sel = 0.005;
+  Status st = ValidatePlan(*mj, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sorted"), std::string::npos);
+}
+
+TEST_F(PlanValidateTest, DetectsBadJoinSelectivity) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.3});
+  OptimizationResult r = optimizer_.Optimize(q);
+  auto broken = std::make_shared<PhysicalPlanNode>(*r.plan);
+  if (!broken->is_join()) GTEST_SKIP() << "plan has non-join root";
+  broken->join.join_sel = 0.0;
+  Status st = ValidatePlan(*broken, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+}
+
+/// Sweep: every optimizer output across all named templates validates.
+TEST(PlanValidateSweepTest, NamedTemplatesAllValid) {
+  SchemaScale scale;
+  scale.factor = 0.2;
+  auto dbs = BuildAllDatabases(scale);
+  for (const auto& nt : ListNamedTemplates()) {
+    BoundTemplate bt = BuildNamedTemplate(dbs, nt.name);
+    Optimizer optimizer(&bt.db->db);
+    InstanceGenOptions gen;
+    gen.m = 12;
+    for (const auto& wi : GenerateInstances(bt, gen)) {
+      OptimizationResult r =
+          optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+      Status st = ValidatePlan(*r.plan, *bt.tmpl, bt.db->db.catalog());
+      EXPECT_TRUE(st.ok())
+          << nt.name << ": " << st.ToString() << "\n" << r.plan->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scrpqo

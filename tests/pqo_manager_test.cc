@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "pqo/pqo_manager.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class PqoManagerTest : public ::testing::Test {
+ protected:
+  PqoManagerTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        join_tmpl_(testing::MakeJoinTemplate()),
+        scan_tmpl_(testing::MakeScanTemplate()),
+        optimizer_(&db_) {}
+
+  WorkloadInstance JoinWi(int id, double s0, double s1) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *join_tmpl_, {s0, s1});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  WorkloadInstance ScanWi(int id, double s0) {
+    WorkloadInstance wi;
+    wi.id = id;
+    wi.instance = InstanceForSelectivities(db_, *scan_tmpl_, {s0});
+    wi.svector = ComputeSelectivityVector(db_, wi.instance);
+    return wi;
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> join_tmpl_;
+  std::shared_ptr<QueryTemplate> scan_tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(PqoManagerTest, SeparatesTemplates) {
+  PqoManager mgr(PqoManagerOptions{});
+  EngineContext engine(&db_, &optimizer_);
+  mgr.OnInstance("join", JoinWi(0, 0.3, 0.3), &engine);
+  mgr.OnInstance("scan", ScanWi(1, 0.4), &engine);
+  EXPECT_EQ(mgr.NumTemplates(), 2);
+  EXPECT_GE(mgr.TotalPlansCached(), 2);
+}
+
+TEST_F(PqoManagerTest, ReusesWithinTemplate) {
+  PqoManager mgr(PqoManagerOptions{});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice a = mgr.OnInstance("join", JoinWi(0, 0.3, 0.3), &engine);
+  PlanChoice b = mgr.OnInstance("join", JoinWi(1, 0.31, 0.31), &engine);
+  EXPECT_TRUE(a.optimized);
+  EXPECT_FALSE(b.optimized);
+  EXPECT_EQ(a.plan->signature, b.plan->signature);
+}
+
+TEST_F(PqoManagerTest, DefaultLambdaApplied) {
+  PqoManagerOptions opts;
+  opts.default_lambda = 1.5;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  mgr.OnInstance("join", JoinWi(0, 0.3, 0.3), &engine);
+  EXPECT_EQ(mgr.LambdaFor("join"), 1.5);
+  EXPECT_EQ(mgr.LambdaFor("unknown"), 0.0);
+}
+
+TEST_F(PqoManagerTest, WarmupOptimizesFirstInstances) {
+  PqoManagerOptions opts;
+  opts.warmup_instances = 5;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(3);
+  for (int i = 0; i < 5; ++i) {
+    PlanChoice c = mgr.OnInstance(
+        "join",
+        JoinWi(i, rng.UniformDouble(0.1, 0.9), rng.UniformDouble(0.1, 0.9)),
+        &engine);
+    EXPECT_TRUE(c.optimized) << "warm-up instance " << i;
+  }
+  EXPECT_EQ(engine.num_optimizer_calls(), 5);
+  // Post warm-up, a repeat is served from cache... once it is re-learned.
+  PlanChoice first_after = mgr.OnInstance("join", JoinWi(5, 0.3, 0.3),
+                                          &engine);
+  EXPECT_TRUE(first_after.optimized);  // fresh cache starts empty
+  PlanChoice reuse = mgr.OnInstance("join", JoinWi(6, 0.3, 0.3), &engine);
+  EXPECT_FALSE(reuse.optimized);
+  EXPECT_GT(mgr.LambdaFor("join"), 1.0);
+}
+
+TEST_F(PqoManagerTest, WarmupPicksLambdaByCost) {
+  // The join template's instances are expensive (cost >> threshold) =>
+  // tight lambda; a scan over the tiny dimension table is cheap => loose
+  // lambda (one optimizer call outweighs any plan-quality gain there).
+  auto cheap_tmpl = std::make_shared<QueryTemplate>(
+      "cheap", std::vector<std::string>{"dim"});
+  PredicateTemplate p;
+  p.table_index = 0;
+  p.column = "d_attr";
+  p.op = CompareOp::kLe;
+  p.param_slot = 0;
+  ASSERT_TRUE(cheap_tmpl->AddPredicate(std::move(p)).ok());
+
+  PqoManagerOptions opts;
+  opts.warmup_instances = 3;
+  opts.lambda_tight = 1.1;
+  opts.lambda_loose = 2.0;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  for (int i = 0; i < 3; ++i) {
+    mgr.OnInstance("join", JoinWi(i, 0.5, 0.5), &engine);
+    WorkloadInstance cheap;
+    cheap.id = 100 + i;
+    cheap.instance = InstanceForSelectivities(db_, *cheap_tmpl, {0.5});
+    cheap.svector = ComputeSelectivityVector(db_, cheap.instance);
+    mgr.OnInstance("cheap", cheap, &engine);
+  }
+  EXPECT_EQ(mgr.LambdaFor("join"), 1.1);
+  EXPECT_EQ(mgr.LambdaFor("cheap"), 2.0);
+}
+
+TEST_F(PqoManagerTest, InvalidateDropsCache) {
+  PqoManager mgr(PqoManagerOptions{});
+  EngineContext engine(&db_, &optimizer_);
+  mgr.OnInstance("join", JoinWi(0, 0.3, 0.3), &engine);
+  EXPECT_EQ(mgr.NumTemplates(), 1);
+  mgr.InvalidateTemplate("join");
+  EXPECT_EQ(mgr.NumTemplates(), 0);
+  // Next instance re-optimizes.
+  PlanChoice c = mgr.OnInstance("join", JoinWi(1, 0.3, 0.3), &engine);
+  EXPECT_TRUE(c.optimized);
+}
+
+TEST_F(PqoManagerTest, PlanBudgetPropagates) {
+  PqoManagerOptions opts;
+  opts.plan_budget = 2;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(7);
+  for (int i = 0; i < 150; ++i) {
+    mgr.OnInstance("join",
+                   JoinWi(i, rng.UniformDouble(0.005, 0.95),
+                          rng.UniformDouble(0.005, 0.95)),
+                   &engine);
+  }
+  EXPECT_LE(mgr.TotalPlansCached(), 2);
+}
+
+}  // namespace
+}  // namespace scrpqo

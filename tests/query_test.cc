@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "query/query_instance.h"
+#include "query/query_template.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+TEST(QueryTemplateTest, DimensionsCountParameterizedOnly) {
+  auto tmpl = testing::MakeJoinTemplate();
+  EXPECT_EQ(tmpl->dimensions(), 2);
+  EXPECT_EQ(tmpl->num_tables(), 2);
+  EXPECT_EQ(tmpl->predicates().size(), 2u);
+}
+
+TEST(QueryTemplateTest, RejectsOutOfOrderSlots) {
+  QueryTemplate tmpl("q", {"fact"});
+  PredicateTemplate p;
+  p.table_index = 0;
+  p.column = "x";
+  p.param_slot = 1;  // slot 0 was never added
+  EXPECT_FALSE(tmpl.AddPredicate(std::move(p)).ok());
+}
+
+TEST(QueryTemplateTest, RejectsBadTableIndex) {
+  QueryTemplate tmpl("q", {"fact"});
+  PredicateTemplate p;
+  p.table_index = 3;
+  p.column = "x";
+  EXPECT_FALSE(tmpl.AddPredicate(std::move(p)).ok());
+}
+
+TEST(QueryTemplateTest, PredicateForSlot) {
+  auto tmpl = testing::MakeJoinTemplate();
+  EXPECT_EQ(tmpl->PredicateForSlot(0).column, "f_value");
+  EXPECT_EQ(tmpl->PredicateForSlot(1).column, "d_attr");
+}
+
+TEST(QueryTemplateTest, PredicatesOnTable) {
+  auto tmpl = testing::MakeJoinTemplate();
+  EXPECT_EQ(tmpl->PredicatesOnTable(0).size(), 1u);
+  EXPECT_EQ(tmpl->PredicatesOnTable(1).size(), 1u);
+}
+
+TEST(QueryTemplateTest, JoinGraphConnectivity) {
+  auto connected = testing::MakeJoinTemplate();
+  EXPECT_TRUE(connected->IsJoinGraphConnected());
+
+  QueryTemplate disconnected("q", {"fact", "dim"});
+  EXPECT_FALSE(disconnected.IsJoinGraphConnected());
+
+  QueryTemplate single("q", {"fact"});
+  EXPECT_TRUE(single.IsJoinGraphConnected());
+}
+
+TEST(QueryInstanceTest, BindsParameters) {
+  Database db = testing::MakeSmallDatabase();
+  auto tmpl = testing::MakeJoinTemplate();
+  QueryInstance q(tmpl.get(), {Value(int64_t{5000}), Value(int64_t{50})});
+  auto fact_preds = q.BoundPredicatesOnTable(0);
+  ASSERT_EQ(fact_preds.size(), 1u);
+  EXPECT_EQ(fact_preds[0].value.int64(), 5000);
+  EXPECT_EQ(fact_preds[0].param_slot, 0);
+  auto dim_preds = q.BoundPredicatesOnTable(1);
+  ASSERT_EQ(dim_preds.size(), 1u);
+  EXPECT_EQ(dim_preds[0].value.int64(), 50);
+}
+
+TEST(SVectorTest, MatchesBruteForceCounts) {
+  Database db = testing::MakeSmallDatabase(4000, 200);
+  auto tmpl = testing::MakeJoinTemplate();
+  QueryInstance q(tmpl.get(), {Value(int64_t{2500}), Value(int64_t{30})});
+  SVector sv = ComputeSelectivityVector(db, q);
+  ASSERT_EQ(sv.size(), 2u);
+
+  const ColumnData& fv = db.GetTableData("fact").column("f_value");
+  int64_t m0 = 0;
+  for (int64_t i = 0; i < fv.size(); ++i) {
+    if (fv.GetDouble(i) <= 2500.0) ++m0;
+  }
+  EXPECT_NEAR(sv[0], static_cast<double>(m0) / 4000.0, 0.03);
+
+  const ColumnData& da = db.GetTableData("dim").column("d_attr");
+  int64_t m1 = 0;
+  for (int64_t i = 0; i < da.size(); ++i) {
+    if (da.GetDouble(i) <= 30.0) ++m1;
+  }
+  EXPECT_NEAR(sv[1], static_cast<double>(m1) / 200.0, 0.06);
+}
+
+TEST(SVectorTest, MonotoneInParameters) {
+  Database db = testing::MakeSmallDatabase();
+  auto tmpl = testing::MakeJoinTemplate();
+  double prev = -1.0;
+  for (int64_t v : {100, 1000, 3000, 7000, 10000}) {
+    QueryInstance q(tmpl.get(), {Value(v), Value(int64_t{50})});
+    SVector sv = ComputeSelectivityVector(db, q);
+    EXPECT_GE(sv[0], prev);
+    prev = sv[0];
+  }
+}
+
+TEST(TableSelectivityTest, MultipliesPredicates) {
+  Database db = testing::MakeSmallDatabase();
+  auto tmpl = testing::MakeJoinTemplate();
+  QueryInstance q(tmpl.get(), {Value(int64_t{5000}), Value(int64_t{50})});
+  SVector sv = ComputeSelectivityVector(db, q);
+  EXPECT_NEAR(TableSelectivity(db, q, 0), sv[0], 1e-12);
+  EXPECT_NEAR(TableSelectivity(db, q, 1), sv[1], 1e-12);
+}
+
+TEST(InstanceForSelectivitiesTest, HitsTargets) {
+  Database db = testing::MakeSmallDatabase(8000, 400);
+  auto tmpl = testing::MakeJoinTemplate();
+  for (double t0 : {0.05, 0.3, 0.8}) {
+    for (double t1 : {0.1, 0.5, 0.9}) {
+      QueryInstance q = InstanceForSelectivities(db, *tmpl, {t0, t1});
+      SVector sv = ComputeSelectivityVector(db, q);
+      EXPECT_NEAR(sv[0], t0, 0.04) << "t0=" << t0;
+      EXPECT_NEAR(sv[1], t1, 0.08) << "t1=" << t1;
+    }
+  }
+}
+
+TEST(InstanceForSelectivitiesTest, IntColumnsGetIntParams) {
+  Database db = testing::MakeSmallDatabase();
+  auto tmpl = testing::MakeJoinTemplate();
+  QueryInstance q = InstanceForSelectivities(db, *tmpl, {0.5, 0.5});
+  EXPECT_TRUE(q.param(0).is_int64());
+  EXPECT_TRUE(q.param(1).is_int64());
+}
+
+/// Property sweep: inversion round-trips across the whole target grid for
+/// both template dimensions.
+class InversionPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InversionPropertyTest, RoundTrip) {
+  Database db = testing::MakeSmallDatabase(8000, 400);
+  auto tmpl = testing::MakeJoinTemplate();
+  double target = GetParam();
+  QueryInstance q = InstanceForSelectivities(db, *tmpl, {target, target});
+  SVector sv = ComputeSelectivityVector(db, q);
+  EXPECT_NEAR(sv[0], target, 0.05);
+  EXPECT_NEAR(sv[1], target, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, InversionPropertyTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.99));
+
+}  // namespace
+}  // namespace scrpqo

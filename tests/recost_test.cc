@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/recost.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+
+namespace scrpqo {
+namespace {
+
+class RecostTest : public ::testing::Test {
+ protected:
+  RecostTest()
+      : db_(testing::MakeSmallDatabase(20000, 500)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {}
+
+  QueryInstance Instance(double s0, double s1) {
+    return InstanceForSelectivities(db_, *tmpl_, {s0, s1});
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+};
+
+TEST_F(RecostTest, RecostAtOwnInstanceEqualsOptimizedCost) {
+  // The core engine invariant: Recost(Popt(q), q) == Cost(Popt(q), q) as
+  // reported by the optimizer. SCR's cost check depends on it.
+  for (double s0 : {0.01, 0.2, 0.7}) {
+    for (double s1 : {0.05, 0.5, 0.95}) {
+      QueryInstance q = Instance(s0, s1);
+      OptimizationResult r = optimizer_.Optimize(q);
+      CachedPlan cached = MakeCachedPlan(r);
+      RecostService recost(&optimizer_.cost_model());
+      double c = recost.Recost(cached, r.svector);
+      EXPECT_NEAR(c, r.cost, r.cost * 1e-9) << "s0=" << s0 << " s1=" << s1;
+    }
+  }
+}
+
+TEST_F(RecostTest, RecostAtOtherInstanceUpperBoundsOptimal) {
+  // Re-costing qa's plan at qb can never beat qb's optimal cost.
+  QueryInstance qa = Instance(0.01, 0.9);
+  QueryInstance qb = Instance(0.7, 0.1);
+  OptimizationResult ra = optimizer_.Optimize(qa);
+  OptimizationResult rb = optimizer_.Optimize(qb);
+  CachedPlan cached = MakeCachedPlan(ra);
+  RecostService recost(&optimizer_.cost_model());
+  double c = recost.Recost(cached, rb.svector);
+  EXPECT_GE(c, rb.cost * 0.999);
+}
+
+TEST_F(RecostTest, CountsCalls) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.3, 0.3));
+  CachedPlan cached = MakeCachedPlan(r);
+  RecostService recost(&optimizer_.cost_model());
+  EXPECT_EQ(recost.num_calls(), 0);
+  recost.Recost(cached, r.svector);
+  recost.Recost(cached, r.svector);
+  EXPECT_EQ(recost.num_calls(), 2);
+  recost.ResetCounters();
+  EXPECT_EQ(recost.num_calls(), 0);
+}
+
+TEST_F(RecostTest, ShrunkenMemoPruningIsSubstantial) {
+  // Appendix B reports >= 70% of the memo pruned when caching the final
+  // plan; our retained-nodes vs costed-expressions ratio shows the same.
+  OptimizationResult r = optimizer_.Optimize(Instance(0.2, 0.4));
+  CachedPlan cached = MakeCachedPlan(r);
+  EXPECT_GT(cached.memo_physical_exprs, cached.retained_nodes);
+  EXPECT_GE(cached.PruningRatio(), 0.5) << "memo=" << cached.memo_physical_exprs
+                                        << " plan=" << cached.retained_nodes;
+}
+
+TEST_F(RecostTest, RecostMuchFasterThanOptimize) {
+  // Section 1/7.3: Recost is up to two orders of magnitude faster than an
+  // optimizer call. Require at least 10x here to stay robust under CI noise.
+  QueryInstance q = Instance(0.2, 0.4);
+  OptimizationResult r = optimizer_.Optimize(q);
+  CachedPlan cached = MakeCachedPlan(r);
+  RecostService recost(&optimizer_.cost_model());
+
+  const int kIters = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    optimizer_.OptimizeWithSVector(q, r.svector);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double sink = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    sink += recost.Recost(cached, r.svector);
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  double opt_ns = std::chrono::duration<double>(t1 - t0).count();
+  double recost_ns = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GT(opt_ns / recost_ns, 10.0)
+      << "optimize=" << opt_ns << "s recost=" << recost_ns << "s";
+}
+
+TEST_F(RecostTest, ParameterizedLeavesRebind) {
+  // Moving only dimension 0 changes recost; untouched dimensions do not.
+  OptimizationResult r = optimizer_.Optimize(Instance(0.2, 0.4));
+  CachedPlan cached = MakeCachedPlan(r);
+  RecostService recost(&optimizer_.cost_model());
+  double base = recost.Recost(cached, r.svector);
+  SVector moved = r.svector;
+  moved[0] *= 2.0;
+  EXPECT_GT(recost.Recost(cached, moved), base);
+  SVector same = r.svector;
+  EXPECT_EQ(recost.Recost(cached, same), base);
+}
+
+TEST_F(RecostTest, CachedPlanSignatureMatchesPlan) {
+  OptimizationResult r = optimizer_.Optimize(Instance(0.3, 0.3));
+  CachedPlan cached = MakeCachedPlan(r);
+  EXPECT_EQ(cached.signature, PlanSignatureHash(*r.plan));
+}
+
+}  // namespace
+}  // namespace scrpqo

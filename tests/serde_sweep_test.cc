@@ -1,0 +1,81 @@
+// Persistence guarantee sweep: every plan the optimizer produces across a
+// diverse template population must serialize, deserialize, validate, and
+// re-cost identically. This is the contract the persistent plan cache
+// (pqo/cache_persistence.h) stands on.
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_serde.h"
+#include "optimizer/plan_signature.h"
+#include "optimizer/plan_validate.h"
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+namespace {
+
+struct Universe {
+  std::vector<BenchmarkDb> dbs;
+  std::vector<BoundTemplate> templates;
+
+  Universe() {
+    SchemaScale scale;
+    scale.factor = 0.15;
+    dbs = BuildAllDatabases(scale);
+    TemplateGenOptions topts;
+    topts.num_templates = 12;
+    topts.seed = 404;
+    templates = BuildTemplates(dbs, topts);
+  }
+
+  static Universe& Get() {
+    static Universe* u = new Universe();
+    return *u;
+  }
+};
+
+class SerdeSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdeSweepTest, SerializeValidateRecostRoundTrip) {
+  const BoundTemplate& bt =
+      Universe::Get().templates[static_cast<size_t>(GetParam())];
+  Optimizer optimizer(&bt.db->db);
+  InstanceGenOptions gen;
+  gen.m = 8;
+  gen.seed = 70 + static_cast<uint64_t>(GetParam());
+  for (const auto& wi : GenerateInstances(bt, gen)) {
+    OptimizationResult r =
+        optimizer.OptimizeWithSVector(wi.instance, wi.svector);
+
+    std::string data = SerializePlan(*r.plan);
+    auto restored = DeserializePlan(data);
+    ASSERT_TRUE(restored.ok())
+        << bt.tmpl->name() << ": " << restored.status().ToString();
+    const PhysicalPlanNode& plan = *restored.ValueOrDie();
+
+    // Identity preserved.
+    EXPECT_EQ(PlanSignatureHash(plan), PlanSignatureHash(*r.plan));
+    // Well-formed against the template and catalog.
+    Status valid = ValidatePlan(plan, *bt.tmpl, bt.db->db.catalog());
+    EXPECT_TRUE(valid.ok()) << bt.tmpl->name() << ": " << valid.ToString();
+    // Recosts identically at the original instance and a perturbed one.
+    const CostModel& cm = optimizer.cost_model();
+    EXPECT_NEAR(cm.RecostTree(plan, wi.svector), r.cost, r.cost * 1e-9);
+    SVector moved = wi.svector;
+    moved[0] = std::min(1.0, moved[0] * 1.7 + 1e-4);
+    EXPECT_NEAR(cm.RecostTree(plan, moved),
+                cm.RecostTree(*r.plan, moved),
+                cm.RecostTree(*r.plan, moved) * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, SerdeSweepTest, ::testing::Range(0, 12),
+                         [](const auto& info) {
+                           return Universe::Get()
+                               .templates[static_cast<size_t>(info.param)]
+                               .tmpl->name();
+                         });
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/instance_gen.h"
+#include "workload/trace.h"
+
+namespace scrpqo {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() {
+    SchemaScale scale;
+    scale.factor = 0.3;
+    tpch_ = BuildTpchSkewed(scale);
+    bt_ = BuildExample2dTemplate(tpch_);
+  }
+
+  BenchmarkDb tpch_;
+  BoundTemplate bt_;
+};
+
+TEST_F(TraceTest, RoundTripPreservesInstances) {
+  InstanceGenOptions gen;
+  gen.m = 40;
+  auto instances = GenerateInstances(bt_, gen);
+  std::string csv = SerializeTrace(instances);
+  auto loaded = ParseTrace(bt_, csv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& got = loaded.ValueOrDie();
+  ASSERT_EQ(got.size(), instances.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, instances[i].id);
+    EXPECT_EQ(got[i].instance.params(), instances[i].instance.params());
+    EXPECT_EQ(got[i].svector, instances[i].svector);
+  }
+}
+
+TEST_F(TraceTest, CsvShapeIsStable) {
+  InstanceGenOptions gen;
+  gen.m = 3;
+  auto instances = GenerateInstances(bt_, gen);
+  std::string csv = SerializeTrace(instances);
+  // Three lines, each with id + 2 params.
+  int lines = 0, commas = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+    if (c == ',') ++commas;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(commas, 6);
+}
+
+TEST_F(TraceTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseTrace(bt_, "1,2").ok());          // missing a param
+  EXPECT_FALSE(ParseTrace(bt_, "x,1,2").ok());        // bad id
+  EXPECT_FALSE(ParseTrace(bt_, "1,abc,2").ok());      // bad param
+  EXPECT_TRUE(ParseTrace(bt_, "").ValueOrDie().empty());
+  EXPECT_TRUE(ParseTrace(bt_, "\n\n").ValueOrDie().empty());
+}
+
+TEST_F(TraceTest, FileRoundTrip) {
+  InstanceGenOptions gen;
+  gen.m = 10;
+  auto instances = GenerateInstances(bt_, gen);
+  std::string path = ::testing::TempDir() + "/scrpqo_trace_test.csv";
+  ASSERT_TRUE(SaveTrace(instances, path).ok());
+  auto loaded = LoadTrace(bt_, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, LoadMissingFileFails) {
+  auto r = LoadTrace(bt_, "/nonexistent/path/trace.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/math_util.h"
+#include "workload/instance_gen.h"
+#include "workload/orderings.h"
+#include "workload/runner.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace scrpqo {
+namespace {
+
+SchemaScale SmallScale() {
+  SchemaScale s;
+  s.factor = 0.2;
+  return s;
+}
+
+TEST(SchemasTest, AllDatabasesBuild) {
+  std::vector<BenchmarkDb> dbs = BuildAllDatabases(SmallScale());
+  ASSERT_EQ(dbs.size(), 4u);
+  EXPECT_EQ(dbs[0].name, "TPCH");
+  EXPECT_EQ(dbs[1].name, "TPCDS");
+  EXPECT_EQ(dbs[2].name, "RD1");
+  EXPECT_EQ(dbs[3].name, "RD2");
+  for (const auto& db : dbs) {
+    EXPECT_FALSE(db.fks.empty());
+    EXPECT_GE(db.db.catalog().TableNames().size(), 4u);
+  }
+}
+
+TEST(SchemasTest, FkEdgesReferenceRealColumns) {
+  for (const auto& db : BuildAllDatabases(SmallScale())) {
+    for (const auto& fk : db.fks) {
+      const TableDef* child = db.db.catalog().FindTable(fk.child_table);
+      const TableDef* parent = db.db.catalog().FindTable(fk.parent_table);
+      ASSERT_NE(child, nullptr) << db.name << " " << fk.child_table;
+      ASSERT_NE(parent, nullptr) << db.name << " " << fk.parent_table;
+      EXPECT_TRUE(child->HasColumn(fk.child_column));
+      EXPECT_TRUE(parent->HasColumn(fk.parent_column));
+    }
+  }
+}
+
+TEST(SchemasTest, StatsExistForAllColumns) {
+  BenchmarkDb tpch = BuildTpchSkewed(SmallScale());
+  for (const auto& table : tpch.db.catalog().TableNames()) {
+    for (const auto& col : tpch.db.catalog().GetTable(table).columns) {
+      EXPECT_NE(tpch.db.catalog().FindColumnStats(table, col.name), nullptr)
+          << table << "." << col.name;
+    }
+  }
+}
+
+TEST(SchemasTest, MaterializationOptional) {
+  SchemaScale no_rows = SmallScale();
+  no_rows.materialize_rows = false;
+  BenchmarkDb db = BuildRd1(no_rows);
+  EXPECT_FALSE(db.db.HasTableData("event"));
+
+  SchemaScale with_rows = SmallScale();
+  with_rows.materialize_rows = true;
+  BenchmarkDb db2 = BuildRd1(with_rows);
+  EXPECT_TRUE(db2.db.HasTableData("event"));
+}
+
+TEST(TemplatesTest, BuildsRequestedCount) {
+  auto dbs = BuildAllDatabases(SmallScale());
+  TemplateGenOptions opts;
+  opts.num_templates = 90;
+  auto templates = BuildTemplates(dbs, opts);
+  EXPECT_EQ(templates.size(), 90u);
+}
+
+TEST(TemplatesTest, AllTemplatesValid) {
+  auto dbs = BuildAllDatabases(SmallScale());
+  TemplateGenOptions opts;
+  opts.num_templates = 60;
+  for (const auto& bt : BuildTemplates(dbs, opts)) {
+    EXPECT_GE(bt.tmpl->dimensions(), 1);
+    EXPECT_LE(bt.tmpl->dimensions(), 10);
+    EXPECT_TRUE(bt.tmpl->IsJoinGraphConnected()) << bt.tmpl->ToString();
+    EXPECT_GE(bt.tmpl->num_tables(), 1);
+    // Every parameterized predicate targets an existing column.
+    for (const auto& p : bt.tmpl->predicates()) {
+      const std::string& table =
+          bt.tmpl->tables()[static_cast<size_t>(p.table_index)];
+      EXPECT_TRUE(bt.db->db.catalog().GetTable(table).HasColumn(p.column));
+    }
+  }
+}
+
+TEST(TemplatesTest, DimensionMixMatchesPaper) {
+  auto dbs = BuildAllDatabases(SmallScale());
+  TemplateGenOptions opts;
+  opts.num_templates = 90;
+  int high_d = 0;
+  for (const auto& bt : BuildTemplates(dbs, opts)) {
+    if (bt.tmpl->dimensions() >= 4) ++high_d;
+  }
+  // Paper: roughly a third of templates have d >= 4.
+  EXPECT_GE(high_d, 90 / 5);
+  EXPECT_LE(high_d, 90 / 2);
+}
+
+TEST(TemplatesTest, HighDimensionalTemplatesOnRd2) {
+  auto dbs = BuildAllDatabases(SmallScale());
+  TemplateGenOptions opts;
+  opts.num_templates = 90;
+  for (const auto& bt : BuildTemplates(dbs, opts)) {
+    if (bt.tmpl->dimensions() >= 5) {
+      EXPECT_EQ(bt.db->name, "RD2") << bt.tmpl->name();
+    }
+  }
+}
+
+TEST(TemplatesTest, Deterministic) {
+  auto dbs = BuildAllDatabases(SmallScale());
+  TemplateGenOptions opts;
+  opts.num_templates = 20;
+  auto a = BuildTemplates(dbs, opts);
+  auto b = BuildTemplates(dbs, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tmpl->ToString(), b[i].tmpl->ToString());
+  }
+}
+
+TEST(TemplatesTest, Rd2SweepTemplates) {
+  auto rd2 = BuildRd2(SmallScale());
+  for (int d = 1; d <= 10; ++d) {
+    BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, d);
+    EXPECT_EQ(bt.tmpl->dimensions(), d);
+    EXPECT_TRUE(bt.tmpl->IsJoinGraphConnected());
+  }
+}
+
+TEST(InstanceGenTest, GeneratesRequestedCount) {
+  auto tpch = BuildTpchSkewed(SmallScale());
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  InstanceGenOptions opts;
+  opts.m = 120;
+  auto instances = GenerateInstances(bt, opts);
+  EXPECT_EQ(instances.size(), 120u);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    EXPECT_EQ(instances[i].id, static_cast<int>(i));
+    EXPECT_EQ(instances[i].svector.size(), 2u);
+  }
+}
+
+TEST(InstanceGenTest, CoversSmallAndLargeRegions) {
+  auto tpch = BuildTpchSkewed(SmallScale());
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  InstanceGenOptions opts;
+  opts.m = 200;
+  auto instances = GenerateInstances(bt, opts);
+  int all_small = 0, all_large = 0, mixed = 0;
+  for (const auto& wi : instances) {
+    bool s0_small = wi.svector[0] < 0.1;
+    bool s1_small = wi.svector[1] < 0.1;
+    if (s0_small && s1_small) {
+      ++all_small;
+    } else if (!s0_small && !s1_small) {
+      ++all_large;
+    } else {
+      ++mixed;
+    }
+  }
+  // Region0, Region1 and the per-dimension regions must all be populated.
+  EXPECT_GT(all_small, 20);
+  EXPECT_GT(all_large, 20);
+  EXPECT_GT(mixed, 40);
+}
+
+TEST(InstanceGenTest, Deterministic) {
+  auto tpch = BuildTpchSkewed(SmallScale());
+  BoundTemplate bt = BuildExample2dTemplate(tpch);
+  InstanceGenOptions opts;
+  opts.m = 50;
+  auto a = GenerateInstances(bt, opts);
+  auto b = GenerateInstances(bt, opts);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].svector, b[i].svector);
+  }
+}
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  std::vector<InstanceOracleInfo> MakeInfo(int n) {
+    std::vector<InstanceOracleInfo> info(static_cast<size_t>(n));
+    Pcg32 rng(2);
+    for (int i = 0; i < n; ++i) {
+      info[static_cast<size_t>(i)].opt_cost = rng.UniformDouble(1, 100);
+      info[static_cast<size_t>(i)].plan_signature =
+          static_cast<uint64_t>(rng.UniformInt(0, 4));
+    }
+    return info;
+  }
+
+  static bool IsPermutation(const std::vector<int>& perm, int n) {
+    std::set<int> seen(perm.begin(), perm.end());
+    return static_cast<int>(perm.size()) == n &&
+           static_cast<int>(seen.size()) == n && *seen.begin() == 0 &&
+           *seen.rbegin() == n - 1;
+  }
+};
+
+TEST_F(OrderingTest, AllKindsArePermutations) {
+  auto info = MakeInfo(97);
+  for (OrderingKind kind : AllOrderings()) {
+    auto perm = MakeOrdering(kind, info, 5);
+    EXPECT_TRUE(IsPermutation(perm, 97)) << OrderingName(kind);
+  }
+}
+
+TEST_F(OrderingTest, DecreasingCostSorted) {
+  auto info = MakeInfo(50);
+  auto perm = MakeOrdering(OrderingKind::kDecreasingCost, info, 5);
+  for (size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_GE(info[static_cast<size_t>(perm[i - 1])].opt_cost,
+              info[static_cast<size_t>(perm[i])].opt_cost);
+  }
+}
+
+TEST_F(OrderingTest, RoundRobinAlternatesPlans) {
+  auto info = MakeInfo(50);
+  auto perm = MakeOrdering(OrderingKind::kRoundRobinByPlan, info, 5);
+  // The first few positions must all come from distinct plan groups.
+  std::set<uint64_t> first_sigs;
+  std::set<uint64_t> all_sigs;
+  for (const auto& ii : info) all_sigs.insert(ii.plan_signature);
+  for (size_t i = 0; i < all_sigs.size(); ++i) {
+    first_sigs.insert(info[static_cast<size_t>(perm[i])].plan_signature);
+  }
+  EXPECT_EQ(first_sigs.size(), all_sigs.size());
+}
+
+TEST_F(OrderingTest, InsideOutStartsNearMedian) {
+  auto info = MakeInfo(51);
+  std::vector<double> costs;
+  for (const auto& ii : info) costs.push_back(ii.opt_cost);
+  double median = Percentile(costs, 50.0);
+  auto perm = MakeOrdering(OrderingKind::kInsideOut, info, 5);
+  double first_dev =
+      std::abs(info[static_cast<size_t>(perm.front())].opt_cost - median);
+  double last_dev =
+      std::abs(info[static_cast<size_t>(perm.back())].opt_cost - median);
+  EXPECT_LT(first_dev, last_dev);
+}
+
+TEST_F(OrderingTest, OutsideInIsReverseStyle) {
+  auto info = MakeInfo(51);
+  std::vector<double> costs;
+  for (const auto& ii : info) costs.push_back(ii.opt_cost);
+  double median = Percentile(costs, 50.0);
+  auto perm = MakeOrdering(OrderingKind::kOutsideIn, info, 5);
+  double first_dev =
+      std::abs(info[static_cast<size_t>(perm.front())].opt_cost - median);
+  double last_dev =
+      std::abs(info[static_cast<size_t>(perm.back())].opt_cost - median);
+  EXPECT_GT(first_dev, last_dev);
+}
+
+TEST_F(OrderingTest, RandomDeterministicPerSeed) {
+  auto info = MakeInfo(40);
+  auto a = MakeOrdering(OrderingKind::kRandom, info, 7);
+  auto b = MakeOrdering(OrderingKind::kRandom, info, 7);
+  auto c = MakeOrdering(OrderingKind::kRandom, info, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace scrpqo

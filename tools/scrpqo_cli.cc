@@ -1,0 +1,350 @@
+// scrpqo_cli — run any PQO technique over a SQL-defined parameterized query
+// against one of the built-in databases and report the paper's metrics.
+//
+// Usage:
+//   scrpqo_cli [--db tpch|tpcds|rd1|rd2] [--technique NAME] [--lambda X]
+//              [--m N] [--ordering random|dec-cost|round-robin|inside-out|
+//              outside-in] [--budget K] [--seed S] [--sql "SELECT ..."]
+//              [--explain] [--trace]
+//
+// Techniques: scr (default), async-scr, pcm, ellipse, density, ranges,
+// opt-once, opt-always. Without --sql a built-in 2-d template is used.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pqo/async_scr.h"
+#include "pqo/cache_persistence.h"
+#include "pqo/density.h"
+#include "pqo/ellipse.h"
+#include "pqo/opt_always.h"
+#include "pqo/opt_once.h"
+#include "pqo/pcm.h"
+#include "pqo/ranges.h"
+#include "pqo/scr.h"
+#include "sql/parser.h"
+#include "workload/instance_gen.h"
+#include "workload/runner.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+#include "workload/named_templates.h"
+#include "workload/trace.h"
+
+using namespace scrpqo;
+
+namespace {
+
+struct CliOptions {
+  std::string db = "tpch";
+  std::string technique = "scr";
+  double lambda = 2.0;
+  int m = 500;
+  std::string ordering = "random";
+  int budget = 0;
+  uint64_t seed = 20170514;
+  std::string sql;
+  std::string template_name;  // named template (see --list-templates)
+  bool list_templates = false;
+  bool explain = false;
+  bool trace = false;
+  std::string save_trace;    // write the generated instance set as CSV
+  std::string replay_trace;  // load instances from CSV instead of sampling
+  std::string save_cache;    // persist the SCR plan cache after the run
+  std::string load_cache;    // restore an SCR plan cache before the run
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: scrpqo_cli [--db tpch|tpcds|rd1|rd2] [--technique scr|"
+      "async-scr|pcm|ellipse|density|ranges|opt-once|opt-always]\n"
+      "                  [--lambda X] [--m N] [--ordering random|dec-cost|"
+      "round-robin|inside-out|outside-in]\n"
+      "                  [--budget K] [--seed S] [--sql \"SELECT ...\"]\n"
+      "                  [--template NAME] [--list-templates]\n"
+      "                  [--save-trace F] [--replay-trace F]\n"
+      "                  [--save-cache F] [--load-cache F]\n"
+      "                  [--explain] [--trace]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--db") {
+      const char* v = next();
+      if (!v) return false;
+      opts->db = v;
+    } else if (arg == "--technique") {
+      const char* v = next();
+      if (!v) return false;
+      opts->technique = v;
+    } else if (arg == "--lambda") {
+      const char* v = next();
+      if (!v) return false;
+      opts->lambda = std::atof(v);
+    } else if (arg == "--m") {
+      const char* v = next();
+      if (!v) return false;
+      opts->m = std::atoi(v);
+    } else if (arg == "--ordering") {
+      const char* v = next();
+      if (!v) return false;
+      opts->ordering = v;
+    } else if (arg == "--budget") {
+      const char* v = next();
+      if (!v) return false;
+      opts->budget = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--sql") {
+      const char* v = next();
+      if (!v) return false;
+      opts->sql = v;
+    } else if (arg == "--template") {
+      const char* v = next();
+      if (!v) return false;
+      opts->template_name = v;
+    } else if (arg == "--list-templates") {
+      opts->list_templates = true;
+    } else if (arg == "--explain") {
+      opts->explain = true;
+    } else if (arg == "--trace") {
+      opts->trace = true;
+    } else if (arg == "--save-trace") {
+      const char* v = next();
+      if (!v) return false;
+      opts->save_trace = v;
+    } else if (arg == "--replay-trace") {
+      const char* v = next();
+      if (!v) return false;
+      opts->replay_trace = v;
+    } else if (arg == "--save-cache") {
+      const char* v = next();
+      if (!v) return false;
+      opts->save_cache = v;
+    } else if (arg == "--load-cache") {
+      const char* v = next();
+      if (!v) return false;
+      opts->load_cache = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<PqoTechnique> MakeTechnique(const CliOptions& opts) {
+  ScrOptions scr_opts;
+  scr_opts.lambda = opts.lambda;
+  scr_opts.plan_budget = opts.budget;
+  if (opts.technique == "scr") return std::make_unique<Scr>(scr_opts);
+  if (opts.technique == "async-scr") {
+    return std::make_unique<AsyncScr>(scr_opts);
+  }
+  if (opts.technique == "pcm") {
+    return std::make_unique<Pcm>(PcmOptions{.lambda = opts.lambda});
+  }
+  if (opts.technique == "ellipse") {
+    return std::make_unique<Ellipse>(EllipseOptions{});
+  }
+  if (opts.technique == "density") {
+    return std::make_unique<Density>(DensityOptions{});
+  }
+  if (opts.technique == "ranges") {
+    return std::make_unique<Ranges>(RangesOptions{});
+  }
+  if (opts.technique == "opt-once") return std::make_unique<OptOnce>();
+  if (opts.technique == "opt-always") return std::make_unique<OptAlways>();
+  return nullptr;
+}
+
+OrderingKind OrderingFromName(const std::string& name) {
+  for (OrderingKind kind : AllOrderings()) {
+    if (OrderingName(kind) == name) return kind;
+  }
+  return OrderingKind::kRandom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage();
+
+  if (opts.list_templates) {
+    std::printf("named templates (use with --template NAME):\n");
+    for (const auto& nt : ListNamedTemplates()) {
+      std::printf("  %-16s [%s] %s\n", nt.name.c_str(),
+                  nt.database.c_str(), nt.description.c_str());
+    }
+    return 0;
+  }
+
+  SchemaScale scale;
+  scale.seed = opts.seed;
+
+  // Named templates know their database; otherwise build the requested one.
+  std::vector<BenchmarkDb> all_dbs;  // kept alive for named templates
+  BenchmarkDb db;
+  BoundTemplate bt;
+  if (!opts.template_name.empty()) {
+    all_dbs = BuildAllDatabases(scale);
+    bt = BuildNamedTemplate(all_dbs, opts.template_name);
+  } else {
+    if (opts.db == "tpch") {
+      db = BuildTpchSkewed(scale);
+    } else if (opts.db == "tpcds") {
+      db = BuildDsLike(scale);
+    } else if (opts.db == "rd1") {
+      db = BuildRd1(scale);
+    } else if (opts.db == "rd2") {
+      db = BuildRd2(scale);
+    } else {
+      std::fprintf(stderr, "unknown database: %s\n", opts.db.c_str());
+      return Usage();
+    }
+    bt.db = &db;
+    if (opts.sql.empty()) {
+      if (opts.db == "tpch") {
+        bt = BuildExample2dTemplate(db);
+      } else if (opts.db == "rd2") {
+        bt = BuildRd2TemplateWithDimensions(db, 4);
+      } else {
+        std::fprintf(stderr,
+                     "--sql or --template is required for db %s\n",
+                     opts.db.c_str());
+        return 2;
+      }
+    } else {
+      auto parsed = ParseQueryTemplate(db.db.catalog(), opts.sql, "cli");
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "SQL error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      bt.tmpl = parsed.ValueOrDie();
+    }
+  }
+  std::printf("%s\n", bt.tmpl->ToString().c_str());
+
+  Optimizer optimizer(&bt.db->db);
+  std::vector<WorkloadInstance> instances;
+  if (!opts.replay_trace.empty()) {
+    auto loaded = LoadTrace(bt, opts.replay_trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "trace error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    instances = loaded.MoveValueOrDie();
+    std::printf("replaying %zu instances from %s\n", instances.size(),
+                opts.replay_trace.c_str());
+  } else {
+    InstanceGenOptions gen;
+    gen.m = opts.m;
+    gen.seed = opts.seed + 1;
+    instances = GenerateInstances(bt, gen);
+  }
+  if (!opts.save_trace.empty()) {
+    Status st = SaveTrace(instances, opts.save_trace);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %zu instances to %s\n", instances.size(),
+                opts.save_trace.c_str());
+  }
+  Oracle oracle = Oracle::Build(optimizer, instances);
+  auto perm = MakeOrdering(OrderingFromName(opts.ordering),
+                           oracle.OrderingInfo(), opts.seed + 2);
+
+  if (opts.explain) {
+    std::printf("\noptimal plan for the first instance:\n%s\n",
+                oracle.result(perm[0])->plan->ToString().c_str());
+  }
+
+  auto technique = MakeTechnique(opts);
+  if (technique == nullptr) {
+    std::fprintf(stderr, "unknown technique: %s\n", opts.technique.c_str());
+    return Usage();
+  }
+
+  // Cache persistence is an SCR feature (the cache format is SCR's).
+  Scr* scr_ptr =
+      opts.technique == "scr" ? static_cast<Scr*>(technique.get()) : nullptr;
+  if (!opts.load_cache.empty()) {
+    if (scr_ptr == nullptr) {
+      std::fprintf(stderr, "--load-cache requires --technique scr\n");
+      return 2;
+    }
+    Status st = LoadScrCacheFromFile(opts.load_cache, scr_ptr);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cache error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("restored plan cache: %lld plans, %lld instance entries\n",
+                static_cast<long long>(scr_ptr->NumPlansCached()),
+                static_cast<long long>(scr_ptr->NumInstancesStored()));
+  }
+
+  if (opts.trace) {
+    // Per-instance trace with decision + SO.
+    EngineContext engine(&bt.db->db, &optimizer);
+    engine.SetOracle([&oracle](const WorkloadInstance& wi) {
+      return oracle.result(wi.id);
+    });
+    for (size_t i = 0; i < perm.size() && i < 50; ++i) {
+      const WorkloadInstance& wi =
+          instances[static_cast<size_t>(perm[i])];
+      PlanChoice c = technique->OnInstance(wi, &engine);
+      double so = engine.RecostUncharged(*c.plan, wi.svector) /
+                  oracle.opt_cost(wi.id);
+      std::printf("  #%-4zu %-10s SO=%.3f\n", i + 1,
+                  c.optimized ? "OPTIMIZE" : "reuse", std::max(so, 1.0));
+    }
+    if (perm.size() > 50) std::printf("  ... (trace capped at 50)\n");
+    return 0;
+  }
+
+  RunSequenceOptions ropts;
+  ropts.lambda_for_violations = opts.lambda;
+  ropts.ordering_name = opts.ordering;
+  SequenceMetrics m = RunSequence(optimizer, instances, perm, oracle,
+                                  technique.get(), ropts);
+  std::printf("\n%s over %lld instances (%s ordering):\n",
+              technique->name().c_str(), static_cast<long long>(m.m),
+              opts.ordering.c_str());
+  std::printf("  optimizer calls   : %lld (%.1f%%)\n",
+              static_cast<long long>(m.num_opt), m.NumOptPercent());
+  std::printf("  Recost calls      : %lld\n",
+              static_cast<long long>(m.num_recost_calls));
+  std::printf("  plans cached      : %lld\n",
+              static_cast<long long>(m.num_plans));
+  std::printf("  MSO               : %.3f\n", m.mso);
+  std::printf("  TotalCostRatio    : %.3f\n", m.total_cost_ratio);
+  std::printf("  bound violations  : %lld\n",
+              static_cast<long long>(m.bound_violations));
+
+  if (!opts.save_cache.empty()) {
+    if (scr_ptr == nullptr) {
+      std::fprintf(stderr, "--save-cache requires --technique scr\n");
+      return 2;
+    }
+    Status st = SaveScrCacheToFile(*scr_ptr, opts.save_cache);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cache error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved plan cache to %s\n", opts.save_cache.c_str());
+  }
+  return 0;
+}
