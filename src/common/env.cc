@@ -1,5 +1,7 @@
 #include "common/env.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace scrpqo {
@@ -8,8 +10,11 @@ int64_t EnvInt64(const std::string& name, int64_t def) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return def;
+  // Reject unparsable and out-of-range values (strtoll silently saturates
+  // at LLONG_MIN/MAX on overflow) instead of using a truncated number.
+  if (end == v || errno == ERANGE) return def;
   return static_cast<int64_t>(parsed);
 }
 
@@ -17,8 +22,11 @@ double EnvDouble(const std::string& name, double def) {
   const char* v = std::getenv(name.c_str());
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
+  errno = 0;
   double parsed = std::strtod(v, &end);
-  if (end == v) return def;
+  // Reject unparsable values, overflow/underflow (ERANGE) and explicit
+  // inf/nan spellings: every SCRPQO_* knob expects a finite number.
+  if (end == v || errno == ERANGE || !std::isfinite(parsed)) return def;
   return parsed;
 }
 

@@ -1,0 +1,190 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace scrpqo {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double next = std::bit_cast<double>(old_bits) + delta;
+    if (bits->compare_exchange_weak(old_bits, std::bit_cast<uint64_t>(next),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double value) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    if (std::bit_cast<double>(old_bits) >= value) return;
+    if (bits->compare_exchange_weak(old_bits, std::bit_cast<uint64_t>(value),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AppendJsonDouble(double v, std::ostream& os) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+int LogHistogram::BucketFor(double value) {
+  if (!(value >= 1.0)) return 0;  // [0,1) plus NaN/negatives
+  int b = 1 + static_cast<int>(std::floor(8.0 * std::log2(value)));
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LogHistogram::BucketMid(int bucket) {
+  if (bucket <= 0) return 0.5;
+  // Geometric midpoint of [2^((b-1)/8), 2^(b/8)).
+  return std::exp2((static_cast<double>(bucket) - 0.5) / 8.0);
+}
+
+void LogHistogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, value);
+  AtomicMaxDouble(&max_bits_, value);
+}
+
+double LogHistogram::Percentile(double p) const {
+  int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Target rank in [1, n]; walk cumulative bucket counts.
+  int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(p / 100.0 *
+                                                 static_cast<double>(n))));
+  int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // When the rank lands in the bucket holding the largest recorded
+      // value (cumulative already covers all n records), the exact tracked
+      // max is strictly better information than the bucket midpoint. This
+      // also makes single-value histograms and p100 exact.
+      if (cumulative >= n || b == kNumBuckets - 1) return max_value();
+      return std::min(BucketMid(b), max_value());
+    }
+  }
+  return max_value();
+}
+
+double LogHistogram::max_value() const {
+  uint64_t bits = max_bits_.load(std::memory_order_relaxed);
+  return std::bit_cast<double>(bits);
+}
+
+double LogHistogram::mean() const {
+  int64_t n = count();
+  if (n <= 0) return 0.0;
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+HistogramSnapshot LogHistogram::Snapshot(const std::string& name) const {
+  HistogramSnapshot s;
+  s.name = name;
+  s.count = count();
+  s.p50 = Percentile(50.0);
+  s.p90 = Percentile(90.0);
+  s.p99 = Percentile(99.0);
+  s.mean = mean();
+  s.max = max_value();
+  return s;
+}
+
+int64_t RegistrySnapshot::CounterValue(const std::string& name,
+                                       int64_t def) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return def;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+LogHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LogHistogram>();
+  return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->Snapshot(name));
+  }
+  return snap;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  RegistrySnapshot snap = Snapshot();
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << c.name << "\":" << c.value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << h.name << "\":{\"count\":" << h.count << ",\"p50\":";
+    AppendJsonDouble(h.p50, os);
+    os << ",\"p90\":";
+    AppendJsonDouble(h.p90, os);
+    os << ",\"p99\":";
+    AppendJsonDouble(h.p99, os);
+    os << ",\"mean\":";
+    AppendJsonDouble(h.mean, os);
+    os << ",\"max\":";
+    AppendJsonDouble(h.max, os);
+    os << "}";
+  }
+  os << "}}\n";
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open metrics file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace scrpqo

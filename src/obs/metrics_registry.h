@@ -1,0 +1,117 @@
+// Named monotonic counters and log-scaled histograms for the PQO engine.
+// Counters are lock-free atomics; histograms use atomic log-scaled buckets
+// (~9% relative resolution) so AsyncScr's worker thread and the critical
+// path can record concurrently without contention. Lookup by name happens
+// once (create-on-first-use under a mutex); hot paths hold the returned
+// pointer, which stays valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Pointer-free exported state of one counter / histogram, embeddable in
+/// SequenceMetrics.
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Histogram over non-negative values with log-scaled buckets: bucket 0
+/// holds [0, 1); bucket i >= 1 holds [2^((i-1)/8), 2^(i/8)), i.e. eight
+/// buckets per octave (~9% relative error), covering values up to ~2^31
+/// before the overflow bucket. Suited to latencies in microseconds and
+/// cost ratios alike.
+class LogHistogram {
+ public:
+  static constexpr int kNumBuckets = 256;
+
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Percentile `p` in [0, 100] as the geometric midpoint of the bucket
+  /// holding the target rank; ranks landing in the highest non-empty
+  /// bucket report the exact tracked max (so p100 — and every percentile
+  /// of a single-value histogram — is exact). 0 when empty.
+  double Percentile(double p) const;
+
+  /// Largest recorded value, tracked exactly. 0 when empty.
+  double max_value() const;
+
+  double mean() const;
+
+  HistogramSnapshot Snapshot(const std::string& name) const;
+
+ private:
+  static int BucketFor(double value);
+  static double BucketMid(int bucket);
+
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  /// Sum and max as bit-cast doubles updated via CAS (portable pre-C++20
+  /// fetch_add-for-double replacement).
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> max_bits_{0};
+};
+
+/// Full pointer-free registry export.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; `def` when absent.
+  int64_t CounterValue(const std::string& name, int64_t def = 0) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Create-on-first-use; returned pointer is stable for the registry's
+  /// lifetime. Thread-safe.
+  Counter* counter(const std::string& name);
+  LogHistogram* histogram(const std::string& name);
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Writes the snapshot as a single JSON object:
+  /// {"counters": {...}, "histograms": {name: {...}, ...}}.
+  void WriteJson(std::ostream& os) const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+}  // namespace scrpqo

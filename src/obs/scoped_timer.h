@@ -1,0 +1,46 @@
+// RAII section timer: on destruction, records the elapsed microseconds
+// into a LogHistogram. Constructed with a null histogram it does nothing —
+// hot paths pay a branch, not a clock read, when metrics are disabled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics_registry.h"
+
+namespace scrpqo {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LogHistogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  /// Records now instead of at scope exit; idempotent.
+  void Stop() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(static_cast<double>(ElapsedMicros(start_)));
+    histogram_ = nullptr;
+  }
+
+  /// Microseconds elapsed since `start` (shared helper for call sites that
+  /// time sections by hand, e.g. to stamp DecisionEvents).
+  static int64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+ private:
+  LogHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scrpqo

@@ -1,0 +1,283 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace scrpqo {
+
+namespace {
+
+constexpr const char* kOutcomeNames[] = {
+    "sel-check-hit", "cost-check-hit", "optimized", "redundant-discard",
+    "evicted"};
+constexpr int kNumOutcomes = 5;
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[48];
+  // %.17g round-trips doubles exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+/// Locates `"key":` in `line` and returns the character offset just past
+/// the colon (skipping spaces), or npos. Keys we emit never appear inside
+/// string values other than `technique`, which is searched last.
+size_t FindValue(const std::string& line, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  return pos;
+}
+
+bool ParseNumber(const std::string& line, const char* key, double* out) {
+  size_t pos = FindValue(line, key);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(start, &end);
+  if (end == start || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseString(const std::string& line, const char* key,
+                 std::string* out) {
+  size_t pos = FindValue(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  std::string s;
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos];
+    if (c == '\\' && pos + 1 < line.size()) {
+      char e = line[pos + 1];
+      pos += 2;
+      switch (e) {
+        case 'n':
+          s += '\n';
+          break;
+        case 't':
+          s += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > line.size()) return false;
+          char hex[5] = {line[pos], line[pos + 1], line[pos + 2],
+                         line[pos + 3], '\0'};
+          s += static_cast<char>(std::strtol(hex, nullptr, 16));
+          pos += 4;
+          break;
+        }
+        default:
+          s += e;
+      }
+    } else {
+      s += c;
+      ++pos;
+    }
+  }
+  if (pos >= line.size()) return false;  // unterminated string
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace
+
+const char* DecisionOutcomeName(DecisionOutcome outcome) {
+  int i = static_cast<int>(outcome);
+  if (i < 0 || i >= kNumOutcomes) return "unknown";
+  return kOutcomeNames[i];
+}
+
+bool ParseDecisionOutcome(const std::string& name, DecisionOutcome* out) {
+  for (int i = 0; i < kNumOutcomes; ++i) {
+    if (name == kOutcomeNames[i]) {
+      *out = static_cast<DecisionOutcome>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsDecisionOutcome(DecisionOutcome outcome) {
+  return outcome != DecisionOutcome::kEvicted;
+}
+
+std::string DecisionEventToJsonl(const DecisionEvent& e) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"seq\":";
+  out += std::to_string(e.seq);
+  out += ",\"instance\":";
+  out += std::to_string(e.instance_id);
+  out += ",\"technique\":\"";
+  AppendEscaped(e.technique, &out);
+  out += "\",\"outcome\":\"";
+  out += DecisionOutcomeName(e.outcome);
+  out += "\",\"matched\":";
+  out += std::to_string(e.matched_entry);
+  out += ",\"g\":";
+  AppendDouble(e.g, &out);
+  out += ",\"l\":";
+  AppendDouble(e.l, &out);
+  out += ",\"r\":";
+  AppendDouble(e.r, &out);
+  out += ",\"candidates\":";
+  out += std::to_string(e.candidates_scanned);
+  out += ",\"recosts\":";
+  out += std::to_string(e.recost_calls);
+  out += ",\"wall_us\":";
+  out += std::to_string(e.wall_micros);
+  out += "}";
+  return out;
+}
+
+Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
+  DecisionEvent e;
+  double v = 0.0;
+  if (!ParseNumber(line, "seq", &v)) {
+    return Status::InvalidArgument("trace line missing \"seq\": " + line);
+  }
+  e.seq = static_cast<int64_t>(v);
+  if (!ParseNumber(line, "instance", &v)) {
+    return Status::InvalidArgument("trace line missing \"instance\"");
+  }
+  e.instance_id = static_cast<int32_t>(v);
+  std::string outcome;
+  if (!ParseString(line, "outcome", &outcome) ||
+      !ParseDecisionOutcome(outcome, &e.outcome)) {
+    return Status::InvalidArgument("trace line has bad \"outcome\": " + line);
+  }
+  // Optional fields keep their defaults when absent.
+  ParseString(line, "technique", &e.technique);
+  if (ParseNumber(line, "matched", &v)) {
+    e.matched_entry = static_cast<int32_t>(v);
+  }
+  ParseNumber(line, "g", &e.g);
+  ParseNumber(line, "l", &e.l);
+  ParseNumber(line, "r", &e.r);
+  if (ParseNumber(line, "candidates", &v)) {
+    e.candidates_scanned = static_cast<int32_t>(v);
+  }
+  if (ParseNumber(line, "recosts", &v)) {
+    e.recost_calls = static_cast<int32_t>(v);
+  }
+  if (ParseNumber(line, "wall_us", &v)) {
+    e.wall_micros = static_cast<int64_t>(v);
+  }
+  return e;
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::Record(DecisionEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[static_cast<size_t>(event.seq) % capacity_] = std::move(event);
+  }
+}
+
+int64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::vector<DecisionEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecisionEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    size_t head = static_cast<size_t>(next_seq_) % capacity_;
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void Tracer::WriteJsonl(std::ostream& os) const {
+  for (const DecisionEvent& e : Snapshot()) {
+    os << DecisionEventToJsonl(e) << '\n';
+  }
+}
+
+Status Tracer::WriteJsonlFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  WriteJsonl(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DecisionEvent>> ReadJsonlTraceFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::vector<DecisionEvent> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Result<DecisionEvent> parsed = DecisionEventFromJsonl(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": " + parsed.status().message());
+    }
+    events.push_back(parsed.MoveValueOrDie());
+  }
+  return events;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,111 @@
+// Decision-event tracing for the PQO engine: every getPlan/manageCache
+// decision is recorded as a DecisionEvent in a fixed-capacity ring buffer
+// and can be exported as JSONL (one event per line). Techniques emit events
+// only when a Tracer is attached, so the disabled-path cost is a null
+// pointer check. The buffer is thread-safe: AsyncScr's worker thread emits
+// manageCache events concurrently with the critical path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scrpqo {
+
+/// What the technique concluded for one event.
+///
+/// The first four are per-instance *decisions* — every instance produces
+/// exactly one of them (`kOptimized` and `kRedundantDiscard` both imply an
+/// optimizer call; the latter means the redundancy check then discarded the
+/// fresh plan in favor of a cached one). `kEvicted` is a cache-maintenance
+/// event emitted per evicted plan, on top of the arriving instance's own
+/// decision event.
+enum class DecisionOutcome : int {
+  kSelCheckHit = 0,
+  kCostCheckHit = 1,
+  kOptimized = 2,
+  kRedundantDiscard = 3,
+  kEvicted = 4,
+};
+
+/// Stable wire name ("sel-check-hit", ...).
+const char* DecisionOutcomeName(DecisionOutcome outcome);
+
+/// Inverse of DecisionOutcomeName; false when `name` is unknown.
+bool ParseDecisionOutcome(const std::string& name, DecisionOutcome* out);
+
+/// True for the per-instance decision outcomes (everything but kEvicted).
+bool IsDecisionOutcome(DecisionOutcome outcome);
+
+/// One traced decision. Fields that do not apply to an outcome stay at
+/// their defaults (-1 for ids and G/L/R, 0 for counts).
+struct DecisionEvent {
+  /// Monotonic event number, assigned by the Tracer on Record.
+  int64_t seq = -1;
+  /// Workload-instance id the event belongs to.
+  int32_t instance_id = -1;
+  /// Technique name (Scr::name() style).
+  std::string technique;
+  DecisionOutcome outcome = DecisionOutcome::kOptimized;
+  /// Cache-entry id that matched (instance-list index for SCR check hits,
+  /// plan id for optimized/discard/evict events); -1 when n/a.
+  int32_t matched_entry = -1;
+  /// Selectivity-check factors at the matched entry (-1 when n/a).
+  double g = -1.0;
+  double l = -1.0;
+  /// Cost ratio observed by the cost / redundancy check (-1 when n/a).
+  double r = -1.0;
+  /// Cost-check candidates considered by this getPlan.
+  int32_t candidates_scanned = 0;
+  /// Recost calls issued by this getPlan.
+  int32_t recost_calls = 0;
+  /// Wall-clock of the traced section, microseconds.
+  int64_t wall_micros = 0;
+};
+
+/// Serializes one event as a single JSON line (no trailing newline).
+std::string DecisionEventToJsonl(const DecisionEvent& event);
+
+/// Parses a line produced by DecisionEventToJsonl.
+Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line);
+
+/// Fixed-capacity ring buffer of DecisionEvents. Oldest events are
+/// overwritten once `capacity` is exceeded; `total_recorded()` keeps the
+/// all-time count so overflow is detectable.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  /// Records an event (assigns `seq`). Thread-safe.
+  void Record(DecisionEvent event);
+
+  size_t capacity() const { return capacity_; }
+
+  /// All-time number of Record calls (>= Snapshot().size()).
+  int64_t total_recorded() const;
+
+  /// Live window, oldest first.
+  std::vector<DecisionEvent> Snapshot() const;
+
+  /// Writes the live window as JSONL, oldest first.
+  void WriteJsonl(std::ostream& os) const;
+
+  /// Writes the live window to `path` (overwrite).
+  Status WriteJsonlFile(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<DecisionEvent> ring_;
+  int64_t next_seq_ = 0;
+};
+
+/// Reads a JSONL trace file; fails on the first malformed line.
+Result<std::vector<DecisionEvent>> ReadJsonlTraceFile(
+    const std::string& path);
+
+}  // namespace scrpqo

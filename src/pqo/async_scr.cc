@@ -32,20 +32,27 @@ void AsyncScr::WorkerLoop() {
     // redundancy check); it runs under the cache lock so getPlan observes a
     // consistent snapshot. The critical path only contends when it arrives
     // mid-update — exactly the background-thread model of the paper.
-    inner_.RegisterOptimization(task.wi, std::move(task.result), engine_);
+    inner_.RegisterOptimization(task.wi, std::move(task.result), engine_,
+                                task.get_plan_recosts,
+                                task.get_plan_candidates);
     ++tasks_processed_;
     worker_busy_ = false;
     if (queue_.empty()) idle_.notify_all();
   }
 }
 
+void AsyncScr::SetObs(const ObsHooks& hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.SetObs(hooks);
+}
+
 PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
                                 EngineContext* engine) {
+  PlanChoice probe;
   {
     std::lock_guard<std::mutex> lock(mu_);
     engine_ = engine;
-    PlanChoice choice;
-    if (inner_.TryReuse(wi, engine, &choice)) return choice;
+    if (inner_.TryReuse(wi, engine, &probe)) return probe;
   }
 
   // Cache miss: optimize on the critical path (the query must run), hand
@@ -53,10 +60,17 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
   auto result = engine->Optimize(wi);
   PlanChoice choice;
   choice.optimized = true;
+  // Recost calls the failed reuse attempt made still belong to this
+  // getPlan (max_recost_per_get_plan would otherwise under-report misses).
+  choice.recost_calls_in_get_plan = probe.recost_calls_in_get_plan;
+  choice.cost_check_candidates_in_get_plan =
+      probe.cost_check_candidates_in_get_plan;
   choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(Task{wi, std::move(result)});
+    queue_.push_back(Task{wi, std::move(result),
+                          probe.recost_calls_in_get_plan,
+                          probe.cost_check_candidates_in_get_plan});
   }
   work_available_.notify_one();
   return choice;

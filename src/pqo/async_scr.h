@@ -30,12 +30,19 @@ class AsyncScr : public PqoTechnique {
 
   std::string name() const override { return "Async" + inner_.name(); }
 
+  /// Forwards the sinks to the wrapped Scr. Decision events for misses are
+  /// emitted by the worker thread when the deferred manageCache runs, so
+  /// the sinks must be thread-safe (Tracer and MetricsRegistry are).
+  void SetObs(const ObsHooks& hooks) override;
+
   PlanChoice OnInstance(const WorkloadInstance& wi,
                         EngineContext* engine) override;
 
   /// Blocks until every queued manageCache task has been applied. Tests and
   /// metric collection call this before inspecting cache state.
   void Flush();
+
+  void FlushBackgroundWork() override { Flush(); }
 
   int64_t NumPlansCached() const override;
   int64_t PeakPlansCached() const override;
@@ -47,6 +54,10 @@ class AsyncScr : public PqoTechnique {
   struct Task {
     WorkloadInstance wi;
     std::shared_ptr<const OptimizationResult> result;
+    /// Stats of the failed critical-path reuse attempt, forwarded into the
+    /// deferred decision event.
+    int get_plan_recosts = 0;
+    int get_plan_candidates = 0;
   };
 
   void WorkerLoop();

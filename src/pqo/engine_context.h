@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/metrics_registry.h"
+#include "obs/scoped_timer.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/recost.h"
 #include "query/query_instance.h"
@@ -44,7 +46,9 @@ class EngineContext {
   /// Traditional optimizer call (charged to the calling technique).
   std::shared_ptr<const OptimizationResult> Optimize(
       const WorkloadInstance& wi) {
+    ScopedTimer timer(optimize_micros_);
     ++num_optimizer_calls_;
+    if (optimize_calls_ != nullptr) optimize_calls_->Increment();
     if (oracle_) return oracle_(wi);
     auto result = std::make_shared<OptimizationResult>(
         optimizer_->OptimizeWithSVector(wi.instance, wi.svector));
@@ -53,6 +57,8 @@ class EngineContext {
 
   /// Recost API call (charged).
   double Recost(const CachedPlan& plan, const SVector& sv) {
+    ScopedTimer timer(recost_micros_);
+    if (recost_calls_ != nullptr) recost_calls_->Increment();
     return recost_service_.Recost(plan, sv);
   }
 
@@ -63,6 +69,21 @@ class EngineContext {
   }
 
   void SetOracle(OptimizeOracle oracle) { oracle_ = std::move(oracle); }
+
+  /// Attaches a metrics registry: both engine calls are then counted
+  /// ("engine.optimize_calls" / "engine.recost_calls") and timed
+  /// ("engine.optimize_micros" / "engine.recost_micros"). Null detaches.
+  void SetObs(MetricsRegistry* metrics) {
+    if (metrics == nullptr) {
+      optimize_calls_ = recost_calls_ = nullptr;
+      optimize_micros_ = recost_micros_ = nullptr;
+      return;
+    }
+    optimize_calls_ = metrics->counter("engine.optimize_calls");
+    recost_calls_ = metrics->counter("engine.recost_calls");
+    optimize_micros_ = metrics->histogram("engine.optimize_micros");
+    recost_micros_ = metrics->histogram("engine.recost_micros");
+  }
 
   int64_t num_optimizer_calls() const { return num_optimizer_calls_; }
   int64_t num_recost_calls() const { return recost_service_.num_calls(); }
@@ -78,6 +99,11 @@ class EngineContext {
   RecostService recost_service_;
   OptimizeOracle oracle_;
   int64_t num_optimizer_calls_ = 0;
+  // Cached registry handles (null = metrics disabled).
+  Counter* optimize_calls_ = nullptr;
+  Counter* recost_calls_ = nullptr;
+  LogHistogram* optimize_micros_ = nullptr;
+  LogHistogram* recost_micros_ = nullptr;
 };
 
 }  // namespace scrpqo

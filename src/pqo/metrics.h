@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace scrpqo {
 
 struct SequenceMetrics {
@@ -40,6 +42,11 @@ struct SequenceMetrics {
   /// Sums used for TotalCostRatio.
   double total_chosen_cost = 0.0;
   double total_optimal_cost = 0.0;
+
+  /// Pointer-free export of the run's MetricsRegistry (empty unless a
+  /// registry was attached via RunSequenceOptions::metrics): decision
+  /// counters plus latency histograms with p50/p90/p99.
+  RegistrySnapshot obs;
 };
 
 }  // namespace scrpqo

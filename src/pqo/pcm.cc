@@ -2,6 +2,9 @@
 
 #include <limits>
 #include <sstream>
+#include <utility>
+
+#include "obs/scoped_timer.h"
 
 namespace scrpqo {
 
@@ -24,7 +27,33 @@ std::string Pcm::name() const {
   return os.str();
 }
 
+void Pcm::SetObs(const ObsHooks& hooks) {
+  obs_ = hooks;
+  if (obs_.metrics != nullptr) {
+    cost_check_hits_ = obs_.metrics->counter("decision.cost_check_hits");
+    optimized_ = obs_.metrics->counter("decision.optimized");
+    redundant_discards_ =
+        obs_.metrics->counter("decision.redundant_discards");
+    get_plan_micros_ = obs_.metrics->histogram("pcm.get_plan_micros");
+  } else {
+    cost_check_hits_ = optimized_ = redundant_discards_ = nullptr;
+    get_plan_micros_ = nullptr;
+  }
+}
+
+void Pcm::EmitEvent(DecisionEvent event, int instance_id,
+                    std::chrono::steady_clock::time_point start) {
+  if (obs_.tracer == nullptr) return;
+  event.instance_id = instance_id;
+  event.technique = name();
+  event.wall_micros = ScopedTimer::ElapsedMicros(start);
+  obs_.tracer->Record(std::move(event));
+}
+
 PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  std::chrono::steady_clock::time_point start{};
+  if (obs_.tracer != nullptr) start = std::chrono::steady_clock::now();
+  ScopedTimer get_plan_timer(get_plan_micros_);
   PlanChoice choice;
   const SVector& sv = wi.svector;
 
@@ -54,6 +83,15 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
       best_upper <= options_.lambda * best_lower) {
     store_.AddUsage(upper_plan, 1);
     choice.plan = store_.entry(upper_plan).plan;
+    if (cost_check_hits_ != nullptr) cost_check_hits_->Increment();
+    if (obs_.tracer != nullptr) {
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kCostCheckHit;
+      ev.matched_entry = upper_plan;
+      ev.r = best_upper / best_lower;
+      ev.candidates_scanned = static_cast<int32_t>(points_.size());
+      EmitEvent(std::move(ev), wi.id, start);
+    }
     return choice;
   }
 
@@ -61,10 +99,31 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
   auto result = engine->Optimize(wi);
   choice.optimized = true;
   CachedPlan cached = MakeCachedPlan(*result);
+  // The H.6 redundancy variant issues Recost calls inside StoreOrReuse;
+  // charge them to this getPlan so max_recost_per_get_plan reflects PCM+R.
+  int64_t recosts_before = engine->num_recost_calls();
   PlanStore::StoreResult stored = store_.StoreOrReuse(
       cached, sv, result->cost, options_.recost_redundancy_lambda_r, engine);
+  choice.recost_calls_in_get_plan =
+      static_cast<int>(engine->num_recost_calls() - recosts_before);
   points_.push_back(Point{sv, result->cost, stored.plan_id});
   choice.plan = store_.entry(stored.plan_id).plan;
+  if (stored.reused_existing) {
+    if (redundant_discards_ != nullptr) redundant_discards_->Increment();
+  } else if (optimized_ != nullptr) {
+    optimized_->Increment();
+  }
+  if (obs_.tracer != nullptr) {
+    DecisionEvent ev;
+    ev.outcome = stored.reused_existing
+                     ? DecisionOutcome::kRedundantDiscard
+                     : DecisionOutcome::kOptimized;
+    ev.matched_entry = stored.plan_id;
+    if (stored.reused_existing) ev.r = stored.subopt;
+    ev.candidates_scanned = static_cast<int32_t>(points_.size()) - 1;
+    ev.recost_calls = choice.recost_calls_in_get_plan;
+    EmitEvent(std::move(ev), wi.id, start);
+  }
   return choice;
 }
 

@@ -8,6 +8,7 @@
 // assumption.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,11 @@ class Pcm : public PqoTechnique {
 
   std::string name() const override;
 
+  /// Attaches decision tracing / metrics. PCM's dominance inference is a
+  /// pure cost-bound check, so reuse is traced as cost-check-hit with
+  /// R = cost(q2)/cost(q1) and G/L left unset.
+  void SetObs(const ObsHooks& hooks) override;
+
   PlanChoice OnInstance(const WorkloadInstance& wi,
                         EngineContext* engine) override;
 
@@ -36,6 +42,8 @@ class Pcm : public PqoTechnique {
   int64_t PeakPlansCached() const override { return store_.Peak(); }
 
  private:
+  void EmitEvent(DecisionEvent event, int instance_id,
+                 std::chrono::steady_clock::time_point start);
   struct Point {
     SVector sv;
     double opt_cost = 0.0;
@@ -45,6 +53,13 @@ class Pcm : public PqoTechnique {
   PcmOptions options_;
   PlanStore store_;
   std::vector<Point> points_;
+
+  // --- observability (null = disabled) ---
+  ObsHooks obs_;
+  Counter* cost_check_hits_ = nullptr;
+  Counter* optimized_ = nullptr;
+  Counter* redundant_discards_ = nullptr;
+  LogHistogram* get_plan_micros_ = nullptr;
 };
 
 }  // namespace scrpqo

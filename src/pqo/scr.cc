@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/math_util.h"
 #include "common/status.h"
+#include "obs/scoped_timer.h"
 
 namespace scrpqo {
 
@@ -41,6 +43,44 @@ double Scr::LambdaFor(const InstanceEntry& e) const {
              std::exp(-e.opt_cost / c_ref);
 }
 
+void Scr::SetObs(const ObsHooks& hooks) {
+  obs_ = hooks;
+  if (obs_.metrics != nullptr) {
+    decision_counters_[static_cast<int>(DecisionOutcome::kSelCheckHit)] =
+        obs_.metrics->counter("decision.sel_check_hits");
+    decision_counters_[static_cast<int>(DecisionOutcome::kCostCheckHit)] =
+        obs_.metrics->counter("decision.cost_check_hits");
+    decision_counters_[static_cast<int>(DecisionOutcome::kOptimized)] =
+        obs_.metrics->counter("decision.optimized");
+    decision_counters_[static_cast<int>(
+        DecisionOutcome::kRedundantDiscard)] =
+        obs_.metrics->counter("decision.redundant_discards");
+    decision_counters_[static_cast<int>(DecisionOutcome::kEvicted)] =
+        obs_.metrics->counter("cache.evictions");
+    get_plan_micros_ = obs_.metrics->histogram("scr.get_plan_micros");
+    manage_cache_micros_ =
+        obs_.metrics->histogram("scr.manage_cache_micros");
+    cost_check_candidates_ =
+        obs_.metrics->histogram("scr.cost_check_candidates");
+  } else {
+    for (Counter*& c : decision_counters_) c = nullptr;
+    get_plan_micros_ = nullptr;
+    manage_cache_micros_ = nullptr;
+    cost_check_candidates_ = nullptr;
+  }
+}
+
+void Scr::EmitEvent(DecisionEvent event, int instance_id,
+                    std::chrono::steady_clock::time_point start) {
+  Counter* counter = decision_counters_[static_cast<int>(event.outcome)];
+  if (counter != nullptr) counter->Increment();
+  if (obs_.tracer == nullptr) return;
+  event.instance_id = instance_id;
+  event.technique = name();
+  event.wall_micros = ScopedTimer::ElapsedMicros(start);
+  obs_.tracer->Record(std::move(event));
+}
+
 int64_t Scr::NumInstancesStored() const {
   int64_t n = 0;
   for (const auto& e : instances_) {
@@ -50,25 +90,35 @@ int64_t Scr::NumInstancesStored() const {
 }
 
 PlanChoice Scr::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  auto start = std::chrono::steady_clock::now();
   PlanChoice choice;
   if (TryReuse(wi, engine, &choice)) return choice;
 
   // ---- Optimize + manageCache (Algorithm 2) ----
   auto result = engine->Optimize(wi);
   choice.optimized = true;
-  ManageCache(wi, result, engine, &choice);
+  ManageCache(wi, result, engine, &choice, start);
   return choice;
 }
 
 void Scr::RegisterOptimization(
     const WorkloadInstance& wi,
-    std::shared_ptr<const OptimizationResult> result, EngineContext* engine) {
+    std::shared_ptr<const OptimizationResult> result, EngineContext* engine,
+    int get_plan_recosts, int get_plan_candidates) {
+  // The decision event's wall clock covers only the manageCache half here:
+  // the optimizer ran on the caller's critical path (AsyncScr).
   PlanChoice ignored;
-  ManageCache(wi, std::move(result), engine, &ignored);
+  ignored.recost_calls_in_get_plan = get_plan_recosts;
+  ignored.cost_check_candidates_in_get_plan = get_plan_candidates;
+  ManageCache(wi, std::move(result), engine, &ignored,
+              std::chrono::steady_clock::now());
 }
 
 bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
                    PlanChoice* choice_out) {
+  std::chrono::steady_clock::time_point start{};
+  if (obs_.tracer != nullptr) start = std::chrono::steady_clock::now();
+  ScopedTimer get_plan_timer(get_plan_micros_);
   PlanChoice& choice = *choice_out;
   const SVector& sv = wi.svector;
 
@@ -95,6 +145,17 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         ++e.usage;
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
+        if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+          DecisionEvent ev;
+          ev.outcome = DecisionOutcome::kSelCheckHit;
+          ev.matched_entry = static_cast<int32_t>(m.id);
+          if (obs_.tracer != nullptr) {
+            std::vector<double> ratios = SelectivityRatios(e.v, sv);
+            ev.g = ComputeG(ratios);
+            ev.l = ComputeL(ratios);
+          }
+          EmitEvent(std::move(ev), wi.id, start);
+        }
         return true;
       }
     }
@@ -125,6 +186,14 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         ++e.usage;
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
+        if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+          DecisionEvent ev;
+          ev.outcome = DecisionOutcome::kSelCheckHit;
+          ev.matched_entry = static_cast<int32_t>(i);
+          ev.g = g;
+          ev.l = l;
+          EmitEvent(std::move(ev), wi.id, start);
+        }
         return true;
       }
       if (options_.enable_cost_check && !e.cost_check_disabled) {
@@ -167,6 +236,11 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     candidates.resize(
         static_cast<size_t>(options_.max_cost_check_candidates));
   }
+  choice.cost_check_candidates_in_get_plan =
+      static_cast<int>(candidates.size());
+  if (cost_check_candidates_ != nullptr) {
+    cost_check_candidates_->Record(static_cast<double>(candidates.size()));
+  }
   int recosts = 0;
   for (const Candidate& c : candidates) {
     InstanceEntry& e = instances_[c.entry];
@@ -196,6 +270,17 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
       choice.recost_calls_in_get_plan = recosts;
       max_recost_calls_per_get_plan_ =
           std::max(max_recost_calls_per_get_plan_, recosts);
+      if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+        DecisionEvent ev;
+        ev.outcome = DecisionOutcome::kCostCheckHit;
+        ev.matched_entry = static_cast<int32_t>(c.entry);
+        ev.g = c.l > 0.0 ? c.gl / c.l : -1.0;
+        ev.l = c.l;
+        ev.r = r;
+        ev.candidates_scanned = choice.cost_check_candidates_in_get_plan;
+        ev.recost_calls = recosts;
+        EmitEvent(std::move(ev), wi.id, start);
+      }
       return true;
     }
   }
@@ -207,7 +292,9 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
 
 void Scr::ManageCache(const WorkloadInstance& wi,
                       std::shared_ptr<const OptimizationResult> result,
-                      EngineContext* engine, PlanChoice* choice) {
+                      EngineContext* engine, PlanChoice* choice,
+                      std::chrono::steady_clock::time_point start) {
+  ScopedTimer manage_cache_timer(manage_cache_micros_);
   const SVector& sv = wi.svector;
   cost_sum_ += result->cost;
   ++cost_count_;
@@ -217,11 +304,23 @@ void Scr::ManageCache(const WorkloadInstance& wi,
       store_.StoreOrReuse(cached, sv, result->cost, lambda_r_effective_,
                           engine);
 
+  if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+    DecisionEvent ev;
+    ev.outcome = stored.reused_existing
+                     ? DecisionOutcome::kRedundantDiscard
+                     : DecisionOutcome::kOptimized;
+    ev.matched_entry = stored.plan_id;
+    if (stored.reused_existing) ev.r = stored.subopt;
+    ev.candidates_scanned = choice->cost_check_candidates_in_get_plan;
+    ev.recost_calls = choice->recost_calls_in_get_plan;
+    EmitEvent(std::move(ev), wi.id, start);
+  }
+
   if (!stored.already_present && !stored.reused_existing) {
     // A genuinely new plan entered the cache; enforce the budget.
     if (options_.plan_budget > 0 &&
         store_.NumLive() > options_.plan_budget) {
-      EvictForBudget();
+      EvictForBudget(wi.id);
     }
   }
 
@@ -243,12 +342,19 @@ void Scr::ManageCache(const WorkloadInstance& wi,
   choice->plan = store_.entry(stored.plan_id).plan;
 }
 
-void Scr::EvictForBudget() {
+void Scr::EvictForBudget(int instance_id) {
   while (store_.NumLive() > options_.plan_budget) {
     int victim = store_.MinUsagePlanId();
     // Never evict the plan just inserted if it is the only live one.
     if (victim < 0) break;
     store_.Drop(victim);
+    if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kEvicted;
+      ev.matched_entry = victim;
+      EmitEvent(std::move(ev), instance_id,
+                std::chrono::steady_clock::now());
+    }
     // Dropping the instance entries keeps the lambda-optimality guarantee
     // intact (Section 6.3.1): no future inference can use the gone plan.
     for (size_t i = 0; i < instances_.size(); ++i) {

@@ -7,6 +7,7 @@
 // check for existing plans (Appendix F).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <sstream>
@@ -80,6 +81,12 @@ class Scr : public PqoTechnique {
   PlanChoice OnInstance(const WorkloadInstance& wi,
                         EngineContext* engine) override;
 
+  /// Attaches the decision tracer / metrics registry. Every getPlan then
+  /// emits one DecisionEvent (sel-check-hit, cost-check-hit, optimized or
+  /// redundant-discard) plus one evicted event per budget eviction, and
+  /// the decision counters/latency histograms are maintained.
+  void SetObs(const ObsHooks& hooks) override;
+
   /// getPlan's cache-only half: runs the selectivity and cost checks and,
   /// on a hit, fills `choice` and returns true. No optimizer call is ever
   /// made. Exposed so AsyncScr can keep this on the critical path while
@@ -89,9 +96,12 @@ class Scr : public PqoTechnique {
 
   /// manageCache's entry point for an externally-performed optimization
   /// (Algorithm 2). Thread-compatible: callers serialize access.
+  /// `get_plan_recosts` / `get_plan_candidates` carry the caller's failed
+  /// reuse-attempt stats into the traced decision event.
   void RegisterOptimization(const WorkloadInstance& wi,
                             std::shared_ptr<const OptimizationResult> result,
-                            EngineContext* engine);
+                            EngineContext* engine, int get_plan_recosts = 0,
+                            int get_plan_candidates = 0);
 
   int64_t NumPlansCached() const override { return store_.NumLive(); }
   int64_t PeakPlansCached() const override { return store_.Peak(); }
@@ -156,9 +166,15 @@ class Scr : public PqoTechnique {
 
   void ManageCache(const WorkloadInstance& wi,
                    std::shared_ptr<const OptimizationResult> result,
-                   EngineContext* engine, PlanChoice* choice);
+                   EngineContext* engine, PlanChoice* choice,
+                   std::chrono::steady_clock::time_point start);
 
-  void EvictForBudget();
+  void EvictForBudget(int instance_id);
+
+  /// Stamps technique/instance fields and hands the event to the tracer
+  /// (no-op without one); bumps the matching decision counter.
+  void EmitEvent(DecisionEvent event, int instance_id,
+                 std::chrono::steady_clock::time_point start);
 
   ScrOptions options_;
   double lambda_r_effective_;
@@ -171,6 +187,13 @@ class Scr : public PqoTechnique {
   // Running mean of optimal costs (reference scale for dynamic lambda).
   double cost_sum_ = 0.0;
   int64_t cost_count_ = 0;
+
+  // --- observability (null = disabled) ---
+  ObsHooks obs_;
+  Counter* decision_counters_[5] = {};  // indexed by DecisionOutcome
+  LogHistogram* get_plan_micros_ = nullptr;
+  LogHistogram* manage_cache_micros_ = nullptr;
+  LogHistogram* cost_check_candidates_ = nullptr;
 };
 
 }  // namespace scrpqo

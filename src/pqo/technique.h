@@ -8,10 +8,21 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "optimizer/recost.h"
 #include "pqo/engine_context.h"
 
 namespace scrpqo {
+
+/// Observability sinks a technique may be given (both optional; null means
+/// disabled and must cost no more than a pointer check on the hot path).
+/// The sinks outlive the technique and are thread-safe, so AsyncScr's
+/// worker may write to them concurrently with the critical path.
+struct ObsHooks {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
 
 /// What the technique decided for one instance.
 struct PlanChoice {
@@ -22,6 +33,9 @@ struct PlanChoice {
   /// Recost calls made inside this getPlan invocation (SCR cost check);
   /// used for per-call overhead reporting.
   int recost_calls_in_get_plan = 0;
+  /// Cost-check candidates this getPlan considered (post-cap), for
+  /// decision tracing.
+  int cost_check_candidates_in_get_plan = 0;
 };
 
 class PqoTechnique {
@@ -30,9 +44,19 @@ class PqoTechnique {
 
   virtual std::string name() const = 0;
 
+  /// Attaches decision tracing / metrics sinks. Techniques that do not
+  /// emit telemetry ignore the call. Must be invoked before the first
+  /// OnInstance; the sinks must outlive the technique.
+  virtual void SetObs(const ObsHooks& hooks) { (void)hooks; }
+
   /// Processes the next instance of the workload sequence.
   virtual PlanChoice OnInstance(const WorkloadInstance& wi,
                                 EngineContext* engine) = 0;
+
+  /// Blocks until deferred background work (async manageCache) has been
+  /// applied, so traces, metrics and cache-size queries are complete.
+  /// No-op for synchronous techniques.
+  virtual void FlushBackgroundWork() {}
 
   /// Number of plans currently cached.
   virtual int64_t NumPlansCached() const = 0;

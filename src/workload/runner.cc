@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/status.h"
+#include "obs/scoped_timer.h"
 #include "optimizer/plan_signature.h"
 
 namespace scrpqo {
@@ -53,6 +54,14 @@ SequenceMetrics RunSequence(const Optimizer& optimizer,
   engine.SetOracle([&oracle](const WorkloadInstance& wi) {
     return oracle.result(wi.id);
   });
+  engine.SetObs(options.metrics);
+  if (options.tracer != nullptr || options.metrics != nullptr) {
+    technique->SetObs(ObsHooks{options.tracer, options.metrics});
+  }
+  LogHistogram* get_plan_micros =
+      options.metrics != nullptr
+          ? options.metrics->histogram("get_plan_micros")
+          : nullptr;
 
   SequenceMetrics metrics;
   metrics.technique = technique->name();
@@ -62,7 +71,11 @@ SequenceMetrics RunSequence(const Optimizer& optimizer,
   auto start = std::chrono::steady_clock::now();
   for (int idx : permutation) {
     const WorkloadInstance& wi = instances[static_cast<size_t>(idx)];
-    PlanChoice choice = technique->OnInstance(wi, &engine);
+    PlanChoice choice;
+    {
+      ScopedTimer timer(get_plan_micros);
+      choice = technique->OnInstance(wi, &engine);
+    }
     SCRPQO_CHECK(choice.plan != nullptr, "technique returned no plan");
 
     double opt_cost = oracle.opt_cost(wi.id);
@@ -88,6 +101,9 @@ SequenceMetrics RunSequence(const Optimizer& optimizer,
         metrics.max_recost_per_get_plan, choice.recost_calls_in_get_plan);
   }
   auto end = std::chrono::steady_clock::now();
+  // Drain deferred manageCache work (AsyncScr) so plan counts, counters
+  // and the trace cover every instance of the sequence.
+  technique->FlushBackgroundWork();
 
   metrics.technique_seconds =
       std::chrono::duration<double>(end - start).count();
@@ -98,6 +114,9 @@ SequenceMetrics RunSequence(const Optimizer& optimizer,
       metrics.total_optimal_cost > 0.0
           ? metrics.total_chosen_cost / metrics.total_optimal_cost
           : 1.0;
+  if (options.metrics != nullptr) {
+    metrics.obs = options.metrics->Snapshot();
+  }
   return metrics;
 }
 

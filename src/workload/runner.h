@@ -55,6 +55,13 @@ struct RunSequenceOptions {
   /// Bound used to count SO-bound violations (<= 0 disables counting).
   double lambda_for_violations = 0.0;
   std::string ordering_name;
+  /// Optional decision tracer: attached to the technique so every instance
+  /// produces one decision event (plus cache events). Must outlive the run.
+  Tracer* tracer = nullptr;
+  /// Optional metrics registry: attached to technique and engine; each
+  /// OnInstance is additionally timed into "get_plan_micros", and the
+  /// registry snapshot lands in SequenceMetrics::obs. Must outlive the run.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs `technique` over the instances in permutation order, computing SO

@@ -239,6 +239,28 @@ TEST(EnvTest, ParsesValues) {
   ::unsetenv("SCRPQO_TEST_ENV_VAR");
 }
 
+TEST(EnvTest, OutOfRangeFallsBackToDefault) {
+  // strtoll saturates at LLONG_MAX on overflow; the default must win over
+  // a silently truncated value.
+  ::setenv("SCRPQO_TEST_ENV_VAR", "99999999999999999999999", 1);
+  EXPECT_EQ(EnvInt64("SCRPQO_TEST_ENV_VAR", 17), 17);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "-99999999999999999999999", 1);
+  EXPECT_EQ(EnvInt64("SCRPQO_TEST_ENV_VAR", 17), 17);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "1e999", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "-1e999", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "inf", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+  ::setenv("SCRPQO_TEST_ENV_VAR", "nan", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+  // Denormal underflow also sets ERANGE on glibc; callers get the default
+  // rather than a rounded-to-zero knob.
+  ::setenv("SCRPQO_TEST_ENV_VAR", "1e-4999", 1);
+  EXPECT_EQ(EnvDouble("SCRPQO_TEST_ENV_VAR", 2.5), 2.5);
+  ::unsetenv("SCRPQO_TEST_ENV_VAR");
+}
+
 /// Property sweep: G * L of the ratio vector from a to b equals the product
 /// of max(r, 1/r) over dimensions — both factors capture total "movement".
 class GlPropertyTest : public ::testing::TestWithParam<uint64_t> {};

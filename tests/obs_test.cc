@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics_registry.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "pqo/async_scr.h"
+#include "pqo/pcm.h"
+#include "pqo/scr.h"
+#include "query/query_instance.h"
+#include "tests/test_util.h"
+#include "workload/runner.h"
+
+namespace scrpqo {
+namespace {
+
+DecisionEvent MakeEvent(int instance_id, DecisionOutcome outcome) {
+  DecisionEvent e;
+  e.instance_id = instance_id;
+  e.technique = "SCR2";
+  e.outcome = outcome;
+  return e;
+}
+
+TEST(TracerTest, RecordsInOrderBelowCapacity) {
+  Tracer tracer(8);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record(MakeEvent(i, DecisionOutcome::kOptimized));
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].seq, i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].instance_id, i);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 5);
+}
+
+TEST(TracerTest, RingWrapsKeepingNewestInOrder) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(MakeEvent(i, DecisionOutcome::kSelCheckHit));
+  }
+  EXPECT_EQ(tracer.total_recorded(), 10);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Live window is the newest 4 events (seq 6..9), oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].seq, 6 + i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].instance_id, 6 + i);
+  }
+}
+
+TEST(TracerTest, WrapBoundaryExactCapacity) {
+  Tracer tracer(4);
+  for (int i = 0; i < 4; ++i) {
+    tracer.Record(MakeEvent(i, DecisionOutcome::kOptimized));
+  }
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 0);
+  EXPECT_EQ(events.back().seq, 3);
+  // One more pushes out exactly the oldest.
+  tracer.Record(MakeEvent(4, DecisionOutcome::kOptimized));
+  events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().seq, 1);
+  EXPECT_EQ(events.back().seq, 4);
+}
+
+TEST(TracerTest, ZeroCapacityIsClampedToOne) {
+  Tracer tracer(0);
+  EXPECT_EQ(tracer.capacity(), 1u);
+  tracer.Record(MakeEvent(1, DecisionOutcome::kOptimized));
+  tracer.Record(MakeEvent(2, DecisionOutcome::kOptimized));
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].instance_id, 2);
+}
+
+TEST(TracerTest, ConcurrentRecordsAllLand) {
+  Tracer tracer(1 << 16);
+  constexpr int kPerThread = 5000;
+  auto writer = [&tracer](int base) {
+    for (int i = 0; i < kPerThread; ++i) {
+      tracer.Record(MakeEvent(base + i, DecisionOutcome::kCostCheckHit));
+    }
+  };
+  std::thread a(writer, 0);
+  std::thread b(writer, kPerThread);
+  a.join();
+  b.join();
+  EXPECT_EQ(tracer.total_recorded(), 2 * kPerThread);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(2 * kPerThread));
+  // seq must be a permutation-free 0..N-1 in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<int64_t>(i));
+  }
+}
+
+TEST(DecisionEventJsonlTest, RoundTripsAllFields) {
+  DecisionEvent e;
+  e.seq = 42;
+  e.instance_id = 7;
+  e.technique = "SCR2(k=10)\"quoted\\name";
+  e.outcome = DecisionOutcome::kCostCheckHit;
+  e.matched_entry = 3;
+  e.g = 1.5;
+  e.l = 2.25;
+  e.r = 1.0000001;
+  e.candidates_scanned = 8;
+  e.recost_calls = 5;
+  e.wall_micros = 12345;
+
+  std::string line = DecisionEventToJsonl(e);
+  auto parsed = DecisionEventFromJsonl(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const DecisionEvent& p = parsed.ValueOrDie();
+  EXPECT_EQ(p.seq, e.seq);
+  EXPECT_EQ(p.instance_id, e.instance_id);
+  EXPECT_EQ(p.technique, e.technique);
+  EXPECT_EQ(p.outcome, e.outcome);
+  EXPECT_EQ(p.matched_entry, e.matched_entry);
+  EXPECT_DOUBLE_EQ(p.g, e.g);
+  EXPECT_DOUBLE_EQ(p.l, e.l);
+  EXPECT_DOUBLE_EQ(p.r, e.r);
+  EXPECT_EQ(p.candidates_scanned, e.candidates_scanned);
+  EXPECT_EQ(p.recost_calls, e.recost_calls);
+  EXPECT_EQ(p.wall_micros, e.wall_micros);
+}
+
+TEST(DecisionEventJsonlTest, RoundTripsDefaults) {
+  DecisionEvent e;
+  e.outcome = DecisionOutcome::kEvicted;
+  std::string line = DecisionEventToJsonl(e);
+  auto parsed = DecisionEventFromJsonl(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().outcome, DecisionOutcome::kEvicted);
+  EXPECT_EQ(parsed.ValueOrDie().matched_entry, -1);
+  EXPECT_DOUBLE_EQ(parsed.ValueOrDie().g, -1.0);
+}
+
+TEST(DecisionEventJsonlTest, RejectsGarbage) {
+  EXPECT_FALSE(DecisionEventFromJsonl("not json at all").ok());
+  EXPECT_FALSE(DecisionEventFromJsonl("{\"seq\":1}").ok());
+  EXPECT_FALSE(
+      DecisionEventFromJsonl(
+          "{\"seq\":1,\"instance\":2,\"outcome\":\"bogus\"}")
+          .ok());
+}
+
+TEST(DecisionEventJsonlTest, OutcomeNamesRoundTrip) {
+  for (DecisionOutcome o :
+       {DecisionOutcome::kSelCheckHit, DecisionOutcome::kCostCheckHit,
+        DecisionOutcome::kOptimized, DecisionOutcome::kRedundantDiscard,
+        DecisionOutcome::kEvicted}) {
+    DecisionOutcome back;
+    ASSERT_TRUE(ParseDecisionOutcome(DecisionOutcomeName(o), &back));
+    EXPECT_EQ(back, o);
+  }
+  DecisionOutcome ignored;
+  EXPECT_FALSE(ParseDecisionOutcome("unknown", &ignored));
+}
+
+TEST(TracerTest, JsonlFileRoundTrip) {
+  Tracer tracer(16);
+  for (int i = 0; i < 6; ++i) {
+    DecisionEvent e = MakeEvent(i, i % 2 == 0
+                                       ? DecisionOutcome::kSelCheckHit
+                                       : DecisionOutcome::kOptimized);
+    e.wall_micros = 10 * i;
+    tracer.Record(std::move(e));
+  }
+  std::string path = ::testing::TempDir() + "/obs_trace_roundtrip.jsonl";
+  ASSERT_TRUE(tracer.WriteJsonlFile(path).ok());
+  auto loaded = ReadJsonlTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& events = loaded.ValueOrDie();
+  ASSERT_EQ(events.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].instance_id, i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].wall_micros, 10 * i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogHistogramTest, EmptyIsAllZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(100.0), 0.0);
+  EXPECT_EQ(h.max_value(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogramTest, SingleValueEveryPercentileIsThatValue) {
+  LogHistogram h;
+  h.Record(1000.0);
+  EXPECT_EQ(h.count(), 1);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    // The bucket midpoint is clamped to the tracked max, so a singleton is
+    // reported exactly.
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 1000.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1000.0);
+}
+
+TEST(LogHistogramTest, PercentilesWithinBucketResolution) {
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000);
+  // Log-bucketed: ~9% relative resolution.
+  EXPECT_NEAR(h.Percentile(50.0), 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(h.Percentile(90.0), 900.0, 900.0 * 0.10);
+  EXPECT_NEAR(h.Percentile(99.0), 990.0, 990.0 * 0.10);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-6);
+}
+
+TEST(LogHistogramTest, PercentileOrderingAndExtremes) {
+  LogHistogram h;
+  h.Record(1.0);
+  h.Record(100.0);
+  h.Record(10000.0);
+  EXPECT_LE(h.Percentile(0.0), h.Percentile(50.0));
+  EXPECT_LE(h.Percentile(50.0), h.Percentile(100.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 10000.0);  // clamped to true max
+}
+
+TEST(LogHistogramTest, SubUnitAndNegativeValuesLandInBucketZero) {
+  LogHistogram h;
+  h.Record(0.0);
+  h.Record(0.3);
+  h.Record(-5.0);  // clamped to 0
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_LT(h.Percentile(50.0), 1.0);
+}
+
+TEST(LogHistogramTest, HugeValuesHitOverflowBucketButReportTrueMax) {
+  LogHistogram h;
+  h.Record(1e300);
+  h.Record(1e301);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1e301);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1e301);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordsCountExactly) {
+  MetricsRegistry registry;
+  LogHistogram* h = registry.histogram("lat");
+  constexpr int kPerThread = 50000;
+  auto writer = [h] {
+    for (int i = 1; i <= kPerThread; ++i) {
+      h->Record(static_cast<double>(i % 1000) + 1.0);
+    }
+  };
+  std::thread a(writer);
+  std::thread b(writer);
+  a.join();
+  b.join();
+  EXPECT_EQ(h->count(), 2 * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrements) {
+  MetricsRegistry registry;
+  constexpr int kPerThread = 100000;
+  auto writer = [&registry] {
+    // Deliberately re-resolve by name: lookup must be thread-safe too.
+    Counter* c = registry.counter("hits");
+    for (int i = 0; i < kPerThread; ++i) c->Increment();
+  };
+  std::thread a(writer);
+  std::thread b(writer);
+  a.join();
+  b.join();
+  EXPECT_EQ(registry.counter("hits")->value(), 2 * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndCounterLookup) {
+  MetricsRegistry registry;
+  registry.counter("a")->Increment(3);
+  registry.counter("b")->Increment(5);
+  registry.histogram("lat")->Record(100.0);
+  RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.CounterValue("a"), 3);
+  EXPECT_EQ(snap.CounterValue("b"), 5);
+  EXPECT_EQ(snap.CounterValue("missing", -7), -7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat");
+  EXPECT_EQ(snap.histograms[0].count, 1);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].max, 100.0);
+}
+
+TEST(MetricsRegistryTest, StablePointersAcrossLookups) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.counter("x");
+  registry.counter("y");
+  registry.histogram("z");
+  EXPECT_EQ(registry.counter("x"), c1);
+}
+
+TEST(MetricsRegistryTest, WriteJsonContainsEntries) {
+  MetricsRegistry registry;
+  registry.counter("decision.optimized")->Increment(9);
+  registry.histogram("get_plan_micros")->Record(50.0);
+  std::ostringstream os;
+  registry.WriteJson(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"decision.optimized\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"get_plan_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsOnceIntoHistogram) {
+  MetricsRegistry registry;
+  LogHistogram* h = registry.histogram("t");
+  {
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->count(), 1);
+  {
+    ScopedTimer timer(h);
+    timer.Stop();
+    timer.Stop();  // idempotent
+  }
+  EXPECT_EQ(h->count(), 2);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop) {
+  ScopedTimer timer(nullptr);
+  timer.Stop();  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: run SCR / AsyncScr over a real workload with obs attached.
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  ObsIntegrationTest()
+      : db_(testing::MakeSmallDatabase(5000, 200)),
+        tmpl_(testing::MakeJoinTemplate()),
+        optimizer_(&db_) {
+    Pcg32 rng(99);
+    for (int i = 0; i < 60; ++i) {
+      WorkloadInstance wi;
+      wi.id = i;
+      wi.instance = InstanceForSelectivities(
+          db_, *tmpl_, {rng.UniformDouble(0.05, 0.95),
+                        rng.UniformDouble(0.05, 0.95)});
+      wi.svector = ComputeSelectivityVector(db_, wi.instance);
+      instances_.push_back(std::move(wi));
+      permutation_.push_back(i);
+    }
+    oracle_ = Oracle::Build(optimizer_, instances_);
+  }
+
+  SequenceMetrics Run(PqoTechnique* technique, Tracer* tracer,
+                      MetricsRegistry* metrics) {
+    RunSequenceOptions opts;
+    opts.lambda_for_violations = 2.0;
+    opts.ordering_name = "random";
+    opts.tracer = tracer;
+    opts.metrics = metrics;
+    return RunSequence(optimizer_, instances_, permutation_, oracle_,
+                       technique, opts);
+  }
+
+  Database db_;
+  std::shared_ptr<QueryTemplate> tmpl_;
+  Optimizer optimizer_;
+  std::vector<WorkloadInstance> instances_;
+  std::vector<int> permutation_;
+  Oracle oracle_;
+};
+
+TEST_F(ObsIntegrationTest, ScrEmitsOneDecisionPerInstance) {
+  Tracer tracer(1 << 12);
+  MetricsRegistry registry;
+  Scr scr(ScrOptions{});
+  SequenceMetrics m = Run(&scr, &tracer, &registry);
+
+  auto events = tracer.Snapshot();
+  int64_t decisions = 0;
+  int64_t optimizer_events = 0;
+  for (const DecisionEvent& e : events) {
+    EXPECT_GE(e.instance_id, 0);
+    EXPECT_EQ(e.technique, scr.name());
+    if (IsDecisionOutcome(e.outcome)) {
+      ++decisions;
+      if (e.outcome == DecisionOutcome::kOptimized ||
+          e.outcome == DecisionOutcome::kRedundantDiscard) {
+        ++optimizer_events;
+      }
+    }
+  }
+  EXPECT_EQ(decisions, m.m);
+  EXPECT_EQ(optimizer_events, m.num_opt);
+
+  // Counters agree with the trace and the classic metrics.
+  RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("decision.sel_check_hits") +
+                snap.CounterValue("decision.cost_check_hits") +
+                snap.CounterValue("decision.optimized") +
+                snap.CounterValue("decision.redundant_discards"),
+            m.m);
+  EXPECT_EQ(snap.CounterValue("engine.optimize_calls"), m.num_opt);
+  EXPECT_EQ(snap.CounterValue("engine.recost_calls"), m.num_recost_calls);
+  // SequenceMetrics carries the same snapshot, pointer-free.
+  EXPECT_EQ(m.obs.CounterValue("engine.optimize_calls"), m.num_opt);
+  bool found_hist = false;
+  for (const HistogramSnapshot& h : m.obs.histograms) {
+    if (h.name == "get_plan_micros") {
+      found_hist = true;
+      EXPECT_EQ(h.count, m.m);
+      EXPECT_GE(h.p99, h.p50);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST_F(ObsIntegrationTest, ScrCheckHitEventsCarryGlr) {
+  Tracer tracer(1 << 12);
+  Scr scr(ScrOptions{});
+  Run(&scr, &tracer, nullptr);
+  int sel_hits = 0;
+  for (const DecisionEvent& e : tracer.Snapshot()) {
+    if (e.outcome == DecisionOutcome::kSelCheckHit) {
+      ++sel_hits;
+      EXPECT_GE(e.g, 1.0);
+      EXPECT_GE(e.l, 1.0);
+      // G*L within the loosest possible bound for a fresh entry.
+      EXPECT_LE(e.g * e.l, 2.0 + 1e-9);
+    }
+    if (e.outcome == DecisionOutcome::kCostCheckHit) {
+      EXPECT_GT(e.r, 0.0);
+      EXPECT_GE(e.recost_calls, 1);
+      EXPECT_GE(e.candidates_scanned, e.recost_calls);
+    }
+  }
+  EXPECT_GT(sel_hits, 0);
+}
+
+TEST_F(ObsIntegrationTest, ScrEvictionEventsUnderPlanBudget) {
+  Tracer tracer(1 << 12);
+  MetricsRegistry registry;
+  Scr scr(ScrOptions{.lambda = 1.05, .lambda_r = 1.0, .plan_budget = 1});
+  SequenceMetrics m = Run(&scr, &tracer, &registry);
+  int64_t evictions = 0;
+  int64_t decisions = 0;
+  for (const DecisionEvent& e : tracer.Snapshot()) {
+    if (e.outcome == DecisionOutcome::kEvicted) {
+      ++evictions;
+      EXPECT_GE(e.matched_entry, 0);
+    } else {
+      ++decisions;
+    }
+  }
+  EXPECT_EQ(decisions, m.m);  // cache events never displace decisions
+  EXPECT_GT(evictions, 0);
+  EXPECT_EQ(registry.Snapshot().CounterValue("cache.evictions"), evictions);
+}
+
+TEST_F(ObsIntegrationTest, AsyncScrTraceCompleteAfterRun) {
+  Tracer tracer(1 << 12);
+  MetricsRegistry registry;
+  {
+    AsyncScr async(ScrOptions{});
+    SequenceMetrics m = Run(&async, &tracer, &registry);
+    // RunSequence flushes the worker, so every deferred manageCache event
+    // has landed by the time it returns.
+    int64_t decisions = 0;
+    for (const DecisionEvent& e : tracer.Snapshot()) {
+      if (IsDecisionOutcome(e.outcome)) ++decisions;
+    }
+    EXPECT_EQ(decisions, m.m);
+    EXPECT_GT(m.max_recost_per_get_plan, 0);
+  }
+}
+
+TEST_F(ObsIntegrationTest, PcmReportsRecostAndEvents) {
+  Tracer tracer(1 << 12);
+  MetricsRegistry registry;
+  Pcm pcm(PcmOptions{.lambda = 2.0, .recost_redundancy_lambda_r = 1.4});
+  SequenceMetrics m = Run(&pcm, &tracer, &registry);
+  int64_t decisions = 0;
+  for (const DecisionEvent& e : tracer.Snapshot()) {
+    EXPECT_EQ(e.technique, pcm.name());
+    if (IsDecisionOutcome(e.outcome)) ++decisions;
+  }
+  EXPECT_EQ(decisions, m.m);
+  // The +R variant recosts inside getPlan; the bounded-recost metric must
+  // see it (satellite: PCM used to always report 0).
+  EXPECT_GT(m.max_recost_per_get_plan, 0);
+  EXPECT_EQ(registry.Snapshot().CounterValue("decision.optimized") +
+                registry.Snapshot().CounterValue(
+                    "decision.redundant_discards"),
+            m.num_opt);
+}
+
+TEST_F(ObsIntegrationTest, DisabledObsLeavesChoiceStatsPopulated) {
+  Scr scr(ScrOptions{});
+  SequenceMetrics m = Run(&scr, nullptr, nullptr);
+  EXPECT_TRUE(m.obs.counters.empty());
+  EXPECT_TRUE(m.obs.histograms.empty());
+  EXPECT_GT(m.num_opt, 0);
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -9,12 +9,15 @@
 //
 // Techniques: scr (default), async-scr, pcm, ellipse, density, ranges,
 // opt-once, opt-always. Without --sql a built-in 2-d template is used.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "pqo/async_scr.h"
 #include "pqo/cache_persistence.h"
 #include "pqo/density.h"
@@ -53,6 +56,8 @@ struct CliOptions {
   std::string replay_trace;  // load instances from CSV instead of sampling
   std::string save_cache;    // persist the SCR plan cache after the run
   std::string load_cache;    // restore an SCR plan cache before the run
+  std::string trace_events;  // write per-decision JSONL events here
+  std::string metrics_json;  // write the metrics-registry snapshot here
 };
 
 int Usage() {
@@ -66,6 +71,7 @@ int Usage() {
       "                  [--template NAME] [--list-templates]\n"
       "                  [--save-trace F] [--replay-trace F]\n"
       "                  [--save-cache F] [--load-cache F]\n"
+      "                  [--trace-events F] [--metrics-json F]\n"
       "                  [--explain] [--trace]\n");
   return 2;
 }
@@ -134,6 +140,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->load_cache = v;
+    } else if (arg == "--trace-events") {
+      const char* v = next();
+      if (!v) return false;
+      opts->trace_events = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (!v) return false;
+      opts->metrics_json = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -318,6 +332,19 @@ int main(int argc, char** argv) {
   RunSequenceOptions ropts;
   ropts.lambda_for_violations = opts.lambda;
   ropts.ordering_name = opts.ordering;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<MetricsRegistry> registry;
+  if (!opts.trace_events.empty()) {
+    // Size the ring generously so a full run (decisions + cache events)
+    // never wraps.
+    tracer = std::make_unique<Tracer>(
+        static_cast<size_t>(std::max(1024, 4 * opts.m)));
+    ropts.tracer = tracer.get();
+  }
+  if (!opts.metrics_json.empty()) {
+    registry = std::make_unique<MetricsRegistry>();
+    ropts.metrics = registry.get();
+  }
   SequenceMetrics m = RunSequence(optimizer, instances, perm, oracle,
                                   technique.get(), ropts);
   std::printf("\n%s over %lld instances (%s ordering):\n",
@@ -333,6 +360,27 @@ int main(int argc, char** argv) {
   std::printf("  TotalCostRatio    : %.3f\n", m.total_cost_ratio);
   std::printf("  bound violations  : %lld\n",
               static_cast<long long>(m.bound_violations));
+
+  if (tracer != nullptr) {
+    Status st = tracer->WriteJsonlFile(opts.trace_events);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace-events error: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %lld decision events to %s\n",
+                static_cast<long long>(tracer->total_recorded()),
+                opts.trace_events.c_str());
+  }
+  if (registry != nullptr) {
+    Status st = registry->WriteJsonFile(opts.metrics_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics-json error: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", opts.metrics_json.c_str());
+  }
 
   if (!opts.save_cache.empty()) {
     if (scr_ptr == nullptr) {

@@ -1,0 +1,113 @@
+// trace_summarize — offline analysis of a decision-event JSONL trace
+// written by `scrpqo_cli --trace-events`.
+//
+// Usage:
+//   trace_summarize TRACE.jsonl
+//
+// Prints the per-outcome decision breakdown (decision outcomes sum to the
+// number of instances traced), cache-maintenance event counts, getPlan
+// latency percentiles, and cost-check effort stats.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "obs/trace.h"
+
+using namespace scrpqo;
+
+namespace {
+
+void PrintLatencyLine(const char* label, std::vector<double> micros) {
+  if (micros.empty()) return;
+  std::printf("  %-18s p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+              label, Percentile(micros, 50.0), Percentile(micros, 90.0),
+              Percentile(micros, 99.0), Max(micros));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_summarize TRACE.jsonl\n");
+    return 2;
+  }
+  auto loaded = ReadJsonlTraceFile(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<DecisionEvent> events = loaded.MoveValueOrDie();
+  if (events.empty()) {
+    std::printf("empty trace\n");
+    return 0;
+  }
+
+  std::map<DecisionOutcome, int64_t> counts;
+  std::map<std::string, int64_t> techniques;
+  std::vector<double> decision_micros;
+  std::vector<double> candidates;
+  std::vector<double> recosts;
+  int64_t decisions = 0;
+  int64_t cache_events = 0;
+  int64_t optimizer_calls = 0;
+  for (const DecisionEvent& e : events) {
+    ++counts[e.outcome];
+    if (!e.technique.empty()) ++techniques[e.technique];
+    if (IsDecisionOutcome(e.outcome)) {
+      ++decisions;
+      decision_micros.push_back(static_cast<double>(e.wall_micros));
+      candidates.push_back(static_cast<double>(e.candidates_scanned));
+      recosts.push_back(static_cast<double>(e.recost_calls));
+      if (e.outcome == DecisionOutcome::kOptimized ||
+          e.outcome == DecisionOutcome::kRedundantDiscard) {
+        ++optimizer_calls;
+      }
+    } else {
+      ++cache_events;
+    }
+  }
+
+  std::printf("trace: %zu events", events.size());
+  for (const auto& [name, n] : techniques) {
+    std::printf("  [%s x%lld]", name.c_str(), static_cast<long long>(n));
+  }
+  std::printf("\n\ndecisions (%lld instances):\n",
+              static_cast<long long>(decisions));
+  for (DecisionOutcome outcome :
+       {DecisionOutcome::kSelCheckHit, DecisionOutcome::kCostCheckHit,
+        DecisionOutcome::kOptimized, DecisionOutcome::kRedundantDiscard}) {
+    auto it = counts.find(outcome);
+    int64_t n = it == counts.end() ? 0 : it->second;
+    std::printf("  %-18s %8lld  (%5.1f%%)\n", DecisionOutcomeName(outcome),
+                static_cast<long long>(n),
+                decisions > 0 ? 100.0 * static_cast<double>(n) /
+                                    static_cast<double>(decisions)
+                              : 0.0);
+  }
+  std::printf("  optimizer calls    %8lld  (%5.1f%%)\n",
+              static_cast<long long>(optimizer_calls),
+              decisions > 0 ? 100.0 * static_cast<double>(optimizer_calls) /
+                                  static_cast<double>(decisions)
+                            : 0.0);
+  if (cache_events > 0) {
+    std::printf("\ncache events:\n  %-18s %8lld\n",
+                DecisionOutcomeName(DecisionOutcome::kEvicted),
+                static_cast<long long>(
+                    counts.count(DecisionOutcome::kEvicted)
+                        ? counts[DecisionOutcome::kEvicted]
+                        : 0));
+  }
+
+  std::printf("\nlatency:\n");
+  PrintLatencyLine("getPlan", decision_micros);
+
+  std::printf("\ncost-check effort per getPlan:\n");
+  std::printf("  candidates scanned mean=%.2f p99=%.0f max=%.0f\n",
+              Mean(candidates), Percentile(candidates, 99.0),
+              Max(candidates));
+  std::printf("  recost calls       mean=%.2f p99=%.0f max=%.0f\n",
+              Mean(recosts), Percentile(recosts, 99.0), Max(recosts));
+  return 0;
+}
