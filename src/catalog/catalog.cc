@@ -38,7 +38,7 @@ const TableDef* Catalog::FindTable(const std::string& name) const {
 
 const TableDef& Catalog::GetTable(const std::string& name) const {
   const TableDef* t = FindTable(name);
-  SCRPQO_CHECK(t != nullptr, ("unknown table: " + name).c_str());
+  SCRPQO_CHECK(t != nullptr, "unknown table: " + name);
   return *t;
 }
 
@@ -63,8 +63,7 @@ const ColumnStats* Catalog::FindColumnStats(const std::string& table,
 const ColumnStats& Catalog::GetColumnStats(const std::string& table,
                                            const std::string& column) const {
   const ColumnStats* s = FindColumnStats(table, column);
-  SCRPQO_CHECK(s != nullptr,
-               ("missing stats for " + table + "." + column).c_str());
+  SCRPQO_CHECK(s != nullptr, "missing stats for " + table + "." + column);
   return *s;
 }
 

@@ -1,0 +1,14 @@
+#include "common/status.h"
+
+namespace scrpqo {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace scrpqo

@@ -25,8 +25,9 @@ enum class StatusCode {
 ///
 /// A Status either represents success (`ok()` is true) or carries an error
 /// code and a human-readable message. Statuses are cheap to copy in the OK
-/// case and must not be silently dropped on error paths.
-class Status {
+/// case and must not be silently dropped on error paths; the class is
+/// [[nodiscard]] so the compiler rejects a dropped Status outright.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -88,7 +89,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT
@@ -134,14 +135,23 @@ class Result {
     if (!_st.ok()) return _st;             \
   } while (0)
 
+namespace internal {
+/// Out-of-line failure path for SCRPQO_CHECK: prints the message and
+/// aborts. Deliberately independent of <cassert> so the check fires
+/// identically in NDEBUG/Release builds (see CheckAbortsInRelease test).
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const std::string& msg);
+}  // namespace internal
+
 // Fatal invariant check used for programming errors (not data errors).
-#define SCRPQO_CHECK(cond, msg)                                            \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
-                   __LINE__, msg);                                         \
-      std::abort();                                                        \
-    }                                                                      \
+// The message argument is evaluated lazily — only on the failure path —
+// so call sites may pass expressions that build a std::string (e.g.
+// "unknown table: " + name) without paying for them on every check.
+#define SCRPQO_CHECK(cond, msg)                                    \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::scrpqo::internal::CheckFailed(__FILE__, __LINE__, (msg));  \
+    }                                                              \
   } while (0)
 
 }  // namespace scrpqo

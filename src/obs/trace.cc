@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,16 +66,23 @@ size_t FindValue(const std::string& line, const char* key) {
   return pos;
 }
 
-bool ParseNumber(const std::string& line, const char* key, double* out) {
+enum class NumField { kAbsent, kOk, kBad };
+
+NumField ParseNumberField(const std::string& line, const char* key,
+                          double* out) {
   size_t pos = FindValue(line, key);
-  if (pos == std::string::npos) return false;
+  if (pos == std::string::npos) return NumField::kAbsent;
   const char* start = line.c_str() + pos;
   char* end = nullptr;
   errno = 0;
   double v = std::strtod(start, &end);
-  if (end == start || errno == ERANGE) return false;
+  if (end == start || errno == ERANGE) return NumField::kBad;
   *out = v;
-  return true;
+  return NumField::kOk;
+}
+
+bool ParseNumber(const std::string& line, const char* key, double* out) {
+  return ParseNumberField(line, key, out) == NumField::kOk;
 }
 
 bool ParseString(const std::string& line, const char* key,
@@ -159,6 +167,10 @@ std::string DecisionEventToJsonl(const DecisionEvent& e) {
   AppendDouble(e.l, &out);
   out += ",\"r\":";
   AppendDouble(e.r, &out);
+  out += ",\"s\":";
+  AppendDouble(e.subopt, &out);
+  out += ",\"lambda\":";
+  AppendDouble(e.lambda, &out);
   out += ",\"candidates\":";
   out += std::to_string(e.candidates_scanned);
   out += ",\"recosts\":";
@@ -172,11 +184,11 @@ std::string DecisionEventToJsonl(const DecisionEvent& e) {
 Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
   DecisionEvent e;
   double v = 0.0;
-  if (!ParseNumber(line, "seq", &v)) {
+  if (!ParseNumber(line, "seq", &v) || !std::isfinite(v)) {
     return Status::InvalidArgument("trace line missing \"seq\": " + line);
   }
   e.seq = static_cast<int64_t>(v);
-  if (!ParseNumber(line, "instance", &v)) {
+  if (!ParseNumber(line, "instance", &v) || !std::isfinite(v)) {
     return Status::InvalidArgument("trace line missing \"instance\"");
   }
   e.instance_id = static_cast<int32_t>(v);
@@ -190,18 +202,34 @@ Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
   if (ParseNumber(line, "matched", &v)) {
     e.matched_entry = static_cast<int32_t>(v);
   }
-  ParseNumber(line, "g", &e.g);
-  ParseNumber(line, "l", &e.l);
-  ParseNumber(line, "r", &e.r);
-  if (ParseNumber(line, "candidates", &v)) {
-    e.candidates_scanned = static_cast<int32_t>(v);
+  struct OptField {
+    const char* key;
+    double* slot;
+  };
+  double candidates = 0.0, recosts = 0.0, wall = 0.0;
+  for (const OptField& f :
+       {OptField{"g", &e.g}, OptField{"l", &e.l}, OptField{"r", &e.r},
+        OptField{"s", &e.subopt}, OptField{"lambda", &e.lambda},
+        OptField{"candidates", &candidates}, OptField{"recosts", &recosts},
+        OptField{"wall_us", &wall}}) {
+    if (ParseNumberField(line, f.key, f.slot) == NumField::kBad) {
+      return Status::InvalidArgument(std::string("trace line has bad \"") +
+                                     f.key + "\": " + line);
+    }
   }
-  if (ParseNumber(line, "recosts", &v)) {
-    e.recost_calls = static_cast<int32_t>(v);
+  // Finite-values policy (matches EnvDouble): a NaN/inf cost factor means
+  // the trace is corrupt, and must not be silently carried into audits.
+  // Checked before the integer casts below, which would be UB on inf.
+  for (double field :
+       {e.g, e.l, e.r, e.subopt, e.lambda, candidates, recosts, wall}) {
+    if (!std::isfinite(field)) {
+      return Status::InvalidArgument(
+          "trace line has non-finite numeric field: " + line);
+    }
   }
-  if (ParseNumber(line, "wall_us", &v)) {
-    e.wall_micros = static_cast<int64_t>(v);
-  }
+  e.candidates_scanned = static_cast<int32_t>(candidates);
+  e.recost_calls = static_cast<int32_t>(recosts);
+  e.wall_micros = static_cast<int64_t>(wall);
   return e;
 }
 

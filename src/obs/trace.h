@@ -59,6 +59,15 @@ struct DecisionEvent {
   double l = -1.0;
   /// Cost ratio observed by the cost / redundancy check (-1 when n/a).
   double r = -1.0;
+  /// Sub-optimality S of the matched instance entry at decision time
+  /// (-1 when n/a). With g/l/r and lambda this makes every check's
+  /// arithmetic statically re-derivable (see verify/guarantee_audit.h).
+  double subopt = -1.0;
+  /// Effective bound the decision was checked against: lambda for
+  /// selectivity/cost-check hits (the Appendix D per-entry value when
+  /// dynamic lambda is enabled), lambda_r for redundancy decisions
+  /// (-1 when n/a).
+  double lambda = -1.0;
   /// Cost-check candidates considered by this getPlan.
   int32_t candidates_scanned = 0;
   /// Recost calls issued by this getPlan.
@@ -70,7 +79,9 @@ struct DecisionEvent {
 /// Serializes one event as a single JSON line (no trailing newline).
 std::string DecisionEventToJsonl(const DecisionEvent& event);
 
-/// Parses a line produced by DecisionEventToJsonl.
+/// Parses a line produced by DecisionEventToJsonl. Numeric fields must be
+/// finite: NaN/inf cost factors are rejected (same policy as EnvDouble),
+/// so a corrupted trace cannot silently pass a guarantee audit.
 Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line);
 
 /// Fixed-capacity ring buffer of DecisionEvents. Oldest events are

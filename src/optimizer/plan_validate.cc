@@ -1,5 +1,6 @@
 #include "optimizer/plan_validate.h"
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -11,11 +12,55 @@ std::string Describe(const PhysicalPlanNode& n) {
   return PhysicalOpName(n.kind);
 }
 
+/// Relative slack when comparing cumulative cost annotations; absorbs the
+/// float reassociation between Combine() and the per-child sums.
+constexpr double kCostSlack = 1e-9;
+
+std::string FmtCost(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Cost/cardinality annotations must be finite, non-negative, and
+/// monotone: est_cost is cumulative (includes children), so a parent
+/// cheaper than one of its children means the annotations were corrupted
+/// (e.g. by a bad serde round-trip or a cache tamper) and any Recost or
+/// guarantee arithmetic derived from them would be garbage.
+Status ValidateEstimates(const PhysicalPlanNode& n) {
+  for (double v : {n.est_rows, n.est_cost, n.est_local_cost}) {
+    if (!std::isfinite(v)) {
+      return Status::Internal(Describe(n) +
+                              ": non-finite cost/cardinality annotation");
+    }
+  }
+  if (n.est_rows < 0.0 || n.est_cost < 0.0) {
+    return Status::Internal(Describe(n) + ": negative cost annotation");
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    // The INLJ inner leaf is accessed through the index, so its standalone
+    // scan cost is deliberately excluded from the parent's cumulative cost
+    // (see CostModel::Combine) and may legitimately exceed it.
+    if (n.kind == PhysicalOpKind::kIndexedNestedLoopsJoin && i == 1) {
+      continue;
+    }
+    const auto& c = n.children[i];
+    if (c->est_cost > n.est_cost * (1.0 + kCostSlack)) {
+      return Status::Internal(
+          Describe(n) + ": non-monotone cost annotation (parent est_cost " +
+          FmtCost(n.est_cost) + " < child est_cost " + FmtCost(c->est_cost) +
+          ")");
+    }
+  }
+  return Status::OK();
+}
+
 /// Recursive validation; fills `tables` with the bitset of template tables
 /// produced by the subtree.
 Status ValidateRec(const PhysicalPlanNode& n, const QueryTemplate& tmpl,
                    const Catalog& catalog, uint32_t* tables) {
   *tables = 0;
+  SCRPQO_RETURN_NOT_OK(ValidateEstimates(n));
 
   // Child-count expectations.
   size_t expected_children = 0;

@@ -50,7 +50,8 @@ class RecostService {
 
   /// Re-derives the plan's cost for `sv`. Thread-compatible and allocation-
   /// free on the hot path.
-  double Recost(const CachedPlan& plan, const SVector& sv) const {
+  [[nodiscard]] double Recost(const CachedPlan& plan,
+                              const SVector& sv) const {
     ++num_calls_;
     return cost_model_->RecostTree(*plan.plan, sv);
   }

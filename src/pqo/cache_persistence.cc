@@ -33,20 +33,20 @@ std::string SaveScrCache(const Scr& scr) {
   return os.str();
 }
 
-Status LoadScrCache(const std::string& snapshot, Scr* scr) {
+Status ParseScrCacheSnapshot(const std::string& snapshot,
+                             std::vector<PlanPtr>* plans,
+                             std::vector<Scr::SnapshotEntry>* entries) {
   std::istringstream is(snapshot);
   std::string line;
   if (!std::getline(is, line) || line != kHeader) {
     return Status::InvalidArgument("bad cache snapshot header");
   }
-  std::vector<PlanPtr> plans;
-  std::vector<Scr::SnapshotEntry> entries;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     if (line[0] == 'P') {
       Result<PlanPtr> plan = DeserializePlan(line.substr(2));
       if (!plan.ok()) return plan.status();
-      plans.push_back(plan.MoveValueOrDie());
+      plans->push_back(plan.MoveValueOrDie());
     } else if (line[0] == 'I') {
       std::istringstream ls(line.substr(2));
       Scr::SnapshotEntry e;
@@ -63,11 +63,18 @@ Status LoadScrCache(const std::string& snapshot, Scr* scr) {
           return Status::InvalidArgument("truncated selectivity vector");
         }
       }
-      entries.push_back(std::move(e));
+      entries->push_back(std::move(e));
     } else {
       return Status::InvalidArgument("unknown snapshot record: " + line);
     }
   }
+  return Status::OK();
+}
+
+Status LoadScrCache(const std::string& snapshot, Scr* scr) {
+  std::vector<PlanPtr> plans;
+  std::vector<Scr::SnapshotEntry> entries;
+  SCRPQO_RETURN_NOT_OK(ParseScrCacheSnapshot(snapshot, &plans, &entries));
   return scr->Restore(plans, entries);
 }
 

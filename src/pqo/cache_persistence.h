@@ -20,6 +20,14 @@ namespace scrpqo {
 /// Serializes the live portion of the cache (plans + instance entries).
 std::string SaveScrCache(const Scr& scr);
 
+/// Parses a snapshot into its plan and instance-entry lists without
+/// touching any Scr instance. Shared by LoadScrCache and the offline
+/// guarantee auditor (verify/guarantee_audit.h), which wants the raw
+/// records so it can report on entries Restore would reject.
+Status ParseScrCacheSnapshot(const std::string& snapshot,
+                             std::vector<PlanPtr>* plans,
+                             std::vector<Scr::SnapshotEntry>* entries);
+
 /// Restores a snapshot into `scr`, which must be freshly constructed (its
 /// cache empty) and configured compatibly (same lambda family). Returns
 /// InvalidArgument on malformed input.

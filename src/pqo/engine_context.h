@@ -56,7 +56,7 @@ class EngineContext {
   }
 
   /// Recost API call (charged).
-  double Recost(const CachedPlan& plan, const SVector& sv) {
+  [[nodiscard]] double Recost(const CachedPlan& plan, const SVector& sv) {
     ScopedTimer timer(recost_micros_);
     if (recost_calls_ != nullptr) recost_calls_->Increment();
     return recost_service_.Recost(plan, sv);
@@ -64,7 +64,8 @@ class EngineContext {
 
   /// Uncharged recost used by evaluation machinery (computing SO of the
   /// chosen plan) — not part of any technique's overhead.
-  double RecostUncharged(const CachedPlan& plan, const SVector& sv) const {
+  [[nodiscard]] double RecostUncharged(const CachedPlan& plan,
+                                       const SVector& sv) const {
     return optimizer_->cost_model().RecostTree(*plan.plan, sv);
   }
 

@@ -88,7 +88,9 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
       DecisionEvent ev;
       ev.outcome = DecisionOutcome::kCostCheckHit;
       ev.matched_entry = upper_plan;
+      // PCM's inference check is r <= lambda (no L/S factors involved).
       ev.r = best_upper / best_lower;
+      ev.lambda = options_.lambda;
       ev.candidates_scanned = static_cast<int32_t>(points_.size());
       EmitEvent(std::move(ev), wi.id, start);
     }
@@ -119,7 +121,11 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
                      ? DecisionOutcome::kRedundantDiscard
                      : DecisionOutcome::kOptimized;
     ev.matched_entry = stored.plan_id;
-    if (stored.reused_existing) ev.r = stored.subopt;
+    if (stored.reused_existing) {
+      ev.r = stored.subopt;
+      ev.subopt = stored.subopt;
+      ev.lambda = options_.recost_redundancy_lambda_r;
+    }
     ev.candidates_scanned = static_cast<int32_t>(points_.size()) - 1;
     ev.recost_calls = choice.recost_calls_in_get_plan;
     EmitEvent(std::move(ev), wi.id, start);

@@ -149,6 +149,8 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
           DecisionEvent ev;
           ev.outcome = DecisionOutcome::kSelCheckHit;
           ev.matched_entry = static_cast<int32_t>(m.id);
+          ev.subopt = e.subopt;
+          ev.lambda = LambdaFor(e);
           if (obs_.tracer != nullptr) {
             std::vector<double> ratios = SelectivityRatios(e.v, sv);
             ev.g = ComputeG(ratios);
@@ -192,6 +194,8 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
           ev.matched_entry = static_cast<int32_t>(i);
           ev.g = g;
           ev.l = l;
+          ev.subopt = e.subopt;
+          ev.lambda = LambdaFor(e);
           EmitEvent(std::move(ev), wi.id, start);
         }
         return true;
@@ -277,6 +281,8 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         ev.g = c.l > 0.0 ? c.gl / c.l : -1.0;
         ev.l = c.l;
         ev.r = r;
+        ev.subopt = e.subopt;
+        ev.lambda = LambdaFor(e);
         ev.candidates_scanned = choice.cost_check_candidates_in_get_plan;
         ev.recost_calls = recosts;
         EmitEvent(std::move(ev), wi.id, start);
@@ -310,7 +316,11 @@ void Scr::ManageCache(const WorkloadInstance& wi,
                      ? DecisionOutcome::kRedundantDiscard
                      : DecisionOutcome::kOptimized;
     ev.matched_entry = stored.plan_id;
-    if (stored.reused_existing) ev.r = stored.subopt;
+    if (stored.reused_existing) {
+      ev.r = stored.subopt;
+      ev.subopt = stored.subopt;
+      ev.lambda = lambda_r_effective_;
+    }
     ev.candidates_scanned = choice->cost_check_candidates_in_get_plan;
     ev.recost_calls = choice->recost_calls_in_get_plan;
     EmitEvent(std::move(ev), wi.id, start);

@@ -91,7 +91,8 @@ class Scr : public PqoTechnique {
   /// on a hit, fills `choice` and returns true. No optimizer call is ever
   /// made. Exposed so AsyncScr can keep this on the critical path while
   /// deferring manageCache.
-  bool TryReuse(const WorkloadInstance& wi, EngineContext* engine,
+  [[nodiscard]] bool TryReuse(const WorkloadInstance& wi,
+                              EngineContext* engine,
                 PlanChoice* choice);
 
   /// manageCache's entry point for an externally-performed optimization

@@ -6,7 +6,7 @@ namespace scrpqo {
 
 const TableData& Database::GetTableData(const std::string& table) const {
   auto it = data_.find(table);
-  SCRPQO_CHECK(it != data_.end(), ("no data for table: " + table).c_str());
+  SCRPQO_CHECK(it != data_.end(), "no data for table: " + table);
   return *it->second;
 }
 
@@ -120,7 +120,7 @@ Database GenerateDatabase(std::vector<TableDef> table_defs,
   Pcg32 rng(options.seed);
   for (auto& def : table_defs) {
     Status st = db.catalog().AddTable(def);
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
   for (const auto& def : table_defs) {
     std::vector<ColumnData> columns;

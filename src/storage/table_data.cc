@@ -109,7 +109,7 @@ TableData::TableData(const TableDef* def, std::vector<ColumnData> columns)
 
 const ColumnData& TableData::column(const std::string& name) const {
   int idx = def_->ColumnIndex(name);
-  SCRPQO_CHECK(idx >= 0, ("unknown column: " + name).c_str());
+  SCRPQO_CHECK(idx >= 0, "unknown column: " + name);
   return columns_[static_cast<size_t>(idx)];
 }
 

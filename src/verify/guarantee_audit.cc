@@ -1,0 +1,273 @@
+#include "verify/guarantee_audit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "pqo/cache_persistence.h"
+
+namespace scrpqo {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Collects violations for one event or cache entry.
+class Finder {
+ public:
+  Finder(const AuditConfig& config, AuditReport* report, int64_t seq,
+         int64_t entry)
+      : config_(config), report_(report), seq_(seq), entry_(entry) {}
+
+  void Flag(const std::string& detail) {
+    AuditViolation v;
+    v.seq = seq_;
+    v.entry = entry_;
+    v.detail = detail;
+    report_->violations.push_back(std::move(v));
+  }
+
+  /// lhs <= rhs within the configured relative tolerance.
+  bool Holds(double lhs, double rhs) const {
+    return lhs <= rhs * (1.0 + config_.rel_tolerance) +
+                      config_.rel_tolerance;
+  }
+
+ private:
+  const AuditConfig& config_;
+  AuditReport* report_;
+  int64_t seq_;
+  int64_t entry_;
+};
+
+bool Present(double field) { return field >= 0.0; }
+
+/// Cross-checks the event's recorded effective lambda against the
+/// configured bounds. Returns the recorded lambda (or -1 when absent).
+void CheckLambdaField(const DecisionEvent& e, const AuditConfig& config,
+                      Finder* f) {
+  if (!Present(e.lambda)) {
+    f->Flag("event lacks an effective-lambda record (outcome " +
+            std::string(DecisionOutcomeName(e.outcome)) + ")");
+    return;
+  }
+  if (e.lambda < 1.0) {
+    f->Flag("effective lambda " + Fmt(e.lambda) + " < 1");
+    return;
+  }
+  const bool redundancy = e.outcome == DecisionOutcome::kRedundantDiscard;
+  if (redundancy) {
+    if (config.lambda_r >= 1.0 &&
+        std::abs(e.lambda - config.lambda_r) >
+            config.rel_tolerance * config.lambda_r) {
+      f->Flag("redundancy decision used lambda_r " + Fmt(e.lambda) +
+              ", configured " + Fmt(config.lambda_r));
+    }
+    return;
+  }
+  if (config.dynamic_lambda) {
+    if (e.lambda < config.lambda_min * (1.0 - config.rel_tolerance) ||
+        e.lambda > config.lambda_max * (1.0 + config.rel_tolerance)) {
+      f->Flag("dynamic lambda " + Fmt(e.lambda) + " outside [" +
+              Fmt(config.lambda_min) + ", " + Fmt(config.lambda_max) + "]");
+    }
+  } else if (config.lambda >= 1.0 &&
+             std::abs(e.lambda - config.lambda) >
+                 config.rel_tolerance * config.lambda) {
+    f->Flag("decision used lambda " + Fmt(e.lambda) + ", configured " +
+            Fmt(config.lambda));
+  }
+}
+
+void AuditEvent(const DecisionEvent& e, const AuditConfig& config,
+                AuditReport* report) {
+  Finder f(config, report, e.seq, /*entry=*/-1);
+  switch (e.outcome) {
+    case DecisionOutcome::kSelCheckHit: {
+      // Theorem 2: reusing entry qe's plan at qc is lambda-optimal when
+      // G * L <= lambda / S.
+      CheckLambdaField(e, config, &f);
+      if (!Present(e.g) || !Present(e.l) || !Present(e.subopt)) {
+        f.Flag("sel-check-hit lacks g/l/s factors (g=" + Fmt(e.g) +
+               " l=" + Fmt(e.l) + " s=" + Fmt(e.subopt) + ")");
+        break;
+      }
+      if (e.g < 1.0 || e.l < 1.0) {
+        f.Flag("selectivity factors below 1 (g=" + Fmt(e.g) +
+               " l=" + Fmt(e.l) + "); G and L are products of ratios > 1");
+      }
+      if (e.subopt < 1.0) {
+        f.Flag("matched entry has sub-optimality S=" + Fmt(e.subopt) +
+               " < 1");
+      }
+      if (Present(e.lambda) &&
+          !f.Holds(e.g * e.l, e.lambda / e.subopt)) {
+        f.Flag("sel check violated: G*L = " + Fmt(e.g) + " * " + Fmt(e.l) +
+               " = " + Fmt(e.g * e.l) + " > lambda/S = " + Fmt(e.lambda) +
+               "/" + Fmt(e.subopt) + " = " + Fmt(e.lambda / e.subopt));
+      }
+      break;
+    }
+    case DecisionOutcome::kCostCheckHit: {
+      CheckLambdaField(e, config, &f);
+      if (!Present(e.r)) {
+        f.Flag("cost-check-hit lacks the recost ratio R");
+        break;
+      }
+      if (!Present(e.lambda)) break;
+      if (Present(e.l) && Present(e.subopt)) {
+        // Theorem 1 (SCR): R * L <= lambda / S.
+        if (e.subopt < 1.0) {
+          f.Flag("matched entry has sub-optimality S=" + Fmt(e.subopt) +
+                 " < 1");
+        }
+        if (!f.Holds(e.r * e.l, e.lambda / e.subopt)) {
+          f.Flag("cost check violated: R*L = " + Fmt(e.r) + " * " +
+                 Fmt(e.l) + " = " + Fmt(e.r * e.l) + " > lambda/S = " +
+                 Fmt(e.lambda) + "/" + Fmt(e.subopt) + " = " +
+                 Fmt(e.lambda / e.subopt));
+        }
+      } else if (!f.Holds(e.r, e.lambda)) {
+        // PCM-style inference: the upper/lower cost ratio bounds SO.
+        f.Flag("PCM inference violated: R = " + Fmt(e.r) +
+               " > lambda = " + Fmt(e.lambda));
+      }
+      break;
+    }
+    case DecisionOutcome::kRedundantDiscard: {
+      // Algorithm 2 / Appendix E: the new plan is discarded only when an
+      // existing plan is within lambda_r of optimal, Smin <= lambda_r.
+      CheckLambdaField(e, config, &f);
+      if (!Present(e.r)) {
+        f.Flag("redundant-discard lacks the stored sub-optimality Smin");
+        break;
+      }
+      if (e.r < 1.0) {
+        f.Flag("stored sub-optimality Smin=" + Fmt(e.r) + " < 1");
+      }
+      if (Present(e.lambda) && !f.Holds(e.r, e.lambda)) {
+        f.Flag("redundancy check violated: Smin = " + Fmt(e.r) +
+               " > lambda_r = " + Fmt(e.lambda));
+      }
+      break;
+    }
+    case DecisionOutcome::kOptimized:
+    case DecisionOutcome::kEvicted:
+      // No guarantee arithmetic: optimizing is always lambda-optimal and
+      // eviction drops the instance entries with the plan (Section 6.3.1).
+      break;
+  }
+}
+
+}  // namespace
+
+std::string AuditReport::ToString(int max_lines) const {
+  std::ostringstream os;
+  int shown = 0;
+  for (const AuditViolation& v : violations) {
+    if (shown++ >= max_lines) {
+      os << "  ... (" << (violations.size() - static_cast<size_t>(max_lines))
+         << " more)\n";
+      break;
+    }
+    os << "  ";
+    if (v.seq >= 0) os << "event #" << v.seq << ": ";
+    if (v.entry >= 0) os << "cache entry #" << v.entry << ": ";
+    os << v.detail << "\n";
+  }
+  os << "audit: " << events_checked << " events, " << entries_checked
+     << " cache entries, " << plans_checked << " plans checked; "
+     << violations.size() << " violation"
+     << (violations.size() == 1 ? "" : "s");
+  return os.str();
+}
+
+void AuditReport::Merge(const AuditReport& other) {
+  events_checked += other.events_checked;
+  entries_checked += other.entries_checked;
+  plans_checked += other.plans_checked;
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+AuditReport AuditTrace(const std::vector<DecisionEvent>& events,
+                       const AuditConfig& config) {
+  AuditReport report;
+  for (const DecisionEvent& e : events) {
+    ++report.events_checked;
+    AuditEvent(e, config, &report);
+  }
+  return report;
+}
+
+Result<AuditReport> AuditTraceFile(const std::string& path,
+                                   const AuditConfig& config) {
+  Result<std::vector<DecisionEvent>> events = ReadJsonlTraceFile(path);
+  if (!events.ok()) return events.status();
+  return AuditTrace(events.ValueOrDie(), config);
+}
+
+AuditReport AuditCacheSnapshot(const std::vector<PlanPtr>& plans,
+                               const std::vector<Scr::SnapshotEntry>& entries,
+                               const AuditConfig& config) {
+  AuditReport report;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    ++report.plans_checked;
+    if (plans[i] == nullptr) {
+      Finder f(config, &report, /*seq=*/-1, static_cast<int64_t>(i));
+      f.Flag("null plan at ordinal " + std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Scr::SnapshotEntry& e = entries[i];
+    ++report.entries_checked;
+    Finder f(config, &report, /*seq=*/-1, static_cast<int64_t>(i));
+    if (e.plan_ordinal < 0 ||
+        e.plan_ordinal >= static_cast<int>(plans.size())) {
+      f.Flag("dangling plan ordinal " + std::to_string(e.plan_ordinal) +
+             " (cache holds " + std::to_string(plans.size()) + " plans)");
+    }
+    if (!std::isfinite(e.opt_cost) || e.opt_cost <= 0.0) {
+      f.Flag("optimal cost C=" + Fmt(e.opt_cost) +
+             " is not positive finite");
+    }
+    if (!std::isfinite(e.subopt) || e.subopt < 1.0) {
+      f.Flag("stored sub-optimality S=" + Fmt(e.subopt) + " < 1");
+    } else if (config.lambda_r >= 1.0 && !f.Holds(e.subopt, config.lambda_r)) {
+      f.Flag("stored sub-optimality S=" + Fmt(e.subopt) +
+             " exceeds lambda_r=" + Fmt(config.lambda_r) +
+             "; the redundancy check cannot have admitted this entry");
+    }
+    if (e.usage < 0) {
+      f.Flag("negative usage count " + std::to_string(e.usage));
+    }
+    for (size_t d = 0; d < e.v.size(); ++d) {
+      if (!std::isfinite(e.v[d]) || e.v[d] <= 0.0 || e.v[d] > 1.0) {
+        f.Flag("selectivity v[" + std::to_string(d) + "]=" + Fmt(e.v[d]) +
+               " outside (0, 1]");
+      }
+    }
+  }
+  return report;
+}
+
+Result<AuditReport> AuditCacheFile(const std::string& path,
+                                   const AuditConfig& config) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open cache file: " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::vector<PlanPtr> plans;
+  std::vector<Scr::SnapshotEntry> entries;
+  SCRPQO_RETURN_NOT_OK(ParseScrCacheSnapshot(buf.str(), &plans, &entries));
+  return AuditCacheSnapshot(plans, entries, config);
+}
+
+}  // namespace scrpqo

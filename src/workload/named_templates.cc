@@ -33,7 +33,7 @@ void AddParam(QueryTemplate* tmpl, int t, const char* col, CompareOp op,
   p.op = op;
   p.param_slot = slot;
   Status st = tmpl->AddPredicate(std::move(p));
-  SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  SCRPQO_CHECK(st.ok(), st.ToString());
 }
 
 void AddLiteral(QueryTemplate* tmpl, int t, const char* col, CompareOp op,
@@ -44,7 +44,7 @@ void AddLiteral(QueryTemplate* tmpl, int t, const char* col, CompareOp op,
   p.op = op;
   p.literal = std::move(v);
   Status st = tmpl->AddPredicate(std::move(p));
-  SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+  SCRPQO_CHECK(st.ok(), st.ToString());
 }
 
 void SetAgg(QueryTemplate* tmpl, int t, const char* col) {

@@ -92,7 +92,7 @@ std::shared_ptr<QueryTemplate> MakeTemplate(const BenchmarkDb& db,
     p.op = rng->UniformDouble() < 0.5 ? CompareOp::kLe : CompareOp::kGe;
     p.param_slot = slot;
     Status st = tmpl->AddPredicate(std::move(p));
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
 
   // Occasionally a fixed literal predicate on a leftover column.
@@ -108,7 +108,7 @@ std::shared_ptr<QueryTemplate> MakeTemplate(const BenchmarkDb& db,
     double v = stats.histogram.QuantileForSelectivity(CompareOp::kLe, 0.6);
     p.literal = Value(v);
     Status st = tmpl->AddPredicate(std::move(p));
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
 
   // Occasionally aggregate.
@@ -200,7 +200,7 @@ BoundTemplate BuildExample2dTemplate(const BenchmarkDb& tpch) {
     p.op = CompareOp::kLe;
     p.param_slot = 0;
     Status st = tmpl->AddPredicate(std::move(p));
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
   {
     PredicateTemplate p;
@@ -209,7 +209,7 @@ BoundTemplate BuildExample2dTemplate(const BenchmarkDb& tpch) {
     p.op = CompareOp::kLe;
     p.param_slot = 1;
     Status st = tmpl->AddPredicate(std::move(p));
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
   BoundTemplate bt;
   bt.db = &tpch;
@@ -260,7 +260,7 @@ BoundTemplate BuildRd2TemplateWithDimensions(const BenchmarkDb& rd2, int d) {
     p.op = i % 2 == 0 ? CompareOp::kLe : CompareOp::kGe;
     p.param_slot = i;
     Status st = tmpl->AddPredicate(std::move(p));
-    SCRPQO_CHECK(st.ok(), st.ToString().c_str());
+    SCRPQO_CHECK(st.ok(), st.ToString());
   }
   BoundTemplate bt;
   bt.db = &rd2;

@@ -10,12 +10,20 @@
 namespace scrpqo {
 namespace {
 
+// gcc's -Wmissing-field-initializers fires on `ColumnDef{.name = ...}`
+// even though every other member has a default initializer.
+ColumnDef NamedColumn(const std::string& name) {
+  ColumnDef c;
+  c.name = name;
+  return c;
+}
+
 TEST(CatalogTest, AddAndFindTable) {
   Catalog cat;
   TableDef def;
   def.name = "t";
   def.row_count = 10;
-  def.columns = {ColumnDef{.name = "a"}};
+  def.columns = {NamedColumn("a")};
   ASSERT_TRUE(cat.AddTable(def).ok());
   EXPECT_NE(cat.FindTable("t"), nullptr);
   EXPECT_EQ(cat.FindTable("missing"), nullptr);
@@ -36,7 +44,7 @@ TEST(CatalogTest, RejectsIndexOnUnknownColumn) {
   Catalog cat;
   TableDef def;
   def.name = "t";
-  def.columns = {ColumnDef{.name = "a"}};
+  def.columns = {NamedColumn("a")};
   def.indexes = {IndexDef{"ix", "nope", false}};
   Status st = cat.AddTable(def);
   EXPECT_FALSE(st.ok());
@@ -45,7 +53,7 @@ TEST(CatalogTest, RejectsIndexOnUnknownColumn) {
 
 TEST(CatalogTest, ColumnIndexLookup) {
   TableDef def;
-  def.columns = {ColumnDef{.name = "a"}, ColumnDef{.name = "b"}};
+  def.columns = {NamedColumn("a"), NamedColumn("b")};
   EXPECT_EQ(def.ColumnIndex("a"), 0);
   EXPECT_EQ(def.ColumnIndex("b"), 1);
   EXPECT_EQ(def.ColumnIndex("c"), -1);
@@ -55,7 +63,7 @@ TEST(CatalogTest, ColumnIndexLookup) {
 
 TEST(CatalogTest, FindIndexOn) {
   TableDef def;
-  def.columns = {ColumnDef{.name = "a"}, ColumnDef{.name = "b"}};
+  def.columns = {NamedColumn("a"), NamedColumn("b")};
   def.indexes = {IndexDef{"ix_a", "a", false}};
   EXPECT_NE(def.FindIndexOn("a"), nullptr);
   EXPECT_EQ(def.FindIndexOn("b"), nullptr);
@@ -138,7 +146,7 @@ TEST(GeneratorTest, StatsOnlyModeSkipsRows) {
   TableDef t;
   t.name = "x";
   t.row_count = 100;
-  t.columns = {ColumnDef{.name = "a"}};
+  t.columns = {NamedColumn("a")};
   defs.push_back(t);
   GeneratorOptions opts;
   opts.materialize_rows = false;

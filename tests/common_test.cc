@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/env.h"
@@ -47,6 +48,25 @@ TEST(ResultTest, HoldsError) {
   Result<int> r(Status::NotFound("missing"));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckDeathTest, AbortsWithMessageInAnyBuildMode) {
+  // SCRPQO_CHECK must stay armed in NDEBUG/Release builds (unlike assert)
+  // and print file/line plus the message before aborting.
+  EXPECT_DEATH(SCRPQO_CHECK(1 + 1 == 3, "math is broken"),
+               "CHECK failed at .*common_test.cc:[0-9]+: math is broken");
+}
+
+TEST(CheckTest, MessageIsNotEvaluatedWhenConditionHolds) {
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("never needed");
+  };
+  for (int i = 0; i < 3; ++i) {
+    SCRPQO_CHECK(i >= 0, expensive());
+  }
+  EXPECT_EQ(evaluations, 0);
 }
 
 TEST(Pcg32Test, DeterministicAcrossInstances) {

@@ -129,9 +129,10 @@ TEST_P(CrossDbTest, MonotoneCostAlongEachDimension) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Templates, CrossDbTest, ::testing::Range(0, 16),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return Universe::Get()
-                               .templates[static_cast<size_t>(info.param)]
+                               .templates[static_cast<size_t>(
+                                   param_info.param)]
                                .tmpl->name();
                          });
 

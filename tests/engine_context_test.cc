@@ -43,8 +43,8 @@ TEST_F(EngineContextTest, CountsRecostCalls) {
   EngineContext engine(&db_, &optimizer_);
   auto r = engine.Optimize(MakeWi(0, 0.3, 0.3));
   CachedPlan cached = MakeCachedPlan(*r);
-  engine.Recost(cached, r->svector);
-  engine.Recost(cached, r->svector);
+  (void)engine.Recost(cached, r->svector);
+  (void)engine.Recost(cached, r->svector);
   EXPECT_EQ(engine.num_recost_calls(), 2);
 }
 

@@ -114,6 +114,8 @@ TEST(DecisionEventJsonlTest, RoundTripsAllFields) {
   e.g = 1.5;
   e.l = 2.25;
   e.r = 1.0000001;
+  e.subopt = 1.25;
+  e.lambda = 2.0;
   e.candidates_scanned = 8;
   e.recost_calls = 5;
   e.wall_micros = 12345;
@@ -130,6 +132,8 @@ TEST(DecisionEventJsonlTest, RoundTripsAllFields) {
   EXPECT_DOUBLE_EQ(p.g, e.g);
   EXPECT_DOUBLE_EQ(p.l, e.l);
   EXPECT_DOUBLE_EQ(p.r, e.r);
+  EXPECT_DOUBLE_EQ(p.subopt, e.subopt);
+  EXPECT_DOUBLE_EQ(p.lambda, e.lambda);
   EXPECT_EQ(p.candidates_scanned, e.candidates_scanned);
   EXPECT_EQ(p.recost_calls, e.recost_calls);
   EXPECT_EQ(p.wall_micros, e.wall_micros);
@@ -153,6 +157,27 @@ TEST(DecisionEventJsonlTest, RejectsGarbage) {
       DecisionEventFromJsonl(
           "{\"seq\":1,\"instance\":2,\"outcome\":\"bogus\"}")
           .ok());
+}
+
+TEST(DecisionEventJsonlTest, RejectsNonFiniteCostFields) {
+  // Same policy as EnvDouble: a trace with NaN/inf factors could make
+  // guarantee arithmetic silently pass, so parsing must fail instead.
+  const char* base = "{\"seq\": 1, \"instance\": 2, \"technique\": \"t\", "
+                     "\"outcome\": \"cost-check-hit\", \"matched\": 0";
+  for (const char* bad :
+       {"\"r\": nan", "\"r\": inf", "\"r\": -inf", "\"r\": 1e999",
+        "\"g\": nan", "\"l\": inf", "\"s\": nan", "\"lambda\": inf",
+        "\"wall_us\": nan"}) {
+    std::string line = std::string(base) + ", " + bad + "}";
+    EXPECT_FALSE(DecisionEventFromJsonl(line).ok()) << line;
+  }
+  EXPECT_FALSE(DecisionEventFromJsonl(
+                   "{\"seq\": inf, \"instance\": 2, \"technique\": \"t\", "
+                   "\"outcome\": \"optimized\"}")
+                   .ok());
+  // Control: the same shape with finite values parses.
+  std::string good = std::string(base) + ", \"r\": 1.5}";
+  EXPECT_TRUE(DecisionEventFromJsonl(good).ok());
 }
 
 TEST(DecisionEventJsonlTest, OutcomeNamesRoundTrip) {

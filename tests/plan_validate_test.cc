@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "optimizer/optimizer.h"
@@ -116,6 +118,56 @@ TEST_F(PlanValidateTest, DetectsBadJoinSelectivity) {
   broken->join.join_sel = 0.0;
   Status st = ValidatePlan(*broken, *tmpl_, db_.catalog());
   EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PlanValidateTest, DetectsDanglingTableIndex) {
+  auto leaf = std::make_shared<PhysicalPlanNode>();
+  leaf->kind = PhysicalOpKind::kTableScan;
+  leaf->leaf.table_index = 7;  // template only has 2 tables
+  leaf->leaf.table = "fact";
+  leaf->leaf.base_rows = 5000;
+  Status st = ValidatePlan(*leaf, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("table_index"), std::string::npos);
+}
+
+TEST_F(PlanValidateTest, DetectsNonMonotoneCostAnnotation) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.3});
+  OptimizationResult r = optimizer_.Optimize(q);
+  auto broken = std::make_shared<PhysicalPlanNode>(*r.plan);
+  ASSERT_FALSE(broken->children.empty());
+  // est_cost is cumulative, so a child more expensive than its parent is
+  // a corrupted annotation.
+  auto pricey = std::make_shared<PhysicalPlanNode>(*broken->children[0]);
+  pricey->est_cost = broken->est_cost * 2.0 + 1.0;
+  broken->children[0] = pricey;
+  Status st = ValidatePlan(*broken, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-monotone"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PlanValidateTest, DetectsNonFiniteCostAnnotation) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.3});
+  OptimizationResult r = optimizer_.Optimize(q);
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    auto broken = std::make_shared<PhysicalPlanNode>(*r.plan);
+    broken->est_cost = bad;
+    Status st = ValidatePlan(*broken, *tmpl_, db_.catalog());
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("non-finite"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST_F(PlanValidateTest, DetectsNegativeCostAnnotation) {
+  QueryInstance q = InstanceForSelectivities(db_, *tmpl_, {0.3, 0.3});
+  OptimizationResult r = optimizer_.Optimize(q);
+  auto broken = std::make_shared<PhysicalPlanNode>(*r.plan);
+  broken->est_rows = -5.0;
+  Status st = ValidatePlan(*broken, *tmpl_, db_.catalog());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("negative"), std::string::npos);
 }
 
 /// Sweep: every optimizer output across all named templates validates.

@@ -58,8 +58,8 @@ TEST_F(RecostTest, CountsCalls) {
   CachedPlan cached = MakeCachedPlan(r);
   RecostService recost(&optimizer_.cost_model());
   EXPECT_EQ(recost.num_calls(), 0);
-  recost.Recost(cached, r.svector);
-  recost.Recost(cached, r.svector);
+  (void)recost.Recost(cached, r.svector);
+  (void)recost.Recost(cached, r.svector);
   EXPECT_EQ(recost.num_calls(), 2);
   recost.ResetCounters();
   EXPECT_EQ(recost.num_calls(), 0);

@@ -71,9 +71,10 @@ TEST_P(SerdeSweepTest, SerializeValidateRecostRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Templates, SerdeSweepTest, ::testing::Range(0, 12),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return Universe::Get()
-                               .templates[static_cast<size_t>(info.param)]
+                               .templates[static_cast<size_t>(
+                                   param_info.param)]
                                .tmpl->name();
                          });
 

@@ -228,7 +228,7 @@ INSTANTIATE_TEST_SUITE_P(Distributions, HistogramPropertyTest,
                                            DistCase{"zipf", 1},
                                            DistCase{"normal", 2},
                                            DistCase{"few_distinct", 3}),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& param_info) { return param_info.param.name; });
 
 }  // namespace
 }  // namespace scrpqo

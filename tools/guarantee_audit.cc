@@ -1,0 +1,106 @@
+// guarantee_audit — offline lambda-compliance checker for decision traces
+// and persisted plan caches (see verify/guarantee_audit.h for the audited
+// inequalities).
+//
+// Usage:
+//   guarantee_audit [--trace events.jsonl] [--cache cache.txt]
+//                   [--lambda X] [--lambda-r X] [--dynamic-lambda MIN MAX]
+//                   [--tolerance T] [--max-report N]
+//
+// Exit status: 0 when every decision honors its bound, 1 when violations
+// were found (a per-decision report is printed), 2 on usage/file errors.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "verify/guarantee_audit.h"
+
+using namespace scrpqo;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: guarantee_audit [--trace events.jsonl] [--cache cache.txt]\n"
+      "                       [--lambda X] [--lambda-r X]\n"
+      "                       [--dynamic-lambda MIN MAX] [--tolerance T]\n"
+      "                       [--max-report N]\n"
+      "at least one of --trace / --cache is required\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string cache_path;
+  AuditConfig config;
+  int max_report = 50;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace_path = v;
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return Usage();
+      cache_path = v;
+    } else if (arg == "--lambda") {
+      const char* v = next();
+      if (!v) return Usage();
+      config.lambda = std::atof(v);
+    } else if (arg == "--lambda-r") {
+      const char* v = next();
+      if (!v) return Usage();
+      config.lambda_r = std::atof(v);
+    } else if (arg == "--dynamic-lambda") {
+      const char* lo = next();
+      const char* hi = next();
+      if (!lo || !hi) return Usage();
+      config.dynamic_lambda = true;
+      config.lambda_min = std::atof(lo);
+      config.lambda_max = std::atof(hi);
+    } else if (arg == "--tolerance") {
+      const char* v = next();
+      if (!v) return Usage();
+      config.rel_tolerance = std::atof(v);
+    } else if (arg == "--max-report") {
+      const char* v = next();
+      if (!v) return Usage();
+      max_report = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (trace_path.empty() && cache_path.empty()) return Usage();
+
+  AuditReport report;
+  if (!trace_path.empty()) {
+    Result<AuditReport> r = AuditTraceFile(trace_path, config);
+    if (!r.ok()) {
+      std::fprintf(stderr, "trace error: %s\n",
+                   r.status().ToString().c_str());
+      return 2;
+    }
+    report.Merge(r.ValueOrDie());
+  }
+  if (!cache_path.empty()) {
+    Result<AuditReport> r = AuditCacheFile(cache_path, config);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cache error: %s\n",
+                   r.status().ToString().c_str());
+      return 2;
+    }
+    report.Merge(r.ValueOrDie());
+  }
+
+  std::printf("%s\n", report.ToString(max_report).c_str());
+  return report.ok() ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 // Techniques: scr (default), async-scr, pcm, ellipse, density, ranges,
 // opt-once, opt-always. Without --sql a built-in 2-d template is used.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,6 +19,7 @@
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "verify/guarantee_audit.h"
 #include "pqo/async_scr.h"
 #include "pqo/cache_persistence.h"
 #include "pqo/density.h"
@@ -58,6 +60,7 @@ struct CliOptions {
   std::string load_cache;    // restore an SCR plan cache before the run
   std::string trace_events;  // write per-decision JSONL events here
   std::string metrics_json;  // write the metrics-registry snapshot here
+  bool audit = false;  // re-derive every traced decision after the run
 };
 
 int Usage() {
@@ -72,7 +75,7 @@ int Usage() {
       "                  [--save-trace F] [--replay-trace F]\n"
       "                  [--save-cache F] [--load-cache F]\n"
       "                  [--trace-events F] [--metrics-json F]\n"
-      "                  [--explain] [--trace]\n");
+      "                  [--explain] [--trace] [--audit]\n");
   return 2;
 }
 
@@ -148,6 +151,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next();
       if (!v) return false;
       opts->metrics_json = v;
+    } else if (arg == "--audit") {
+      opts->audit = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -334,9 +339,9 @@ int main(int argc, char** argv) {
   ropts.ordering_name = opts.ordering;
   std::unique_ptr<Tracer> tracer;
   std::unique_ptr<MetricsRegistry> registry;
-  if (!opts.trace_events.empty()) {
+  if (!opts.trace_events.empty() || opts.audit) {
     // Size the ring generously so a full run (decisions + cache events)
-    // never wraps.
+    // never wraps; the audit must see every decision.
     tracer = std::make_unique<Tracer>(
         static_cast<size_t>(std::max(1024, 4 * opts.m)));
     ropts.tracer = tracer.get();
@@ -393,6 +398,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("saved plan cache to %s\n", opts.save_cache.c_str());
+  }
+
+  if (opts.audit) {
+    // Re-derive every traced decision (and, for SCR, the final cache
+    // state) from the recorded arithmetic. A violation here means the
+    // run broke the paper's lambda guarantee — exit nonzero.
+    AuditConfig config;
+    config.lambda = opts.lambda;
+    const bool is_scr_family =
+        opts.technique == "scr" || opts.technique == "async-scr";
+    if (is_scr_family) {
+      config.lambda_r = std::sqrt(opts.lambda);  // ScrOptions default
+    }
+    AuditReport report = AuditTrace(tracer->Snapshot(), config);
+    if (scr_ptr != nullptr) {
+      report.Merge(AuditCacheSnapshot(scr_ptr->SnapshotPlans(),
+                                      scr_ptr->SnapshotInstances(),
+                                      config));
+    }
+    std::printf("\n%s\n", report.ToString().c_str());
+    if (!report.ok()) return 1;
   }
   return 0;
 }
