@@ -1,0 +1,163 @@
+// getPlan throughput under concurrent readers (the AsyncScr read path).
+//
+// Warms an AsyncScr cache on an RD2 multi-join template, then drives it
+// from 1/2/4/8 request threads re-querying the warmed instances (pure
+// selectivity/cost-check traffic: every call takes the shared lock, none
+// optimizes). Reports queries/sec and p50/p99 getPlan latency via the
+// registry's "scr.get_plan_micros" log-histogram, plus the
+// shared/exclusive lock-acquisition counters, and emits machine-readable
+// BENCH_throughput.json. Scaling beyond one thread requires hardware
+// cores: on a single-CPU container the 8-thread row measures contention,
+// not parallelism (the JSON records hw_threads so CI can judge).
+//
+// Flags:
+//   --out=PATH         output JSON path (default BENCH_throughput.json)
+//   --duration-ms=N    timed window per thread count (default 300)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "pqo/async_scr.h"
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+#include "workload/templates.h"
+
+namespace {
+
+using namespace scrpqo;
+
+struct ThreadResult {
+  int threads = 0;
+  int64_t queries = 0;
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  int64_t lock_shared = 0;
+  int64_t lock_exclusive = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  int duration_ms = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--duration-ms=", 14) == 0) {
+      duration_ms = std::atoi(argv[i] + 14);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  SchemaScale scale;
+  BenchmarkDb rd2 = BuildRd2(scale);
+  BoundTemplate bt = BuildRd2TemplateWithDimensions(rd2, 4);
+  Optimizer optimizer(&rd2.db);
+  EngineContext engine(&rd2.db, &optimizer);
+  InstanceGenOptions gen;
+  gen.m = 48;
+  gen.seed = 77;
+  std::vector<WorkloadInstance> warmed = GenerateInstances(bt, gen);
+
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  for (const auto& wi : warmed) {
+    (void)scr.OnInstance(wi, &engine);
+    scr.Flush();
+  }
+
+  std::vector<ThreadResult> results;
+  for (int threads : {1, 2, 4, 8}) {
+    // Fresh registry per row so histograms and lock counters cover exactly
+    // this thread count's window.
+    MetricsRegistry registry;
+    scr.SetObs(ObsHooks{nullptr, &registry});
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> queries{0};
+    std::atomic<int64_t> misses{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        size_t i = static_cast<size_t>(t) * 13;
+        int64_t local = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const WorkloadInstance& wi = warmed[i++ % warmed.size()];
+          PlanChoice c = scr.OnInstance(wi, &engine);
+          if (c.optimized) misses.fetch_add(1);
+          ++local;
+        }
+        queries.fetch_add(local);
+      });
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    stop.store(true);
+    for (auto& th : pool) th.join();
+    auto t1 = std::chrono::steady_clock::now();
+    scr.Flush();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    auto snap = registry.Snapshot();
+    ThreadResult r;
+    r.threads = threads;
+    r.queries = queries.load();
+    r.qps = static_cast<double>(r.queries) / secs;
+    if (const HistogramSnapshot* h =
+            snap.FindHistogram("scr.get_plan_micros")) {
+      r.p50_micros = h->p50;
+      r.p99_micros = h->p99;
+    }
+    r.lock_shared = snap.CounterValue("async_scr.lock_shared");
+    r.lock_exclusive = snap.CounterValue("async_scr.lock_exclusive");
+    results.push_back(r);
+    std::printf(
+        "threads=%d qps=%.0f p50=%.1fus p99=%.1fus shared=%lld "
+        "exclusive=%lld misses=%lld\n",
+        r.threads, r.qps, r.p50_micros, r.p99_micros,
+        static_cast<long long>(r.lock_shared),
+        static_cast<long long>(r.lock_exclusive),
+        static_cast<long long>(misses.load()));
+  }
+  scr.SetObs(ObsHooks{});
+
+  double scaling =
+      results.front().qps > 0.0 ? results.back().qps / results.front().qps
+                                : 0.0;
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("scaling_8_vs_1=%.2fx hw_threads=%u\n", scaling, hw);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput_getplan\",\n"
+               "  \"hw_threads\": %u,\n  \"results\": [\n",
+               hw);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThreadResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"queries\": %lld, \"qps\": %.1f, "
+                 "\"p50_micros\": %.2f, \"p99_micros\": %.2f, "
+                 "\"lock_shared\": %lld, \"lock_exclusive\": %lld}%s\n",
+                 r.threads, static_cast<long long>(r.queries), r.qps,
+                 r.p50_micros, r.p99_micros,
+                 static_cast<long long>(r.lock_shared),
+                 static_cast<long long>(r.lock_exclusive),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"scaling_8_vs_1\": %.3f\n}\n", scaling);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

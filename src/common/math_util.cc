@@ -64,6 +64,21 @@ std::vector<double> SelectivityRatios(const std::vector<double>& from,
   return ratios;
 }
 
+GlFactors ComputeGl(const std::vector<double>& from,
+                    const std::vector<double>& to) {
+  SCRPQO_CHECK(from.size() == to.size(),
+               "selectivity vectors must have equal dimensionality");
+  GlFactors out;
+  for (size_t i = 0; i < from.size(); ++i) {
+    double f = std::max(from[i], kSelectivityFloor);
+    double t = std::max(to[i], kSelectivityFloor);
+    double r = t / f;
+    if (r > 1.0) out.g *= r;
+    if (r < 1.0) out.l /= r;
+  }
+  return out;
+}
+
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b) {
   SCRPQO_CHECK(a.size() == b.size(),

@@ -31,6 +31,18 @@ double ComputeL(const std::vector<double>& ratios);
 std::vector<double> SelectivityRatios(const std::vector<double>& from,
                                       const std::vector<double>& to);
 
+struct GlFactors {
+  double g = 1.0;
+  double l = 1.0;
+};
+
+/// G and L of SelectivityRatios(from, to) computed in one pass without
+/// materializing the ratio vector — the allocation-free form used by the
+/// selectivity check's inner loop, which runs once per stored instance per
+/// getPlan. Identical results to ComputeG/ComputeL over SelectivityRatios.
+GlFactors ComputeGl(const std::vector<double>& from,
+                    const std::vector<double>& to);
+
 /// Euclidean distance between two selectivity vectors.
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b);

@@ -117,6 +117,14 @@ int64_t RegistrySnapshot::CounterValue(const std::string& name,
   return def;
 }
 
+const HistogramSnapshot* RegistrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

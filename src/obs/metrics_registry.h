@@ -92,6 +92,10 @@ struct RegistrySnapshot {
 
   /// Counter value by name; `def` when absent.
   int64_t CounterValue(const std::string& name, int64_t def = 0) const;
+
+  /// Histogram snapshot by name; nullptr when absent. The pointer is into
+  /// this snapshot — it lives exactly as long as the RegistrySnapshot.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
 };
 
 class MetricsRegistry {

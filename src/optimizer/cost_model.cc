@@ -4,12 +4,9 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "optimizer/cost_formulas.h"
 
 namespace scrpqo {
-
-namespace {
-constexpr double kMinRows = 1.0;
-}  // namespace
 
 double CostModel::PredSelectivity(const PredSpec& pred,
                                   const SVector& sv) const {
@@ -29,34 +26,26 @@ double CostModel::LeafSelectivity(const LeafInfo& leaf,
   return sel;
 }
 
-double CostModel::SortCost(double rows) const {
-  rows = std::max(rows, kMinRows);
-  double cost = params_.sort_per_row_log * rows * std::log2(rows + 2.0);
-  if (rows > params_.memory_rows) {
-    double pages = rows / static_cast<double>(params_.rows_per_page);
-    cost += params_.spill_io_factor * pages * params_.io_per_page;
-  }
-  return cost;
-}
-
+// The per-operator arithmetic lives in optimizer/cost_formulas.h, shared
+// with RecostProgram's flat kernel; Combine only extracts the node's
+// instance-independent metadata and dispatches.
 CostModel::Derived CostModel::Combine(const PhysicalPlanNode& node,
                                       const SVector& sv,
                                       const Derived* child0,
                                       const Derived* child1) const {
-  Derived out;
-  double child_cost = 0.0;
-  if (child0 != nullptr) child_cost += child0->cost;
-  if (child1 != nullptr) child_cost += child1->cost;
+  namespace cf = cost_formulas;
+  auto as_formula = [](const Derived* d) {
+    return d != nullptr ? cf::Derived{d->rows, d->cost} : cf::Derived{};
+  };
+  cf::Derived c0 = as_formula(child0);
+  cf::Derived c1 = as_formula(child1);
+  cf::Derived out;
 
   switch (node.kind) {
-    case PhysicalOpKind::kTableScan: {
-      const LeafInfo& leaf = node.leaf;
-      double pages = leaf.base_rows / static_cast<double>(params_.rows_per_page);
-      out.rows = leaf.base_rows * LeafSelectivity(leaf, sv);
-      out.cost = pages * params_.io_per_page +
-                 leaf.base_rows * params_.cpu_per_row;
+    case PhysicalOpKind::kTableScan:
+      out = cf::TableScan(params_, node.leaf.base_rows,
+                          LeafSelectivity(node.leaf, sv));
       break;
-    }
     case PhysicalOpKind::kIndexSeek: {
       // seek_pred == -1 means the seek key is supplied by a parent
       // IndexedNLJ per probe; standalone derivation treats it as a full
@@ -68,111 +57,56 @@ CostModel::Derived CostModel::Combine(const PhysicalPlanNode& node,
               ? PredSelectivity(leaf.preds[static_cast<size_t>(leaf.seek_pred)],
                                 sv)
               : 1.0;
-      double matching = std::max(leaf.base_rows * seek_sel, 0.0);
-      out.rows = leaf.base_rows * LeafSelectivity(leaf, sv);
-      out.cost = params_.seek_base +
-                 matching * (params_.index_row_cpu + params_.rid_lookup +
-                             params_.cpu_per_row);
+      out = cf::IndexSeek(params_, leaf.base_rows,
+                          LeafSelectivity(leaf, sv), seek_sel);
       break;
     }
-    case PhysicalOpKind::kIndexScanOrdered: {
+    case PhysicalOpKind::kIndexScanOrdered:
       // Full walk of the index in key order plus a RID lookup per row.
-      const LeafInfo& leaf = node.leaf;
-      out.rows = leaf.base_rows * LeafSelectivity(leaf, sv);
-      out.cost = params_.seek_base +
-                 leaf.base_rows * (params_.index_row_cpu +
-                                   params_.rid_lookup + params_.cpu_per_row);
+      out = cf::IndexScanOrdered(params_, node.leaf.base_rows,
+                                 LeafSelectivity(node.leaf, sv));
       break;
-    }
-    case PhysicalOpKind::kSort: {
+    case PhysicalOpKind::kSort:
       SCRPQO_CHECK(child0 != nullptr, "Sort requires a child");
-      out.rows = child0->rows;
-      out.cost = child_cost + SortCost(child0->rows);
+      out = cf::Sort(params_, c0);
       break;
-    }
-    case PhysicalOpKind::kHashJoin: {
+    case PhysicalOpKind::kHashJoin:
       SCRPQO_CHECK(child0 != nullptr && child1 != nullptr,
                    "HashJoin requires two children");
-      double probe = std::max(child0->rows, 0.0);
-      double build = std::max(child1->rows, 0.0);
-      out.rows = probe * build * node.join.join_sel;
-      double local = build * params_.hash_build_per_row +
-                     probe * params_.hash_probe_per_row +
-                     out.rows * params_.cpu_per_row;
-      if (build > params_.memory_rows) {
-        double pages =
-            (build + probe) / static_cast<double>(params_.rows_per_page);
-        local += params_.spill_io_factor * pages * params_.io_per_page;
-      }
-      out.cost = child_cost + local;
+      out = cf::HashJoin(params_, node.join.join_sel, c0, c1);
       break;
-    }
-    case PhysicalOpKind::kMergeJoin: {
+    case PhysicalOpKind::kMergeJoin:
       SCRPQO_CHECK(child0 != nullptr && child1 != nullptr,
                    "MergeJoin requires two children");
-      out.rows = child0->rows * child1->rows * node.join.join_sel;
-      double local =
-          (child0->rows + child1->rows) * params_.merge_per_row +
-          out.rows * params_.cpu_per_row;
-      out.cost = child_cost + local;
+      out = cf::MergeJoin(params_, node.join.join_sel, c0, c1);
       break;
-    }
     case PhysicalOpKind::kIndexedNestedLoopsJoin: {
       SCRPQO_CHECK(child0 != nullptr && child1 != nullptr,
                    "IndexedNLJ requires two children");
+      // LeafSelectivity so parameterized inner predicates rebind on
+      // Recost; only the outer child's cost counts (the inner leaf is
+      // accessed via the index, not via its standalone plan).
       const LeafInfo& inner = node.children[1]->leaf;
-      double outer_rows = std::max(child0->rows, 0.0);
-      // Each probe descends the inner index and fetches the matching
-      // fraction of the inner table, then applies inner residual filters.
-      double per_probe_matches = inner.base_rows * node.join.per_probe_sel;
-      double probe_cost =
-          0.5 * params_.seek_base +
-          per_probe_matches * (params_.index_row_cpu + params_.rid_lookup +
-                               params_.cpu_per_row);
-      // outer * inner_card * join_sel; LeafSelectivity so parameterized
-      // inner predicates rebind on Recost.
-      out.rows = outer_rows * inner.base_rows * LeafSelectivity(inner, sv) *
-                 node.join.join_sel;
-      double local =
-          outer_rows * probe_cost + out.rows * params_.cpu_per_row;
-      // Only the outer child's cost counts: the inner leaf is accessed via
-      // the index, not via its standalone plan.
-      out.cost = child0->cost + local;
+      out = cf::IndexedNlj(params_, node.join.join_sel,
+                           inner.base_rows * node.join.per_probe_sel,
+                           inner.base_rows, LeafSelectivity(inner, sv), c0);
       break;
     }
-    case PhysicalOpKind::kNaiveNestedLoopsJoin: {
+    case PhysicalOpKind::kNaiveNestedLoopsJoin:
       SCRPQO_CHECK(child0 != nullptr && child1 != nullptr,
                    "NaiveNLJ requires two children");
-      double outer_rows = std::max(child0->rows, kMinRows);
-      out.rows = child0->rows * child1->rows * node.join.join_sel;
-      double local = outer_rows * child1->cost +
-                     out.rows * params_.cpu_per_row;
-      out.cost = child0->cost + child1->cost + local;
+      out = cf::NaiveNlj(params_, node.join.join_sel, c0, c1);
       break;
-    }
-    case PhysicalOpKind::kHashAggregate: {
+    case PhysicalOpKind::kHashAggregate:
       SCRPQO_CHECK(child0 != nullptr, "HashAgg requires a child");
-      out.rows = std::min(node.agg.group_distinct,
-                          std::max(child0->rows, kMinRows));
-      double local = child0->rows * params_.hash_build_per_row +
-                     out.rows * params_.cpu_per_row;
-      if (out.rows > params_.memory_rows) {
-        double pages = child0->rows / static_cast<double>(params_.rows_per_page);
-        local += params_.spill_io_factor * pages * params_.io_per_page;
-      }
-      out.cost = child_cost + local;
+      out = cf::HashAggregate(params_, node.agg.group_distinct, c0);
       break;
-    }
-    case PhysicalOpKind::kStreamAggregate: {
+    case PhysicalOpKind::kStreamAggregate:
       SCRPQO_CHECK(child0 != nullptr, "StreamAgg requires a child");
-      out.rows = std::min(node.agg.group_distinct,
-                          std::max(child0->rows, kMinRows));
-      double local = child0->rows * params_.cpu_per_row;
-      out.cost = child_cost + local;
+      out = cf::StreamAggregate(params_, node.agg.group_distinct, c0);
       break;
-    }
   }
-  return out;
+  return Derived{out.rows, out.cost};
 }
 
 void CostModel::DeriveNode(PhysicalPlanNode* node, const SVector& sv) const {

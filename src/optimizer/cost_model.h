@@ -77,12 +77,11 @@ class CostModel {
 
   Derived DeriveRec(const PhysicalPlanNode& node, const SVector& sv) const;
 
-  /// Core formulas: given the node and derived children, compute output rows
-  /// and the operator's local cost.
+  /// Dispatches to the shared per-operator formulas (cost_formulas.h):
+  /// given the node and derived children, compute output rows and
+  /// cumulative cost.
   Derived Combine(const PhysicalPlanNode& node, const SVector& sv,
                   const Derived* child0, const Derived* child1) const;
-
-  double SortCost(double rows) const;
 
   CostParams params_;
 };

@@ -5,6 +5,7 @@ namespace scrpqo {
 CachedPlan MakeCachedPlan(const OptimizationResult& result) {
   CachedPlan cached;
   cached.plan = result.plan;
+  cached.program = RecostProgram::Compile(*result.plan);
   cached.signature = PlanSignatureHash(*result.plan);
   cached.memo_physical_exprs = result.stats.num_physical_exprs;
   cached.retained_nodes = result.stats.plan_nodes;

@@ -4,20 +4,27 @@
 // the Memo and prunes away all groups/expressions not on the final plan —
 // the paper's "shrunkenMemo". Here CachedPlan is that cacheable
 // representation: the plan tree (which carries instance-independent
-// cardinality-derivation metadata) plus its identity and creation-time memo
-// statistics. Recost rebinds parameterized leaf selectivities and re-derives
-// cardinality and cost bottom-up — arithmetic only, no plan search — which
-// is why it is orders of magnitude cheaper than an optimizer call.
+// cardinality-derivation metadata), its compiled flat recost program, and
+// its identity and creation-time memo statistics. Recost rebinds
+// parameterized leaf selectivities and re-derives cardinality and cost
+// bottom-up — arithmetic only, no plan search — which is why it is orders
+// of magnitude cheaper than an optimizer call. The flat program makes the
+// arithmetic a single linear scan (see recost_program.h); the tree walker
+// remains as the reference path for hand-built CachedPlans.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
+#include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/physical_plan.h"
 #include "optimizer/plan_signature.h"
+#include "optimizer/recost_program.h"
 #include "query/query_instance.h"
 
 namespace scrpqo {
@@ -25,6 +32,10 @@ namespace scrpqo {
 /// \brief A cached, re-costable execution plan ("shrunkenMemo").
 struct CachedPlan {
   PlanPtr plan;
+  /// Flat postorder recost program compiled from `plan` at MakeCachedPlan
+  /// time; empty for hand-assembled CachedPlans (Recost then falls back to
+  /// the tree walker).
+  RecostProgram program;
   uint64_t signature = 0;
   /// Memo size when the plan was produced vs. retained nodes — the basis of
   /// the ">= 70% pruning" observation in Appendix B.
@@ -38,7 +49,8 @@ struct CachedPlan {
   }
 };
 
-/// Builds the cacheable representation from an optimizer result.
+/// Builds the cacheable representation from an optimizer result, compiling
+/// the flat recost program as part of plan extraction.
 CachedPlan MakeCachedPlan(const OptimizationResult& result);
 
 /// \brief Engine API #2 (paper Appendix B): Cost(P, q) for an arbitrary
@@ -48,20 +60,62 @@ class RecostService {
   explicit RecostService(const CostModel* cost_model)
       : cost_model_(cost_model) {}
 
-  /// Re-derives the plan's cost for `sv`. Thread-compatible and allocation-
-  /// free on the hot path.
+  /// Re-derives the plan's cost for `sv`. Thread-safe and allocation-free
+  /// on the hot path.
   [[nodiscard]] double Recost(const CachedPlan& plan,
                               const SVector& sv) const {
-    ++num_calls_;
+    num_calls_.fetch_add(1, std::memory_order_relaxed);
+    return RecostNoCount(plan, sv);
+  }
+
+  /// \brief Batch Recost: scans `plans` in order, writing plans[i]'s cost
+  /// for `sv` into `out_costs[i]`. After each program scan `visit(i, cost)`
+  /// decides whether to continue (`true`) or stop early (`false`) — e.g.
+  /// the redundancy sweep stops once the running best already beats
+  /// lambda_r, and SCR's cost check stops at the first passing candidate.
+  /// Returns the number of plans actually re-costed (each is charged as
+  /// one Recost call).
+  template <typename Visitor>
+  size_t RecostMany(std::span<const CachedPlan* const> plans,
+                    const SVector& sv, std::span<double> out_costs,
+                    Visitor&& visit) const {
+    SCRPQO_CHECK(out_costs.size() >= plans.size(),
+                 "RecostMany output span too small");
+    size_t scanned = 0;
+    while (scanned < plans.size()) {
+      double c = RecostNoCount(*plans[scanned], sv);
+      out_costs[scanned] = c;
+      ++scanned;
+      if (!visit(scanned - 1, c)) break;
+    }
+    num_calls_.fetch_add(static_cast<int64_t>(scanned),
+                         std::memory_order_relaxed);
+    return scanned;
+  }
+
+  size_t RecostMany(std::span<const CachedPlan* const> plans,
+                    const SVector& sv, std::span<double> out_costs) const {
+    return RecostMany(plans, sv, out_costs,
+                      [](size_t, double) { return true; });
+  }
+
+  int64_t num_calls() const {
+    return num_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() { num_calls_.store(0, std::memory_order_relaxed); }
+
+ private:
+  double RecostNoCount(const CachedPlan& plan, const SVector& sv) const {
+    if (!plan.program.empty()) {
+      return plan.program.Run(sv, cost_model_->params());
+    }
     return cost_model_->RecostTree(*plan.plan, sv);
   }
 
-  int64_t num_calls() const { return num_calls_; }
-  void ResetCounters() { num_calls_ = 0; }
-
- private:
   const CostModel* cost_model_;
-  mutable int64_t num_calls_ = 0;
+  /// Relaxed atomic: bumped from the const hot path by concurrent getPlan
+  /// readers (a plain mutable int64_t here would be a data race).
+  mutable std::atomic<int64_t> num_calls_{0};
 };
 
 }  // namespace scrpqo

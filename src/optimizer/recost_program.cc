@@ -1,0 +1,124 @@
+#include "optimizer/recost_program.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "optimizer/cost_formulas.h"
+
+namespace scrpqo {
+
+namespace {
+
+/// Appends the leaf's parameterized binding slots to `slots` (in predicate
+/// order) and returns the product of its literal-pred selectivities.
+/// Splitting literals from parameterized slots lets Run fold all literal
+/// factors at compile time; the reordering shifts the product by ~1 ulp
+/// relative to LeafSelectivity's interleaved order, which the equivalence
+/// tolerance absorbs.
+double AppendBinding(const LeafInfo& leaf, std::vector<int32_t>* slots,
+                     int* max_slot) {
+  double lit = 1.0;
+  for (const PredSpec& pred : leaf.preds) {
+    if (pred.parameterized()) {
+      slots->push_back(pred.param_slot);
+      *max_slot = std::max(*max_slot, pred.param_slot);
+    } else {
+      lit *= pred.literal_sel;
+    }
+  }
+  return lit;
+}
+
+}  // namespace
+
+void RecostProgram::Emit(const PhysicalPlanNode& node) {
+  SCRPQO_CHECK(node.children.size() <= 2,
+               "recost program supports at most binary operators");
+  // Postorder: children first, so their {rows, cost} sit on the value
+  // stack when the parent op executes. The INLJ inner leaf is elided
+  // entirely: its standalone derivation is popped-but-ignored by the tree
+  // walker, and the INLJ op below carries every inner quantity the formula
+  // needs (base rows, per-probe matches, binding slots) — so skipping it
+  // is bitwise identical and drops a whole leaf derivation (including its
+  // selectivity product) from the hot scan.
+  if (!node.children.empty()) Emit(*node.children[0]);
+  if (node.children.size() > 1 &&
+      node.kind != PhysicalOpKind::kIndexedNestedLoopsJoin) {
+    Emit(*node.children[1]);
+  }
+
+  Op op;
+  op.kind = static_cast<uint8_t>(node.kind);
+  op.sel_begin = static_cast<uint32_t>(slots_.size());
+
+  switch (node.kind) {
+    case PhysicalOpKind::kTableScan:
+    case PhysicalOpKind::kIndexScanOrdered:
+      op.a = node.leaf.base_rows;
+      op.sel_lit = AppendBinding(node.leaf, &slots_, &max_slot_);
+      break;
+    case PhysicalOpKind::kIndexSeek: {
+      const LeafInfo& leaf = node.leaf;
+      op.a = leaf.base_rows;
+      op.sel_lit = AppendBinding(leaf, &slots_, &max_slot_);
+      // seek_pred == -1 (parent-driven INLJ inner) derives with the full
+      // index walk's seek_sel = 1, matching the tree walker.
+      op.c = 1.0;
+      if (leaf.seek_pred >= 0) {
+        SCRPQO_CHECK(leaf.seek_pred < static_cast<int>(leaf.preds.size()),
+                     "seek_pred out of range while compiling recost program");
+        const PredSpec& pred =
+            leaf.preds[static_cast<size_t>(leaf.seek_pred)];
+        if (pred.parameterized()) {
+          op.seek_slot = pred.param_slot;
+          max_slot_ = std::max(max_slot_, pred.param_slot);
+        } else {
+          op.c = pred.literal_sel;
+        }
+      }
+      break;
+    }
+    case PhysicalOpKind::kSort:
+      SCRPQO_CHECK(!node.children.empty(), "Sort requires a child");
+      break;
+    case PhysicalOpKind::kHashJoin:
+    case PhysicalOpKind::kMergeJoin:
+    case PhysicalOpKind::kNaiveNestedLoopsJoin:
+      SCRPQO_CHECK(node.children.size() == 2, "join requires two children");
+      op.a = node.join.join_sel;
+      break;
+    case PhysicalOpKind::kIndexedNestedLoopsJoin: {
+      SCRPQO_CHECK(node.children.size() == 2,
+                   "IndexedNLJ requires two children");
+      SCRPQO_CHECK(node.children[1]->is_leaf(),
+                   "IndexedNLJ inner must be a single-table leaf");
+      // The inner leaf's binding lives on this op: the INLJ formula needs
+      // the inner's full predicate selectivity (to rebind parameterized
+      // inner predicates on Recost). The inner leaf itself was never
+      // emitted — its standalone derivation is ignored by the formula, so
+      // this op executes as a unary rewrite of the outer's stack slot.
+      const LeafInfo& inner = node.children[1]->leaf;
+      op.a = node.join.join_sel;
+      op.b = inner.base_rows * node.join.per_probe_sel;
+      op.c = inner.base_rows;
+      op.sel_lit = AppendBinding(inner, &slots_, &max_slot_);
+      break;
+    }
+    case PhysicalOpKind::kHashAggregate:
+    case PhysicalOpKind::kStreamAggregate:
+      SCRPQO_CHECK(!node.children.empty(), "aggregate requires a child");
+      op.a = node.agg.group_distinct;
+      break;
+  }
+
+  op.sel_end = static_cast<uint32_t>(slots_.size());
+  ops_.push_back(op);
+}
+
+RecostProgram RecostProgram::Compile(const PhysicalPlanNode& root) {
+  RecostProgram program;
+  program.Emit(root);
+  return program;
+}
+
+}  // namespace scrpqo

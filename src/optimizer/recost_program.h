@@ -1,0 +1,123 @@
+// Flattened re-costing programs: the compiled, cache-friendly form of a
+// CachedPlan's cost derivation.
+//
+// CostModel::RecostTree re-derives a cached plan by recursing over
+// shared_ptr-linked PhysicalPlanNodes — a pointer chase per node, string
+// and vector fields dragged through cache, and call-stack overhead on the
+// hottest path in the system (every redundancy sweep re-costs every live
+// plan; every cost check re-costs up to max_cost_check_candidates plans).
+//
+// RecostProgram::Compile walks the tree ONCE (at MakeCachedPlan time) and
+// emits a postorder micro-op stream — one contiguous array of fixed-size
+// Ops. Each op carries its operator kind plus the instance-independent
+// constants its formula needs:
+//
+//   a / b / c      per-op coefficients
+//                  (base_rows | join_sel | group_distinct | ...)
+//   sel_lit        product of the leaf's literal-pred selectivities
+//   sel_begin/end  range into slots() of the leaf's parameterized binding
+//                  slots (sVector indices)
+//   seek_slot      IndexSeek: sVector slot of the sargable seek predicate
+//                  (-1 = constant, stored in c)
+//
+// Because the stream is postorder, Run needs no child indices at all: it
+// evaluates the program like RPN on a tiny value stack (leaves push,
+// unary ops rewrite the top, joins pop). IndexedNLJ is the exception: its
+// inner leaf is elided at compile time — the formula ignores the inner's
+// standalone derivation and this op carries the inner's base rows,
+// per-probe matches, and binding slots itself — so it executes as a unary
+// rewrite of the outer's slot. One linear scan over one
+// allocation, values live at the stack top (registers, in practice), no
+// recursion, no pointer chasing, and no heap traffic (plans up to
+// kInlineSlots nodes use stack scratch; a thread-local spill buffer covers
+// the rest). The arithmetic itself is the shared cost_formulas.h, so the
+// program is equivalent to RecostTree up to multiplication reordering in
+// leaf-selectivity products (~1 ulp; the property test bounds it at 1e-9
+// relative).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// The two value stacks (and the sVector) never alias; telling the
+/// compiler removes store-forwarding stalls in the scan.
+#if defined(__GNUC__) || defined(__clang__)
+#define SCRPQO_RESTRICT __restrict__
+#else
+#define SCRPQO_RESTRICT
+#endif
+
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+#include "query/query_instance.h"
+
+namespace scrpqo {
+
+class RecostProgram {
+ public:
+  /// Plans at or below this node count run entirely on stack scratch.
+  static constexpr int kInlineSlots = 64;
+
+  RecostProgram() = default;
+
+  /// Flattens `root` into a postorder micro-op stream. Instance-independent
+  /// metadata is folded into per-op coefficients; CostParams stay a
+  /// Run-time input so one compiled program serves any cost model (and
+  /// compilation needs no CostModel handle at MakeCachedPlan time).
+  static RecostProgram Compile(const PhysicalPlanNode& root);
+
+  /// True for a default-constructed (never compiled) program — callers
+  /// fall back to the tree walker.
+  bool empty() const { return ops_.empty(); }
+
+  /// Op count. At most the plan's node count — INLJ inner leaves are
+  /// elided at compile time.
+  int num_nodes() const { return static_cast<int>(ops_.size()); }
+
+  /// Highest sVector slot the program binds; -1 when fully literal.
+  int max_binding_slot() const { return max_slot_; }
+
+  /// Cost(P, q) for selectivity vector `sv` — one linear scan. Defined
+  /// inline below so RecostService and the benches inline the whole
+  /// kernel into their call sites.
+  double Run(const SVector& sv, const CostParams& params) const;
+
+ private:
+  /// One postorder micro-op. Doubles first so the struct packs to 48 bytes
+  /// with no interior padding — the whole stream is a dense sequential
+  /// read.
+  struct Op {
+    // Meaning by kind:            a                b                  c
+    //   TableScan/IndexScanOrd    base_rows        -                  -
+    //   IndexSeek                 base_rows        -                  const seek_sel
+    //   HashJoin/MergeJoin/NNLJ   join_sel         -                  -
+    //   IndexedNLJ                join_sel         per_probe_matches  inner base_rows
+    //   Hash/StreamAggregate      group_distinct   -                  -
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double sel_lit = 1.0;
+    uint32_t sel_begin = 0;
+    uint32_t sel_end = 0;
+    int32_t seek_slot = -1;
+    uint8_t kind = 0;
+  };
+
+  double RunOps(const SVector& sv, const CostParams& params,
+                double* SCRPQO_RESTRICT rows_stk,
+                double* SCRPQO_RESTRICT cost_stk) const;
+
+  void Emit(const PhysicalPlanNode& node);
+
+  std::vector<Op> ops_;
+  std::vector<int32_t> slots_;
+  int max_slot_ = -1;
+};
+
+}  // namespace scrpqo
+
+// Run/RunOps live in the header so callers inline the full kernel: the
+// whole point of the flat form is a branch-light scan, and a call barrier
+// at every Recost would forfeit a measurable slice of the win on the
+// 5-10 node plans the paper's templates produce.
+#include "optimizer/recost_program_run.h"

@@ -1,0 +1,134 @@
+// Inline definition of the RecostProgram evaluation kernel. Included at
+// the bottom of recost_program.h — never include this file directly.
+//
+// The program is postorder, so evaluation is RPN on a tiny value stack:
+// leaves push a {rows, cost} pair, unary ops rewrite the top, joins pop
+// (except IndexedNLJ, whose elided inner makes it unary).
+// The stack top stays in registers for the plan shapes the optimizer
+// emits, and the op stream is one dense sequential read.
+#pragma once
+
+#include "common/status.h"
+#include "optimizer/cost_formulas.h"
+#include "optimizer/recost_program.h"
+
+namespace scrpqo {
+
+inline double RecostProgram::RunOps(const SVector& sv,
+                                    const CostParams& params,
+                                    double* SCRPQO_RESTRICT rows_stk,
+                                    double* SCRPQO_RESTRICT cost_stk) const {
+  namespace cf = cost_formulas;
+  // Hoisted raw pointers: the compiler cannot otherwise prove the stack
+  // stores don't alias the program's own buffers and would reload them
+  // every op.
+  const Op* const ops = ops_.data();
+  const size_t n = ops_.size();
+  const int32_t* const slots = slots_.data();
+  const double* const s = sv.data();
+  int sp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Op& op = ops[i];
+    // Leaf (and INLJ-inner) selectivity: folded literal product times the
+    // bound sVector slots. Non-leaf ops have an empty range.
+    double sel = op.sel_lit;
+    for (uint32_t k = op.sel_begin; k != op.sel_end; ++k) {
+      sel *= s[slots[k]];
+    }
+    cf::Derived out;
+    switch (static_cast<PhysicalOpKind>(op.kind)) {
+      case PhysicalOpKind::kTableScan:
+        out = cf::TableScan(params, op.a, sel);
+        break;
+      case PhysicalOpKind::kIndexSeek: {
+        double seek_sel = op.seek_slot >= 0 ? s[op.seek_slot] : op.c;
+        out = cf::IndexSeek(params, op.a, sel, seek_sel);
+        break;
+      }
+      case PhysicalOpKind::kIndexScanOrdered:
+        out = cf::IndexScanOrdered(params, op.a, sel);
+        break;
+      case PhysicalOpKind::kSort:
+        out = cf::Sort(params, {rows_stk[sp - 1], cost_stk[sp - 1]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kHashJoin:
+        --sp;
+        out = cf::HashJoin(params, op.a,
+                           {rows_stk[sp - 1], cost_stk[sp - 1]},
+                           {rows_stk[sp], cost_stk[sp]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kMergeJoin:
+        --sp;
+        out = cf::MergeJoin(params, op.a,
+                            {rows_stk[sp - 1], cost_stk[sp - 1]},
+                            {rows_stk[sp], cost_stk[sp]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kIndexedNestedLoopsJoin:
+        // Unary in the flat form: the inner leaf was elided at compile
+        // time (its standalone derivation is ignored by the formula), so
+        // this rewrites the outer child's slot in place.
+        out = cf::IndexedNlj(params, op.a, op.b, op.c, sel,
+                             {rows_stk[sp - 1], cost_stk[sp - 1]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kNaiveNestedLoopsJoin:
+        --sp;
+        out = cf::NaiveNlj(params, op.a,
+                           {rows_stk[sp - 1], cost_stk[sp - 1]},
+                           {rows_stk[sp], cost_stk[sp]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kHashAggregate:
+        out = cf::HashAggregate(params, op.a,
+                                {rows_stk[sp - 1], cost_stk[sp - 1]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+      case PhysicalOpKind::kStreamAggregate:
+        out = cf::StreamAggregate(params, op.a,
+                                  {rows_stk[sp - 1], cost_stk[sp - 1]});
+        rows_stk[sp - 1] = out.rows;
+        cost_stk[sp - 1] = out.cost;
+        continue;
+    }
+    // Leaf push (the switch falls through here only for leaf kinds).
+    rows_stk[sp] = out.rows;
+    cost_stk[sp] = out.cost;
+    ++sp;
+  }
+  return cost_stk[0];
+}
+
+inline double RecostProgram::Run(const SVector& sv,
+                                 const CostParams& params) const {
+  SCRPQO_CHECK(!empty(), "Run on an empty (uncompiled) recost program");
+  SCRPQO_CHECK(max_slot_ < static_cast<int>(sv.size()),
+               "selectivity vector too short for recost program");
+  const size_t n = ops_.size();
+  // Postorder stack depth never exceeds the op count, so the inline-slot
+  // bound that covers the scratch arrays also bounds the value stack.
+  if (n <= static_cast<size_t>(kInlineSlots)) {
+    double rows_stk[kInlineSlots];
+    double cost_stk[kInlineSlots];
+    return RunOps(sv, params, rows_stk, cost_stk);
+  }
+  // Plans this deep are rare; a thread-local spill keeps Run allocation-free
+  // in steady state without growing the inline footprint.
+  thread_local std::vector<double> rows_buf;
+  thread_local std::vector<double> cost_buf;
+  if (rows_buf.size() < n) {
+    rows_buf.resize(n);
+    cost_buf.resize(n);
+  }
+  return RunOps(sv, params, rows_buf.data(), cost_buf.data());
+}
+
+}  // namespace scrpqo

@@ -8,15 +8,16 @@ AsyncScr::AsyncScr(ScrOptions options) : inner_(options) {
 
 AsyncScr::~AsyncScr() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(queue_mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
+  space_available_.notify_all();
   worker_.join();
 }
 
 void AsyncScr::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(queue_mu_);
   for (;;) {
     work_available_.wait(lock, [this] {
       return shutting_down_ || !queue_.empty();
@@ -28,13 +29,21 @@ void AsyncScr::WorkerLoop() {
     Task task = std::move(queue_.front());
     queue_.pop_front();
     worker_busy_ = true;
-    // manageCache mutates the cache (and issues Recost calls for the
-    // redundancy check); it runs under the cache lock so getPlan observes a
-    // consistent snapshot. The critical path only contends when it arrives
-    // mid-update — exactly the background-thread model of the paper.
-    inner_.RegisterOptimization(task.wi, std::move(task.result), engine_,
-                                task.get_plan_recosts,
-                                task.get_plan_candidates);
+    space_available_.notify_one();
+    lock.unlock();
+    {
+      // manageCache mutates the cache structurally (instance-list growth,
+      // plan-store inserts, evictions), so it takes the exclusive side;
+      // concurrent getPlan readers drain first and new ones wait out the
+      // update — exactly the background-thread model of the paper.
+      std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+      if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
+      inner_.RegisterOptimization(task.wi, std::move(task.result),
+                                  engine_.load(std::memory_order_relaxed),
+                                  task.get_plan_recosts,
+                                  task.get_plan_candidates);
+    }
+    lock.lock();
     ++tasks_processed_;
     worker_busy_ = false;
     if (queue_.empty()) idle_.notify_all();
@@ -42,21 +51,32 @@ void AsyncScr::WorkerLoop() {
 }
 
 void AsyncScr::SetObs(const ObsHooks& hooks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
   inner_.SetObs(hooks);
+  if (hooks.metrics != nullptr) {
+    lock_shared_ = hooks.metrics->counter("async_scr.lock_shared");
+    lock_exclusive_ = hooks.metrics->counter("async_scr.lock_exclusive");
+  } else {
+    lock_shared_ = nullptr;
+    lock_exclusive_ = nullptr;
+  }
 }
 
 PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
                                 EngineContext* engine) {
+  engine_.store(engine, std::memory_order_relaxed);
   PlanChoice probe;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    engine_ = engine;
+    // Shared side: reuse attempts from any number of request threads
+    // proceed in parallel; they only wait when the worker is mid-update.
+    std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+    if (lock_shared_ != nullptr) lock_shared_->Increment();
     if (inner_.TryReuse(wi, engine, &probe)) return probe;
   }
 
   // Cache miss: optimize on the critical path (the query must run), hand
-  // the bookkeeping to the worker, and return the fresh optimal plan.
+  // the bookkeeping to the worker, and return the fresh optimal plan. The
+  // optimizer call runs outside every lock.
   auto result = engine->Optimize(wi);
   PlanChoice choice;
   choice.optimized = true;
@@ -67,32 +87,40 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
       probe.cost_check_candidates_in_get_plan;
   choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(Task{wi, std::move(result),
-                          probe.recost_calls_in_get_plan,
-                          probe.cost_check_candidates_in_get_plan});
+    // Bounded hand-off: a miss may leave at most kMaxPendingTasks deferred
+    // updates outstanding before it waits for the worker, so the cache
+    // never lags the request stream by more than a couple of instances.
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    space_available_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < kMaxPendingTasks;
+    });
+    if (!shutting_down_) {
+      queue_.push_back(Task{wi, std::move(result),
+                            probe.recost_calls_in_get_plan,
+                            probe.cost_check_candidates_in_get_plan});
+    }
   }
   work_available_.notify_one();
   return choice;
 }
 
 void AsyncScr::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(queue_mu_);
   idle_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
 }
 
 int64_t AsyncScr::NumPlansCached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
   return inner_.NumPlansCached();
 }
 
 int64_t AsyncScr::PeakPlansCached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
   return inner_.PeakPlansCached();
 }
 
 int64_t AsyncScr::tasks_processed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(queue_mu_);
   return tasks_processed_;
 }
 

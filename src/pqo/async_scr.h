@@ -2,21 +2,32 @@
 // need to occur on the critical path of query execution, it can be
 // implemented asynchronously on a background thread").
 //
-// AsyncScr keeps getPlan (selectivity + cost checks) synchronous and
-// serialized against cache mutation, while redundancy checks and plan-store
-// updates run on a worker thread. When the cache misses, the instance is
-// optimized synchronously (the query needs a plan to execute) and the
-// freshly optimized plan is returned directly; the manageCache work —
-// redundancy check, store-or-reject, budget enforcement — happens in the
-// background. Net effect: identical guarantee, lower critical-path latency,
-// with the small semantic difference that an instance arriving before its
-// predecessor's manageCache completes may trigger an extra optimizer call.
+// AsyncScr keeps getPlan (selectivity + cost checks) synchronous while
+// redundancy checks and plan-store updates run on a worker thread. When the
+// cache misses, the instance is optimized synchronously (the query needs a
+// plan to execute) and the freshly optimized plan is returned directly; the
+// manageCache work — redundancy check, store-or-reject, budget enforcement
+// — happens in the background. Net effect: identical guarantee, lower
+// critical-path latency, with the small semantic difference that an
+// instance arriving before its predecessor's manageCache completes may
+// trigger an extra optimizer call.
+//
+// Concurrency model: the cache is guarded by a reader/writer lock. getPlan
+// reuse attempts take the shared side, so any number of request threads can
+// run selectivity and cost checks simultaneously (everything TryReuse
+// writes is a relaxed atomic); only the worker's deferred manageCache takes
+// the exclusive side. The task queue has its own plain mutex so producers
+// never serialize behind in-flight cache reads. Lock-acquisition counters
+// ("async_scr.lock_shared" / "async_scr.lock_exclusive") expose the
+// read/write mix through the metrics registry.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 
 #include "pqo/scr.h"
@@ -31,7 +42,8 @@ class AsyncScr : public PqoTechnique {
   std::string name() const override { return "Async" + inner_.name(); }
 
   /// Forwards the sinks to the wrapped Scr. Decision events for misses are
-  /// emitted by the worker thread when the deferred manageCache runs, so
+  /// emitted by the worker thread when the deferred manageCache runs, and
+  /// sel/cost-check hits may be emitted from concurrent request threads, so
   /// the sinks must be thread-safe (Tracer and MetricsRegistry are).
   void SetObs(const ObsHooks& hooks) override;
 
@@ -64,8 +76,21 @@ class AsyncScr : public PqoTechnique {
 
   Scr inner_;
 
-  mutable std::mutex mu_;
+  /// Reader/writer split over the cache: shared for TryReuse (and stat
+  /// reads), exclusive for the worker's RegisterOptimization and SetObs.
+  mutable std::shared_mutex cache_mu_;
+
+  /// Deferred-manageCache tasks a miss may leave outstanding before the
+  /// next miss blocks for the worker. Bounds how stale the cache can get
+  /// (and queue memory): without it, a tight request loop on a loaded
+  /// machine can starve the worker for an entire sequence, so no getPlan
+  /// ever sees the plans its predecessors optimized.
+  static constexpr size_t kMaxPendingTasks = 2;
+
+  /// Queue plumbing, guarded independently of the cache lock.
+  mutable std::mutex queue_mu_;
   std::condition_variable work_available_;
+  std::condition_variable space_available_;
   std::condition_variable idle_;
   std::deque<Task> queue_;
   bool shutting_down_ = false;
@@ -73,7 +98,10 @@ class AsyncScr : public PqoTechnique {
   int64_t tasks_processed_ = 0;
   /// Engine used by background tasks (set per OnInstance call; the harness
   /// uses one engine per sequence so this is stable in practice).
-  EngineContext* engine_ = nullptr;
+  std::atomic<EngineContext*> engine_{nullptr};
+  /// Lock-mix counters (null without a metrics registry).
+  Counter* lock_shared_ = nullptr;
+  Counter* lock_exclusive_ = nullptr;
   std::thread worker_;
 };
 

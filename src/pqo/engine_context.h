@@ -5,9 +5,12 @@
 // engine calls so optimization overheads can be reported per technique.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
 
 #include "obs/metrics_registry.h"
 #include "obs/scoped_timer.h"
@@ -44,10 +47,11 @@ class EngineContext {
   const Optimizer& optimizer() const { return *optimizer_; }
 
   /// Traditional optimizer call (charged to the calling technique).
+  /// Thread-safe when the installed oracle (if any) is.
   std::shared_ptr<const OptimizationResult> Optimize(
       const WorkloadInstance& wi) {
     ScopedTimer timer(optimize_micros_);
-    ++num_optimizer_calls_;
+    num_optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
     if (optimize_calls_ != nullptr) optimize_calls_->Increment();
     if (oracle_) return oracle_(wi);
     auto result = std::make_shared<OptimizationResult>(
@@ -60,6 +64,29 @@ class EngineContext {
     ScopedTimer timer(recost_micros_);
     if (recost_calls_ != nullptr) recost_calls_->Increment();
     return recost_service_.Recost(plan, sv);
+  }
+
+  /// Batched Recost (see RecostService::RecostMany): one call, N flat
+  /// program scans, visitor-controlled early exit. Each scanned plan is
+  /// charged as one Recost call; the whole batch records one latency
+  /// sample ("engine.recost_batch_micros").
+  template <typename Visitor>
+  size_t RecostMany(std::span<const CachedPlan* const> plans,
+                    const SVector& sv, std::span<double> out_costs,
+                    Visitor&& visit) {
+    ScopedTimer timer(recost_batch_micros_);
+    size_t scanned = recost_service_.RecostMany(
+        plans, sv, out_costs, std::forward<Visitor>(visit));
+    if (recost_calls_ != nullptr) {
+      recost_calls_->Increment(static_cast<int64_t>(scanned));
+    }
+    return scanned;
+  }
+
+  size_t RecostMany(std::span<const CachedPlan* const> plans,
+                    const SVector& sv, std::span<double> out_costs) {
+    return RecostMany(plans, sv, out_costs,
+                      [](size_t, double) { return true; });
   }
 
   /// Uncharged recost used by evaluation machinery (computing SO of the
@@ -77,20 +104,23 @@ class EngineContext {
   void SetObs(MetricsRegistry* metrics) {
     if (metrics == nullptr) {
       optimize_calls_ = recost_calls_ = nullptr;
-      optimize_micros_ = recost_micros_ = nullptr;
+      optimize_micros_ = recost_micros_ = recost_batch_micros_ = nullptr;
       return;
     }
     optimize_calls_ = metrics->counter("engine.optimize_calls");
     recost_calls_ = metrics->counter("engine.recost_calls");
     optimize_micros_ = metrics->histogram("engine.optimize_micros");
     recost_micros_ = metrics->histogram("engine.recost_micros");
+    recost_batch_micros_ = metrics->histogram("engine.recost_batch_micros");
   }
 
-  int64_t num_optimizer_calls() const { return num_optimizer_calls_; }
+  int64_t num_optimizer_calls() const {
+    return num_optimizer_calls_.load(std::memory_order_relaxed);
+  }
   int64_t num_recost_calls() const { return recost_service_.num_calls(); }
 
   void ResetCounters() {
-    num_optimizer_calls_ = 0;
+    num_optimizer_calls_.store(0, std::memory_order_relaxed);
     recost_service_.ResetCounters();
   }
 
@@ -99,12 +129,15 @@ class EngineContext {
   const Optimizer* optimizer_;
   RecostService recost_service_;
   OptimizeOracle oracle_;
-  int64_t num_optimizer_calls_ = 0;
+  /// Relaxed atomic: Optimize runs un-serialized on the concurrent getPlan
+  /// miss path, so several threads may bump this at once.
+  std::atomic<int64_t> num_optimizer_calls_{0};
   // Cached registry handles (null = metrics disabled).
   Counter* optimize_calls_ = nullptr;
   Counter* recost_calls_ = nullptr;
   LogHistogram* optimize_micros_ = nullptr;
   LogHistogram* recost_micros_ = nullptr;
+  LogHistogram* recost_batch_micros_ = nullptr;
 };
 
 }  // namespace scrpqo

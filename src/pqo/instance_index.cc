@@ -64,9 +64,10 @@ void InstanceKdTree::Remove(int64_t id) {
 }
 
 void InstanceKdTree::RangeRec(const Node* node, const std::vector<double>& q,
-                              double bound, std::vector<Match>* out) const {
+                              double bound, std::vector<Match>* out,
+                              int64_t* visited) const {
   if (node == nullptr) return;
-  ++nodes_visited_;
+  ++*visited;
   double dist = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     dist += std::fabs(q[i] - node->point[i]);
@@ -82,24 +83,28 @@ void InstanceKdTree::RangeRec(const Node* node, const std::vector<double>& q,
   // within `bound` (L1 balls project to intervals per axis).
   const Node* near = delta < 0 ? node->left.get() : node->right.get();
   const Node* far = delta < 0 ? node->right.get() : node->left.get();
-  RangeRec(near, q, bound, out);
-  if (std::fabs(delta) <= bound) RangeRec(far, q, bound, out);
+  RangeRec(near, q, bound, out, visited);
+  if (std::fabs(delta) <= bound) RangeRec(far, q, bound, out, visited);
 }
 
 std::vector<InstanceKdTree::Match> InstanceKdTree::RangeQuery(
     const SVector& sv, double gl_bound) const {
-  nodes_visited_ = 0;
   std::vector<Match> out;
-  if (gl_bound < 1.0) return out;
-  RangeRec(root_.get(), ToLogPoint(sv), std::log(gl_bound), &out);
+  int64_t visited = 0;
+  if (gl_bound >= 1.0) {
+    RangeRec(root_.get(), ToLogPoint(sv), std::log(gl_bound), &out,
+             &visited);
+  }
+  nodes_visited_.store(visited);
   return out;
 }
 
 void InstanceKdTree::NearestRec(const Node* node,
                                 const std::vector<double>& q, int k,
-                                std::vector<Match>* heap) const {
+                                std::vector<Match>* heap,
+                                int64_t* visited) const {
   if (node == nullptr) return;
-  ++nodes_visited_;
+  ++*visited;
   double dist = 0.0;
   for (size_t i = 0; i < q.size(); ++i) {
     dist += std::fabs(q[i] - node->point[i]);
@@ -125,18 +130,22 @@ void InstanceKdTree::NearestRec(const Node* node,
                  node->point[static_cast<size_t>(dim)];
   const Node* near = delta < 0 ? node->left.get() : node->right.get();
   const Node* far = delta < 0 ? node->right.get() : node->left.get();
-  NearestRec(near, q, k, heap);
+  NearestRec(near, q, k, heap, visited);
   if (static_cast<int>(heap->size()) < k || std::fabs(delta) < worst()) {
-    NearestRec(far, q, k, heap);
+    NearestRec(far, q, k, heap, visited);
   }
 }
 
 std::vector<InstanceKdTree::Match> InstanceKdTree::NearestByGl(
     const SVector& sv, int k) const {
-  nodes_visited_ = 0;
   std::vector<Match> heap;
-  if (k <= 0) return heap;
-  NearestRec(root_.get(), ToLogPoint(sv), k, &heap);
+  if (k <= 0) {
+    nodes_visited_.store(0);
+    return heap;
+  }
+  int64_t visited = 0;
+  NearestRec(root_.get(), ToLogPoint(sv), k, &heap, &visited);
+  nodes_visited_.store(visited);
   std::sort(heap.begin(), heap.end(),
             [](const Match& a, const Match& b) {
               return a.log_gl < b.log_gl;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/atomics.h"
 #include "query/query_instance.h"
 
 namespace scrpqo {
@@ -46,8 +47,10 @@ class InstanceKdTree {
   int64_t size() const { return live_count_; }
 
   /// Nodes visited by the last query (instrumentation for the pruning
-  /// claim: visits << size once the tree is populated).
-  int64_t last_query_nodes_visited() const { return nodes_visited_; }
+  /// claim: visits << size once the tree is populated). Each query counts
+  /// locally and publishes once, so concurrent readers see some recent
+  /// query's count rather than a torn mix.
+  int64_t last_query_nodes_visited() const { return nodes_visited_.value(); }
 
  private:
   struct Node {
@@ -61,16 +64,17 @@ class InstanceKdTree {
   std::vector<double> ToLogPoint(const SVector& sv) const;
 
   void RangeRec(const Node* node, const std::vector<double>& q,
-                double bound, std::vector<Match>* out) const;
+                double bound, std::vector<Match>* out,
+                int64_t* visited) const;
 
   /// Best-first k-NN under L1 distance.
   void NearestRec(const Node* node, const std::vector<double>& q, int k,
-                  std::vector<Match>* heap) const;
+                  std::vector<Match>* heap, int64_t* visited) const;
 
   int dimensions_;
   std::unique_ptr<Node> root_;
   int64_t live_count_ = 0;
-  mutable int64_t nodes_visited_ = 0;
+  mutable RelaxedCounter<int64_t> nodes_visited_ = 0;
 };
 
 }  // namespace scrpqo

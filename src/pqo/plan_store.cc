@@ -22,21 +22,39 @@ PlanStore::StoreResult PlanStore::StoreOrReuse(const CachedPlan& plan,
   }
 
   if (lambda_r >= 1.0 && num_live_ > 0) {
-    // Redundancy check: find the cheapest cached plan at sv via Recost.
-    double min_cost = std::numeric_limits<double>::infinity();
-    int min_id = -1;
+    // Redundancy check: one batched Recost sweep over the live cached
+    // plans (one sVector bind, N flat program scans). The sweep stops as
+    // soon as the running best is already within lambda_r of optimal —
+    // the plan will be rejected either way, and the entry records that
+    // plan's measured sub-optimality, so the lambda guarantee is
+    // unaffected by not scanning the tail.
+    std::vector<const CachedPlan*> live_plans;
+    std::vector<int> live_ids;
+    live_plans.reserve(static_cast<size_t>(num_live_));
+    live_ids.reserve(static_cast<size_t>(num_live_));
     for (size_t i = 0; i < entries_.size(); ++i) {
       if (!entries_[i].live) continue;
-      double c = engine->Recost(*entries_[i].plan, sv);
-      if (c < min_cost) {
-        min_cost = c;
-        min_id = static_cast<int>(i);
-      }
+      live_plans.push_back(entries_[i].plan.get());
+      live_ids.push_back(static_cast<int>(i));
     }
-    if (min_id >= 0 && opt_cost > 0.0) {
+    std::vector<double> costs(live_plans.size());
+    double min_cost = std::numeric_limits<double>::infinity();
+    size_t min_pos = live_plans.size();
+    double early_exit_below =
+        opt_cost > 0.0 ? lambda_r * opt_cost
+                       : -std::numeric_limits<double>::infinity();
+    engine->RecostMany(live_plans, sv, costs,
+                       [&](size_t i, double c) {
+                         if (c < min_cost) {
+                           min_cost = c;
+                           min_pos = i;
+                         }
+                         return min_cost > early_exit_below;
+                       });
+    if (min_pos < live_plans.size() && opt_cost > 0.0) {
       double s_min = min_cost / opt_cost;
       if (s_min <= lambda_r) {
-        result.plan_id = min_id;
+        result.plan_id = live_ids[min_pos];
         result.subopt = s_min;
         result.reused_existing = true;
         return result;
@@ -68,7 +86,7 @@ std::vector<int> PlanStore::LivePlanIds() const {
 }
 
 void PlanStore::Drop(int plan_id) {
-  Entry& e = entries_[static_cast<size_t>(plan_id)];
+  Entry& e = entry(plan_id);
   SCRPQO_CHECK(e.live, "dropping a plan that is not live");
   e.live = false;
   --num_live_;
@@ -80,8 +98,8 @@ int PlanStore::MinUsagePlanId() const {
   int64_t best_usage = std::numeric_limits<int64_t>::max();
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (!entries_[i].live) continue;
-    if (entries_[i].total_usage < best_usage) {
-      best_usage = entries_[i].total_usage;
+    if (entries_[i].total_usage.value() < best_usage) {
+      best_usage = entries_[i].total_usage.value();
       best = static_cast<int>(i);
     }
   }

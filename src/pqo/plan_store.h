@@ -2,6 +2,11 @@
 // structural signature, with peak-size tracking and an optional Recost-based
 // redundancy check on insert (used natively by SCR, and by the
 // Recost-augmented baseline variants of the paper's Appendix H.6).
+//
+// Read-path concurrency: entry() lookups and AddUsage() run under the
+// owning technique's shared (read) lock, so usage counters are relaxed
+// atomics; all structural mutation (StoreOrReuse/Drop) happens under the
+// exclusive lock.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/atomics.h"
+#include "common/status.h"
 #include "optimizer/recost.h"
 #include "pqo/engine_context.h"
 
@@ -19,8 +26,9 @@ class PlanStore {
   struct Entry {
     std::shared_ptr<const CachedPlan> plan;
     /// Aggregate usage across instance entries pointing at this plan (for
-    /// LFU eviction under a plan budget).
-    int64_t total_usage = 0;
+    /// LFU eviction under a plan budget). Bumped from the concurrent
+    /// getPlan read path.
+    RelaxedCounter<int64_t> total_usage = 0;
     bool live = true;
   };
 
@@ -39,20 +47,29 @@ class PlanStore {
 
   /// Registers the optimal plan found for an instance with optimal cost
   /// `opt_cost` at selectivities `sv`. When `lambda_r >= 1` and the plan is
-  /// new, runs the redundancy check: re-costs every live cached plan at `sv`
-  /// (charged to `engine`) and discards the new plan if the best cached one
-  /// is within `lambda_r` of optimal (paper Section 6.3).
+  /// new, runs the redundancy check as one batched Recost sweep over the
+  /// live cached plans (charged to `engine`), early-exiting once the
+  /// running best is already within `lambda_r` of optimal, and discards the
+  /// new plan in favor of that best cached one (paper Section 6.3).
   StoreResult StoreOrReuse(const CachedPlan& plan, const SVector& sv,
                            double opt_cost, double lambda_r,
                            EngineContext* engine);
 
+  /// Bounds-checked entry access. Dead entries remain readable (callers
+  /// filter on `.live`); only ids never handed out by StoreOrReuse abort.
   const Entry& entry(int plan_id) const {
+    CheckId(plan_id);
     return entries_[static_cast<size_t>(plan_id)];
   }
-  Entry& entry(int plan_id) { return entries_[static_cast<size_t>(plan_id)]; }
+  Entry& entry(int plan_id) {
+    CheckId(plan_id);
+    return entries_[static_cast<size_t>(plan_id)];
+  }
 
+  /// Thread-safe under the shared (read) lock.
   void AddUsage(int plan_id, int64_t delta) {
-    entries_[static_cast<size_t>(plan_id)].total_usage += delta;
+    CheckId(plan_id);
+    entries_[static_cast<size_t>(plan_id)].total_usage.Add(delta);
   }
 
   /// Live plan ids.
@@ -69,6 +86,12 @@ class PlanStore {
   int64_t Peak() const { return peak_; }
 
  private:
+  void CheckId(int plan_id) const {
+    SCRPQO_CHECK(plan_id >= 0 &&
+                     plan_id < static_cast<int>(entries_.size()),
+                 "plan id out of range for plan store");
+  }
+
   std::vector<Entry> entries_;
   std::map<uint64_t, int> by_signature_;
   int64_t num_live_ = 0;

@@ -142,7 +142,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
       InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
       if (!e.live) continue;
       if (std::exp(m.log_gl) <= LambdaFor(e) / e.subopt) {
-        ++e.usage;
+        e.usage.Add(1);
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
         if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
@@ -152,9 +152,9 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
           ev.subopt = e.subopt;
           ev.lambda = LambdaFor(e);
           if (obs_.tracer != nullptr) {
-            std::vector<double> ratios = SelectivityRatios(e.v, sv);
-            ev.g = ComputeG(ratios);
-            ev.l = ComputeL(ratios);
+            GlFactors gl = ComputeGl(e.v, sv);
+            ev.g = gl.g;
+            ev.l = gl.l;
           }
           EmitEvent(std::move(ev), wi.id, start);
         }
@@ -169,23 +169,22 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
                      : static_cast<int>(instances_.size());
       for (const auto& m : index_->NearestByGl(sv, 2 * want + 4)) {
         InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
-        if (!e.live || e.cost_check_disabled) continue;
-        std::vector<double> ratios = SelectivityRatios(e.v, sv);
+        if (!e.live || e.cost_check_disabled.value()) continue;
         candidates.push_back(Candidate{std::exp(m.log_gl),
                                        static_cast<size_t>(m.id),
-                                       ComputeL(ratios)});
+                                       ComputeGl(e.v, sv).l});
       }
     }
   } else {
     for (size_t i = 0; i < instances_.size(); ++i) {
       InstanceEntry& e = instances_[i];
       if (!e.live) continue;
-      std::vector<double> ratios = SelectivityRatios(e.v, sv);
-      double g = ComputeG(ratios);
-      double l = ComputeL(ratios);
+      GlFactors gl = ComputeGl(e.v, sv);
+      double g = gl.g;
+      double l = gl.l;
       double bound = LambdaFor(e) / e.subopt;
       if (g * l <= bound) {
-        ++e.usage;
+        e.usage.Add(1);
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
         if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
@@ -200,7 +199,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         }
         return true;
       }
-      if (options_.enable_cost_check && !e.cost_check_disabled) {
+      if (options_.enable_cost_check && !e.cost_check_disabled.value()) {
         candidates.push_back(Candidate{g * l, i, l});
       }
     }
@@ -227,8 +226,8 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     case CostCheckOrder::kDescendingUsage:
       std::sort(candidates.begin(), candidates.end(),
                 [this](const Candidate& a, const Candidate& b) {
-                  return instances_[a.entry].usage >
-                         instances_[b.entry].usage;
+                  return instances_[a.entry].usage.value() >
+                         instances_[b.entry].usage.value();
                 });
       break;
     case CostCheckOrder::kInsertionOrder:
@@ -245,53 +244,76 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
   if (cost_check_candidates_ != nullptr) {
     cost_check_candidates_->Record(static_cast<double>(candidates.size()));
   }
+  // One batched Recost sweep: the sVector is bound once and each candidate
+  // costs one flat program scan, in the heuristic order fixed above. The
+  // visitor stops the sweep at the first candidate that passes its bound,
+  // so the Recost-call count is identical to the old one-call-per-loop
+  // form (Section 7.3's overhead accounting depends on this).
   int recosts = 0;
-  for (const Candidate& c : candidates) {
-    InstanceEntry& e = instances_[c.entry];
-    double new_cost = engine->Recost(*store_.entry(e.plan_id).plan, sv);
-    ++recosts;
-    double r = new_cost / std::max(e.opt_cost, 1e-30);
-
-    if (options_.detect_violations) {
-      // Appendix G: the cached plan's cost at qe is S * C. BCG implies
-      // cost(P, qc) <= G * cost(P, qe) and >= cost(P, qe) / L; observing
-      // either bound broken means the assumption failed for this entry.
-      std::vector<double> ratios = SelectivityRatios(e.v, sv);
-      double g = ComputeG(ratios);
-      double plan_cost_at_e = e.subopt * e.opt_cost;
-      if (new_cost > kViolationSlack * g * plan_cost_at_e ||
-          new_cost * kViolationSlack < plan_cost_at_e / c.l) {
-        e.cost_check_disabled = true;
-        ++violations_detected_;
-        continue;
-      }
+  int hit = -1;
+  double hit_r = 0.0;
+  if (!candidates.empty()) {
+    std::vector<const CachedPlan*> cand_plans;
+    cand_plans.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      cand_plans.push_back(
+          store_.entry(instances_[c.entry].plan_id).plan.get());
     }
+    std::vector<double> cand_costs(candidates.size());
+    engine->RecostMany(
+        cand_plans, sv, cand_costs, [&](size_t idx, double new_cost) {
+          const Candidate& c = candidates[idx];
+          InstanceEntry& e = instances_[c.entry];
+          ++recosts;
+          double r = new_cost / std::max(e.opt_cost, 1e-30);
 
-    if (r * c.l <= LambdaFor(e) / e.subopt) {
-      ++e.usage;
-      store_.AddUsage(e.plan_id, 1);
-      choice.plan = store_.entry(e.plan_id).plan;
-      choice.recost_calls_in_get_plan = recosts;
-      max_recost_calls_per_get_plan_ =
-          std::max(max_recost_calls_per_get_plan_, recosts);
-      if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
-        DecisionEvent ev;
-        ev.outcome = DecisionOutcome::kCostCheckHit;
-        ev.matched_entry = static_cast<int32_t>(c.entry);
-        ev.g = c.l > 0.0 ? c.gl / c.l : -1.0;
-        ev.l = c.l;
-        ev.r = r;
-        ev.subopt = e.subopt;
-        ev.lambda = LambdaFor(e);
-        ev.candidates_scanned = choice.cost_check_candidates_in_get_plan;
-        ev.recost_calls = recosts;
-        EmitEvent(std::move(ev), wi.id, start);
-      }
-      return true;
-    }
+          if (options_.detect_violations) {
+            // Appendix G: the cached plan's cost at qe is S * C. BCG
+            // implies cost(P, qc) <= G * cost(P, qe) and
+            // >= cost(P, qe) / L; observing either bound broken means the
+            // assumption failed for this entry.
+            GlFactors gl = ComputeGl(e.v, sv);
+            double plan_cost_at_e = e.subopt * e.opt_cost;
+            if (new_cost > kViolationSlack * gl.g * plan_cost_at_e ||
+                new_cost * kViolationSlack < plan_cost_at_e / c.l) {
+              e.cost_check_disabled.store(true);
+              violations_detected_.Add(1);
+              return true;  // keep scanning; this entry is now excluded
+            }
+          }
+
+          if (r * c.l <= LambdaFor(e) / e.subopt) {
+            hit = static_cast<int>(idx);
+            hit_r = r;
+            return false;  // cost check passed — stop the sweep
+          }
+          return true;
+        });
   }
-  max_recost_calls_per_get_plan_ =
-      std::max(max_recost_calls_per_get_plan_, recosts);
+  if (hit >= 0) {
+    const Candidate& c = candidates[static_cast<size_t>(hit)];
+    InstanceEntry& e = instances_[c.entry];
+    e.usage.Add(1);
+    store_.AddUsage(e.plan_id, 1);
+    choice.plan = store_.entry(e.plan_id).plan;
+    choice.recost_calls_in_get_plan = recosts;
+    max_recost_calls_per_get_plan_.UpdateMax(recosts);
+    if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kCostCheckHit;
+      ev.matched_entry = static_cast<int32_t>(c.entry);
+      ev.g = c.l > 0.0 ? c.gl / c.l : -1.0;
+      ev.l = c.l;
+      ev.r = hit_r;
+      ev.subopt = e.subopt;
+      ev.lambda = LambdaFor(e);
+      ev.candidates_scanned = choice.cost_check_candidates_in_get_plan;
+      ev.recost_calls = recosts;
+      EmitEvent(std::move(ev), wi.id, start);
+    }
+    return true;
+  }
+  max_recost_calls_per_get_plan_.UpdateMax(recosts);
   choice.recost_calls_in_get_plan = recosts;
   return false;
 }
@@ -400,8 +422,8 @@ std::vector<Scr::SnapshotEntry> Scr::SnapshotInstances() const {
     se.plan_ordinal = it->second;
     se.opt_cost = e.opt_cost;
     se.subopt = e.subopt;
-    se.usage = e.usage;
-    se.cost_check_disabled = e.cost_check_disabled;
+    se.usage = e.usage.value();
+    se.cost_check_disabled = e.cost_check_disabled.value();
     out.push_back(std::move(se));
   }
   return out;
@@ -497,7 +519,7 @@ int Scr::DropRedundantPlans(EngineContext* engine) {
       InstanceEntry& e = instances_[served[s]];
       e.plan_id = alts[s].plan_id;
       e.subopt = alts[s].subopt;
-      store_.AddUsage(alts[s].plan_id, e.usage);
+      store_.AddUsage(alts[s].plan_id, e.usage.value());
     }
     store_.Drop(plan_id);
     ++dropped;

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/atomics.h"
 #include "pqo/instance_index.h"
 #include "pqo/plan_store.h"
 #include "pqo/technique.h"
@@ -91,6 +92,12 @@ class Scr : public PqoTechnique {
   /// on a hit, fills `choice` and returns true. No optimizer call is ever
   /// made. Exposed so AsyncScr can keep this on the critical path while
   /// deferring manageCache.
+  ///
+  /// Concurrency: safe to call from multiple threads simultaneously as
+  /// long as no structural mutation (RegisterOptimization / OnInstance
+  /// miss path / Restore) runs concurrently — AsyncScr enforces this with
+  /// a shared/exclusive lock. Everything TryReuse writes (usage counters,
+  /// violation flags, recost-call maxima) is a relaxed atomic.
   [[nodiscard]] bool TryReuse(const WorkloadInstance& wi,
                               EngineContext* engine,
                 PlanChoice* choice);
@@ -113,11 +120,13 @@ class Scr : public PqoTechnique {
   /// Maximum Recost calls any single getPlan invocation needed so far
   /// (Section 7.3's getPlan-overhead discussion).
   int max_recost_calls_per_get_plan() const {
-    return max_recost_calls_per_get_plan_;
+    return max_recost_calls_per_get_plan_.value();
   }
 
   /// Violations detected via Appendix G.
-  int64_t violations_detected() const { return violations_detected_; }
+  int64_t violations_detected() const {
+    return violations_detected_.value();
+  }
 
   /// Appendix F: drops plans that became redundant (every instance pointing
   /// at them is lambda-optimally served by another cached plan). Recost
@@ -147,15 +156,18 @@ class Scr : public PqoTechnique {
 
  private:
   /// The paper's instance-list 5-tuple <V, PP, C, S, U> (Section 6.1).
+  /// `usage` and `cost_check_disabled` are written from the concurrent
+  /// getPlan read path, hence relaxed atomics; the remaining fields only
+  /// change under the exclusive lock.
   struct InstanceEntry {
     SVector v;          // selectivity vector of the optimized instance
     int plan_id = -1;   // PP: pointer into the plan store
     double opt_cost = 0.0;  // C: optimal cost at this instance
     double subopt = 1.0;    // S: sub-optimality of plan at this instance
-    int64_t usage = 0;      // U
+    RelaxedCounter<int64_t> usage = 0;  // U
     bool live = true;
     /// Appendix G: excluded from future cost-check inference.
-    bool cost_check_disabled = false;
+    RelaxedCounter<bool> cost_check_disabled = false;
   };
 
   /// Effective lambda for an entry (Appendix D dynamic mode).
@@ -183,8 +195,8 @@ class Scr : public PqoTechnique {
   std::vector<InstanceEntry> instances_;
   /// Lazily created on first insert when use_spatial_index is set.
   std::unique_ptr<InstanceKdTree> index_;
-  int max_recost_calls_per_get_plan_ = 0;
-  int64_t violations_detected_ = 0;
+  RelaxedCounter<int> max_recost_calls_per_get_plan_ = 0;
+  RelaxedCounter<int64_t> violations_detected_ = 0;
   // Running mean of optimal costs (reference scale for dynamic lambda).
   double cost_sum_ = 0.0;
   int64_t cost_count_ = 0;

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics_registry.h"
 #include "pqo/async_scr.h"
 #include "query/query_instance.h"
 #include "tests/test_util.h"
@@ -107,6 +111,69 @@ TEST_F(AsyncScrTest, ComparableCacheStateToSyncScr) {
   EXPECT_EQ(async_scr.NumPlansCached(), sync_scr.NumPlansCached());
   EXPECT_EQ(async_engine.num_optimizer_calls(),
             sync_engine.num_optimizer_calls());
+}
+
+TEST_F(AsyncScrTest, ConcurrentGetPlanReadersShareTheCache) {
+  // The tentpole claim for the read path: TryReuse from many threads runs
+  // under the shared lock while the worker applies manageCache under the
+  // exclusive one. Warm the cache, then hammer it from several reader
+  // threads while one writer thread keeps feeding fresh (miss-prone)
+  // instances through the worker.
+  AsyncScr scr(ScrOptions{.lambda = 2.0});
+  MetricsRegistry registry;
+  scr.SetObs(ObsHooks{nullptr, &registry});
+  EngineContext engine(&db_, &optimizer_);
+
+  std::vector<WorkloadInstance> warmed;
+  Pcg32 warm_rng(21);
+  for (int i = 0; i < 20; ++i) {
+    warmed.push_back(MakeWi(i, warm_rng.UniformDouble(0.05, 0.9),
+                            warm_rng.UniformDouble(0.05, 0.9)));
+    scr.OnInstance(warmed.back(), &engine);
+    scr.Flush();
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kQueriesPerReader = 200;
+  std::atomic<int> reader_optimized{0};
+  std::atomic<int> null_plans{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      // Re-query the warmed points verbatim: G = L = 1, so every one is a
+      // selectivity-check hit exercising the pure shared-lock path.
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        const WorkloadInstance& w =
+            warmed[static_cast<size_t>((t * 7 + i) % warmed.size())];
+        PlanChoice c = scr.OnInstance(w, &engine);
+        if (c.plan == nullptr) null_plans.fetch_add(1);
+        if (c.optimized) reader_optimized.fetch_add(1);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Pcg32 rng(22);
+    for (int i = 0; i < 40; ++i) {
+      PlanChoice c = scr.OnInstance(
+          MakeWi(1000 + i, rng.UniformDouble(0.01, 0.95),
+                 rng.UniformDouble(0.01, 0.95)),
+          &engine);
+      if (c.plan == nullptr) null_plans.fetch_add(1);
+    }
+  });
+  for (auto& th : threads) th.join();
+  scr.Flush();
+
+  EXPECT_EQ(null_plans.load(), 0);
+  EXPECT_EQ(reader_optimized.load(), 0)
+      << "a warmed exact-repeat instance missed the cache";
+  auto snap = registry.Snapshot();
+  // One shared acquisition per OnInstance; one exclusive per worker task.
+  EXPECT_EQ(snap.CounterValue("async_scr.lock_shared"),
+            20 + kReaders * kQueriesPerReader + 40);
+  EXPECT_EQ(snap.CounterValue("async_scr.lock_exclusive"),
+            scr.tasks_processed());
+  EXPECT_GT(snap.CounterValue("async_scr.lock_exclusive"), 0);
 }
 
 TEST_F(AsyncScrTest, NameReflectsWrapper) {

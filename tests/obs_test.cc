@@ -323,6 +323,10 @@ TEST(MetricsRegistryTest, SnapshotAndCounterLookup) {
   EXPECT_EQ(snap.histograms[0].name, "lat");
   EXPECT_EQ(snap.histograms[0].count, 1);
   EXPECT_DOUBLE_EQ(snap.histograms[0].max, 100.0);
+  const HistogramSnapshot* h = snap.FindHistogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->max, 100.0);
+  EXPECT_EQ(snap.FindHistogram("missing"), nullptr);
 }
 
 TEST(MetricsRegistryTest, StablePointersAcrossLookups) {

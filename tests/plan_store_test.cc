@@ -118,6 +118,19 @@ TEST_F(PlanStoreTest, DroppedSignatureCanBeReinserted) {
   EXPECT_EQ(store.NumLive(), 1);
 }
 
+TEST_F(PlanStoreTest, EntryOutOfRangeDies) {
+  PlanStore store;
+  Optimized o = OptimizeAt(0.2, 0.6);
+  auto r = store.StoreOrReuse(o.plan, o.sv, o.cost, -1.0, &engine_);
+  // Ids handed out by StoreOrReuse stay valid (even after Drop — dead
+  // entries remain readable); anything else must abort, not index past
+  // the entry vector.
+  EXPECT_NO_FATAL_FAILURE((void)store.entry(r.plan_id));
+  EXPECT_DEATH((void)store.entry(-1), "plan id out of range");
+  EXPECT_DEATH((void)store.entry(r.plan_id + 1), "plan id out of range");
+  EXPECT_DEATH(store.AddUsage(12345, 1), "plan id out of range");
+}
+
 TEST_F(PlanStoreTest, PeakTracksHighWaterMark) {
   PlanStore store;
   int stored = 0;
