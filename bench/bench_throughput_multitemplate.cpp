@@ -1,0 +1,144 @@
+// Multi-template serving throughput through PqoManager (the sharded layer
+// on top of per-template AsyncScr caches).
+//
+// Builds an RD2 template fleet, then for each (threads, templates) cell of
+// a 1/2/4/8 x 4/16/64 grid: creates a fresh manager, warms every
+// template's cache with one single-threaded pass (warm-up lambda selection
+// plus cache fill), and drives a timed window from the worker threads —
+// mostly shared-lock getPlan traffic spread over T independent caches, so
+// throughput should scale with cores until shard or cache contention
+// bites. Emits BENCH_multitemplate.json; `scaling_4t_16templates` is the
+// headline number (qps at 4 threads / qps at 1 thread, 16 templates). On a
+// single-CPU container that ratio measures contention, not parallelism —
+// the JSON records hw_threads so CI can judge.
+//
+// Flags:
+//   --out=PATH          output JSON path (default BENCH_multitemplate.json)
+//   --duration-ms=N     timed window per cell (default 200)
+//   --min-scaling=X     fail (exit 1) if scaling_4t_16templates < X while
+//                       hw_threads >= 4 (default 0 = report only)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/multi_template.h"
+
+namespace {
+
+using namespace scrpqo;
+
+struct CellResult {
+  int threads = 0;
+  int templates = 0;
+  MultiTemplateRunResult run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_multitemplate.json";
+  int duration_ms = 200;
+  double min_scaling = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--duration-ms=", 14) == 0) {
+      duration_ms = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--min-scaling=", 14) == 0) {
+      min_scaling = std::atof(argv[i] + 14);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<int> template_counts = {4, 16, 64};
+  TemplateFleet fleet(64, /*instances_per_template=*/16);
+
+  std::vector<CellResult> cells;
+  double qps_1t_16 = 0.0;
+  double qps_4t_16 = 0.0;
+  for (int templates : template_counts) {
+    std::vector<ServedTemplate> served(
+        fleet.served().begin(), fleet.served().begin() + templates);
+    for (int threads : thread_counts) {
+      PqoManagerOptions opts;
+      opts.use_async = true;
+      opts.warmup_instances = 4;
+      opts.num_shards = 8;
+      PqoManager manager(opts);
+
+      // Single-threaded warm pass: every template completes warm-up and
+      // fills its cache, so the timed window measures serving throughput,
+      // not optimizer latency.
+      MultiTemplateRunOptions warm;
+      warm.threads = 1;
+      warm.rounds = 1;
+      (void)RunMultiTemplate(&manager, served, warm);
+
+      MultiTemplateRunOptions timed;
+      timed.threads = threads;
+      timed.duration_ms = duration_ms;
+      CellResult cell;
+      cell.threads = threads;
+      cell.templates = templates;
+      cell.run = RunMultiTemplate(&manager, served, timed);
+      std::printf(
+          "threads=%d templates=%d qps=%.0f optimized=%lld lost=%lld "
+          "plans=%lld\n",
+          threads, templates, cell.run.qps,
+          static_cast<long long>(cell.run.optimized),
+          static_cast<long long>(cell.run.lost),
+          static_cast<long long>(cell.run.plans_cached));
+      if (templates == 16 && threads == 1) qps_1t_16 = cell.run.qps;
+      if (templates == 16 && threads == 4) qps_4t_16 = cell.run.qps;
+      cells.push_back(cell);
+    }
+  }
+
+  double scaling = qps_1t_16 > 0.0 ? qps_4t_16 / qps_1t_16 : 0.0;
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("scaling_4t_16templates=%.2fx hw_threads=%u\n", scaling, hw);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput_multitemplate\",\n"
+               "  \"hw_threads\": %u,\n  \"duration_ms\": %d,\n"
+               "  \"results\": [\n",
+               hw, duration_ms);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"templates\": %d, \"queries\": %lld, "
+        "\"qps\": %.1f, \"optimized\": %lld, \"lost\": %lld, "
+        "\"plans\": %lld, \"global_evictions\": %lld}%s\n",
+        c.threads, c.templates,
+        static_cast<long long>(c.run.instances_served), c.run.qps,
+        static_cast<long long>(c.run.optimized),
+        static_cast<long long>(c.run.lost),
+        static_cast<long long>(c.run.plans_cached),
+        static_cast<long long>(c.run.global_evictions),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"scaling_4t_16templates\": %.3f\n}\n", scaling);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (min_scaling > 0.0 && hw >= 4 && scaling < min_scaling) {
+    std::fprintf(stderr,
+                 "FAIL: scaling_4t_16templates %.2f < required %.2f "
+                 "(hw_threads=%u)\n",
+                 scaling, min_scaling, hw);
+    return 1;
+  }
+  return 0;
+}

@@ -157,6 +157,10 @@ std::string DecisionEventToJsonl(const DecisionEvent& e) {
   out += std::to_string(e.instance_id);
   out += ",\"technique\":\"";
   AppendEscaped(e.technique, &out);
+  if (!e.template_key.empty()) {
+    out += "\",\"template\":\"";
+    AppendEscaped(e.template_key, &out);
+  }
   out += "\",\"outcome\":\"";
   out += DecisionOutcomeName(e.outcome);
   out += "\",\"matched\":";
@@ -199,6 +203,7 @@ Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
   }
   // Optional fields keep their defaults when absent.
   ParseString(line, "technique", &e.technique);
+  ParseString(line, "template", &e.template_key);
   if (ParseNumber(line, "matched", &v)) {
     e.matched_entry = static_cast<int32_t>(v);
   }

@@ -50,6 +50,10 @@ struct DecisionEvent {
   int32_t instance_id = -1;
   /// Technique name (Scr::name() style).
   std::string technique;
+  /// Template the deciding cache serves (PqoManager's template_key; empty
+  /// for single-template runs). Lets one merged trace from a multi-template
+  /// manager be audited per template (guarantee_audit --per-template).
+  std::string template_key;
   DecisionOutcome outcome = DecisionOutcome::kOptimized;
   /// Cache-entry id that matched (instance-list index for SCR check hits,
   /// plan id for optimized/discard/evict events); -1 when n/a.

@@ -77,6 +77,13 @@ class RecostProgram {
   /// Highest sVector slot the program binds; -1 when fully literal.
   int max_binding_slot() const { return max_slot_; }
 
+  /// Heap bytes held by the compiled op stream + binding-slot table (for
+  /// cache-memory budgeting; see Scr::EstimatedMemoryBytes).
+  int64_t memory_bytes() const {
+    return static_cast<int64_t>(ops_.capacity() * sizeof(Op)) +
+           static_cast<int64_t>(slots_.capacity() * sizeof(int32_t));
+  }
+
   /// Cost(P, q) for selectivity vector `sv` — one linear scan. Defined
   /// inline below so RecostService and the benches inline the whole
   /// kernel into their call sites.

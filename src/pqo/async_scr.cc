@@ -124,4 +124,25 @@ int64_t AsyncScr::tasks_processed() const {
   return tasks_processed_;
 }
 
+int64_t AsyncScr::MinLivePlanUsage(uint64_t pinned_signature) const {
+  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  return inner_.MinLivePlanUsage(pinned_signature);
+}
+
+bool AsyncScr::EvictLfuPlan(int instance_id, uint64_t pinned_signature) {
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
+  return inner_.EvictLfuPlan(instance_id, pinned_signature);
+}
+
+int64_t AsyncScr::EstimatedMemoryBytes() const {
+  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  return inner_.EstimatedMemoryBytes();
+}
+
+void AsyncScr::SetScopeLabel(std::string label) {
+  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  inner_.SetScopeLabel(std::move(label));
+}
+
 }  // namespace scrpqo

@@ -62,6 +62,23 @@ class AsyncScr : public PqoTechnique {
   /// manageCache tasks executed on the worker so far.
   int64_t tasks_processed() const;
 
+  // --- cross-template budget support (see Scr's counterparts). Each call
+  // takes the appropriate side of the cache lock, so PqoManager's global
+  // evictor can drive any mix of Scr / AsyncScr caches without knowing
+  // about this class's locking. ---
+
+  /// LFU frontier of the wrapped cache (shared lock).
+  int64_t MinLivePlanUsage(uint64_t pinned_signature = 0) const;
+
+  /// Evicts one LFU plan under the exclusive lock; see Scr::EvictLfuPlan.
+  bool EvictLfuPlan(int instance_id, uint64_t pinned_signature = 0);
+
+  /// Estimated cache heap bytes (shared lock).
+  int64_t EstimatedMemoryBytes() const;
+
+  /// Forwards the per-template scope label; call before serving traffic.
+  void SetScopeLabel(std::string label);
+
  private:
   struct Task {
     WorkloadInstance wi;

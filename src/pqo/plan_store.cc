@@ -93,17 +93,24 @@ void PlanStore::Drop(int plan_id) {
   by_signature_.erase(e.plan->signature);
 }
 
-int PlanStore::MinUsagePlanId() const {
+int PlanStore::MinUsagePlanId(int exclude_plan_id) const {
   int best = -1;
   int64_t best_usage = std::numeric_limits<int64_t>::max();
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (!entries_[i].live) continue;
+    if (static_cast<int>(i) == exclude_plan_id) continue;
     if (entries_[i].total_usage.value() < best_usage) {
       best_usage = entries_[i].total_usage.value();
       best = static_cast<int>(i);
     }
   }
   return best;
+}
+
+int PlanStore::FindLiveBySignature(uint64_t signature) const {
+  auto it = by_signature_.find(signature);
+  if (it == by_signature_.end()) return -1;
+  return entries_[static_cast<size_t>(it->second)].live ? it->second : -1;
 }
 
 }  // namespace scrpqo

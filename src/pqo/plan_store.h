@@ -80,7 +80,15 @@ class PlanStore {
   void Drop(int plan_id);
 
   /// Live plan with the minimum total usage (LFU victim), -1 if none.
-  int MinUsagePlanId() const;
+  /// `exclude_plan_id` (>= 0) removes one plan from consideration — the
+  /// budget-eviction caller pins the plan just chosen for the in-flight
+  /// instance so the freshest plan can never be its own victim.
+  int MinUsagePlanId(int exclude_plan_id = -1) const;
+
+  /// Live plan id with the given structural signature, -1 if absent or
+  /// dead. Used to translate cross-template eviction pins (which travel as
+  /// signatures, since plan ids are store-local) back into ids.
+  int FindLiveBySignature(uint64_t signature) const;
 
   int64_t NumLive() const { return num_live_; }
   int64_t Peak() const { return peak_; }

@@ -1,74 +1,363 @@
 #include "pqo/pqo_manager.h"
 
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "obs/scoped_timer.h"
+
 namespace scrpqo {
 
-void PqoManager::FinishWarmup(TemplateCache* cache) {
+PqoManager::PqoManager(PqoManagerOptions options) : options_(options) {
+  int n = options_.num_shards;
+  if (n <= 0) {
+    n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+PqoManager::Shard& PqoManager::ShardFor(const std::string& key) const {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+std::unique_lock<std::mutex> PqoManager::LockShard(const Shard& shard) const {
+  LogHistogram* wait = shard_lock_wait_.load(std::memory_order_relaxed);
+  if (wait == nullptr) return std::unique_lock<std::mutex>(shard.mu);
+  auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(shard.mu);
+  wait->Record(static_cast<double>(ScopedTimer::ElapsedMicros(t0)));
+  return lock;
+}
+
+void PqoManager::SetObs(const ObsHooks& hooks) {
+  {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    obs_ = hooks;
+    if (hooks.metrics != nullptr) {
+      shard_lock_wait_.store(
+          hooks.metrics->histogram("pqo_manager.shard_lock_wait"),
+          std::memory_order_relaxed);
+      templates_created_.store(
+          hooks.metrics->counter("pqo_manager.templates"),
+          std::memory_order_relaxed);
+      invalidations_.store(
+          hooks.metrics->counter("pqo_manager.invalidations"),
+          std::memory_order_relaxed);
+      global_evictions_counter_.store(
+          hooks.metrics->counter("pqo_manager.global_evictions"),
+          std::memory_order_relaxed);
+      warmup_fallbacks_counter_.store(
+          hooks.metrics->counter("pqo_manager.warmup_fallbacks"),
+          std::memory_order_relaxed);
+    } else {
+      shard_lock_wait_.store(nullptr, std::memory_order_relaxed);
+      templates_created_.store(nullptr, std::memory_order_relaxed);
+      invalidations_.store(nullptr, std::memory_order_relaxed);
+      global_evictions_counter_.store(nullptr, std::memory_order_relaxed);
+      warmup_fallbacks_counter_.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+  // Forward to existing caches. obs_mu_ is NOT held here: SetObs acquires
+  // state mutexes, while FinishWarmupLocked acquires obs_mu_ under a state
+  // mutex — holding both sides here would invert that order.
+  for (const StatePtr& st : AllStates()) {
+    std::lock_guard<std::mutex> st_lock(st->mu);
+    if (st->sync_scr != nullptr) st->sync_scr->SetObs(hooks);
+    if (st->async_scr != nullptr) st->async_scr->SetObs(hooks);
+  }
+}
+
+PqoManager::StatePtr PqoManager::GetOrCreate(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto it = shard.templates.find(key);
+  if (it != shard.templates.end()) return it->second;
+  auto st = std::make_shared<TemplateState>();
+  st->key = key;
+  shard.templates.emplace(key, st);
+  if (Counter* c = templates_created_.load(std::memory_order_relaxed)) {
+    c->Increment();
+  }
+  return st;
+}
+
+std::vector<PqoManager::StatePtr> PqoManager::AllStates() const {
+  std::vector<StatePtr> out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(*shard);
+    for (const auto& [key, st] : shard->templates) out.push_back(st);
+  }
+  return out;
+}
+
+void PqoManager::FinishWarmupLocked(TemplateState* st) {
   // Section 6.2's guidance: templates whose optimization overhead is
   // significant relative to execution get a tight bound (plan quality is
   // cheap to protect); templates where optimization dwarfs execution get
   // the loose bound (avoid optimizer calls at modest quality risk). We
   // proxy "execution cost" with the optimizer-estimated cost of the warmed
   // instances: cheap templates => optimization dominates => loose lambda.
-  double avg_cost = cache->warmup_seen > 0
-                        ? cache->warmup_cost_sum /
-                              static_cast<double>(cache->warmup_seen)
-                        : 0.0;
+  //
   // Threshold: one optimizer call is worth roughly a plan of cost ~100 in
   // our engine's units (see bench_table3's measured per-call time).
   constexpr double kOptimizerWorth = 100.0;
-  cache->lambda = avg_cost >= kOptimizerWorth ? options_.lambda_tight
-                                              : options_.lambda_loose;
+  const bool warmed = options_.warmup_instances > 0;
+  double lambda = options_.default_lambda;
+  if (warmed) {
+    if (st->warmup_seen <= 0 || !std::isfinite(st->warmup_cost_sum)) {
+      // Zero observed instances (every optimize failed, or the template
+      // was resurrected mid-warm-up): there is no average to read, so the
+      // lambda decision falls back to default_lambda. Traced so operators
+      // can see which templates never produced a cost sample.
+      warmup_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      if (Counter* c =
+              warmup_fallbacks_counter_.load(std::memory_order_relaxed)) {
+        c->Increment();
+      }
+      Tracer* tracer = nullptr;
+      {
+        std::lock_guard<std::mutex> obs_lock(obs_mu_);
+        tracer = obs_.tracer;
+      }
+      if (tracer != nullptr) {
+        DecisionEvent ev;
+        ev.outcome = DecisionOutcome::kOptimized;
+        ev.technique = "PqoManager(warmup-fallback:default_lambda)";
+        ev.template_key = st->key;
+        tracer->Record(std::move(ev));
+      }
+    } else {
+      double avg_cost =
+          st->warmup_cost_sum / static_cast<double>(st->warmup_seen);
+      lambda = avg_cost >= kOptimizerWorth ? options_.lambda_tight
+                                           : options_.lambda_loose;
+    }
+  }
+  st->lambda = std::max(1.0, lambda);
+
   ScrOptions opts;
-  opts.lambda = cache->lambda;
+  opts.lambda = st->lambda;
   opts.plan_budget = options_.plan_budget;
   opts.use_spatial_index = options_.use_spatial_index;
-  cache->scr = std::make_unique<Scr>(opts);
+  ObsHooks hooks;
+  {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    hooks = obs_;
+  }
+  if (options_.use_async) {
+    st->async_scr = std::make_unique<AsyncScr>(opts);
+    st->async_scr->SetScopeLabel(st->key);
+    st->async_scr->SetObs(hooks);
+  } else {
+    st->sync_scr = std::make_unique<Scr>(opts);
+    st->sync_scr->SetScopeLabel(st->key);
+    st->sync_scr->SetObs(hooks);
+  }
+  st->ready = true;
 }
 
 PlanChoice PqoManager::OnInstance(const std::string& template_key,
                                   const WorkloadInstance& wi,
                                   EngineContext* engine) {
-  TemplateCache& cache = caches_[template_key];
-  if (cache.scr == nullptr && options_.warmup_instances <= 0) {
-    cache.lambda = options_.default_lambda;
-    ScrOptions opts;
-    opts.lambda = cache.lambda;
-    opts.plan_budget = options_.plan_budget;
-    opts.use_spatial_index = options_.use_spatial_index;
-    cache.scr = std::make_unique<Scr>(opts);
-  }
-  if (cache.scr == nullptr) {
-    // Warm-up phase: Optimize-Always while measuring costs.
-    auto result = engine->Optimize(wi);
-    ++cache.warmup_seen;
-    cache.warmup_cost_sum += result->cost;
-    PlanChoice choice;
-    choice.optimized = true;
-    choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
-    if (cache.warmup_seen >= options_.warmup_instances) {
-      FinishWarmup(&cache);
+  StatePtr st = GetOrCreate(template_key);
+  PlanChoice choice;
+  AsyncScr* async = nullptr;
+  {
+    std::unique_lock<std::mutex> st_lock(st->mu);
+    if (!st->ready && options_.warmup_instances <= 0) {
+      FinishWarmupLocked(st.get());
     }
-    return choice;
+    if (!st->ready) {
+      // Warm-up phase: Optimize-Always while measuring costs. Completion
+      // counts attempts, not successes, so a template whose optimizer
+      // calls fail still leaves warm-up (with the default-lambda
+      // fallback) instead of being stuck here forever.
+      ++st->warmup_attempts;
+      auto result = engine->Optimize(wi);
+      choice.optimized = true;
+      if (result != nullptr && std::isfinite(result->cost)) {
+        ++st->warmup_seen;
+        st->warmup_cost_sum += result->cost;
+        choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+      }
+      if (st->warmup_attempts >= options_.warmup_instances) {
+        FinishWarmupLocked(st.get());
+      }
+      // Warm-up plans are not cached, so the global budget is unaffected.
+      return choice;
+    }
+    if (st->async_scr != nullptr) {
+      // AsyncScr handles its own locking; drop the template mutex so
+      // concurrent readers of this template proceed in parallel.
+      async = st->async_scr.get();
+    } else {
+      // Synchronous Scr is thread-compatible only: the template mutex
+      // serializes every cache operation on it.
+      choice = st->sync_scr->OnInstance(wi, engine);
+    }
   }
-  return cache.scr->OnInstance(wi, engine);
+  if (async != nullptr) choice = async->OnInstance(wi, engine);
+
+  if (choice.optimized && (options_.global_plan_budget > 0 ||
+                           options_.global_memory_bytes > 0)) {
+    uint64_t pin = choice.plan != nullptr ? choice.plan->signature : 0;
+    EnforceGlobalBudget(st.get(), pin, wi.id);
+  }
+  return choice;
 }
 
-int64_t PqoManager::TotalPlansCached() const {
+int64_t PqoManager::StatePlans(const TemplateState& st) const {
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.ready) return 0;
+  return st.async_scr != nullptr ? st.async_scr->NumPlansCached()
+                                 : st.sync_scr->NumPlansCached();
+}
+
+int64_t PqoManager::StateMemoryBytes(const TemplateState& st) const {
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.ready) return 0;
+  return st.async_scr != nullptr ? st.async_scr->EstimatedMemoryBytes()
+                                 : st.sync_scr->EstimatedMemoryBytes();
+}
+
+int64_t PqoManager::StateMinUsage(const TemplateState& st,
+                                  uint64_t pinned_signature) const {
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.ready) return -1;
+  return st.async_scr != nullptr
+             ? st.async_scr->MinLivePlanUsage(pinned_signature)
+             : st.sync_scr->MinLivePlanUsage(pinned_signature);
+}
+
+bool PqoManager::StateEvictOne(TemplateState* st, int instance_id,
+                               uint64_t pinned_signature) {
+  std::lock_guard<std::mutex> lock(st->mu);
+  if (!st->ready) return false;
+  return st->async_scr != nullptr
+             ? st->async_scr->EvictLfuPlan(instance_id, pinned_signature)
+             : st->sync_scr->EvictLfuPlan(instance_id, pinned_signature);
+}
+
+void PqoManager::EnforceGlobalBudget(TemplateState* current,
+                                     uint64_t pinned_signature,
+                                     int instance_id) {
+  if (options_.global_plan_budget <= 0 && options_.global_memory_bytes <= 0) {
+    return;
+  }
+  // One sweep at a time: concurrent optimizing threads would otherwise
+  // race the same totals into over-eviction.
+  std::lock_guard<std::mutex> sweep(evict_mu_);
+  for (;;) {
+    std::vector<StatePtr> states = AllStates();
+    int64_t total_plans = 0;
+    int64_t total_bytes = 0;
+    for (const StatePtr& st : states) {
+      total_plans += StatePlans(*st);
+      if (options_.global_memory_bytes > 0) {
+        total_bytes += StateMemoryBytes(*st);
+      }
+    }
+    bool over =
+        (options_.global_plan_budget > 0 &&
+         total_plans > options_.global_plan_budget) ||
+        (options_.global_memory_bytes > 0 &&
+         total_bytes > options_.global_memory_bytes);
+    if (!over) return;
+
+    // Globally least-used plan across every template, honoring the pin on
+    // the in-flight instance's just-chosen plan.
+    StatePtr victim;
+    int64_t victim_usage = std::numeric_limits<int64_t>::max();
+    for (const StatePtr& st : states) {
+      uint64_t pin = st.get() == current ? pinned_signature : 0;
+      int64_t usage = StateMinUsage(*st, pin);
+      if (usage >= 0 && usage < victim_usage) {
+        victim_usage = usage;
+        victim = st;
+      }
+    }
+    if (victim == nullptr) return;  // only the pinned plan is left
+    uint64_t pin = victim.get() == current ? pinned_signature : 0;
+    if (!StateEvictOne(victim.get(), instance_id, pin)) return;
+    global_evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (Counter* c =
+            global_evictions_counter_.load(std::memory_order_relaxed)) {
+      c->Increment();
+    }
+  }
+}
+
+int64_t PqoManager::NumTemplates() const {
   int64_t total = 0;
-  for (const auto& [key, cache] : caches_) {
-    if (cache.scr != nullptr) total += cache.scr->NumPlansCached();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(*shard);
+    total += static_cast<int64_t>(shard->templates.size());
   }
   return total;
 }
 
+int64_t PqoManager::TotalPlansCached() const {
+  int64_t total = 0;
+  for (const StatePtr& st : AllStates()) total += StatePlans(*st);
+  return total;
+}
+
+int64_t PqoManager::TotalMemoryBytes() const {
+  int64_t total = 0;
+  for (const StatePtr& st : AllStates()) total += StateMemoryBytes(*st);
+  return total;
+}
+
 void PqoManager::InvalidateTemplate(const std::string& template_key) {
-  caches_.erase(template_key);
+  StatePtr doomed;
+  {
+    Shard& shard = ShardFor(template_key);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    auto it = shard.templates.find(template_key);
+    if (it == shard.templates.end()) return;
+    doomed = std::move(it->second);
+    shard.templates.erase(it);
+  }
+  if (Counter* c = invalidations_.load(std::memory_order_relaxed)) {
+    c->Increment();
+  }
+  // `doomed` is destroyed here, outside the shard lock; in-flight
+  // OnInstance calls holding their own reference finish on the detached
+  // cache first (AsyncScr's destructor then joins its worker).
 }
 
 double PqoManager::LambdaFor(const std::string& template_key) const {
-  auto it = caches_.find(template_key);
-  if (it == caches_.end()) return 0.0;
-  return it->second.lambda;
+  StatePtr st;
+  {
+    Shard& shard = ShardFor(template_key);
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    auto it = shard.templates.find(template_key);
+    if (it == shard.templates.end()) return 0.0;
+    st = it->second;
+  }
+  std::lock_guard<std::mutex> st_lock(st->mu);
+  // Warm-up serves every instance its freshly optimized plan, so the bound
+  // in force is exactly 1 (Optimize-Always semantics) — never 0, which
+  // downstream code could misread as a vacuously violated bound.
+  return st->ready ? st->lambda : 1.0;
+}
+
+void PqoManager::FlushAll() {
+  for (const StatePtr& st : AllStates()) {
+    AsyncScr* async = nullptr;
+    {
+      std::lock_guard<std::mutex> st_lock(st->mu);
+      async = st->async_scr.get();
+    }
+    if (async != nullptr) async->Flush();
+  }
+  // Deferred manageCache work may have pushed past the budget; settle it.
+  EnforceGlobalBudget(nullptr, 0, -1);
 }
 
 }  // namespace scrpqo

@@ -3,17 +3,42 @@
 // The paper's plan cache is per query template (Section 2 fixes one
 // template Q). A real engine serves many templates concurrently, chooses a
 // per-template lambda from observed optimize/execution cost ratios
-// (Section 6.2 "Choosing lambda"), and evicts whole template caches under
-// memory pressure. PqoManager provides that wrapper: it keys SCR instances
-// by template identity, runs the lambda-selection warm-up, and exposes
-// aggregate statistics.
+// (Section 6.2 "Choosing lambda"), and evicts plans under a shared,
+// process-wide budget. PqoManager provides that serving layer:
+//
+//  - template_key hashes into one of N shards (N ~ hardware_concurrency,
+//    overridable), each shard owning a mutex and its template -> cache map.
+//    The shard lock guards only map lookup/insert/erase — never an
+//    optimizer call or a cache operation — so OnInstance from M threads
+//    over T templates never serializes globally.
+//  - per-template caches are Scr by default or AsyncScr when
+//    `use_async` is set; AsyncScr-backed templates serve concurrent
+//    getPlan traffic under the technique's own shared lock, while plain
+//    Scr caches are serialized per template by the template-state mutex.
+//  - a process-wide budget (`global_plan_budget` plans and/or
+//    `global_memory_bytes` estimated from CachedPlan footprints) is
+//    enforced by cross-template LFU eviction reusing the PlanStore usage
+//    counters; each eviction emits a kEvicted decision event through the
+//    attached tracer and bumps "pqo_manager.global_evictions".
+//  - template states are held by shared_ptr, so InvalidateTemplate can
+//    drop a template while requests are in flight on it: the erased cache
+//    dies when its last in-flight call returns.
+//
+// Metrics (when SetObs attaches a registry): "pqo_manager.shard_lock_wait"
+// (micros histogram), "pqo_manager.templates" (templates ever created),
+// "pqo_manager.invalidations", "pqo_manager.global_evictions",
+// "pqo_manager.warmup_fallbacks".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "pqo/async_scr.h"
 #include "pqo/scr.h"
 
 namespace scrpqo {
@@ -33,43 +58,153 @@ struct PqoManagerOptions {
   int plan_budget = 0;
   /// Passed through to each template's SCR cache.
   bool use_spatial_index = false;
+  /// Back each template's cache with AsyncScr (background manageCache,
+  /// shared-lock getPlan) instead of a synchronous Scr serialized per
+  /// template. Required for intra-template read concurrency.
+  bool use_async = false;
+  /// Shard count for the template map; 0 = hardware_concurrency (min 1).
+  int num_shards = 0;
+  /// Process-wide cap on live plans across all templates (0 = unlimited).
+  /// Enforced by cross-template LFU eviction after optimizing instances,
+  /// and on FlushAll(); with AsyncScr backing, deferred manageCache work
+  /// can transiently overshoot until the next enforcement point.
+  int64_t global_plan_budget = 0;
+  /// Process-wide cap on estimated cache heap bytes (0 = unlimited).
+  int64_t global_memory_bytes = 0;
 };
 
 class PqoManager {
  public:
-  explicit PqoManager(PqoManagerOptions options) : options_(options) {}
+  explicit PqoManager(PqoManagerOptions options);
+
+  /// Attaches decision tracing / metrics to the manager and to every
+  /// current and future template cache. Attach before serving traffic; the
+  /// sinks must outlive the manager.
+  void SetObs(const ObsHooks& hooks);
 
   /// Routes one instance of `template_key` (usually the normalized SQL
   /// text or QueryTemplate::name) through that template's cache.
+  /// Thread-safe: callers from any number of threads may mix template
+  /// keys freely.
   PlanChoice OnInstance(const std::string& template_key,
                         const WorkloadInstance& wi, EngineContext* engine);
 
   /// Number of templates currently tracked.
-  int64_t NumTemplates() const {
-    return static_cast<int64_t>(caches_.size());
-  }
+  int64_t NumTemplates() const;
 
   /// Plans cached across all templates.
   int64_t TotalPlansCached() const;
 
-  /// Drops one template's cache entirely (e.g. on schema change).
+  /// Estimated cache heap bytes across all templates (plan trees, compiled
+  /// recost programs, instance lists).
+  int64_t TotalMemoryBytes() const;
+
+  /// Drops one template's cache entirely (e.g. on schema change). Safe
+  /// concurrently with OnInstance on the same key: in-flight calls finish
+  /// on the detached cache.
   void InvalidateTemplate(const std::string& template_key);
 
-  /// The lambda a template's cache ended up using (0 if unknown template).
+  /// The effective sub-optimality bound in force for `template_key`:
+  ///  - 1.0 while the template is still in warm-up (Optimize-Always serves
+  ///    every instance its optimal plan, so the bound is exactly 1);
+  ///  - the warm-up-selected (or default) lambda once serving from cache;
+  ///  - 0.0 only for templates the manager has never seen (sentinel —
+  ///    never a valid bound, since lambda >= 1 by construction).
+  /// Downstream code can therefore treat any non-zero return as a sound
+  /// bound on the sub-optimality of plans served so far.
   double LambdaFor(const std::string& template_key) const;
 
+  /// Blocks until every template's deferred manageCache work is applied,
+  /// then enforces the global budget once more. Call before asserting on
+  /// cache sizes or auditing traces.
+  void FlushAll();
+
+  /// Cross-template evictions performed by the global budget enforcer.
+  int64_t global_evictions() const {
+    return global_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Warm-up lambda selections that fell back to default_lambda because no
+  /// instance cost was observed (see FinishWarmupLocked).
+  int64_t warmup_fallbacks() const {
+    return warmup_fallbacks_.load(std::memory_order_relaxed);
+  }
+
  private:
-  struct TemplateCache {
-    std::unique_ptr<Scr> scr;
+  /// One template's serving state. `mu` guards the warm-up fields and, for
+  /// sync (non-async) caches, serializes every cache operation; an
+  /// AsyncScr cache handles its own locking, so post-warm-up traffic on it
+  /// takes no manager lock at all.
+  struct TemplateState {
+    std::string key;
+    mutable std::mutex mu;
+    bool ready = false;  // warm-up finished; exactly one cache is non-null
+    /// Instances routed during warm-up. A failed optimize consumes an
+    /// attempt without bumping warmup_seen, so completion is attempt-based
+    /// (otherwise a template whose optimizes all fail never leaves warm-up,
+    /// and one whose attempts succeed partially would divide by zero).
+    int warmup_attempts = 0;
     int warmup_seen = 0;
     double warmup_cost_sum = 0.0;
     double lambda = 0.0;
+    std::unique_ptr<Scr> sync_scr;
+    std::unique_ptr<AsyncScr> async_scr;
+  };
+  using StatePtr = std::shared_ptr<TemplateState>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, StatePtr> templates;
   };
 
-  void FinishWarmup(TemplateCache* cache);
+  Shard& ShardFor(const std::string& key) const;
+  /// Locks a shard, recording the wait into "pqo_manager.shard_lock_wait".
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+  StatePtr GetOrCreate(const std::string& key);
+  /// Snapshot of every live template state (one shard locked at a time).
+  std::vector<StatePtr> AllStates() const;
+
+  /// Picks lambda from the warm-up observations and builds the cache.
+  /// Caller holds st->mu.
+  void FinishWarmupLocked(TemplateState* st);
+
+  // Per-state accessors that take the state's own lock when the cache is a
+  // sync Scr (AsyncScr locks internally).
+  int64_t StatePlans(const TemplateState& st) const;
+  int64_t StateMemoryBytes(const TemplateState& st) const;
+  int64_t StateMinUsage(const TemplateState& st,
+                        uint64_t pinned_signature) const;
+  bool StateEvictOne(TemplateState* st, int instance_id,
+                     uint64_t pinned_signature);
+
+  /// Enforces global_plan_budget / global_memory_bytes by evicting the
+  /// globally least-used plan until within budget. `current` (may be null)
+  /// is the template that served the in-flight instance; within it the
+  /// plan with `pinned_signature` is never evicted.
+  void EnforceGlobalBudget(TemplateState* current, uint64_t pinned_signature,
+                           int instance_id);
 
   PqoManagerOptions options_;
-  std::map<std::string, TemplateCache> caches_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Serializes global-budget sweeps so concurrent optimizing threads do
+  /// not race each other into over-eviction.
+  std::mutex evict_mu_;
+
+  std::atomic<int64_t> global_evictions_{0};
+  std::atomic<int64_t> warmup_fallbacks_{0};
+
+  // --- observability (null = disabled) ---
+  // The hooks struct is guarded by obs_mu_ (copied when creating caches);
+  // the cached sink pointers are atomics so hot-path reads stay lock-free
+  // even if SetObs is re-attached between traffic windows.
+  mutable std::mutex obs_mu_;
+  ObsHooks obs_;
+  std::atomic<LogHistogram*> shard_lock_wait_{nullptr};
+  std::atomic<Counter*> templates_created_{nullptr};
+  std::atomic<Counter*> invalidations_{nullptr};
+  std::atomic<Counter*> global_evictions_counter_{nullptr};
+  std::atomic<Counter*> warmup_fallbacks_counter_{nullptr};
 };
 
 }  // namespace scrpqo

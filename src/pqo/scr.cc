@@ -8,6 +8,7 @@
 #include "common/math_util.h"
 #include "common/status.h"
 #include "obs/scoped_timer.h"
+#include "optimizer/plan_memory.h"
 
 namespace scrpqo {
 
@@ -77,6 +78,7 @@ void Scr::EmitEvent(DecisionEvent event, int instance_id,
   if (obs_.tracer == nullptr) return;
   event.instance_id = instance_id;
   event.technique = name();
+  event.template_key = scope_label_;
   event.wall_micros = ScopedTimer::ElapsedMicros(start);
   obs_.tracer->Record(std::move(event));
 }
@@ -349,10 +351,13 @@ void Scr::ManageCache(const WorkloadInstance& wi,
   }
 
   if (!stored.already_present && !stored.reused_existing) {
-    // A genuinely new plan entered the cache; enforce the budget.
+    // A genuinely new plan entered the cache; enforce the budget. The plan
+    // just stored is pinned: at this point it carries zero usage, so an
+    // unpinned LFU sweep would evict it first and leave the instance entry
+    // pushed below pointing at a dead plan.
     if (options_.plan_budget > 0 &&
         store_.NumLive() > options_.plan_budget) {
-      EvictForBudget(wi.id);
+      EvictForBudget(wi.id, stored.plan_id);
     }
   }
 
@@ -374,29 +379,66 @@ void Scr::ManageCache(const WorkloadInstance& wi,
   choice->plan = store_.entry(stored.plan_id).plan;
 }
 
-void Scr::EvictForBudget(int instance_id) {
+void Scr::EvictForBudget(int instance_id, int pinned_plan_id) {
   while (store_.NumLive() > options_.plan_budget) {
-    int victim = store_.MinUsagePlanId();
-    // Never evict the plan just inserted if it is the only live one.
+    int victim = store_.MinUsagePlanId(pinned_plan_id);
+    // Nothing evictable besides the pinned in-flight plan.
     if (victim < 0) break;
-    store_.Drop(victim);
-    if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
-      DecisionEvent ev;
-      ev.outcome = DecisionOutcome::kEvicted;
-      ev.matched_entry = victim;
-      EmitEvent(std::move(ev), instance_id,
-                std::chrono::steady_clock::now());
-    }
-    // Dropping the instance entries keeps the lambda-optimality guarantee
-    // intact (Section 6.3.1): no future inference can use the gone plan.
-    for (size_t i = 0; i < instances_.size(); ++i) {
-      InstanceEntry& e = instances_[i];
-      if (e.live && e.plan_id == victim) {
-        e.live = false;
-        if (index_ != nullptr) index_->Remove(static_cast<int64_t>(i));
-      }
+    DropPlanAndEntries(victim, instance_id);
+  }
+}
+
+void Scr::DropPlanAndEntries(int victim, int instance_id) {
+  store_.Drop(victim);
+  if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+    DecisionEvent ev;
+    ev.outcome = DecisionOutcome::kEvicted;
+    ev.matched_entry = victim;
+    EmitEvent(std::move(ev), instance_id, std::chrono::steady_clock::now());
+  }
+  // Dropping the instance entries keeps the lambda-optimality guarantee
+  // intact (Section 6.3.1): no future inference can use the gone plan.
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    InstanceEntry& e = instances_[i];
+    if (e.live && e.plan_id == victim) {
+      e.live = false;
+      if (index_ != nullptr) index_->Remove(static_cast<int64_t>(i));
     }
   }
+}
+
+int64_t Scr::MinLivePlanUsage(uint64_t pinned_signature) const {
+  int exclude = pinned_signature != 0
+                    ? store_.FindLiveBySignature(pinned_signature)
+                    : -1;
+  int id = store_.MinUsagePlanId(exclude);
+  if (id < 0) return -1;
+  return store_.entry(id).total_usage.value();
+}
+
+bool Scr::EvictLfuPlan(int instance_id, uint64_t pinned_signature) {
+  int exclude = pinned_signature != 0
+                    ? store_.FindLiveBySignature(pinned_signature)
+                    : -1;
+  int victim = store_.MinUsagePlanId(exclude);
+  if (victim < 0) return false;
+  DropPlanAndEntries(victim, instance_id);
+  return true;
+}
+
+int64_t Scr::EstimatedMemoryBytes() const {
+  int64_t total = 0;
+  for (int id : store_.LivePlanIds()) {
+    const std::shared_ptr<const CachedPlan>& p = store_.entry(id).plan;
+    total += static_cast<int64_t>(sizeof(CachedPlan));
+    if (p->plan != nullptr) total += PlanMemoryBytes(*p->plan);
+    total += p->program.memory_bytes();
+  }
+  int dims = instances_.empty()
+                 ? 0
+                 : static_cast<int>(instances_.front().v.size());
+  total += NumInstancesStored() * InstanceEntryBytes(dims);
+  return total;
 }
 
 std::vector<PlanPtr> Scr::SnapshotPlans() const {

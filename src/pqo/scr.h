@@ -133,6 +133,31 @@ class Scr : public PqoTechnique {
   /// calls are charged to `engine`. Returns the number of plans dropped.
   int DropRedundantPlans(EngineContext* engine);
 
+  // --- cross-template (global) budget support, used by PqoManager ---
+  //
+  // A fleet-level evictor compares LFU victims *across* caches, so these
+  // expose the per-cache LFU frontier and a single-eviction entry point.
+  // Pins travel as plan signatures because plan ids are store-local; a
+  // pinned signature of 0 means "no pin".
+
+  /// Aggregate usage count of this cache's LFU eviction victim, skipping a
+  /// live plan with `pinned_signature`; -1 when nothing is evictable.
+  int64_t MinLivePlanUsage(uint64_t pinned_signature = 0) const;
+
+  /// Evicts the least-used live plan (never one matching `pinned_signature`)
+  /// and drops its instance entries, emitting a kEvicted decision event
+  /// charged to `instance_id`. Returns false when nothing was evictable.
+  /// Thread-compatible: callers serialize with structural mutation.
+  bool EvictLfuPlan(int instance_id, uint64_t pinned_signature = 0);
+
+  /// Estimated heap bytes held by the cache: live plan trees + compiled
+  /// recost programs + instance-list 5-tuples (plan_memory.h estimators).
+  int64_t EstimatedMemoryBytes() const;
+
+  /// Tags every emitted DecisionEvent with `label` (template key when this
+  /// cache serves one template of a PqoManager). Set before traffic.
+  void SetScopeLabel(std::string label) { scope_label_ = std::move(label); }
+
   // --- cache persistence (see pqo/cache_persistence.h) ---
 
   /// One instance-list 5-tuple in snapshot form; `plan_ordinal` indexes the
@@ -182,7 +207,15 @@ class Scr : public PqoTechnique {
                    EngineContext* engine, PlanChoice* choice,
                    std::chrono::steady_clock::time_point start);
 
-  void EvictForBudget(int instance_id);
+  /// Enforces the per-cache plan budget by LFU eviction. `pinned_plan_id`
+  /// is the plan just stored/chosen for the in-flight instance: it must
+  /// never be the victim (a fresh plan has usage 0 and would otherwise be
+  /// evicted immediately, leaving the new instance entry dangling).
+  void EvictForBudget(int instance_id, int pinned_plan_id);
+
+  /// Drops one plan (emitting kEvicted) and the instance entries that point
+  /// at it, which keeps the lambda guarantee intact (Section 6.3.1).
+  void DropPlanAndEntries(int victim, int instance_id);
 
   /// Stamps technique/instance fields and hands the event to the tracer
   /// (no-op without one); bumps the matching decision counter.
@@ -190,6 +223,8 @@ class Scr : public PqoTechnique {
                  std::chrono::steady_clock::time_point start);
 
   ScrOptions options_;
+  /// Stamped into DecisionEvent::template_key (empty = unscoped).
+  std::string scope_label_;
   double lambda_r_effective_;
   PlanStore store_;
   std::vector<InstanceEntry> instances_;

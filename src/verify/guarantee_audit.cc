@@ -1,5 +1,6 @@
 #include "verify/guarantee_audit.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -178,6 +179,7 @@ std::string AuditReport::ToString(int max_lines) const {
     os << "  ";
     if (v.seq >= 0) os << "event #" << v.seq << ": ";
     if (v.entry >= 0) os << "cache entry #" << v.entry << ": ";
+    if (!v.template_key.empty()) os << "[" << v.template_key << "] ";
     os << v.detail << "\n";
   }
   os << "audit: " << events_checked << " events, " << entries_checked
@@ -187,12 +189,47 @@ std::string AuditReport::ToString(int max_lines) const {
   return os.str();
 }
 
+std::string AuditReport::PerTemplateString() const {
+  // Single-template traces roll everything under "" — nothing to break out.
+  if (by_template.empty() ||
+      (by_template.size() == 1 && by_template.begin()->first.empty())) {
+    return "";
+  }
+  std::ostringstream os;
+  for (const auto& [key, s] : by_template) {
+    os << "  template " << (key.empty() ? "(unscoped)" : key) << ": "
+       << s.events << " events, " << s.violations << " violation"
+       << (s.violations == 1 ? "" : "s") << ", lambda";
+    if (s.lambdas.empty()) {
+      os << " n/a";
+    } else {
+      for (size_t i = 0; i < s.lambdas.size(); ++i) {
+        os << (i == 0 ? " " : ", ") << Fmt(s.lambdas[i]);
+      }
+    }
+    os << "\n";
+  }
+  os << "per-template: " << by_template.size() << " templates";
+  return os.str();
+}
+
 void AuditReport::Merge(const AuditReport& other) {
   events_checked += other.events_checked;
   entries_checked += other.entries_checked;
   plans_checked += other.plans_checked;
   violations.insert(violations.end(), other.violations.begin(),
                     other.violations.end());
+  for (const auto& [key, s] : other.by_template) {
+    TemplateAuditSummary& mine = by_template[key];
+    mine.events += s.events;
+    mine.violations += s.violations;
+    for (double l : s.lambdas) {
+      if (std::find(mine.lambdas.begin(), mine.lambdas.end(), l) ==
+          mine.lambdas.end()) {
+        mine.lambdas.push_back(l);
+      }
+    }
+  }
 }
 
 AuditReport AuditTrace(const std::vector<DecisionEvent>& events,
@@ -200,7 +237,27 @@ AuditReport AuditTrace(const std::vector<DecisionEvent>& events,
   AuditReport report;
   for (const DecisionEvent& e : events) {
     ++report.events_checked;
+    size_t before = report.violations.size();
     AuditEvent(e, config, &report);
+    // Stamp this event's template onto the violations it produced and fold
+    // it into the per-template rollup.
+    for (size_t i = before; i < report.violations.size(); ++i) {
+      report.violations[i].template_key = e.template_key;
+    }
+    TemplateAuditSummary& s = report.by_template[e.template_key];
+    ++s.events;
+    s.violations += static_cast<int64_t>(report.violations.size() - before);
+    // Rollup of the sub-optimality bound in force: redundancy decisions
+    // record lambda_r and evictions record nothing, so only reuse/optimize
+    // outcomes contribute (a healthy static-lambda template shows one).
+    const bool bound_event = e.outcome == DecisionOutcome::kSelCheckHit ||
+                             e.outcome == DecisionOutcome::kCostCheckHit ||
+                             e.outcome == DecisionOutcome::kOptimized;
+    if (bound_event && e.lambda >= 1.0 &&
+        std::find(s.lambdas.begin(), s.lambdas.end(), e.lambda) ==
+            s.lambdas.end()) {
+      s.lambdas.push_back(e.lambda);
+    }
   }
   return report;
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,8 +59,22 @@ struct AuditViolation {
   int64_t seq = -1;
   /// Cache instance-entry ordinal; -1 for trace findings.
   int64_t entry = -1;
+  /// Template key recorded on the offending event (empty when the trace
+  /// came from a single-template run).
+  std::string template_key;
   /// The violated inequality with its recorded values filled in.
   std::string detail;
+};
+
+/// Per-template audit rollup for traces produced by a PqoManager (events
+/// carry the "template" field; see obs/trace.h).
+struct TemplateAuditSummary {
+  int64_t events = 0;
+  int64_t violations = 0;
+  /// Distinct effective lambdas seen on this template's reuse/optimize
+  /// decisions (redundancy events record lambda_r and are excluded), so an
+  /// operator can confirm each template audited under one bound.
+  std::vector<double> lambdas;
 };
 
 struct AuditReport {
@@ -67,6 +82,9 @@ struct AuditReport {
   int64_t entries_checked = 0;
   int64_t plans_checked = 0;
   std::vector<AuditViolation> violations;
+  /// Events / violations / lambdas rolled up by the template field of each
+  /// event. Key "" collects events without one; empty map for cache audits.
+  std::map<std::string, TemplateAuditSummary> by_template;
 
   bool ok() const { return violations.empty(); }
 
@@ -74,7 +92,12 @@ struct AuditReport {
   /// plus a summary line.
   std::string ToString(int max_lines = 50) const;
 
-  /// Folds `other` into this report (counts add, violations append).
+  /// One line per template: events checked, violations, lambdas in force.
+  /// Empty string when no event carried a template key.
+  std::string PerTemplateString() const;
+
+  /// Folds `other` into this report (counts add, violations append,
+  /// template rollups merge).
   void Merge(const AuditReport& other);
 };
 

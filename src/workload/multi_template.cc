@@ -1,0 +1,128 @@
+#include "workload/multi_template.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "workload/instance_gen.h"
+#include "workload/schemas.h"
+
+namespace scrpqo {
+
+namespace {
+
+struct WorkerTotals {
+  int64_t served = 0;
+  int64_t optimized = 0;
+  int64_t lost = 0;
+};
+
+void ServeOne(PqoManager* manager, const ServedTemplate& st,
+              const WorkloadInstance& wi, WorkerTotals* totals) {
+  PlanChoice choice = manager->OnInstance(st.key, wi, st.engine);
+  ++totals->served;
+  if (choice.optimized) ++totals->optimized;
+  if (choice.plan == nullptr) ++totals->lost;
+}
+
+}  // namespace
+
+MultiTemplateRunResult RunMultiTemplate(
+    PqoManager* manager, const std::vector<ServedTemplate>& templates,
+    const MultiTemplateRunOptions& options) {
+  MultiTemplateRunResult result;
+  if (templates.empty()) return result;
+  const int threads = options.threads < 1 ? 1 : options.threads;
+  const bool timed = options.duration_ms > 0;
+
+  std::vector<WorkerTotals> totals(static_cast<size_t>(threads));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      WorkerTotals& mine = totals[static_cast<size_t>(t)];
+      if (timed) {
+        // Every thread rotates over every template (staggered start) so
+        // shard locks and the global evictor see maximal contention.
+        size_t ti = static_cast<size_t>(t) % templates.size();
+        size_t ii = static_cast<size_t>(t) * 7;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const ServedTemplate& st = templates[ti];
+          ti = (ti + 1) % templates.size();
+          if (st.instances->empty()) continue;
+          ServeOne(manager, st,
+                   (*st.instances)[ii++ % st.instances->size()], &mine);
+        }
+      } else {
+        // Fixed work: thread t owns templates t, t+threads, ... and plays
+        // each instance list `rounds` times in order, so per-template
+        // streams are deterministic and totals are exact.
+        for (int round = 0; round < options.rounds; ++round) {
+          for (size_t i = static_cast<size_t>(t); i < templates.size();
+               i += static_cast<size_t>(threads)) {
+            const ServedTemplate& st = templates[i];
+            for (const WorkloadInstance& wi : *st.instances) {
+              ServeOne(manager, st, wi, &mine);
+            }
+          }
+        }
+      }
+    });
+  }
+  if (timed) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+    stop.store(true);
+  }
+  for (std::thread& th : pool) th.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  for (const WorkerTotals& wt : totals) {
+    result.instances_served += wt.served;
+    result.optimized += wt.optimized;
+    result.lost += wt.lost;
+  }
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(result.instances_served) /
+                         result.seconds
+                   : 0.0;
+
+  manager->FlushAll();
+  result.plans_cached = manager->TotalPlansCached();
+  result.global_evictions = manager->global_evictions();
+  return result;
+}
+
+TemplateFleet::TemplateFleet(int num_templates, int instances_per_template,
+                             uint64_t seed, std::vector<int> dims) {
+  SchemaScale scale;
+  db_ = std::make_unique<BenchmarkDb>(BuildRd2(scale));
+  optimizer_ = std::make_unique<Optimizer>(&db_->db);
+  engine_ = std::make_unique<EngineContext>(&db_->db, optimizer_.get());
+  if (dims.empty()) dims.push_back(2);
+  for (int d : dims) {
+    shapes_.push_back(BuildRd2TemplateWithDimensions(*db_, d));
+  }
+  keys_.reserve(static_cast<size_t>(num_templates));
+  for (int i = 0; i < num_templates; ++i) {
+    const size_t shape = static_cast<size_t>(i) % shapes_.size();
+    const int d = dims[shape];
+    keys_.push_back("rd2_t" + std::to_string(i) + "_d" + std::to_string(d));
+    InstanceGenOptions gen;
+    gen.m = instances_per_template;
+    gen.seed = seed + static_cast<uint64_t>(i) * 131;
+    instances_.push_back(std::make_unique<std::vector<WorkloadInstance>>(
+        GenerateInstances(shapes_[shape], gen)));
+  }
+  // Build the views last: `keys_`/`instances_` no longer reallocate.
+  for (int i = 0; i < num_templates; ++i) {
+    ServedTemplate st;
+    st.key = keys_[static_cast<size_t>(i)];
+    st.engine = engine_.get();
+    st.instances = instances_[static_cast<size_t>(i)].get();
+    served_.push_back(st);
+  }
+}
+
+}  // namespace scrpqo

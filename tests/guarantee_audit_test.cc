@@ -281,11 +281,11 @@ TEST_F(GuaranteeAuditTest, ReportMergesAndCapsOutput) {
   AuditReport a;
   a.events_checked = 2;
   for (int i = 0; i < 10; ++i) {
-    a.violations.push_back({i, -1, "v" + std::to_string(i)});
+    a.violations.push_back({i, -1, "", "v" + std::to_string(i)});
   }
   AuditReport b;
   b.entries_checked = 3;
-  b.violations.push_back({-1, 0, "cache"});
+  b.violations.push_back({-1, 0, "", "cache"});
   a.Merge(b);
   EXPECT_EQ(a.events_checked, 2);
   EXPECT_EQ(a.entries_checked, 3);
@@ -331,6 +331,92 @@ TEST_F(GuaranteeAuditTest, MissingTraceFileIsAnError) {
   Result<AuditReport> r =
       AuditTraceFile("/nonexistent/trace.jsonl", ScrConfig(2.0));
   EXPECT_FALSE(r.ok());
+}
+
+TEST_F(GuaranteeAuditTest, PerTemplateRollupSeparatesTemplates) {
+  auto sel_hit = [](int64_t seq, const std::string& key, double g) {
+    DecisionEvent e;
+    e.seq = seq;
+    e.instance_id = static_cast<int32_t>(seq);
+    e.outcome = DecisionOutcome::kSelCheckHit;
+    e.template_key = key;
+    e.g = g;
+    e.l = 1.1;
+    e.subopt = 1.0;
+    e.lambda = 2.0;
+    return e;
+  };
+  std::vector<DecisionEvent> events;
+  events.push_back(sel_hit(0, "t1", 1.2));   // holds: 1.32 <= 2
+  events.push_back(sel_hit(1, "t1", 1.5));   // holds: 1.65 <= 2
+  events.push_back(sel_hit(2, "t2", 10.0));  // violates: 11 > 2
+
+  AuditReport report = AuditTrace(events, AuditConfig{});
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.by_template.size(), 2u);
+  EXPECT_EQ(report.by_template["t1"].events, 2);
+  EXPECT_EQ(report.by_template["t1"].violations, 0);
+  EXPECT_EQ(report.by_template["t2"].events, 1);
+  EXPECT_EQ(report.by_template["t2"].violations, 1);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].template_key, "t2");
+  // Both the violation line and the rollup carry the template.
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("[t2]"), std::string::npos) << text;
+  std::string summary = report.PerTemplateString();
+  EXPECT_NE(summary.find("template t1: 2 events, 0 violations"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("template t2: 1 events, 1 violation"),
+            std::string::npos)
+      << summary;
+}
+
+TEST_F(GuaranteeAuditTest, PerTemplateStringEmptyForUnscopedTraces) {
+  DecisionEvent e;
+  e.outcome = DecisionOutcome::kOptimized;
+  e.lambda = 2.0;
+  AuditReport report = AuditTrace({e}, AuditConfig{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.PerTemplateString(), "");
+}
+
+TEST_F(GuaranteeAuditTest, PerTemplateLambdaExcludesRedundancyDecisions) {
+  // A redundancy decision records lambda_r, not the serving bound; the
+  // rollup must not count it as a second lambda on the template.
+  DecisionEvent opt;
+  opt.seq = 0;
+  opt.outcome = DecisionOutcome::kOptimized;
+  opt.template_key = "t1";
+  opt.lambda = 2.0;
+  DecisionEvent red;
+  red.seq = 1;
+  red.outcome = DecisionOutcome::kRedundantDiscard;
+  red.template_key = "t1";
+  red.r = 1.2;
+  red.lambda = 1.4142135623730951;  // sqrt(2)
+  AuditReport report = AuditTrace({opt, red}, AuditConfig{});
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  ASSERT_EQ(report.by_template.count("t1"), 1u);
+  ASSERT_EQ(report.by_template["t1"].lambdas.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.by_template["t1"].lambdas[0], 2.0);
+}
+
+TEST_F(GuaranteeAuditTest, MergeFoldsTemplateRollups) {
+  AuditReport a;
+  a.by_template["t1"].events = 2;
+  a.by_template["t1"].lambdas = {2.0};
+  AuditReport b;
+  b.by_template["t1"].events = 3;
+  b.by_template["t1"].violations = 1;
+  b.by_template["t1"].lambdas = {2.0, 1.5};
+  b.by_template["t2"].events = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.by_template.size(), 2u);
+  EXPECT_EQ(a.by_template["t1"].events, 5);
+  EXPECT_EQ(a.by_template["t1"].violations, 1);
+  EXPECT_EQ(a.by_template["t1"].lambdas.size(), 2u);  // 2.0 deduped
+  EXPECT_EQ(a.by_template["t2"].events, 1);
 }
 
 }  // namespace

@@ -139,6 +139,27 @@ TEST(DecisionEventJsonlTest, RoundTripsAllFields) {
   EXPECT_EQ(p.wall_micros, e.wall_micros);
 }
 
+TEST(DecisionEventJsonlTest, TemplateFieldRoundTripsWhenPresent) {
+  DecisionEvent e;
+  e.outcome = DecisionOutcome::kSelCheckHit;
+  e.template_key = "rd2_t3_d2 \"quoted\"";
+  std::string line = DecisionEventToJsonl(e);
+  EXPECT_NE(line.find("\"template\":"), std::string::npos);
+  auto parsed = DecisionEventFromJsonl(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().template_key, e.template_key);
+
+  // Single-template traces omit the field entirely (and parse back empty),
+  // keeping them byte-identical to pre-multi-template traces.
+  DecisionEvent plain;
+  plain.outcome = DecisionOutcome::kOptimized;
+  std::string plain_line = DecisionEventToJsonl(plain);
+  EXPECT_EQ(plain_line.find("\"template\":"), std::string::npos);
+  auto plain_parsed = DecisionEventFromJsonl(plain_line);
+  ASSERT_TRUE(plain_parsed.ok());
+  EXPECT_TRUE(plain_parsed.ValueOrDie().template_key.empty());
+}
+
 TEST(DecisionEventJsonlTest, RoundTripsDefaults) {
   DecisionEvent e;
   e.outcome = DecisionOutcome::kEvicted;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/rng.h"
@@ -121,6 +123,114 @@ TEST_F(PqoManagerTest, WarmupPicksLambdaByCost) {
   }
   EXPECT_EQ(mgr.LambdaFor("join"), 1.1);
   EXPECT_EQ(mgr.LambdaFor("cheap"), 2.0);
+}
+
+TEST_F(PqoManagerTest, LambdaDuringWarmupIsOne) {
+  // Contract (see LambdaFor's header doc): warm-up serves every instance
+  // its freshly optimized plan, so the bound in force is exactly 1 — a
+  // return of 0.0 is reserved for never-seen templates.
+  PqoManagerOptions opts;
+  opts.warmup_instances = 5;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  EXPECT_EQ(mgr.LambdaFor("join"), 0.0);  // never seen
+  mgr.OnInstance("join", JoinWi(0, 0.3, 0.3), &engine);
+  EXPECT_EQ(mgr.LambdaFor("join"), 1.0);  // warming up
+  for (int i = 1; i < 5; ++i) {
+    mgr.OnInstance("join", JoinWi(i, 0.3, 0.3), &engine);
+  }
+  EXPECT_GT(mgr.LambdaFor("join"), 1.0);  // warm-up done, real bound
+}
+
+TEST_F(PqoManagerTest, WarmupWithNoObservedCostFallsBackToDefault) {
+  // Every warm-up optimize fails (the oracle produces no usable cost), so
+  // there is no average to divide by — FinishWarmup must fall back to
+  // default_lambda instead of dividing by zero seen instances.
+  PqoManagerOptions opts;
+  opts.warmup_instances = 3;
+  opts.default_lambda = 1.7;
+  PqoManager mgr(opts);
+  Tracer tracer(64);
+  MetricsRegistry registry;
+  mgr.SetObs(ObsHooks{&tracer, &registry});
+  EngineContext engine(&db_, &optimizer_);
+  engine.SetOracle([](const WorkloadInstance&) {
+    auto r = std::make_shared<OptimizationResult>();
+    r->cost = std::numeric_limits<double>::quiet_NaN();
+    return r;
+  });
+  for (int i = 0; i < 3; ++i) {
+    PlanChoice c = mgr.OnInstance("join", JoinWi(i, 0.3, 0.3), &engine);
+    EXPECT_TRUE(c.optimized);
+    EXPECT_EQ(c.plan, nullptr);  // failed optimize yields no plan
+  }
+  EXPECT_EQ(mgr.LambdaFor("join"), 1.7);
+  EXPECT_EQ(mgr.warmup_fallbacks(), 1);
+  EXPECT_EQ(registry.Snapshot().CounterValue("pqo_manager.warmup_fallbacks"),
+            1);
+  // The fallback is traced with the template it happened on.
+  bool traced = false;
+  for (const DecisionEvent& e : tracer.Snapshot()) {
+    if (e.template_key == "join" &&
+        e.technique.find("warmup-fallback") != std::string::npos) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+
+  // The template recovered: with a working optimizer it serves normally.
+  engine.SetOracle(nullptr);
+  PlanChoice c = mgr.OnInstance("join", JoinWi(10, 0.3, 0.3), &engine);
+  EXPECT_TRUE(c.optimized);
+  ASSERT_NE(c.plan, nullptr);
+}
+
+TEST_F(PqoManagerTest, GlobalBudgetEnforcedAcrossTemplates) {
+  PqoManagerOptions opts;
+  opts.global_plan_budget = 3;
+  PqoManager mgr(opts);
+  Tracer tracer(1 << 12);
+  MetricsRegistry registry;
+  mgr.SetObs(ObsHooks{&tracer, &registry});
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(11);
+  const std::string keys[3] = {"t0", "t1", "t2"};
+  for (int i = 0; i < 120; ++i) {
+    mgr.OnInstance(keys[i % 3],
+                   JoinWi(i, rng.UniformDouble(0.005, 0.95),
+                          rng.UniformDouble(0.005, 0.95)),
+                   &engine);
+    EXPECT_LE(mgr.TotalPlansCached(), 3) << "after instance " << i;
+  }
+  EXPECT_EQ(mgr.NumTemplates(), 3);
+  EXPECT_GT(mgr.global_evictions(), 0);
+  EXPECT_EQ(registry.Snapshot().CounterValue("pqo_manager.global_evictions"),
+            mgr.global_evictions());
+  // Evictions surface as kEvicted events tagged with their template.
+  int64_t evicted_events = 0;
+  for (const DecisionEvent& e : tracer.Snapshot()) {
+    if (e.outcome == DecisionOutcome::kEvicted) {
+      ++evicted_events;
+      EXPECT_FALSE(e.template_key.empty());
+    }
+  }
+  EXPECT_GT(evicted_events, 0);
+}
+
+TEST_F(PqoManagerTest, GlobalMemoryBudgetBoundsFootprint) {
+  PqoManagerOptions opts;
+  opts.global_memory_bytes = 64 * 1024;
+  PqoManager mgr(opts);
+  EngineContext engine(&db_, &optimizer_);
+  Pcg32 rng(13);
+  const std::string keys[4] = {"t0", "t1", "t2", "t3"};
+  for (int i = 0; i < 80; ++i) {
+    mgr.OnInstance(keys[i % 4],
+                   JoinWi(i, rng.UniformDouble(0.005, 0.95),
+                          rng.UniformDouble(0.005, 0.95)),
+                   &engine);
+  }
+  EXPECT_LE(mgr.TotalMemoryBytes(), 64 * 1024);
 }
 
 TEST_F(PqoManagerTest, InvalidateDropsCache) {

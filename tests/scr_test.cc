@@ -144,6 +144,77 @@ TEST_F(ScrTest, PlanBudgetEnforced) {
   EXPECT_LE(scr.PeakPlansCached(), 4);  // transiently k+1 before eviction
 }
 
+TEST_F(ScrTest, BudgetEvictionNeverEvictsTheJustStoredPlan) {
+  // Regression: EvictForBudget runs before the fresh plan's usage count is
+  // credited, so with budget 1 the freshest plan is the LFU victim — an
+  // unpinned evictor would drop the plan just chosen for the in-flight
+  // instance, leaving its instance entry dangling on a dead plan.
+  Scr scr(ScrOptions{.lambda = 1.05, .plan_budget = 1});
+  EngineContext engine(&db_, &optimizer_);
+
+  // Make the first plan clearly more-used than any newcomer.
+  PlanChoice first = scr.OnInstance(MakeWi(0, 0.01, 0.01), &engine);
+  for (int i = 1; i <= 3; ++i) {
+    (void)scr.OnInstance(MakeWi(i, 0.01, 0.01), &engine);
+  }
+
+  // A far-away instance needs a different plan; storing it overflows the
+  // budget while its usage is still 0.
+  PlanChoice fresh = scr.OnInstance(MakeWi(10, 0.9, 0.9), &engine);
+  ASSERT_TRUE(fresh.optimized);
+  ASSERT_NE(fresh.plan->signature, first.plan->signature)
+      << "test needs two distinct plans to exercise eviction";
+
+  // The budget held, and the survivor is the freshly stored plan, not the
+  // well-used one.
+  EXPECT_LE(scr.NumPlansCached(), 1);
+  std::vector<PlanPtr> live = scr.SnapshotPlans();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(PlanSignatureHash(*live[0]), fresh.plan->signature);
+
+  // And its instance entry is alive: an identical repeat reuses the cache.
+  PlanChoice repeat = scr.OnInstance(MakeWi(11, 0.9, 0.9), &engine);
+  EXPECT_FALSE(repeat.optimized);
+  EXPECT_EQ(repeat.plan->signature, fresh.plan->signature);
+}
+
+TEST_F(ScrTest, EvictLfuPlanHonorsSignaturePin) {
+  Scr scr(ScrOptions{.lambda = 1.05});
+  EngineContext engine(&db_, &optimizer_);
+  PlanChoice a = scr.OnInstance(MakeWi(0, 0.01, 0.01), &engine);
+  PlanChoice b = scr.OnInstance(MakeWi(1, 0.9, 0.9), &engine);
+  ASSERT_NE(a.plan->signature, b.plan->signature);
+  ASSERT_EQ(scr.NumPlansCached(), 2);
+  // A reuse bumps a's usage above b's, making b the strict LFU victim.
+  (void)scr.OnInstance(MakeWi(2, 0.01, 0.01), &engine);
+
+  // Pinning the victim diverts eviction to the better-used plan.
+  EXPECT_TRUE(scr.EvictLfuPlan(/*instance_id=*/99, b.plan->signature));
+  std::vector<PlanPtr> live = scr.SnapshotPlans();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(PlanSignatureHash(*live[0]), b.plan->signature);
+
+  // With the only plan pinned, nothing is evictable.
+  EXPECT_EQ(scr.MinLivePlanUsage(b.plan->signature), -1);
+  EXPECT_FALSE(scr.EvictLfuPlan(/*instance_id=*/99, b.plan->signature));
+  EXPECT_EQ(scr.NumPlansCached(), 1);
+}
+
+TEST_F(ScrTest, EstimatedMemoryBytesTracksCacheGrowth) {
+  // lambda = 1.05 forces the far instance to optimize and store (a looser
+  // bound would serve it via the cost check, adding nothing to the cache).
+  Scr scr(ScrOptions{.lambda = 1.05});
+  EngineContext engine(&db_, &optimizer_);
+  EXPECT_EQ(scr.EstimatedMemoryBytes(), 0);
+  PlanChoice a = scr.OnInstance(MakeWi(0, 0.01, 0.01), &engine);
+  int64_t one = scr.EstimatedMemoryBytes();
+  EXPECT_GT(one, 0);
+  PlanChoice b = scr.OnInstance(MakeWi(1, 0.9, 0.9), &engine);
+  ASSERT_TRUE(b.optimized);
+  ASSERT_NE(a.plan->signature, b.plan->signature);
+  EXPECT_GT(scr.EstimatedMemoryBytes(), one);
+}
+
 TEST_F(ScrTest, BudgetKeepsGuarantee) {
   const double lambda = 2.0;
   Scr scr(ScrOptions{.lambda = lambda, .plan_budget = 2});

@@ -5,7 +5,11 @@
 // Usage:
 //   guarantee_audit [--trace events.jsonl] [--cache cache.txt]
 //                   [--lambda X] [--lambda-r X] [--dynamic-lambda MIN MAX]
-//                   [--tolerance T] [--max-report N]
+//                   [--tolerance T] [--max-report N] [--per-template]
+//
+// --per-template appends one summary line per template key found in the
+// trace (events checked, violations, effective lambdas) — useful for
+// multi-template traces merged by PqoManager.
 //
 // Exit status: 0 when every decision honors its bound, 1 when violations
 // were found (a per-decision report is printed), 2 on usage/file errors.
@@ -25,7 +29,7 @@ int Usage() {
       "usage: guarantee_audit [--trace events.jsonl] [--cache cache.txt]\n"
       "                       [--lambda X] [--lambda-r X]\n"
       "                       [--dynamic-lambda MIN MAX] [--tolerance T]\n"
-      "                       [--max-report N]\n"
+      "                       [--max-report N] [--per-template]\n"
       "at least one of --trace / --cache is required\n");
   return 2;
 }
@@ -37,6 +41,7 @@ int main(int argc, char** argv) {
   std::string cache_path;
   AuditConfig config;
   int max_report = 50;
+  bool per_template = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       max_report = std::atoi(v);
+    } else if (arg == "--per-template") {
+      per_template = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return Usage();
@@ -102,5 +109,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", report.ToString(max_report).c_str());
+  if (per_template) {
+    std::string summary = report.PerTemplateString();
+    if (!summary.empty()) std::printf("%s\n", summary.c_str());
+  }
   return report.ok() ? 0 : 1;
 }
