@@ -1,0 +1,168 @@
+#include "obs/admin_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/prometheus.h"
+
+namespace scrpqo {
+
+namespace {
+
+const char* StatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 404:
+      return "404 Not Found";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+/// Writes all of `data`, retrying on EINTR / short writes.
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Status AdminServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("admin: socket() failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status s = Status::Internal(
+        std::string("admin: cannot bind 127.0.0.1:") +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status s = Status::Internal(std::string("admin: listen() failed: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes the blocking accept() with an error; close alone is
+  // not guaranteed to on all platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener shut down (or broken beyond repair): exit the loop.
+      return;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) const {
+  // Read until the end of the request head. Bodies are ignored — every
+  // endpoint is a GET.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  // Request line: METHOD SP PATH SP VERSION.
+  std::string path = "/";
+  size_t sp1 = request.find(' ');
+  if (sp1 != std::string::npos) {
+    size_t sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) {
+      path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string content_type;
+  int status = 200;
+  std::string body = Handle(path, &content_type, &status);
+
+  std::string response = "HTTP/1.1 ";
+  response += StatusLine(status);
+  response += "\r\nContent-Type: ";
+  response += content_type;
+  response += "\r\nContent-Length: ";
+  response += std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  WriteAll(fd, response);
+}
+
+std::string AdminServer::Handle(const std::string& path,
+                                std::string* content_type,
+                                int* status) const {
+  *status = 200;
+  if (path == "/metrics") {
+    // The exposition-format content type, version pinned per spec.
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    if (options_.metrics == nullptr) return "";
+    return RenderPrometheusText(options_.metrics->Snapshot());
+  }
+  if (path == "/healthz") {
+    *content_type = "text/plain; charset=utf-8";
+    return "ok\n";
+  }
+  if (path == "/statusz") {
+    *content_type = "application/json; charset=utf-8";
+    if (!options_.statusz) return "{}\n";
+    return options_.statusz();
+  }
+  *status = 404;
+  *content_type = "text/plain; charset=utf-8";
+  return "not found: " + path + "\n";
+}
+
+}  // namespace scrpqo

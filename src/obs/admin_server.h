@@ -1,0 +1,73 @@
+// Minimal embedded admin HTTP server — POSIX sockets only, no
+// third-party dependencies. One dedicated thread runs a blocking accept
+// loop and serves each connection synchronously (one request per
+// connection, `Connection: close`), which is all an operator's curl or a
+// Prometheus scraper needs.
+//
+// Endpoints:
+//   /metrics   Prometheus text exposition of the attached MetricsRegistry
+//   /healthz   "ok" (liveness)
+//   /statusz   JSON from the attached provider (per-template lambda,
+//              cache occupancy vs. budgets, warm-up state, ring drops)
+//
+// The server binds 127.0.0.1 only: this is an operator surface, not a
+// public API. Port 0 picks an ephemeral port (see port()), which the
+// tests and the CI smoke step rely on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics_registry.h"
+
+namespace scrpqo {
+
+class AdminServer {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 = ephemeral.
+    int port = 0;
+    /// Registry backing /metrics; may be nullptr (serves an empty page).
+    MetricsRegistry* metrics = nullptr;
+    /// Produces the /statusz JSON body; empty = "{}" served.
+    std::function<std::string()> statusz;
+  };
+
+  explicit AdminServer(Options options) : options_(std::move(options)) {}
+  ~AdminServer() { Stop(); }
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. Fails if the port is
+  /// taken. Not restartable after Stop.
+  Status Start();
+
+  /// Bound port (resolves ephemeral binds); 0 before Start.
+  int port() const { return port_; }
+
+  /// Shuts the listener down and joins the accept thread. Idempotent.
+  void Stop();
+
+  /// Request dispatch, exposed for direct testing without a socket:
+  /// returns the response body and sets `content_type` and `status` for
+  /// the given request path.
+  std::string Handle(const std::string& path, std::string* content_type,
+                     int* status) const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd) const;
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace scrpqo

@@ -41,6 +41,14 @@ void AppendJsonDouble(double v, std::ostream& os) {
 
 }  // namespace
 
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
 int LogHistogram::BucketFor(double value) {
   if (!(value >= 1.0)) return 0;  // [0,1) plus NaN/negatives
   int b = 1 + static_cast<int>(std::floor(8.0 * std::log2(value)));
@@ -117,6 +125,14 @@ int64_t RegistrySnapshot::CounterValue(const std::string& name,
   return def;
 }
 
+double RegistrySnapshot::GaugeValue(const std::string& name,
+                                    double def) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return def;
+}
+
 const HistogramSnapshot* RegistrySnapshot::FindHistogram(
     const std::string& name) const {
   for (const HistogramSnapshot& h : histograms) {
@@ -129,6 +145,13 @@ Counter* MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
@@ -146,6 +169,10 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, counter] : counters_) {
     snap.counters.push_back(CounterSnapshot{name, counter->value()});
   }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+  }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms.push_back(histogram->Snapshot(name));
@@ -161,6 +188,14 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
     if (!first) os << ",";
     first = false;
     os << "\"" << c.name << "\":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << g.name << "\":";
+    AppendJsonDouble(g.value, os);
   }
   os << "},\"histograms\":{";
   first = true;

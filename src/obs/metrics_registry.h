@@ -30,11 +30,28 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// Pointer-free exported state of one counter / histogram, embeddable in
-/// SequenceMetrics.
+/// Last-write-wins instantaneous value (e.g. the online auditor's worst
+/// observed compliance margin, cache occupancy). Stored as a bit-cast
+/// double so Set/value are single relaxed atomic ops.
+class Gauge {
+ public:
+  void Set(double value);
+  double value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Pointer-free exported state of one counter / gauge / histogram,
+/// embeddable in SequenceMetrics.
 struct CounterSnapshot {
   std::string name;
   int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
 };
 
 struct HistogramSnapshot {
@@ -88,10 +105,14 @@ class LogHistogram {
 /// Full pointer-free registry export.
 struct RegistrySnapshot {
   std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// Counter value by name; `def` when absent.
   int64_t CounterValue(const std::string& name, int64_t def = 0) const;
+
+  /// Gauge value by name; `def` when absent.
+  double GaugeValue(const std::string& name, double def = 0.0) const;
 
   /// Histogram snapshot by name; nullptr when absent. The pointer is into
   /// this snapshot — it lives exactly as long as the RegistrySnapshot.
@@ -103,6 +124,7 @@ class MetricsRegistry {
   /// Create-on-first-use; returned pointer is stable for the registry's
   /// lifetime. Thread-safe.
   Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
   LogHistogram* histogram(const std::string& name);
 
   RegistrySnapshot Snapshot() const;
@@ -115,6 +137,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
 };
 

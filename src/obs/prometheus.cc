@@ -1,0 +1,94 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace scrpqo {
+
+namespace {
+
+void AppendDouble(double v, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendFamilyHeader(const std::string& name, const char* type,
+                        const std::string& raw_name, std::string* out) {
+  *out += "# HELP ";
+  *out += name;
+  *out += " scrpqo metric ";
+  *out += raw_name;
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " ";
+  *out += type;
+  *out += "\n";
+}
+
+void AppendQuantile(const std::string& name, const char* q, double v,
+                    std::string* out) {
+  *out += name;
+  *out += "{quantile=\"";
+  *out += q;
+  *out += "\"} ";
+  AppendDouble(v, out);
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024);
+  for (const CounterSnapshot& c : snapshot.counters) {
+    std::string name = PrometheusMetricName(c.name);
+    AppendFamilyHeader(name, "counter", c.name, &out);
+    out += name;
+    out += " ";
+    out += std::to_string(c.value);
+    out += "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    std::string name = PrometheusMetricName(g.name);
+    AppendFamilyHeader(name, "gauge", g.name, &out);
+    out += name;
+    out += " ";
+    AppendDouble(g.value, &out);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::string name = PrometheusMetricName(h.name);
+    AppendFamilyHeader(name, "summary", h.name, &out);
+    AppendQuantile(name, "0.5", h.p50, &out);
+    AppendQuantile(name, "0.9", h.p90, &out);
+    AppendQuantile(name, "0.99", h.p99, &out);
+    AppendQuantile(name, "1", h.max, &out);
+    // The registry keeps mean and count, not the raw sum; reconstruct.
+    out += name;
+    out += "_sum ";
+    AppendDouble(h.mean * static_cast<double>(h.count), &out);
+    out += "\n";
+    out += name;
+    out += "_count ";
+    out += std::to_string(h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,27 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a
+// RegistrySnapshot, served by the admin server's /metrics endpoint.
+//
+// Metric names in the registry use dots ("pqo.manager.evictions"); the
+// exposition format only allows [a-zA-Z_:][a-zA-Z0-9_:]*, so names are
+// sanitized by mapping every illegal character to '_' and prefixing
+// names that start with a digit with '_'. Counters render as `counter`,
+// gauges as `gauge`, and LogHistograms as `summary` (quantile series from
+// the log-bucket percentiles plus _sum and _count), which matches what
+// the registry can actually answer — it keeps percentile sketches, not
+// cumulative native-histogram buckets.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace scrpqo {
+
+/// Sanitized exposition metric name for a registry metric name.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Full exposition page for the snapshot (each family preceded by
+/// # HELP / # TYPE lines, terminated by a trailing newline).
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot);
+
+}  // namespace scrpqo

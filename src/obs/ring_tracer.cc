@@ -1,0 +1,177 @@
+#include "obs/ring_tracer.h"
+
+#include <chrono>
+#include <utility>
+
+namespace scrpqo {
+
+namespace {
+
+/// Process-unique tracer ids. Ids, not addresses, key the thread-local
+/// handles: a destroyed tracer's storage can be reused by a new one, and
+/// an address-keyed handle would then push onto the wrong rings.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+/// A thread's registered rings, one handle per live tracer it has
+/// recorded against (almost always exactly one, so Record's lookup is a
+/// one-element scan). Shared ownership keeps the ring storage valid even
+/// if the tracer is destroyed while this thread still holds a handle.
+struct RingHandle {
+  uint64_t tracer_id;
+  std::shared_ptr<void> ring_owner;
+  SpscEventRing* ring;
+  std::shared_ptr<std::atomic<bool>> retired;
+};
+
+thread_local std::vector<RingHandle> t_ring_handles;
+
+}  // namespace
+
+RingTracer::RingTracer() : RingTracer(Options()) {}
+
+RingTracer::RingTracer(Options options)
+    : Tracer(options.window_capacity),
+      options_(options),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      retired_(std::make_shared<std::atomic<bool>>(false)),
+      window_(std::make_shared<InMemorySink>(
+          options.window_capacity == 0 ? 1 : options.window_capacity)) {
+  sinks_.push_back(window_);
+  exporter_ = std::thread([this] { ExporterLoop(); });
+}
+
+RingTracer::~RingTracer() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (exporter_.joinable()) exporter_.join();
+  // Final drain: producers must be quiesced by now (standard tracer
+  // lifetime contract — techniques are detached before the tracer dies).
+  {
+    std::lock_guard<std::mutex> lock(export_mu_);
+    DrainLocked();
+  }
+  retired_->store(true, std::memory_order_release);
+}
+
+std::shared_ptr<RingTracer::ThreadRing> RingTracer::RegisterThisThread() {
+  auto ring = std::make_shared<ThreadRing>(options_.ring_capacity);
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(ring);
+  }
+  // Prune handles of retired tracers while we're here so long-lived
+  // worker threads don't accumulate dead entries.
+  for (size_t i = 0; i < t_ring_handles.size();) {
+    if (t_ring_handles[i].retired->load(std::memory_order_acquire)) {
+      t_ring_handles[i] = std::move(t_ring_handles.back());
+      t_ring_handles.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  t_ring_handles.push_back(
+      RingHandle{tracer_id_, ring, &ring->ring, retired_});
+  return ring;
+}
+
+void RingTracer::Record(DecisionEvent event) {
+  for (const RingHandle& h : t_ring_handles) {
+    if (h.tracer_id == tracer_id_) {
+      h.ring->TryPush(std::move(event));
+      return;
+    }
+  }
+  RegisterThisThread()->ring.TryPush(std::move(event));
+}
+
+void RingTracer::DrainLocked() {
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_scratch_ = rings_;
+  }
+  std::vector<DecisionEvent>& batch = batch_scratch_;
+  batch.clear();
+  int64_t new_drops = 0;
+  for (const std::shared_ptr<ThreadRing>& tr : rings_scratch_) {
+    tr->ring.DrainInto(&batch);
+    // Read drops only after the drain: a drop observed here happened
+    // before events we just pulled at the latest, so the synthesized
+    // loss event never claims events that are still buffered.
+    int64_t drops = tr->ring.dropped();
+    if (drops > tr->drops_seen) {
+      new_drops += drops - tr->drops_seen;
+      tr->drops_seen = drops;
+    }
+  }
+  if (new_drops > 0) {
+    DecisionEvent loss;
+    loss.outcome = DecisionOutcome::kRingDropped;
+    loss.technique = "ring-tracer";
+    loss.dropped = new_drops;
+    batch.push_back(std::move(loss));
+    dropped_total_.fetch_add(new_drops, std::memory_order_relaxed);
+  }
+  if (batch.empty()) return;
+  for (DecisionEvent& e : batch) {
+    e.seq = next_seq_++;
+  }
+  exported_total_.fetch_add(static_cast<int64_t>(batch.size()),
+                            std::memory_order_relaxed);
+  for (const std::shared_ptr<TraceSink>& sink : sinks_) {
+    // The retained window is always last in the fan-out and takes the
+    // batch by move — the exporter's dominant per-event cost is otherwise
+    // copying two strings per event into the window.
+    if (sink == window_) continue;
+    sink->Consume(batch);
+    if (new_drops > 0) sink->ObserveDrop(new_drops);
+  }
+  if (new_drops > 0) window_->ObserveDrop(new_drops);
+  window_->ConsumeOwned(std::move(batch));
+}
+
+void RingTracer::ExporterLoop() {
+  std::unique_lock<std::mutex> stop_lock(stop_mu_);
+  while (!stopping_) {
+    stop_cv_.wait_for(
+        stop_lock,
+        std::chrono::microseconds(options_.drain_interval_micros));
+    stop_lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(export_mu_);
+      DrainLocked();
+    }
+    stop_lock.lock();
+  }
+}
+
+int64_t RingTracer::total_recorded() const {
+  return exported_total_.load(std::memory_order_relaxed);
+}
+
+int64_t RingTracer::dropped() const {
+  return dropped_total_.load(std::memory_order_relaxed);
+}
+
+std::vector<DecisionEvent> RingTracer::Snapshot() const {
+  return window_->Snapshot();
+}
+
+void RingTracer::AddSink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(export_mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+Status RingTracer::Flush() {
+  std::lock_guard<std::mutex> lock(export_mu_);
+  DrainLocked();
+  for (const std::shared_ptr<TraceSink>& sink : sinks_) {
+    Status s = sink->Flush();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace scrpqo

@@ -1,0 +1,128 @@
+// Pluggable consumers of the exported decision-event stream.
+//
+// The RingTracer exporter calls Consume with ordered batches (seq already
+// assigned) from a single thread, so sinks only need internal locking when
+// they are *read* concurrently (InMemorySink::Snapshot). ObserveDrop is
+// invoked alongside the synthesized kRingDropped event whenever the
+// exporter detects producer-side loss.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace scrpqo {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Ordered batch of exported events. Called from the exporter thread
+  /// only; never concurrently with itself.
+  virtual void Consume(const std::vector<DecisionEvent>& batch) = 0;
+
+  /// Producer-side loss notification (`n` newly dropped events). The
+  /// corresponding kRingDropped event is also part of a Consume batch;
+  /// this hook exists for sinks that track loss without scanning.
+  virtual void ObserveDrop(int64_t n) { (void)n; }
+
+  /// Barrier: all events consumed so far must be durable/visible when
+  /// this returns (file sinks flush here).
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// Keeps the most recent `capacity` events in memory; the RingTracer's
+/// default sink, backing Snapshot() with the same oldest-first window
+/// semantics as the mutexed Tracer.
+class InMemorySink : public TraceSink {
+ public:
+  explicit InMemorySink(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Consume(const std::vector<DecisionEvent>& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const DecisionEvent& e : batch) StoreLocked(e);
+  }
+
+  /// Ownership-taking variant for the exporter's terminal sink: the batch
+  /// is dead after the fan-out, so moving events into the window saves a
+  /// per-event copy (two strings) on the exporter thread — which on a
+  /// small machine time-slices against the serving threads.
+  void ConsumeOwned(std::vector<DecisionEvent>&& batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (DecisionEvent& e : batch) StoreLocked(std::move(e));
+  }
+
+  /// Retained window, oldest first. Any thread.
+  std::vector<DecisionEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<DecisionEvent> out;
+    out.reserve(window_.size());
+    if (window_.size() < capacity_) {
+      out = window_;
+    } else {
+      for (size_t i = 0; i < capacity_; ++i) {
+        out.push_back(window_[(next_slot_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  template <typename Event>
+  void StoreLocked(Event&& e) {
+    if (window_.size() < capacity_) {
+      window_.push_back(std::forward<Event>(e));
+    } else {
+      window_[next_slot_] = std::forward<Event>(e);
+    }
+    next_slot_ = (next_slot_ + 1) % capacity_;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<DecisionEvent> window_;
+  size_t next_slot_ = 0;
+};
+
+/// Streams every exported event to a JSONL file as it arrives — same wire
+/// format as Tracer::WriteJsonlFile, but without needing the whole trace
+/// to fit in the retained window.
+class JsonlFileSink : public TraceSink {
+ public:
+  /// Check ok() before attaching; a sink that failed to open consumes
+  /// events into the void and reports the error on Flush.
+  explicit JsonlFileSink(const std::string& path)
+      : path_(path), out_(path, std::ios::trunc) {}
+
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  void Consume(const std::vector<DecisionEvent>& batch) override {
+    if (!out_.is_open()) return;
+    for (const DecisionEvent& e : batch) {
+      out_ << DecisionEventToJsonl(e) << '\n';
+    }
+  }
+
+  Status Flush() override {
+    if (!out_.is_open()) {
+      return Status::InvalidArgument("cannot open trace file: " + path_);
+    }
+    out_.flush();
+    if (!out_.good()) {
+      return Status::Internal("short write to trace file: " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace scrpqo

@@ -15,8 +15,8 @@ namespace {
 
 constexpr const char* kOutcomeNames[] = {
     "sel-check-hit", "cost-check-hit", "optimized", "redundant-discard",
-    "evicted"};
-constexpr int kNumOutcomes = 5;
+    "evicted",       "audit-alert",    "ring-dropped"};
+constexpr int kNumOutcomes = 7;
 
 void AppendEscaped(const std::string& s, std::string* out) {
   for (char c : s) {
@@ -145,7 +145,18 @@ bool ParseDecisionOutcome(const std::string& name, DecisionOutcome* out) {
 }
 
 bool IsDecisionOutcome(DecisionOutcome outcome) {
-  return outcome != DecisionOutcome::kEvicted;
+  switch (outcome) {
+    case DecisionOutcome::kSelCheckHit:
+    case DecisionOutcome::kCostCheckHit:
+    case DecisionOutcome::kOptimized:
+    case DecisionOutcome::kRedundantDiscard:
+      return true;
+    case DecisionOutcome::kEvicted:
+    case DecisionOutcome::kAuditAlert:
+    case DecisionOutcome::kRingDropped:
+      return false;
+  }
+  return false;
 }
 
 std::string DecisionEventToJsonl(const DecisionEvent& e) {
@@ -181,6 +192,27 @@ std::string DecisionEventToJsonl(const DecisionEvent& e) {
   out += std::to_string(e.recost_calls);
   out += ",\"wall_us\":";
   out += std::to_string(e.wall_micros);
+  // Optional trailing fields, emitted only when set so that events from
+  // span-free emitters serialize byte-identically to the legacy format
+  // (same contract as the optional "template" field above).
+  if (e.dropped != 0) {
+    out += ",\"dropped\":";
+    out += std::to_string(e.dropped);
+  }
+  if (e.stages.any()) {
+    out += ",\"stages\":{";
+    bool first = true;
+    for (int i = 0; i < kNumStages; ++i) {
+      if (e.stages.micros[i] < 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += StageName(static_cast<Stage>(i));
+      out += "\":";
+      out += std::to_string(e.stages.micros[i]);
+    }
+    out += "}";
+  }
   out += "}";
   return out;
 }
@@ -211,22 +243,39 @@ Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
     const char* key;
     double* slot;
   };
-  double candidates = 0.0, recosts = 0.0, wall = 0.0;
+  double candidates = 0.0, recosts = 0.0, wall = 0.0, dropped = 0.0;
   for (const OptField& f :
        {OptField{"g", &e.g}, OptField{"l", &e.l}, OptField{"r", &e.r},
         OptField{"s", &e.subopt}, OptField{"lambda", &e.lambda},
         OptField{"candidates", &candidates}, OptField{"recosts", &recosts},
-        OptField{"wall_us", &wall}}) {
+        OptField{"wall_us", &wall}, OptField{"dropped", &dropped}}) {
     if (ParseNumberField(line, f.key, f.slot) == NumField::kBad) {
       return Status::InvalidArgument(std::string("trace line has bad \"") +
                                      f.key + "\": " + line);
     }
   }
+  // Stage sub-keys are globally unique in the line (no event key shares a
+  // stage name), so the flat key scan handles the nested object too.
+  if (FindValue(line, "stages") != std::string::npos) {
+    for (int i = 0; i < kNumStages; ++i) {
+      double us = 0.0;
+      NumField got = ParseNumberField(line, StageName(static_cast<Stage>(i)),
+                                      &us);
+      if (got == NumField::kBad || (got == NumField::kOk && !std::isfinite(us))) {
+        return Status::InvalidArgument(
+            std::string("trace line has bad stage \"") +
+            StageName(static_cast<Stage>(i)) + "\": " + line);
+      }
+      if (got == NumField::kOk) {
+        e.stages.micros[i] = static_cast<int64_t>(us);
+      }
+    }
+  }
   // Finite-values policy (matches EnvDouble): a NaN/inf cost factor means
   // the trace is corrupt, and must not be silently carried into audits.
   // Checked before the integer casts below, which would be UB on inf.
-  for (double field :
-       {e.g, e.l, e.r, e.subopt, e.lambda, candidates, recosts, wall}) {
+  for (double field : {e.g, e.l, e.r, e.subopt, e.lambda, candidates,
+                       recosts, wall, dropped}) {
     if (!std::isfinite(field)) {
       return Status::InvalidArgument(
           "trace line has non-finite numeric field: " + line);
@@ -235,12 +284,11 @@ Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
   e.candidates_scanned = static_cast<int32_t>(candidates);
   e.recost_calls = static_cast<int32_t>(recosts);
   e.wall_micros = static_cast<int64_t>(wall);
+  e.dropped = static_cast<int64_t>(dropped);
   return e;
 }
 
-Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.reserve(capacity_);
-}
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void Tracer::Record(DecisionEvent event) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,9 +1,15 @@
 // Decision-event tracing for the PQO engine: every getPlan/manageCache
-// decision is recorded as a DecisionEvent in a fixed-capacity ring buffer
-// and can be exported as JSONL (one event per line). Techniques emit events
-// only when a Tracer is attached, so the disabled-path cost is a null
-// pointer check. The buffer is thread-safe: AsyncScr's worker thread emits
-// manageCache events concurrently with the critical path.
+// decision is recorded as a DecisionEvent and can be exported as JSONL
+// (one event per line). Techniques emit events only when a Tracer is
+// attached, so the disabled-path cost is a null pointer check.
+//
+// Two capture implementations share the Tracer interface:
+//  - Tracer (this file): a single fixed-capacity ring guarded by a mutex.
+//    Simple, exact, and the wire-format reference; emitters serialize on
+//    the lock, so it is the fallback, not the serving default.
+//  - RingTracer (obs/ring_tracer.h): per-thread lock-free SPSC rings
+//    drained by a background exporter that merges, stamps sequence
+//    numbers, and fans out to pluggable sinks. The serving default.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/span.h"
 
 namespace scrpqo {
 
@@ -21,15 +28,20 @@ namespace scrpqo {
 /// The first four are per-instance *decisions* — every instance produces
 /// exactly one of them (`kOptimized` and `kRedundantDiscard` both imply an
 /// optimizer call; the latter means the redundancy check then discarded the
-/// fresh plan in favor of a cached one). `kEvicted` is a cache-maintenance
-/// event emitted per evicted plan, on top of the arriving instance's own
-/// decision event.
+/// fresh plan in favor of a cached one). The rest are meta events emitted
+/// on top of the per-instance stream: `kEvicted` per evicted plan,
+/// `kAuditAlert` by the online lambda-compliance monitor when a traced
+/// decision violates its bound (verify/online_auditor.h), and
+/// `kRingDropped` by the RingTracer exporter to account for events lost to
+/// a full SPSC ring (the `dropped` field carries the count).
 enum class DecisionOutcome : int {
   kSelCheckHit = 0,
   kCostCheckHit = 1,
   kOptimized = 2,
   kRedundantDiscard = 3,
   kEvicted = 4,
+  kAuditAlert = 5,
+  kRingDropped = 6,
 };
 
 /// Stable wire name ("sel-check-hit", ...).
@@ -38,13 +50,15 @@ const char* DecisionOutcomeName(DecisionOutcome outcome);
 /// Inverse of DecisionOutcomeName; false when `name` is unknown.
 bool ParseDecisionOutcome(const std::string& name, DecisionOutcome* out);
 
-/// True for the per-instance decision outcomes (everything but kEvicted).
+/// True for the per-instance decision outcomes (everything but the meta
+/// events kEvicted / kAuditAlert / kRingDropped).
 bool IsDecisionOutcome(DecisionOutcome outcome);
 
 /// One traced decision. Fields that do not apply to an outcome stay at
 /// their defaults (-1 for ids and G/L/R, 0 for counts).
 struct DecisionEvent {
-  /// Monotonic event number, assigned by the Tracer on Record.
+  /// Monotonic event number, assigned by the Tracer on Record (RingTracer
+  /// assigns it at export time, preserving per-thread emission order).
   int64_t seq = -1;
   /// Workload-instance id the event belongs to.
   int32_t instance_id = -1;
@@ -78,6 +92,14 @@ struct DecisionEvent {
   int32_t recost_calls = 0;
   /// Wall-clock of the traced section, microseconds.
   int64_t wall_micros = 0;
+  /// Events lost to a full SPSC ring since the previous kRingDropped
+  /// event; 0 (and absent on the wire) for every other outcome.
+  int64_t dropped = 0;
+  /// Per-stage latency attribution of the traced getPlan (obs/span.h).
+  /// Serialized as an optional "stages" object only when any stage was
+  /// timed, so traces from span-free emitters are byte-identical to the
+  /// pre-span wire format.
+  StageBreakdown stages;
 };
 
 /// Serializes one event as a single JSON line (no trailing newline).
@@ -88,23 +110,34 @@ std::string DecisionEventToJsonl(const DecisionEvent& event);
 /// so a corrupted trace cannot silently pass a guarantee audit.
 Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line);
 
-/// Fixed-capacity ring buffer of DecisionEvents. Oldest events are
-/// overwritten once `capacity` is exceeded; `total_recorded()` keeps the
-/// all-time count so overflow is detectable.
+/// Fixed-capacity ring buffer of DecisionEvents guarded by one mutex.
+/// Oldest events are overwritten once `capacity` is exceeded;
+/// `total_recorded()` keeps the all-time count so overflow is detectable.
+/// Also the polymorphic base of RingTracer: ObsHooks carries a Tracer*,
+/// and every emitter works against this interface.
 class Tracer {
  public:
   explicit Tracer(size_t capacity = 1 << 16);
+  virtual ~Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   /// Records an event (assigns `seq`). Thread-safe.
-  void Record(DecisionEvent event);
+  virtual void Record(DecisionEvent event);
 
   size_t capacity() const { return capacity_; }
 
-  /// All-time number of Record calls (>= Snapshot().size()).
-  int64_t total_recorded() const;
+  /// All-time number of events captured (>= Snapshot().size()). For the
+  /// RingTracer this counts exported events; add dropped() for attempts.
+  virtual int64_t total_recorded() const;
+
+  /// Events lost to backpressure; always 0 for the mutexed ring (it
+  /// overwrites instead of dropping).
+  virtual int64_t dropped() const { return 0; }
 
   /// Live window, oldest first.
-  std::vector<DecisionEvent> Snapshot() const;
+  virtual std::vector<DecisionEvent> Snapshot() const;
 
   /// Writes the live window as JSONL, oldest first.
   void WriteJsonl(std::ostream& os) const;

@@ -1,5 +1,7 @@
 #include "optimizer/optimizer.h"
 
+#include "obs/span.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -482,7 +484,13 @@ class SearchContext {
 }  // namespace
 
 OptimizationResult Optimizer::Optimize(const QueryInstance& instance) const {
+  // Attributed to the ambient getPlan span (if one is open): serve-time
+  // callers reach this overload when no precomputed sVector exists, and
+  // the selectivity derivation is real per-query work worth seeing in
+  // the stage breakdown.
+  StageTimer svector_timer(Stage::kSVector, nullptr);
   SVector sv = ComputeSelectivityVector(*db_, instance);
+  svector_timer.Stop();
   return OptimizeWithSVector(instance, sv);
 }
 

@@ -38,6 +38,11 @@ void AsyncScr::WorkerLoop() {
       // update — exactly the background-thread model of the paper.
       std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
       if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
+      // The worker's own span, pre-seeded with the critical-path stages
+      // captured at enqueue time, so the deferred decision event carries
+      // the whole getPlan breakdown.
+      GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
+      span.Seed(task.stages);
       inner_.RegisterOptimization(task.wi, std::move(task.result),
                                   engine_.load(std::memory_order_relaxed),
                                   task.get_plan_recosts,
@@ -60,10 +65,14 @@ void AsyncScr::SetObs(const ObsHooks& hooks) {
     lock_shared_ = nullptr;
     lock_exclusive_ = nullptr;
   }
+  span_enabled_.store(hooks.tracer != nullptr, std::memory_order_relaxed);
 }
 
 PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
                                 EngineContext* engine) {
+  // Span for the critical-path half (reuse attempt + optimize); a no-op
+  // when a PqoManager already opened one for this call.
+  GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
   engine_.store(engine, std::memory_order_relaxed);
   PlanChoice probe;
   {
@@ -95,9 +104,15 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
       return shutting_down_ || queue_.size() < kMaxPendingTasks;
     });
     if (!shutting_down_) {
+      // Capture the ambient breakdown (ours, or the manager's outer span)
+      // rather than `span.breakdown()`: when nested, the outer span owns
+      // the stages and ours is empty.
+      StageBreakdown stages;
+      if (const StageBreakdown* b = SpanContext::Current()) stages = *b;
       queue_.push_back(Task{wi, std::move(result),
                             probe.recost_calls_in_get_plan,
-                            probe.cost_check_candidates_in_get_plan});
+                            probe.cost_check_candidates_in_get_plan,
+                            stages});
     }
   }
   work_available_.notify_one();

@@ -87,6 +87,10 @@ class AsyncScr : public PqoTechnique {
     /// deferred decision event.
     int get_plan_recosts = 0;
     int get_plan_candidates = 0;
+    /// Stage breakdown of the critical-path half (failed reuse attempt +
+    /// optimize), seeded into the worker's span so the deferred decision
+    /// event attributes the full getPlan, not just the manageCache tail.
+    StageBreakdown stages;
   };
 
   void WorkerLoop();
@@ -119,6 +123,9 @@ class AsyncScr : public PqoTechnique {
   /// Lock-mix counters (null without a metrics registry).
   Counter* lock_shared_ = nullptr;
   Counter* lock_exclusive_ = nullptr;
+  /// Whether getPlan spans are collected (tracer attached). Atomic: read
+  /// on every OnInstance and by the worker, written by SetObs.
+  std::atomic<bool> span_enabled_{false};
   std::thread worker_;
 };
 

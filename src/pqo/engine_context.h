@@ -13,7 +13,7 @@
 #include <utility>
 
 #include "obs/metrics_registry.h"
-#include "obs/scoped_timer.h"
+#include "obs/span.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/recost.h"
 #include "query/query_instance.h"
@@ -50,7 +50,10 @@ class EngineContext {
   /// Thread-safe when the installed oracle (if any) is.
   std::shared_ptr<const OptimizationResult> Optimize(
       const WorkloadInstance& wi) {
-    ScopedTimer timer(optimize_micros_);
+    // StageTimer instead of ScopedTimer: besides the histogram, engine
+    // time lands in the ambient getPlan span (obs/span.h) so decision
+    // events attribute it to the "optimize" stage.
+    StageTimer timer(Stage::kOptimize, optimize_micros_);
     num_optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
     if (optimize_calls_ != nullptr) optimize_calls_->Increment();
     if (oracle_) return oracle_(wi);
@@ -61,7 +64,7 @@ class EngineContext {
 
   /// Recost API call (charged).
   [[nodiscard]] double Recost(const CachedPlan& plan, const SVector& sv) {
-    ScopedTimer timer(recost_micros_);
+    StageTimer timer(Stage::kRecost, recost_micros_);
     if (recost_calls_ != nullptr) recost_calls_->Increment();
     return recost_service_.Recost(plan, sv);
   }
@@ -74,7 +77,7 @@ class EngineContext {
   size_t RecostMany(std::span<const CachedPlan* const> plans,
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) {
-    ScopedTimer timer(recost_batch_micros_);
+    StageTimer timer(Stage::kRecost, recost_batch_micros_);
     size_t scanned = recost_service_.RecostMany(
         plans, sv, out_costs, std::forward<Visitor>(visit));
     if (recost_calls_ != nullptr) {

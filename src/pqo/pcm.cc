@@ -47,10 +47,14 @@ void Pcm::EmitEvent(DecisionEvent event, int instance_id,
   event.instance_id = instance_id;
   event.technique = name();
   event.wall_micros = ScopedTimer::ElapsedMicros(start);
+  if (const StageBreakdown* b = SpanContext::Current()) {
+    event.stages = *b;
+  }
   obs_.tracer->Record(std::move(event));
 }
 
 PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  GetPlanSpan span(obs_.tracer != nullptr);
   std::chrono::steady_clock::time_point start{};
   if (obs_.tracer != nullptr) start = std::chrono::steady_clock::now();
   ScopedTimer get_plan_timer(get_plan_micros_);
@@ -60,7 +64,9 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
   // Inference: cheapest dominating point q2 and costliest dominated point
   // q1; reuse q2's plan iff cost(q2) <= lambda * cost(q1). Under PCM,
   // cost(P2, qc) <= cost(P2, q2) and opt(qc) >= opt(q1), so the chosen
-  // plan's sub-optimality is bounded by lambda.
+  // plan's sub-optimality is bounded by lambda. The dominance scan is
+  // PCM's analogue of SCR's selectivity check, so it shares that stage.
+  StageTimer sel_timer(Stage::kSelCheck, nullptr);
   double best_upper = std::numeric_limits<double>::infinity();
   int upper_plan = -1;
   double best_lower = 0.0;
@@ -79,6 +85,7 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
       }
     }
   }
+  sel_timer.Stop();
   if (upper_plan >= 0 && have_lower && best_lower > 0.0 &&
       best_upper <= options_.lambda * best_lower) {
     store_.AddUsage(upper_plan, 1);
@@ -104,8 +111,10 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
   // The H.6 redundancy variant issues Recost calls inside StoreOrReuse;
   // charge them to this getPlan so max_recost_per_get_plan reflects PCM+R.
   int64_t recosts_before = engine->num_recost_calls();
+  StageTimer manage_timer(Stage::kManageCache, nullptr);
   PlanStore::StoreResult stored = store_.StoreOrReuse(
       cached, sv, result->cost, options_.recost_redundancy_lambda_r, engine);
+  manage_timer.Stop();
   choice.recost_calls_in_get_plan =
       static_cast<int>(engine->num_recost_calls() - recosts_before);
   points_.push_back(Point{sv, result->cost, stored.plan_id});

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <thread>
@@ -26,18 +27,18 @@ PqoManager::Shard& PqoManager::ShardFor(const std::string& key) const {
 }
 
 std::unique_lock<std::mutex> PqoManager::LockShard(const Shard& shard) const {
-  LogHistogram* wait = shard_lock_wait_.load(std::memory_order_relaxed);
-  if (wait == nullptr) return std::unique_lock<std::mutex>(shard.mu);
-  auto t0 = std::chrono::steady_clock::now();
-  std::unique_lock<std::mutex> lock(shard.mu);
-  wait->Record(static_cast<double>(ScopedTimer::ElapsedMicros(t0)));
-  return lock;
+  // StageTimer feeds both the wait histogram and the ambient getPlan span
+  // (when OnInstance opened one); with neither attached it reads no clock.
+  StageTimer wait(Stage::kShardWait,
+                  shard_lock_wait_.load(std::memory_order_relaxed));
+  return std::unique_lock<std::mutex>(shard.mu);
 }
 
 void PqoManager::SetObs(const ObsHooks& hooks) {
   {
     std::lock_guard<std::mutex> obs_lock(obs_mu_);
     obs_ = hooks;
+    span_enabled_.store(hooks.tracer != nullptr, std::memory_order_relaxed);
     if (hooks.metrics != nullptr) {
       shard_lock_wait_.store(
           hooks.metrics->histogram("pqo_manager.shard_lock_wait"),
@@ -164,6 +165,10 @@ void PqoManager::FinishWarmupLocked(TemplateState* st) {
 PlanChoice PqoManager::OnInstance(const std::string& template_key,
                                   const WorkloadInstance& wi,
                                   EngineContext* engine) {
+  // Outermost span for the routed decision: everything downstream
+  // (shard-lock wait, the cache's checks, engine calls) accumulates into
+  // one breakdown that the emitting technique copies onto its event.
+  GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
   StatePtr st = GetOrCreate(template_key);
   PlanChoice choice;
   AsyncScr* async = nullptr;
@@ -345,6 +350,95 @@ double PqoManager::LambdaFor(const std::string& template_key) const {
   // in force is exactly 1 (Optimize-Always semantics) — never 0, which
   // downstream code could misread as a vacuously violated bound.
   return st->ready ? st->lambda : 1.0;
+}
+
+namespace {
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string PqoManager::StatuszJson() const {
+  std::string out = "{\"templates\":[";
+  int64_t total_plans = 0;
+  int64_t total_bytes = 0;
+  int64_t templates = 0;
+  bool first = true;
+  for (const StatePtr& st : AllStates()) {
+    double lambda;
+    bool warming;
+    {
+      std::lock_guard<std::mutex> st_lock(st->mu);
+      warming = !st->ready;
+      lambda = st->ready ? st->lambda : 1.0;
+    }
+    int64_t plans = StatePlans(*st);
+    int64_t bytes = StateMemoryBytes(*st);
+    total_plans += plans;
+    total_bytes += bytes;
+    ++templates;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"key\":\"";
+    AppendJsonEscaped(st->key, &out);
+    out += "\",\"lambda\":";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", lambda);
+    out += buf;
+    out += ",\"warming_up\":";
+    out += warming ? "true" : "false";
+    out += ",\"plans\":";
+    out += std::to_string(plans);
+    out += ",\"memory_bytes\":";
+    out += std::to_string(bytes);
+    out += "}";
+  }
+  int64_t ring_drops = 0;
+  {
+    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    if (obs_.tracer != nullptr) ring_drops = obs_.tracer->dropped();
+  }
+  out += "],\"totals\":{\"templates\":";
+  out += std::to_string(templates);
+  out += ",\"plans\":";
+  out += std::to_string(total_plans);
+  out += ",\"memory_bytes\":";
+  out += std::to_string(total_bytes);
+  out += ",\"global_plan_budget\":";
+  out += std::to_string(options_.global_plan_budget);
+  out += ",\"global_memory_bytes\":";
+  out += std::to_string(options_.global_memory_bytes);
+  out += ",\"global_evictions\":";
+  out += std::to_string(global_evictions());
+  out += ",\"warmup_fallbacks\":";
+  out += std::to_string(warmup_fallbacks());
+  out += ",\"trace_ring_drops\":";
+  out += std::to_string(ring_drops);
+  out += "}}\n";
+  return out;
 }
 
 void PqoManager::FlushAll() {

@@ -119,6 +119,13 @@ class PqoManager {
   /// cache sizes or auditing traces.
   void FlushAll();
 
+  /// Operator-facing status document for the admin server's /statusz:
+  /// {"templates": [{key, lambda, warming_up, plans, memory_bytes},
+  /// ...], "totals": {templates, plans, memory_bytes,
+  /// global_plan_budget, global_memory_bytes, global_evictions,
+  /// warmup_fallbacks, trace_ring_drops}}. Thread-safe.
+  std::string StatuszJson() const;
+
   /// Cross-template evictions performed by the global budget enforcer.
   int64_t global_evictions() const {
     return global_evictions_.load(std::memory_order_relaxed);
@@ -200,6 +207,9 @@ class PqoManager {
   // even if SetObs is re-attached between traffic windows.
   mutable std::mutex obs_mu_;
   ObsHooks obs_;
+  /// True when a tracer is attached, so OnInstance knows whether to open a
+  /// getPlan span without taking obs_mu_ on the hot path.
+  std::atomic<bool> span_enabled_{false};
   std::atomic<LogHistogram*> shard_lock_wait_{nullptr};
   std::atomic<Counter*> templates_created_{nullptr};
   std::atomic<Counter*> invalidations_{nullptr};

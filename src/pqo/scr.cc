@@ -63,11 +63,13 @@ void Scr::SetObs(const ObsHooks& hooks) {
         obs_.metrics->histogram("scr.manage_cache_micros");
     cost_check_candidates_ =
         obs_.metrics->histogram("scr.cost_check_candidates");
+    stage_hists_ = StageHistograms::FromRegistry(obs_.metrics);
   } else {
     for (Counter*& c : decision_counters_) c = nullptr;
     get_plan_micros_ = nullptr;
     manage_cache_micros_ = nullptr;
     cost_check_candidates_ = nullptr;
+    stage_hists_.Reset();
   }
 }
 
@@ -80,6 +82,15 @@ void Scr::EmitEvent(DecisionEvent event, int instance_id,
   event.technique = name();
   event.template_key = scope_label_;
   event.wall_micros = ScopedTimer::ElapsedMicros(start);
+  // Per-instance decisions carry the ambient span's stage breakdown;
+  // meta events (evictions) don't — their timing belongs to the decision
+  // that triggered them. Open StageTimers must be stopped before emitting
+  // or their stage is missing from the copy.
+  if (IsDecisionOutcome(event.outcome)) {
+    if (const StageBreakdown* b = SpanContext::Current()) {
+      event.stages = *b;
+    }
+  }
   obs_.tracer->Record(std::move(event));
 }
 
@@ -92,6 +103,9 @@ int64_t Scr::NumInstancesStored() const {
 }
 
 PlanChoice Scr::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
+  // Outermost span for the whole decision (reuse attempt + optimize +
+  // manageCache); a no-op when a PqoManager already opened one upstream.
+  GetPlanSpan span(obs_.tracer != nullptr);
   auto start = std::chrono::steady_clock::now();
   PlanChoice choice;
   if (TryReuse(wi, engine, &choice)) return choice;
@@ -118,6 +132,10 @@ void Scr::RegisterOptimization(
 
 bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
                    PlanChoice* choice_out) {
+  // Standalone reuse attempts (AsyncScr's critical path) get their own
+  // span here; when Scr::OnInstance or a PqoManager opened one already
+  // this is a no-op and stages accumulate into the outer breakdown.
+  GetPlanSpan span(obs_.tracer != nullptr);
   std::chrono::steady_clock::time_point start{};
   if (obs_.tracer != nullptr) start = std::chrono::steady_clock::now();
   ScopedTimer get_plan_timer(get_plan_micros_);
@@ -140,13 +158,19 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     // only tightens it), verified per hit.
     double envelope =
         options_.dynamic_lambda ? options_.lambda_max : options_.lambda;
-    for (const auto& m : index_->RangeQuery(sv, envelope)) {
+    StageTimer probe_timer(Stage::kIndexProbe,
+                           stage_hists_[Stage::kIndexProbe]);
+    const auto matches = index_->RangeQuery(sv, envelope);
+    probe_timer.Stop();
+    StageTimer sel_timer(Stage::kSelCheck, stage_hists_[Stage::kSelCheck]);
+    for (const auto& m : matches) {
       InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
       if (!e.live) continue;
       if (std::exp(m.log_gl) <= LambdaFor(e) / e.subopt) {
         e.usage.Add(1);
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
+        sel_timer.Stop();
         if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
           DecisionEvent ev;
           ev.outcome = DecisionOutcome::kSelCheckHit;
@@ -163,13 +187,18 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         return true;
       }
     }
+    sel_timer.Stop();
     if (options_.enable_cost_check) {
       // Nearest-by-GL sweep; overfetch to survive the disabled-entry
       // filter.
       int want = options_.max_cost_check_candidates > 0
                      ? options_.max_cost_check_candidates
                      : static_cast<int>(instances_.size());
-      for (const auto& m : index_->NearestByGl(sv, 2 * want + 4)) {
+      StageTimer near_timer(Stage::kIndexProbe,
+                            stage_hists_[Stage::kIndexProbe]);
+      const auto nearest = index_->NearestByGl(sv, 2 * want + 4);
+      near_timer.Stop();
+      for (const auto& m : nearest) {
         InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
         if (!e.live || e.cost_check_disabled.value()) continue;
         candidates.push_back(Candidate{std::exp(m.log_gl),
@@ -178,6 +207,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
       }
     }
   } else {
+    StageTimer sel_timer(Stage::kSelCheck, stage_hists_[Stage::kSelCheck]);
     for (size_t i = 0; i < instances_.size(); ++i) {
       InstanceEntry& e = instances_[i];
       if (!e.live) continue;
@@ -189,6 +219,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         e.usage.Add(1);
         store_.AddUsage(e.plan_id, 1);
         choice.plan = store_.entry(e.plan_id).plan;
+        sel_timer.Stop();
         if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
           DecisionEvent ev;
           ev.outcome = DecisionOutcome::kSelCheckHit;
@@ -324,7 +355,11 @@ void Scr::ManageCache(const WorkloadInstance& wi,
                       std::shared_ptr<const OptimizationResult> result,
                       EngineContext* engine, PlanChoice* choice,
                       std::chrono::steady_clock::time_point start) {
-  ScopedTimer manage_cache_timer(manage_cache_micros_);
+  // Covers the store-or-reuse half (including the redundancy check's
+  // recosts); stopped before the decision event is emitted so the
+  // "manage_cache" stage appears in its breakdown. The bookkeeping tail
+  // (budget eviction, instance-list push) stays unattributed.
+  StageTimer manage_cache_timer(Stage::kManageCache, manage_cache_micros_);
   const SVector& sv = wi.svector;
   cost_sum_ += result->cost;
   ++cost_count_;
@@ -333,6 +368,7 @@ void Scr::ManageCache(const WorkloadInstance& wi,
   PlanStore::StoreResult stored =
       store_.StoreOrReuse(cached, sv, result->cost, lambda_r_effective_,
                           engine);
+  manage_cache_timer.Stop();
 
   if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
     DecisionEvent ev;

@@ -242,6 +242,9 @@ class Scr : public PqoTechnique {
   LogHistogram* get_plan_micros_ = nullptr;
   LogHistogram* manage_cache_micros_ = nullptr;
   LogHistogram* cost_check_candidates_ = nullptr;
+  /// Per-stage latency histograms ("stage.<name>_micros"), resolved once
+  /// at SetObs time (cached-sink-pointer pattern).
+  StageHistograms stage_hists_;
 };
 
 }  // namespace scrpqo

@@ -159,8 +159,12 @@ void AuditEvent(const DecisionEvent& e, const AuditConfig& config,
     }
     case DecisionOutcome::kOptimized:
     case DecisionOutcome::kEvicted:
-      // No guarantee arithmetic: optimizing is always lambda-optimal and
-      // eviction drops the instance entries with the plan (Section 6.3.1).
+    case DecisionOutcome::kAuditAlert:
+    case DecisionOutcome::kRingDropped:
+      // No guarantee arithmetic: optimizing is always lambda-optimal,
+      // eviction drops the instance entries with the plan (Section 6.3.1),
+      // and audit-alert / ring-dropped are meta events the online monitor
+      // synthesizes about the stream rather than decisions in it.
       break;
   }
 }

@@ -1,0 +1,164 @@
+#include "verify/online_auditor.h"
+
+#include <limits>
+#include <utility>
+
+namespace scrpqo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool Present(double field) { return field >= 0.0; }
+
+/// Relative compliance margin (rhs - lhs) / rhs for one lhs <= rhs
+/// inequality; returns +inf when the inequality does not apply.
+double Margin(double lhs, double rhs) {
+  if (rhs <= 0.0) return kInf;
+  return (rhs - lhs) / rhs;
+}
+
+/// The margin of the guarantee inequality `e` claims to satisfy, mirroring
+/// the rule selection in the offline AuditEvent: sel checks carry G/L/S,
+/// SCR cost checks carry R/L/S, PCM inference only R, redundancy Smin.
+double EventMargin(const DecisionEvent& e) {
+  if (!Present(e.lambda)) return kInf;
+  switch (e.outcome) {
+    case DecisionOutcome::kSelCheckHit:
+      if (Present(e.g) && Present(e.l) && Present(e.subopt) &&
+          e.subopt > 0.0) {
+        return Margin(e.g * e.l, e.lambda / e.subopt);
+      }
+      return kInf;
+    case DecisionOutcome::kCostCheckHit:
+      if (!Present(e.r)) return kInf;
+      if (Present(e.l) && Present(e.subopt) && e.subopt > 0.0) {
+        return Margin(e.r * e.l, e.lambda / e.subopt);
+      }
+      return Margin(e.r, e.lambda);
+    case DecisionOutcome::kRedundantDiscard:
+      if (!Present(e.r)) return kInf;
+      return Margin(e.r, e.lambda);
+    case DecisionOutcome::kOptimized:
+    case DecisionOutcome::kEvicted:
+    case DecisionOutcome::kAuditAlert:
+    case DecisionOutcome::kRingDropped:
+      return kInf;
+  }
+  return kInf;
+}
+
+}  // namespace
+
+OnlineAuditor::OnlineAuditor(OnlineAuditorOptions options)
+    : options_(std::move(options)), worst_margin_(kInf) {
+  if (options_.metrics != nullptr) {
+    checked_counter_ = options_.metrics->counter("verify.online.checked");
+    violations_counter_ =
+        options_.metrics->counter("verify.online.violations");
+    worst_margin_gauge_ = options_.metrics->gauge("verify.online.worst_margin");
+  }
+}
+
+void OnlineAuditor::Consume(const std::vector<DecisionEvent>& events) {
+  // Filter to genuine getPlan decisions: meta events (alerts we emitted
+  // ourselves, ring-drop records) must not be re-audited or the auditor
+  // feeding its own tracer would alert on its alerts forever.
+  std::vector<DecisionEvent> decisions;
+  decisions.reserve(events.size());
+  for (const DecisionEvent& e : events) {
+    if (IsDecisionOutcome(e.outcome)) decisions.push_back(e);
+  }
+  if (decisions.empty()) return;
+
+  // Same rules as the offline audit, applied to the in-flight batch.
+  AuditReport report = AuditTrace(decisions, options_.config);
+
+  // Alerts need the offending event's fields; violations reference it by
+  // trace seq.
+  std::map<int64_t, const DecisionEvent*> by_seq;
+  for (const DecisionEvent& e : decisions) by_seq[e.seq] = &e;
+
+  if (checked_counter_ != nullptr) {
+    checked_counter_->Increment(static_cast<int64_t>(decisions.size()));
+  }
+  if (violations_counter_ != nullptr && !report.violations.empty()) {
+    violations_counter_->Increment(
+        static_cast<int64_t>(report.violations.size()));
+  }
+
+  std::vector<DecisionEvent> alerts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    checked_ += static_cast<int64_t>(decisions.size());
+    violations_ += static_cast<int64_t>(report.violations.size());
+    for (const DecisionEvent& e : decisions) {
+      TemplateStats& ts = per_template_
+                              .try_emplace(e.template_key, TemplateStats{
+                                                               0, 0, kInf})
+                              .first->second;
+      ++ts.checked;
+      double m = EventMargin(e);
+      if (m < ts.worst_margin) ts.worst_margin = m;
+      if (m < worst_margin_) worst_margin_ = m;
+    }
+    for (const AuditViolation& v : report.violations) {
+      auto it = by_seq.find(v.seq);
+      const DecisionEvent* src = it == by_seq.end() ? nullptr : it->second;
+      const std::string& key = src != nullptr ? src->template_key : v.template_key;
+      ++per_template_.try_emplace(key, TemplateStats{0, 0, kInf})
+            .first->second.violations;
+      if (options_.alert_tracer != nullptr && src != nullptr) {
+        // The alert carries the offending decision's identity and factors
+        // so `trace_summarize` / the admin surface can show what broke
+        // without joining back to the original event.
+        DecisionEvent alert;
+        alert.outcome = DecisionOutcome::kAuditAlert;
+        alert.technique = "online-auditor";
+        alert.template_key = src->template_key;
+        alert.instance_id = src->instance_id;
+        alert.matched_entry = src->matched_entry;
+        alert.g = src->g;
+        alert.l = src->l;
+        alert.r = src->r;
+        alert.subopt = src->subopt;
+        alert.lambda = src->lambda;
+        alerts.push_back(std::move(alert));
+      }
+    }
+    PublishLocked();
+  }
+  // Emit outside mu_: Record may re-enter tracer machinery.
+  for (DecisionEvent& alert : alerts) {
+    options_.alert_tracer->Record(std::move(alert));
+  }
+}
+
+void OnlineAuditor::PublishLocked() {
+  if (worst_margin_gauge_ != nullptr && worst_margin_ < kInf) {
+    worst_margin_gauge_->Set(worst_margin_);
+  }
+}
+
+int64_t OnlineAuditor::checked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checked_;
+}
+
+int64_t OnlineAuditor::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+double OnlineAuditor::worst_margin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worst_margin_;
+}
+
+std::map<std::string, OnlineAuditor::TemplateStats>
+OnlineAuditor::PerTemplate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_template_;
+}
+
+}  // namespace scrpqo

@@ -205,7 +205,8 @@ TEST(DecisionEventJsonlTest, OutcomeNamesRoundTrip) {
   for (DecisionOutcome o :
        {DecisionOutcome::kSelCheckHit, DecisionOutcome::kCostCheckHit,
         DecisionOutcome::kOptimized, DecisionOutcome::kRedundantDiscard,
-        DecisionOutcome::kEvicted}) {
+        DecisionOutcome::kEvicted, DecisionOutcome::kAuditAlert,
+        DecisionOutcome::kRingDropped}) {
     DecisionOutcome back;
     ASSERT_TRUE(ParseDecisionOutcome(DecisionOutcomeName(o), &back));
     EXPECT_EQ(back, o);

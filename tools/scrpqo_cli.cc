@@ -10,16 +10,21 @@
 // Techniques: scr (default), async-scr, pcm, ellipse, density, ranges,
 // opt-once, opt-always. Without --sql a built-in 2-d template is used.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
+#include "obs/admin_server.h"
 #include "obs/metrics_registry.h"
+#include "obs/ring_tracer.h"
 #include "obs/trace.h"
 #include "verify/guarantee_audit.h"
+#include "verify/online_auditor.h"
 #include "pqo/async_scr.h"
 #include "pqo/cache_persistence.h"
 #include "pqo/density.h"
@@ -61,6 +66,17 @@ struct CliOptions {
   std::string trace_events;  // write per-decision JSONL events here
   std::string metrics_json;  // write the metrics-registry snapshot here
   bool audit = false;  // re-derive every traced decision after the run
+  /// Capture backend for --trace-events/--audit: per-thread SPSC rings
+  /// drained by an exporter ("ring", the default) or the legacy mutexed
+  /// ring ("mutex").
+  std::string tracer_kind = "ring";
+  /// Streaming lambda-compliance monitor on the exporter stream.
+  bool online_audit = false;
+  /// Embedded admin HTTP server port (0 = ephemeral); -1 disables.
+  int admin_port = -1;
+  /// Keep the admin server up this long after the run so an operator or
+  /// the CI smoke step can scrape /metrics and /statusz.
+  int admin_linger_ms = 0;
 };
 
 int Usage() {
@@ -75,6 +91,8 @@ int Usage() {
       "                  [--save-trace F] [--replay-trace F]\n"
       "                  [--save-cache F] [--load-cache F]\n"
       "                  [--trace-events F] [--metrics-json F]\n"
+      "                  [--tracer ring|mutex] [--online-audit]\n"
+      "                  [--admin-port P] [--admin-linger-ms MS]\n"
       "                  [--explain] [--trace] [--audit]\n");
   return 2;
 }
@@ -153,6 +171,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->metrics_json = v;
     } else if (arg == "--audit") {
       opts->audit = true;
+    } else if (arg == "--tracer") {
+      const char* v = next();
+      if (!v) return false;
+      opts->tracer_kind = v;
+    } else if (arg == "--online-audit") {
+      opts->online_audit = true;
+    } else if (arg == "--admin-port") {
+      const char* v = next();
+      if (!v) return false;
+      opts->admin_port = std::atoi(v);
+    } else if (arg == "--admin-linger-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opts->admin_linger_ms = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -338,20 +370,100 @@ int main(int argc, char** argv) {
   ropts.lambda_for_violations = opts.lambda;
   ropts.ordering_name = opts.ordering;
   std::unique_ptr<Tracer> tracer;
+  RingTracer* ring_tracer = nullptr;
   std::unique_ptr<MetricsRegistry> registry;
-  if (!opts.trace_events.empty() || opts.audit) {
-    // Size the ring generously so a full run (decisions + cache events)
-    // never wraps; the audit must see every decision.
-    tracer = std::make_unique<Tracer>(
-        static_cast<size_t>(std::max(1024, 4 * opts.m)));
+  const bool want_tracer =
+      !opts.trace_events.empty() || opts.audit || opts.online_audit;
+  if (want_tracer) {
+    // Size the retained window generously so a full run (decisions +
+    // cache events) never wraps; the audit must see every decision.
+    const size_t cap = static_cast<size_t>(std::max(1024, 4 * opts.m));
+    if (opts.tracer_kind == "mutex") {
+      tracer = std::make_unique<Tracer>(cap);
+    } else if (opts.tracer_kind == "ring") {
+      RingTracer::Options ring_opts;
+      // Single-threaded CLI run: make the per-thread ring as large as
+      // the window so the exporter can never lose a burst to drops.
+      ring_opts.ring_capacity = cap;
+      ring_opts.window_capacity = cap;
+      auto rt = std::make_unique<RingTracer>(ring_opts);
+      ring_tracer = rt.get();
+      tracer = std::move(rt);
+    } else {
+      std::fprintf(stderr, "unknown tracer kind: %s (ring|mutex)\n",
+                   opts.tracer_kind.c_str());
+      return Usage();
+    }
     ropts.tracer = tracer.get();
   }
-  if (!opts.metrics_json.empty()) {
+  if (!opts.metrics_json.empty() || opts.admin_port >= 0 ||
+      opts.online_audit) {
     registry = std::make_unique<MetricsRegistry>();
     ropts.metrics = registry.get();
   }
+
+  const bool is_scr_family =
+      opts.technique == "scr" || opts.technique == "async-scr";
+
+  std::shared_ptr<OnlineAuditor> online_auditor;
+  if (opts.online_audit) {
+    if (ring_tracer == nullptr) {
+      std::fprintf(stderr,
+                   "--online-audit requires --tracer ring (the monitor "
+                   "consumes the exporter stream)\n");
+      return 2;
+    }
+    OnlineAuditorOptions aopts;
+    aopts.config.lambda = opts.lambda;
+    if (is_scr_family) {
+      aopts.config.lambda_r = std::sqrt(opts.lambda);  // ScrOptions default
+    }
+    aopts.alert_tracer = ring_tracer;
+    aopts.metrics = registry.get();
+    online_auditor = std::make_shared<OnlineAuditor>(aopts);
+    ring_tracer->AddSink(online_auditor);
+  }
+
+  std::unique_ptr<AdminServer> admin;
+  if (opts.admin_port >= 0) {
+    AdminServer::Options aopts;
+    aopts.port = opts.admin_port;
+    aopts.metrics = registry.get();
+    Tracer* statusz_tracer = tracer.get();
+    std::string statusz_technique = opts.technique;
+    double statusz_lambda = opts.lambda;
+    aopts.statusz = [statusz_tracer, statusz_technique, statusz_lambda]() {
+      std::string out = "{\"technique\":\"" + statusz_technique +
+                        "\",\"lambda\":" + std::to_string(statusz_lambda) +
+                        ",\"trace_ring_drops\":";
+      out += std::to_string(statusz_tracer != nullptr
+                                ? statusz_tracer->dropped()
+                                : 0);
+      out += "}\n";
+      return out;
+    };
+    admin = std::make_unique<AdminServer>(std::move(aopts));
+    Status st = admin->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "admin server error: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin server listening on 127.0.0.1:%d\n", admin->port());
+    std::fflush(stdout);
+  }
+
   SequenceMetrics m = RunSequence(optimizer, instances, perm, oracle,
                                   technique.get(), ropts);
+  // Drain the rings before reading the trace back (writes, audits,
+  // status) — the exporter runs on its own clock.
+  if (ring_tracer != nullptr) {
+    Status st = ring_tracer->Flush();
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace flush error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf("\n%s over %lld instances (%s ordering):\n",
               technique->name().c_str(), static_cast<long long>(m.m),
               opts.ordering.c_str());
@@ -366,7 +478,7 @@ int main(int argc, char** argv) {
   std::printf("  bound violations  : %lld\n",
               static_cast<long long>(m.bound_violations));
 
-  if (tracer != nullptr) {
+  if (tracer != nullptr && !opts.trace_events.empty()) {
     Status st = tracer->WriteJsonlFile(opts.trace_events);
     if (!st.ok()) {
       std::fprintf(stderr, "trace-events error: %s\n",
@@ -377,7 +489,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(tracer->total_recorded()),
                 opts.trace_events.c_str());
   }
-  if (registry != nullptr) {
+  if (registry != nullptr && !opts.metrics_json.empty()) {
     Status st = registry->WriteJsonFile(opts.metrics_json);
     if (!st.ok()) {
       std::fprintf(stderr, "metrics-json error: %s\n",
@@ -406,8 +518,6 @@ int main(int argc, char** argv) {
     // run broke the paper's lambda guarantee — exit nonzero.
     AuditConfig config;
     config.lambda = opts.lambda;
-    const bool is_scr_family =
-        opts.technique == "scr" || opts.technique == "async-scr";
     if (is_scr_family) {
       config.lambda_r = std::sqrt(opts.lambda);  // ScrOptions default
     }
@@ -420,5 +530,26 @@ int main(int argc, char** argv) {
     std::printf("\n%s\n", report.ToString().c_str());
     if (!report.ok()) return 1;
   }
-  return 0;
+
+  int rc = 0;
+  if (online_auditor != nullptr) {
+    std::printf(
+        "\nonline audit: %lld decisions checked, %lld violations",
+        static_cast<long long>(online_auditor->checked()),
+        static_cast<long long>(online_auditor->violations()));
+    double margin = online_auditor->worst_margin();
+    if (std::isfinite(margin)) {
+      std::printf(", worst margin %.6f", margin);
+    }
+    std::printf("\n");
+    if (online_auditor->violations() > 0) rc = 1;
+  }
+
+  if (admin != nullptr && opts.admin_linger_ms > 0) {
+    // Leave the operator surface up after the run (CI smoke / manual
+    // curls); the run's metrics and status stay scrapeable meanwhile.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts.admin_linger_ms));
+  }
+  return rc;
 }

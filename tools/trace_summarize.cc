@@ -2,17 +2,26 @@
 // written by `scrpqo_cli --trace-events`.
 //
 // Usage:
-//   trace_summarize TRACE.jsonl
+//   trace_summarize [--stage-attribution] TRACE.jsonl
 //
 // Prints the per-outcome decision breakdown (decision outcomes sum to the
-// number of instances traced), cache-maintenance event counts, getPlan
-// latency percentiles, and cost-check effort stats.
+// number of instances traced), cache-maintenance event counts, capture
+// losses (ring-buffer drops recorded in-band by the SPSC tracer),
+// per-template event totals, getPlan latency percentiles, and cost-check
+// effort stats. With --stage-attribution, also breaks getPlan wall time
+// down by pipeline stage (shard-lock wait, index probe, sel check,
+// recost, optimize, manageCache) from the per-event span records.
+//
+// Exits non-zero on a malformed trace: any line that is not a valid
+// decision-event JSONL record fails the whole run (a truncated or
+// corrupted trace must not silently summarize as a shorter one).
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/math_util.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 using namespace scrpqo;
@@ -26,14 +35,29 @@ void PrintLatencyLine(const char* label, std::vector<double> micros) {
               Percentile(micros, 99.0), Max(micros));
 }
 
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_summarize [--stage-attribution] TRACE.jsonl\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_summarize TRACE.jsonl\n");
-    return 2;
+  bool stage_attribution = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stage-attribution") {
+      stage_attribution = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
   }
-  auto loaded = ReadJsonlTraceFile(argv[1]);
+  if (path == nullptr) return Usage();
+  auto loaded = ReadJsonlTraceFile(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return 1;
@@ -46,15 +70,24 @@ int main(int argc, char** argv) {
 
   std::map<DecisionOutcome, int64_t> counts;
   std::map<std::string, int64_t> techniques;
+  std::map<std::string, int64_t> template_totals;
   std::vector<double> decision_micros;
   std::vector<double> candidates;
   std::vector<double> recosts;
+  std::vector<double> stage_micros[kNumStages];
   int64_t decisions = 0;
   int64_t cache_events = 0;
   int64_t optimizer_calls = 0;
+  int64_t drop_events = 0;
+  int64_t dropped_total = 0;
   for (const DecisionEvent& e : events) {
     ++counts[e.outcome];
     if (!e.technique.empty()) ++techniques[e.technique];
+    ++template_totals[e.template_key];
+    if (e.outcome == DecisionOutcome::kRingDropped) {
+      ++drop_events;
+      dropped_total += e.dropped;
+    }
     if (IsDecisionOutcome(e.outcome)) {
       ++decisions;
       decision_micros.push_back(static_cast<double>(e.wall_micros));
@@ -63,6 +96,12 @@ int main(int argc, char** argv) {
       if (e.outcome == DecisionOutcome::kOptimized ||
           e.outcome == DecisionOutcome::kRedundantDiscard) {
         ++optimizer_calls;
+      }
+      for (int s = 0; s < kNumStages; ++s) {
+        int64_t us = e.stages.get(static_cast<Stage>(s));
+        if (us >= 0) {
+          stage_micros[s].push_back(static_cast<double>(us));
+        }
       }
     } else {
       ++cache_events;
@@ -98,6 +137,65 @@ int main(int argc, char** argv) {
                     counts.count(DecisionOutcome::kEvicted)
                         ? counts[DecisionOutcome::kEvicted]
                         : 0));
+  }
+
+  // Capture losses are recorded in-band: the SPSC exporter synthesizes a
+  // kRingDropped event whenever a producer ring overflowed, carrying the
+  // number of events lost in its `dropped` field.
+  if (drop_events > 0) {
+    std::printf("\ncapture losses:\n");
+    std::printf("  ring-drop records  %8lld\n",
+                static_cast<long long>(drop_events));
+    std::printf("  events dropped     %8lld\n",
+                static_cast<long long>(dropped_total));
+  } else {
+    std::printf("\ncapture losses: none (no ring-drop records)\n");
+  }
+  if (counts.count(DecisionOutcome::kAuditAlert)) {
+    std::printf("\nAUDIT ALERTS: %lld lambda-guarantee violations flagged "
+                "by the online monitor\n",
+                static_cast<long long>(
+                    counts[DecisionOutcome::kAuditAlert]));
+  }
+
+  // Per-template totals (multi-template traces from a PqoManager run;
+  // single-template traces roll up under one anonymous row).
+  if (template_totals.size() > 1 ||
+      !template_totals.begin()->first.empty()) {
+    std::printf("\nevents by template:\n");
+    for (const auto& [key, n] : template_totals) {
+      std::printf("  %-32s %8lld\n",
+                  key.empty() ? "(no template)" : key.c_str(),
+                  static_cast<long long>(n));
+    }
+  }
+
+  if (stage_attribution) {
+    std::printf("\nstage attribution (decisions carrying each stage):\n");
+    auto sum = [](const std::vector<double>& v) {
+      double total = 0.0;
+      for (double x : v) total += x;
+      return total;
+    };
+    double attributed_sum = 0.0;
+    for (int s = 0; s < kNumStages; ++s) {
+      attributed_sum += sum(stage_micros[s]);
+    }
+    for (int s = 0; s < kNumStages; ++s) {
+      const std::vector<double>& v = stage_micros[s];
+      if (v.empty()) continue;
+      double total = sum(v);
+      std::printf(
+          "  %-13s n=%-6zu mean=%7.1fus p99=%7.1fus max=%7.1fus  "
+          "share=%5.1f%%\n",
+          StageName(static_cast<Stage>(s)), v.size(), Mean(v),
+          Percentile(v, 99.0), Max(v),
+          attributed_sum > 0.0 ? 100.0 * total / attributed_sum : 0.0);
+    }
+    if (attributed_sum == 0.0) {
+      std::printf("  (no stage records in this trace — was it captured "
+                  "with a tracer attached?)\n");
+    }
   }
 
   std::printf("\nlatency:\n");
