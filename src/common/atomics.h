@@ -23,18 +23,21 @@ class RelaxedCounter {
 
   RelaxedCounter(const RelaxedCounter& other) noexcept : v_(other.value()) {}
   RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
-    store(other.value());
+    Store(other.value());
     return *this;
   }
   RelaxedCounter& operator=(T v) noexcept {
-    store(v);
+    Store(v);
     return *this;
   }
 
   T value() const noexcept { return v_.load(std::memory_order_relaxed); }
   operator T() const noexcept { return value(); }  // NOLINT(runtime/explicit)
 
-  void store(T v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  /// Named Store (not std::atomic's `store`) so the project lint rule
+  /// `atomic-order` can tell a blessed relaxed wrapper from a raw
+  /// default-seq_cst atomic store by spelling alone.
+  void Store(T v) noexcept { v_.store(v, std::memory_order_relaxed); }
 
   void Add(T delta) noexcept {
     v_.fetch_add(delta, std::memory_order_relaxed);

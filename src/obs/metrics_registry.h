@@ -11,11 +11,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace scrpqo {
 
@@ -123,11 +123,11 @@ class MetricsRegistry {
  public:
   /// Create-on-first-use; returned pointer is stable for the registry's
   /// lifetime. Thread-safe.
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  LogHistogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name) EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name) EXCLUDES(mu_);
+  LogHistogram* histogram(const std::string& name) EXCLUDES(mu_);
 
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Writes the snapshot as a single JSON object:
   /// {"counters": {...}, "histograms": {name: {...}, ...}}.
@@ -135,10 +135,14 @@ class MetricsRegistry {
   Status WriteJsonFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+  /// Guards the name->object maps only; the objects themselves are
+  /// internally atomic and deliberately NOT guarded (hot paths hold raw
+  /// pointers to them with no lock).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace scrpqo

@@ -36,21 +36,26 @@ RingTracer::RingTracer(Options options)
       retired_(std::make_shared<std::atomic<bool>>(false)),
       window_(std::make_shared<InMemorySink>(
           options.window_capacity == 0 ? 1 : options.window_capacity)) {
-  sinks_.push_back(window_);
+  {
+    // Not yet shared, but locking keeps the guarded sinks_ write provable
+    // without an analysis escape.
+    MutexLock lock(export_mu_);
+    sinks_.push_back(window_);
+  }
   exporter_ = std::thread([this] { ExporterLoop(); });
 }
 
 RingTracer::~RingTracer() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     stopping_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (exporter_.joinable()) exporter_.join();
   // Final drain: producers must be quiesced by now (standard tracer
   // lifetime contract — techniques are detached before the tracer dies).
   {
-    std::lock_guard<std::mutex> lock(export_mu_);
+    MutexLock lock(export_mu_);
     DrainLocked();
   }
   retired_->store(true, std::memory_order_release);
@@ -59,7 +64,7 @@ RingTracer::~RingTracer() {
 std::shared_ptr<RingTracer::ThreadRing> RingTracer::RegisterThisThread() {
   auto ring = std::make_shared<ThreadRing>(options_.ring_capacity);
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     rings_.push_back(ring);
   }
   // Prune handles of retired tracers while we're here so long-lived
@@ -89,7 +94,7 @@ void RingTracer::Record(DecisionEvent event) {
 
 void RingTracer::DrainLocked() {
   {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     rings_scratch_ = rings_;
   }
   std::vector<DecisionEvent>& batch = batch_scratch_;
@@ -133,18 +138,21 @@ void RingTracer::DrainLocked() {
 }
 
 void RingTracer::ExporterLoop() {
-  std::unique_lock<std::mutex> stop_lock(stop_mu_);
+  // Hand-over-hand on stop_mu_: held only across the stop check and the
+  // timed wait, dropped for the drain so ~RingTracer's stop request never
+  // waits behind an in-flight drain round.
+  stop_mu_.Lock();
   while (!stopping_) {
-    stop_cv_.wait_for(
-        stop_lock,
-        std::chrono::microseconds(options_.drain_interval_micros));
-    stop_lock.unlock();
+    stop_cv_.WaitFor(
+        stop_mu_, std::chrono::microseconds(options_.drain_interval_micros));
+    stop_mu_.Unlock();
     {
-      std::lock_guard<std::mutex> lock(export_mu_);
+      MutexLock lock(export_mu_);
       DrainLocked();
     }
-    stop_lock.lock();
+    stop_mu_.Lock();
   }
+  stop_mu_.Unlock();
 }
 
 int64_t RingTracer::total_recorded() const {
@@ -160,12 +168,12 @@ std::vector<DecisionEvent> RingTracer::Snapshot() const {
 }
 
 void RingTracer::AddSink(std::shared_ptr<TraceSink> sink) {
-  std::lock_guard<std::mutex> lock(export_mu_);
+  MutexLock lock(export_mu_);
   sinks_.push_back(std::move(sink));
 }
 
 Status RingTracer::Flush() {
-  std::lock_guard<std::mutex> lock(export_mu_);
+  MutexLock lock(export_mu_);
   DrainLocked();
   for (const std::shared_ptr<TraceSink>& sink : sinks_) {
     Status s = sink->Flush();

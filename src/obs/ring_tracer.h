@@ -19,14 +19,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/event_ring.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -66,12 +65,12 @@ class RingTracer : public Tracer {
 
   /// Attaches a sink to the fan-out. Safe at any time; the sink starts
   /// receiving batches at the next drain.
-  void AddSink(std::shared_ptr<TraceSink> sink);
+  void AddSink(std::shared_ptr<TraceSink> sink) EXCLUDES(export_mu_);
 
   /// Drains every ring now and flushes all sinks. On return, every event
   /// recorded-before-Flush by *quiesced* producers is exported; a push
   /// racing with the drain may land in the next round.
-  Status Flush();
+  Status Flush() EXCLUDES(export_mu_);
 
  private:
   struct ThreadRing {
@@ -81,9 +80,12 @@ class RingTracer : public Tracer {
     int64_t drops_seen = 0;
   };
 
-  std::shared_ptr<ThreadRing> RegisterThisThread();
-  /// One drain round over all rings; requires export_mu_.
-  void DrainLocked();
+  std::shared_ptr<ThreadRing> RegisterThisThread() EXCLUDES(rings_mu_);
+  /// One drain round over all rings. Takes rings_mu_ briefly for the ring
+  /// snapshot — the exporter-side lock order is export_mu_ before
+  /// rings_mu_, and neither is ever held while touching a serving-path
+  /// lock (producers are lock-free by construction).
+  void DrainLocked() REQUIRES(export_mu_) EXCLUDES(rings_mu_);
   void ExporterLoop();
 
   const Options options_;
@@ -91,26 +93,36 @@ class RingTracer : public Tracer {
   /// Set by the destructor; threads use it to prune dead TLS handles.
   const std::shared_ptr<std::atomic<bool>> retired_;
 
-  std::mutex rings_mu_;
-  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  /// Guards the ring registry only (producers registering vs. the
+  /// exporter snapshotting); each ring's contents are SPSC-synchronized
+  /// by the ring itself.
+  Mutex rings_mu_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_ GUARDED_BY(rings_mu_);
 
   /// Serializes drain rounds (exporter loop vs. explicit Flush) and
-  /// guards sinks_ / next_seq_.
-  mutable std::mutex export_mu_;
-  std::vector<std::shared_ptr<TraceSink>> sinks_;
-  std::shared_ptr<InMemorySink> window_;
-  int64_t next_seq_ = 0;
+  /// guards the exporter-side state: sink list, sequence counter, and the
+  /// ThreadRing::drops_seen bookkeeping DrainLocked updates. Lock order:
+  /// a drain round snapshots the registry under rings_mu_ while holding
+  /// export_mu_, never the reverse (checked by -Wthread-safety-beta).
+  mutable Mutex export_mu_ ACQUIRED_BEFORE(rings_mu_);
+  std::vector<std::shared_ptr<TraceSink>> sinks_ GUARDED_BY(export_mu_);
+  /// Built-in retained window. The pointer is immutable after
+  /// construction (Snapshot reads it lock-free); InMemorySink locks
+  /// itself internally.
+  const std::shared_ptr<InMemorySink> window_;
+  int64_t next_seq_ GUARDED_BY(export_mu_) = 0;
   /// Drain-round scratch (guarded by export_mu_): reused across rounds so
   /// the exporter's steady state allocates nothing.
-  std::vector<std::shared_ptr<ThreadRing>> rings_scratch_;
-  std::vector<DecisionEvent> batch_scratch_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_scratch_
+      GUARDED_BY(export_mu_);
+  std::vector<DecisionEvent> batch_scratch_ GUARDED_BY(export_mu_);
 
   std::atomic<int64_t> exported_total_{0};
   std::atomic<int64_t> dropped_total_{0};
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  Mutex stop_mu_;
+  CondVar stop_cv_;
+  bool stopping_ GUARDED_BY(stop_mu_) = false;
   std::thread exporter_;
 };
 

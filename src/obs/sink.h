@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace scrpqo {
@@ -44,8 +44,9 @@ class InMemorySink : public TraceSink {
   explicit InMemorySink(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  void Consume(const std::vector<DecisionEvent>& batch) override {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Consume(const std::vector<DecisionEvent>& batch) override
+      EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (const DecisionEvent& e : batch) StoreLocked(e);
   }
 
@@ -53,14 +54,14 @@ class InMemorySink : public TraceSink {
   /// is dead after the fan-out, so moving events into the window saves a
   /// per-event copy (two strings) on the exporter thread — which on a
   /// small machine time-slices against the serving threads.
-  void ConsumeOwned(std::vector<DecisionEvent>&& batch) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ConsumeOwned(std::vector<DecisionEvent>&& batch) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (DecisionEvent& e : batch) StoreLocked(std::move(e));
   }
 
   /// Retained window, oldest first. Any thread.
-  std::vector<DecisionEvent> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecisionEvent> Snapshot() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     std::vector<DecisionEvent> out;
     out.reserve(window_.size());
     if (window_.size() < capacity_) {
@@ -75,7 +76,7 @@ class InMemorySink : public TraceSink {
 
  private:
   template <typename Event>
-  void StoreLocked(Event&& e) {
+  void StoreLocked(Event&& e) REQUIRES(mu_) {
     if (window_.size() < capacity_) {
       window_.push_back(std::forward<Event>(e));
     } else {
@@ -85,9 +86,9 @@ class InMemorySink : public TraceSink {
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<DecisionEvent> window_;
-  size_t next_slot_ = 0;
+  mutable Mutex mu_;
+  std::vector<DecisionEvent> window_ GUARDED_BY(mu_);
+  size_t next_slot_ GUARDED_BY(mu_) = 0;
 };
 
 /// Streams every exported event to a JSONL file as it arrives — same wire

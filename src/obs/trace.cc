@@ -291,7 +291,7 @@ Result<DecisionEvent> DecisionEventFromJsonl(const std::string& line) {
 Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void Tracer::Record(DecisionEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   event.seq = next_seq_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -301,12 +301,12 @@ void Tracer::Record(DecisionEvent event) {
 }
 
 int64_t Tracer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_seq_;
 }
 
 std::vector<DecisionEvent> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DecisionEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {

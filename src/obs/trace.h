@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/span.h"
 
 namespace scrpqo {
@@ -124,20 +124,20 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Records an event (assigns `seq`). Thread-safe.
-  virtual void Record(DecisionEvent event);
+  virtual void Record(DecisionEvent event) EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
 
   /// All-time number of events captured (>= Snapshot().size()). For the
   /// RingTracer this counts exported events; add dropped() for attempts.
-  virtual int64_t total_recorded() const;
+  virtual int64_t total_recorded() const EXCLUDES(mu_);
 
   /// Events lost to backpressure; always 0 for the mutexed ring (it
   /// overwrites instead of dropping).
   virtual int64_t dropped() const { return 0; }
 
   /// Live window, oldest first.
-  virtual std::vector<DecisionEvent> Snapshot() const;
+  virtual std::vector<DecisionEvent> Snapshot() const EXCLUDES(mu_);
 
   /// Writes the live window as JSONL, oldest first.
   void WriteJsonl(std::ostream& os) const;
@@ -147,9 +147,9 @@ class Tracer {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<DecisionEvent> ring_;
-  int64_t next_seq_ = 0;
+  mutable Mutex mu_;
+  std::vector<DecisionEvent> ring_ GUARDED_BY(mu_);
+  int64_t next_seq_ GUARDED_BY(mu_) = 0;
 };
 
 /// Reads a JSONL trace file; fails on the first malformed line.

@@ -3,40 +3,49 @@
 namespace scrpqo {
 
 AsyncScr::AsyncScr(ScrOptions options) : inner_(options) {
+  {
+    // The object is not yet shared, but taking the lock keeps the
+    // guarded inner_.name() read provable without an analysis escape.
+    ReaderMutexLock cache_lock(cache_mu_);
+    name_ = "Async" + inner_.name();
+  }
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
 AsyncScr::~AsyncScr() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
-  space_available_.notify_all();
+  work_available_.NotifyAll();
+  space_available_.NotifyAll();
   worker_.join();
 }
 
 void AsyncScr::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  // Hand-over-hand on the queue lock: held while popping bookkeeping,
+  // dropped around the cache update so producers can keep enqueueing.
+  queue_mu_.Lock();
   for (;;) {
-    work_available_.wait(lock, [this] {
-      return shutting_down_ || !queue_.empty();
-    });
+    while (!shutting_down_ && queue_.empty()) {
+      work_available_.Wait(queue_mu_);
+    }
     if (queue_.empty()) {
-      if (shutting_down_) return;
-      continue;
+      // shutting_down_ is set and all deferred work has been applied.
+      queue_mu_.Unlock();
+      return;
     }
     Task task = std::move(queue_.front());
     queue_.pop_front();
     worker_busy_ = true;
-    space_available_.notify_one();
-    lock.unlock();
+    space_available_.NotifyOne();
+    queue_mu_.Unlock();
     {
       // manageCache mutates the cache structurally (instance-list growth,
       // plan-store inserts, evictions), so it takes the exclusive side;
       // concurrent getPlan readers drain first and new ones wait out the
       // update — exactly the background-thread model of the paper.
-      std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+      WriterMutexLock cache_lock(cache_mu_);
       if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
       // The worker's own span, pre-seeded with the critical-path stages
       // captured at enqueue time, so the deferred decision event carries
@@ -48,15 +57,15 @@ void AsyncScr::WorkerLoop() {
                                   task.get_plan_recosts,
                                   task.get_plan_candidates);
     }
-    lock.lock();
+    queue_mu_.Lock();
     ++tasks_processed_;
     worker_busy_ = false;
-    if (queue_.empty()) idle_.notify_all();
+    if (queue_.empty()) idle_.NotifyAll();
   }
 }
 
 void AsyncScr::SetObs(const ObsHooks& hooks) {
-  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  WriterMutexLock cache_lock(cache_mu_);
   inner_.SetObs(hooks);
   if (hooks.metrics != nullptr) {
     lock_shared_ = hooks.metrics->counter("async_scr.lock_shared");
@@ -78,7 +87,7 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
   {
     // Shared side: reuse attempts from any number of request threads
     // proceed in parallel; they only wait when the worker is mid-update.
-    std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+    ReaderMutexLock cache_lock(cache_mu_);
     if (lock_shared_ != nullptr) lock_shared_->Increment();
     if (inner_.TryReuse(wi, engine, &probe)) return probe;
   }
@@ -99,10 +108,10 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
     // Bounded hand-off: a miss may leave at most kMaxPendingTasks deferred
     // updates outstanding before it waits for the worker, so the cache
     // never lags the request stream by more than a couple of instances.
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    space_available_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < kMaxPendingTasks;
-    });
+    MutexLock lock(queue_mu_);
+    while (!shutting_down_ && queue_.size() >= kMaxPendingTasks) {
+      space_available_.Wait(queue_mu_);
+    }
     if (!shutting_down_) {
       // Capture the ambient breakdown (ours, or the manager's outer span)
       // rather than `span.breakdown()`: when nested, the outer span owns
@@ -115,48 +124,50 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
                             stages});
     }
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return choice;
 }
 
 void AsyncScr::Flush() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+  MutexLock lock(queue_mu_);
+  while (!queue_.empty() || worker_busy_) {
+    idle_.Wait(queue_mu_);
+  }
 }
 
 int64_t AsyncScr::NumPlansCached() const {
-  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  ReaderMutexLock cache_lock(cache_mu_);
   return inner_.NumPlansCached();
 }
 
 int64_t AsyncScr::PeakPlansCached() const {
-  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  ReaderMutexLock cache_lock(cache_mu_);
   return inner_.PeakPlansCached();
 }
 
 int64_t AsyncScr::tasks_processed() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(queue_mu_);
   return tasks_processed_;
 }
 
 int64_t AsyncScr::MinLivePlanUsage(uint64_t pinned_signature) const {
-  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  ReaderMutexLock cache_lock(cache_mu_);
   return inner_.MinLivePlanUsage(pinned_signature);
 }
 
 bool AsyncScr::EvictLfuPlan(int instance_id, uint64_t pinned_signature) {
-  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  WriterMutexLock cache_lock(cache_mu_);
   if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
   return inner_.EvictLfuPlan(instance_id, pinned_signature);
 }
 
 int64_t AsyncScr::EstimatedMemoryBytes() const {
-  std::shared_lock<std::shared_mutex> cache_lock(cache_mu_);
+  ReaderMutexLock cache_lock(cache_mu_);
   return inner_.EstimatedMemoryBytes();
 }
 
 void AsyncScr::SetScopeLabel(std::string label) {
-  std::unique_lock<std::shared_mutex> cache_lock(cache_mu_);
+  WriterMutexLock cache_lock(cache_mu_);
   inner_.SetScopeLabel(std::move(label));
 }
 

@@ -20,16 +20,21 @@
 // never serialize behind in-flight cache reads. Lock-acquisition counters
 // ("async_scr.lock_shared" / "async_scr.lock_exclusive") expose the
 // read/write mix through the metrics registry.
+//
+// Every field's guarding capability is declared with GUARDED_BY, so a
+// read outside the right lock is a compile error under
+// SCRPQO_THREAD_SAFETY=ON (see common/thread_annotations.h). Lock order:
+// queue_mu_ and cache_mu_ are never held together — the worker drops the
+// queue lock before taking the cache lock, and producers release the
+// cache lock before enqueueing.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 
+#include "common/thread_annotations.h"
 #include "pqo/scr.h"
 
 namespace scrpqo {
@@ -39,28 +44,30 @@ class AsyncScr : public PqoTechnique {
   explicit AsyncScr(ScrOptions options);
   ~AsyncScr() override;
 
-  std::string name() const override { return "Async" + inner_.name(); }
+  /// Computed once at construction (the analysis would otherwise demand
+  /// the cache lock for the inner_.name() read on every call).
+  std::string name() const override { return name_; }
 
   /// Forwards the sinks to the wrapped Scr. Decision events for misses are
   /// emitted by the worker thread when the deferred manageCache runs, and
   /// sel/cost-check hits may be emitted from concurrent request threads, so
   /// the sinks must be thread-safe (Tracer and MetricsRegistry are).
-  void SetObs(const ObsHooks& hooks) override;
+  void SetObs(const ObsHooks& hooks) override EXCLUDES(cache_mu_);
 
-  PlanChoice OnInstance(const WorkloadInstance& wi,
-                        EngineContext* engine) override;
+  PlanChoice OnInstance(const WorkloadInstance& wi, EngineContext* engine)
+      override EXCLUDES(cache_mu_, queue_mu_);
 
   /// Blocks until every queued manageCache task has been applied. Tests and
   /// metric collection call this before inspecting cache state.
-  void Flush();
+  void Flush() EXCLUDES(queue_mu_);
 
   void FlushBackgroundWork() override { Flush(); }
 
-  int64_t NumPlansCached() const override;
-  int64_t PeakPlansCached() const override;
+  int64_t NumPlansCached() const override EXCLUDES(cache_mu_);
+  int64_t PeakPlansCached() const override EXCLUDES(cache_mu_);
 
   /// manageCache tasks executed on the worker so far.
-  int64_t tasks_processed() const;
+  int64_t tasks_processed() const EXCLUDES(queue_mu_);
 
   // --- cross-template budget support (see Scr's counterparts). Each call
   // takes the appropriate side of the cache lock, so PqoManager's global
@@ -68,16 +75,18 @@ class AsyncScr : public PqoTechnique {
   // about this class's locking. ---
 
   /// LFU frontier of the wrapped cache (shared lock).
-  int64_t MinLivePlanUsage(uint64_t pinned_signature = 0) const;
+  int64_t MinLivePlanUsage(uint64_t pinned_signature = 0) const
+      EXCLUDES(cache_mu_);
 
   /// Evicts one LFU plan under the exclusive lock; see Scr::EvictLfuPlan.
-  bool EvictLfuPlan(int instance_id, uint64_t pinned_signature = 0);
+  bool EvictLfuPlan(int instance_id, uint64_t pinned_signature = 0)
+      EXCLUDES(cache_mu_);
 
   /// Estimated cache heap bytes (shared lock).
-  int64_t EstimatedMemoryBytes() const;
+  int64_t EstimatedMemoryBytes() const EXCLUDES(cache_mu_);
 
   /// Forwards the per-template scope label; call before serving traffic.
-  void SetScopeLabel(std::string label);
+  void SetScopeLabel(std::string label) EXCLUDES(cache_mu_);
 
  private:
   struct Task {
@@ -95,11 +104,15 @@ class AsyncScr : public PqoTechnique {
 
   void WorkerLoop();
 
-  Scr inner_;
-
   /// Reader/writer split over the cache: shared for TryReuse (and stat
   /// reads), exclusive for the worker's RegisterOptimization and SetObs.
-  mutable std::shared_mutex cache_mu_;
+  mutable SharedMutex cache_mu_;
+
+  /// The wrapped synchronous cache. Thread-compatible, so every method
+  /// call on it must hold cache_mu_ (shared for the read-only reuse
+  /// attempt and stat reads — everything TryReuse writes is a relaxed
+  /// atomic — exclusive for structural manageCache updates).
+  Scr inner_ GUARDED_BY(cache_mu_);
 
   /// Deferred-manageCache tasks a miss may leave outstanding before the
   /// next miss blocks for the worker. Bounds how stale the cache can get
@@ -109,23 +122,27 @@ class AsyncScr : public PqoTechnique {
   static constexpr size_t kMaxPendingTasks = 2;
 
   /// Queue plumbing, guarded independently of the cache lock.
-  mutable std::mutex queue_mu_;
-  std::condition_variable work_available_;
-  std::condition_variable space_available_;
-  std::condition_variable idle_;
-  std::deque<Task> queue_;
-  bool shutting_down_ = false;
-  bool worker_busy_ = false;
-  int64_t tasks_processed_ = 0;
+  mutable Mutex queue_mu_;
+  CondVar work_available_;
+  CondVar space_available_;
+  CondVar idle_;
+  std::deque<Task> queue_ GUARDED_BY(queue_mu_);
+  bool shutting_down_ GUARDED_BY(queue_mu_) = false;
+  bool worker_busy_ GUARDED_BY(queue_mu_) = false;
+  int64_t tasks_processed_ GUARDED_BY(queue_mu_) = 0;
   /// Engine used by background tasks (set per OnInstance call; the harness
   /// uses one engine per sequence so this is stable in practice).
   std::atomic<EngineContext*> engine_{nullptr};
-  /// Lock-mix counters (null without a metrics registry).
-  Counter* lock_shared_ = nullptr;
-  Counter* lock_exclusive_ = nullptr;
+  /// Lock-mix counters (null without a metrics registry). Written by
+  /// SetObs under the exclusive cache lock; request threads read them
+  /// under at least the shared side.
+  Counter* lock_shared_ GUARDED_BY(cache_mu_) = nullptr;
+  Counter* lock_exclusive_ GUARDED_BY(cache_mu_) = nullptr;
   /// Whether getPlan spans are collected (tracer attached). Atomic: read
   /// on every OnInstance and by the worker, written by SetObs.
   std::atomic<bool> span_enabled_{false};
+  /// "Async" + inner name; immutable after the constructor.
+  std::string name_;
   std::thread worker_;
 };
 

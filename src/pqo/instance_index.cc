@@ -95,7 +95,7 @@ std::vector<InstanceKdTree::Match> InstanceKdTree::RangeQuery(
     RangeRec(root_.get(), ToLogPoint(sv), std::log(gl_bound), &out,
              &visited);
   }
-  nodes_visited_.store(visited);
+  nodes_visited_.Store(visited);
   return out;
 }
 
@@ -140,12 +140,12 @@ std::vector<InstanceKdTree::Match> InstanceKdTree::NearestByGl(
     const SVector& sv, int k) const {
   std::vector<Match> heap;
   if (k <= 0) {
-    nodes_visited_.store(0);
+    nodes_visited_.Store(0);
     return heap;
   }
   int64_t visited = 0;
   NearestRec(root_.get(), ToLogPoint(sv), k, &heap, &visited);
-  nodes_visited_.store(visited);
+  nodes_visited_.Store(visited);
   std::sort(heap.begin(), heap.end(),
             [](const Match& a, const Match& b) {
               return a.log_gl < b.log_gl;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/scoped_timer.h"
+#include "obs/emit.h"
 
 namespace scrpqo {
 
@@ -50,7 +51,7 @@ void Pcm::EmitEvent(DecisionEvent event, int instance_id,
   if (const StageBreakdown* b = SpanContext::Current()) {
     event.stages = *b;
   }
-  obs_.tracer->Record(std::move(event));
+  EmitDecisionEvent(obs_.tracer, std::move(event));
 }
 
 PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {

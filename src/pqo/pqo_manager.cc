@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/emit.h"
 #include "obs/scoped_timer.h"
 
 namespace scrpqo {
@@ -26,17 +27,20 @@ PqoManager::Shard& PqoManager::ShardFor(const std::string& key) const {
   return *shards_[h % shards_.size()];
 }
 
-std::unique_lock<std::mutex> PqoManager::LockShard(const Shard& shard) const {
+PqoManager::ShardLock::ShardLock(const PqoManager& mgr, const Shard& shard)
+    : shard_(shard) {
   // StageTimer feeds both the wait histogram and the ambient getPlan span
   // (when OnInstance opened one); with neither attached it reads no clock.
   StageTimer wait(Stage::kShardWait,
-                  shard_lock_wait_.load(std::memory_order_relaxed));
-  return std::unique_lock<std::mutex>(shard.mu);
+                  mgr.shard_lock_wait_.load(std::memory_order_relaxed));
+  shard.mu.Lock();
 }
+
+PqoManager::ShardLock::~ShardLock() { shard_.mu.Unlock(); }
 
 void PqoManager::SetObs(const ObsHooks& hooks) {
   {
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    MutexLock obs_lock(obs_mu_);
     obs_ = hooks;
     span_enabled_.store(hooks.tracer != nullptr, std::memory_order_relaxed);
     if (hooks.metrics != nullptr) {
@@ -67,19 +71,21 @@ void PqoManager::SetObs(const ObsHooks& hooks) {
   // state mutexes, while FinishWarmupLocked acquires obs_mu_ under a state
   // mutex — holding both sides here would invert that order.
   for (const StatePtr& st : AllStates()) {
-    std::lock_guard<std::mutex> st_lock(st->mu);
-    if (st->sync_scr != nullptr) st->sync_scr->SetObs(hooks);
-    if (st->async_scr != nullptr) st->async_scr->SetObs(hooks);
+    TemplateState* state = st.get();
+    MutexLock st_lock(state->mu);
+    if (state->sync_scr != nullptr) state->sync_scr->SetObs(hooks);
+    if (state->async_scr != nullptr) state->async_scr->SetObs(hooks);
   }
 }
 
 PqoManager::StatePtr PqoManager::GetOrCreate(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::mutex> lock = LockShard(shard);
+  ShardLock lock(*this, shard);
   auto it = shard.templates.find(key);
   if (it != shard.templates.end()) return it->second;
-  auto st = std::make_shared<TemplateState>();
-  st->key = key;
+  // The key is baked into the state before publication, so lock-free
+  // readers (StatuszJson) never observe a half-written identity.
+  auto st = std::make_shared<TemplateState>(key);
   shard.templates.emplace(key, st);
   if (Counter* c = templates_created_.load(std::memory_order_relaxed)) {
     c->Increment();
@@ -89,9 +95,10 @@ PqoManager::StatePtr PqoManager::GetOrCreate(const std::string& key) {
 
 std::vector<PqoManager::StatePtr> PqoManager::AllStates() const {
   std::vector<StatePtr> out;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::unique_lock<std::mutex> lock = LockShard(*shard);
-    for (const auto& [key, st] : shard->templates) out.push_back(st);
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    ShardLock lock(*this, shard);
+    for (const auto& [key, st] : shard.templates) out.push_back(st);
   }
   return out;
 }
@@ -122,16 +129,14 @@ void PqoManager::FinishWarmupLocked(TemplateState* st) {
       }
       Tracer* tracer = nullptr;
       {
-        std::lock_guard<std::mutex> obs_lock(obs_mu_);
+        MutexLock obs_lock(obs_mu_);
         tracer = obs_.tracer;
       }
-      if (tracer != nullptr) {
-        DecisionEvent ev;
-        ev.outcome = DecisionOutcome::kOptimized;
-        ev.technique = "PqoManager(warmup-fallback:default_lambda)";
-        ev.template_key = st->key;
-        tracer->Record(std::move(ev));
-      }
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kOptimized;
+      ev.technique = "PqoManager(warmup-fallback:default_lambda)";
+      ev.template_key = st->key;
+      EmitDecisionEvent(tracer, std::move(ev));
     } else {
       double avg_cost =
           st->warmup_cost_sum / static_cast<double>(st->warmup_seen);
@@ -147,7 +152,7 @@ void PqoManager::FinishWarmupLocked(TemplateState* st) {
   opts.use_spatial_index = options_.use_spatial_index;
   ObsHooks hooks;
   {
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    MutexLock obs_lock(obs_mu_);
     hooks = obs_;
   }
   if (options_.use_async) {
@@ -170,61 +175,79 @@ PlanChoice PqoManager::OnInstance(const std::string& template_key,
   // one breakdown that the emitting technique copies onto its event.
   GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
   StatePtr st = GetOrCreate(template_key);
+  TemplateState* state = st.get();
   PlanChoice choice;
   AsyncScr* async = nullptr;
+  bool warming = false;
   {
-    std::unique_lock<std::mutex> st_lock(st->mu);
-    if (!st->ready && options_.warmup_instances <= 0) {
-      FinishWarmupLocked(st.get());
+    MutexLock st_lock(state->mu);
+    if (!state->ready && options_.warmup_instances <= 0) {
+      FinishWarmupLocked(state);
     }
-    if (!st->ready) {
+    if (!state->ready) {
       // Warm-up phase: Optimize-Always while measuring costs. Completion
       // counts attempts, not successes, so a template whose optimizer
       // calls fail still leaves warm-up (with the default-lambda
-      // fallback) instead of being stuck here forever.
-      ++st->warmup_attempts;
-      auto result = engine->Optimize(wi);
-      choice.optimized = true;
-      if (result != nullptr && std::isfinite(result->cost)) {
-        ++st->warmup_seen;
-        st->warmup_cost_sum += result->cost;
-        choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
-      }
-      if (st->warmup_attempts >= options_.warmup_instances) {
-        FinishWarmupLocked(st.get());
-      }
-      // Warm-up plans are not cached, so the global budget is unaffected.
-      return choice;
-    }
-    if (st->async_scr != nullptr) {
+      // fallback) instead of being stuck here forever. The optimizer call
+      // itself runs after the lock is dropped — holding a template mutex
+      // across an engine call would serialize every concurrent warm-up
+      // instance of the template behind one optimize (and is exactly what
+      // the blocking-under-lock lint rule rejects).
+      ++state->warmup_attempts;
+      ++state->warmup_inflight;
+      warming = true;
+    } else if (state->async_scr != nullptr) {
       // AsyncScr handles its own locking; drop the template mutex so
       // concurrent readers of this template proceed in parallel.
-      async = st->async_scr.get();
+      async = state->async_scr.get();
     } else {
       // Synchronous Scr is thread-compatible only: the template mutex
       // serializes every cache operation on it.
-      choice = st->sync_scr->OnInstance(wi, engine);
+      choice = state->sync_scr->OnInstance(wi, engine);
     }
+  }
+  if (warming) {
+    auto result = engine->Optimize(wi);
+    choice.optimized = true;
+    MutexLock st_lock(state->mu);
+    --state->warmup_inflight;
+    if (result != nullptr && std::isfinite(result->cost)) {
+      ++state->warmup_seen;
+      state->warmup_cost_sum += result->cost;
+      choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+    }
+    // Leave warm-up only once the attempt target is reached AND every
+    // in-flight optimize has reported its cost sample back, so the lambda
+    // decision sees the full warm-up window. A concurrent arrival in that
+    // gap takes one extra Optimize-Always pass, which keeps the bound at
+    // exactly 1 — never a stale cached plan.
+    if (!state->ready &&
+        state->warmup_attempts >= options_.warmup_instances &&
+        state->warmup_inflight == 0) {
+      FinishWarmupLocked(state);
+    }
+    // Warm-up plans are not cached, so the global budget is unaffected.
+    return choice;
   }
   if (async != nullptr) choice = async->OnInstance(wi, engine);
 
   if (choice.optimized && (options_.global_plan_budget > 0 ||
                            options_.global_memory_bytes > 0)) {
     uint64_t pin = choice.plan != nullptr ? choice.plan->signature : 0;
-    EnforceGlobalBudget(st.get(), pin, wi.id);
+    EnforceGlobalBudget(state, pin, wi.id);
   }
   return choice;
 }
 
 int64_t PqoManager::StatePlans(const TemplateState& st) const {
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (!st.ready) return 0;
   return st.async_scr != nullptr ? st.async_scr->NumPlansCached()
                                  : st.sync_scr->NumPlansCached();
 }
 
 int64_t PqoManager::StateMemoryBytes(const TemplateState& st) const {
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (!st.ready) return 0;
   return st.async_scr != nullptr ? st.async_scr->EstimatedMemoryBytes()
                                  : st.sync_scr->EstimatedMemoryBytes();
@@ -232,7 +255,7 @@ int64_t PqoManager::StateMemoryBytes(const TemplateState& st) const {
 
 int64_t PqoManager::StateMinUsage(const TemplateState& st,
                                   uint64_t pinned_signature) const {
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   if (!st.ready) return -1;
   return st.async_scr != nullptr
              ? st.async_scr->MinLivePlanUsage(pinned_signature)
@@ -241,7 +264,7 @@ int64_t PqoManager::StateMinUsage(const TemplateState& st,
 
 bool PqoManager::StateEvictOne(TemplateState* st, int instance_id,
                                uint64_t pinned_signature) {
-  std::lock_guard<std::mutex> lock(st->mu);
+  MutexLock lock(st->mu);
   if (!st->ready) return false;
   return st->async_scr != nullptr
              ? st->async_scr->EvictLfuPlan(instance_id, pinned_signature)
@@ -255,8 +278,10 @@ void PqoManager::EnforceGlobalBudget(TemplateState* current,
     return;
   }
   // One sweep at a time: concurrent optimizing threads would otherwise
-  // race the same totals into over-eviction.
-  std::lock_guard<std::mutex> sweep(evict_mu_);
+  // race the same totals into over-eviction. Lock order: evict_mu_ first,
+  // then shard locks / template mutexes inside the helpers — never the
+  // reverse (see DESIGN.md "Capability map & lock order").
+  MutexLock sweep(evict_mu_);
   for (;;) {
     std::vector<StatePtr> states = AllStates();
     int64_t total_plans = 0;
@@ -299,9 +324,10 @@ void PqoManager::EnforceGlobalBudget(TemplateState* current,
 
 int64_t PqoManager::NumTemplates() const {
   int64_t total = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::unique_lock<std::mutex> lock = LockShard(*shard);
-    total += static_cast<int64_t>(shard->templates.size());
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    ShardLock lock(*this, shard);
+    total += static_cast<int64_t>(shard.templates.size());
   }
   return total;
 }
@@ -322,7 +348,7 @@ void PqoManager::InvalidateTemplate(const std::string& template_key) {
   StatePtr doomed;
   {
     Shard& shard = ShardFor(template_key);
-    std::unique_lock<std::mutex> lock = LockShard(shard);
+    ShardLock lock(*this, shard);
     auto it = shard.templates.find(template_key);
     if (it == shard.templates.end()) return;
     doomed = std::move(it->second);
@@ -340,16 +366,17 @@ double PqoManager::LambdaFor(const std::string& template_key) const {
   StatePtr st;
   {
     Shard& shard = ShardFor(template_key);
-    std::unique_lock<std::mutex> lock = LockShard(shard);
+    ShardLock lock(*this, shard);
     auto it = shard.templates.find(template_key);
     if (it == shard.templates.end()) return 0.0;
     st = it->second;
   }
-  std::lock_guard<std::mutex> st_lock(st->mu);
+  TemplateState* state = st.get();
+  MutexLock st_lock(state->mu);
   // Warm-up serves every instance its freshly optimized plan, so the bound
   // in force is exactly 1 (Optimize-Always semantics) — never 0, which
   // downstream code could misread as a vacuously violated bound.
-  return st->ready ? st->lambda : 1.0;
+  return state->ready ? state->lambda : 1.0;
 }
 
 namespace {
@@ -388,12 +415,13 @@ std::string PqoManager::StatuszJson() const {
   int64_t templates = 0;
   bool first = true;
   for (const StatePtr& st : AllStates()) {
+    TemplateState* state = st.get();
     double lambda;
     bool warming;
     {
-      std::lock_guard<std::mutex> st_lock(st->mu);
-      warming = !st->ready;
-      lambda = st->ready ? st->lambda : 1.0;
+      MutexLock st_lock(state->mu);
+      warming = !state->ready;
+      lambda = state->ready ? state->lambda : 1.0;
     }
     int64_t plans = StatePlans(*st);
     int64_t bytes = StateMemoryBytes(*st);
@@ -403,7 +431,9 @@ std::string PqoManager::StatuszJson() const {
     if (!first) out += ",";
     first = false;
     out += "{\"key\":\"";
-    AppendJsonEscaped(st->key, &out);
+    // `key` is const and set before publication, so this read needs no
+    // lock (see TemplateState::key).
+    AppendJsonEscaped(state->key, &out);
     out += "\",\"lambda\":";
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.17g", lambda);
@@ -418,7 +448,7 @@ std::string PqoManager::StatuszJson() const {
   }
   int64_t ring_drops = 0;
   {
-    std::lock_guard<std::mutex> obs_lock(obs_mu_);
+    MutexLock obs_lock(obs_mu_);
     if (obs_.tracer != nullptr) ring_drops = obs_.tracer->dropped();
   }
   out += "],\"totals\":{\"templates\":";
@@ -443,10 +473,11 @@ std::string PqoManager::StatuszJson() const {
 
 void PqoManager::FlushAll() {
   for (const StatePtr& st : AllStates()) {
+    TemplateState* state = st.get();
     AsyncScr* async = nullptr;
     {
-      std::lock_guard<std::mutex> st_lock(st->mu);
-      async = st->async_scr.get();
+      MutexLock st_lock(state->mu);
+      async = state->async_scr.get();
     }
     if (async != nullptr) async->Flush();
   }

@@ -34,10 +34,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "pqo/async_scr.h"
 #include "pqo/scr.h"
 
@@ -80,14 +81,15 @@ class PqoManager {
   /// Attaches decision tracing / metrics to the manager and to every
   /// current and future template cache. Attach before serving traffic; the
   /// sinks must outlive the manager.
-  void SetObs(const ObsHooks& hooks);
+  void SetObs(const ObsHooks& hooks) EXCLUDES(obs_mu_);
 
   /// Routes one instance of `template_key` (usually the normalized SQL
   /// text or QueryTemplate::name) through that template's cache.
   /// Thread-safe: callers from any number of threads may mix template
   /// keys freely.
   PlanChoice OnInstance(const std::string& template_key,
-                        const WorkloadInstance& wi, EngineContext* engine);
+                        const WorkloadInstance& wi, EngineContext* engine)
+      EXCLUDES(evict_mu_, obs_mu_);
 
   /// Number of templates currently tracked.
   int64_t NumTemplates() const;
@@ -117,14 +119,14 @@ class PqoManager {
   /// Blocks until every template's deferred manageCache work is applied,
   /// then enforces the global budget once more. Call before asserting on
   /// cache sizes or auditing traces.
-  void FlushAll();
+  void FlushAll() EXCLUDES(evict_mu_);
 
   /// Operator-facing status document for the admin server's /statusz:
   /// {"templates": [{key, lambda, warming_up, plans, memory_bytes},
   /// ...], "totals": {templates, plans, memory_bytes,
   /// global_plan_budget, global_memory_bytes, global_evictions,
   /// warmup_fallbacks, trace_ring_drops}}. Thread-safe.
-  std::string StatuszJson() const;
+  std::string StatuszJson() const EXCLUDES(obs_mu_);
 
   /// Cross-template evictions performed by the global budget enforcer.
   int64_t global_evictions() const {
@@ -143,37 +145,67 @@ class PqoManager {
   /// AsyncScr cache handles its own locking, so post-warm-up traffic on it
   /// takes no manager lock at all.
   struct TemplateState {
-    std::string key;
-    mutable std::mutex mu;
-    bool ready = false;  // warm-up finished; exactly one cache is non-null
+    explicit TemplateState(std::string k) : key(std::move(k)) {}
+
+    /// Immutable identity: set before the state is published into the
+    /// shard map, so lock-free readers (StatuszJson) can print it without
+    /// taking mu.
+    const std::string key;
+
+    mutable Mutex mu;
+    bool ready GUARDED_BY(mu) = false;  // warm-up done; one cache non-null
     /// Instances routed during warm-up. A failed optimize consumes an
     /// attempt without bumping warmup_seen, so completion is attempt-based
     /// (otherwise a template whose optimizes all fail never leaves warm-up,
     /// and one whose attempts succeed partially would divide by zero).
-    int warmup_attempts = 0;
-    int warmup_seen = 0;
-    double warmup_cost_sum = 0.0;
-    double lambda = 0.0;
-    std::unique_ptr<Scr> sync_scr;
-    std::unique_ptr<AsyncScr> async_scr;
+    int warmup_attempts GUARDED_BY(mu) = 0;
+    /// Warm-up optimizer calls currently running outside mu (the optimize
+    /// itself is never performed under the lock — see OnInstance). The
+    /// template leaves warm-up only once attempts reached the target AND
+    /// every in-flight call has reported back, so no warm-up cost sample
+    /// is dropped from the lambda decision.
+    int warmup_inflight GUARDED_BY(mu) = 0;
+    int warmup_seen GUARDED_BY(mu) = 0;
+    double warmup_cost_sum GUARDED_BY(mu) = 0.0;
+    double lambda GUARDED_BY(mu) = 0.0;
+    /// Thread-compatible cache: every pointee operation runs under mu.
+    std::unique_ptr<Scr> sync_scr GUARDED_BY(mu) PT_GUARDED_BY(mu);
+    /// Internally synchronized cache: the pointer is guarded, the pointee
+    /// is deliberately NOT (OnInstance snapshots the raw pointer under mu,
+    /// then serves through AsyncScr's own shared lock with mu released).
+    std::unique_ptr<AsyncScr> async_scr GUARDED_BY(mu);
   };
   using StatePtr = std::shared_ptr<TemplateState>;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, StatePtr> templates;
+    mutable Mutex mu;
+    std::map<std::string, StatePtr> templates GUARDED_BY(mu);
+  };
+
+  /// Scoped shard hold that records the acquisition wait into
+  /// "pqo_manager.shard_lock_wait" (and the ambient getPlan span). The
+  /// scoped-capability shape replaces the old
+  /// `std::unique_lock LockShard(...)` helper: a lock returned by value is
+  /// opaque to the thread-safety analysis, a scoped acquire is not.
+  class SCOPED_CAPABILITY ShardLock {
+   public:
+    ShardLock(const PqoManager& mgr, const Shard& shard) ACQUIRE(shard.mu);
+    ~ShardLock() RELEASE();
+
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    const Shard& shard_;
   };
 
   Shard& ShardFor(const std::string& key) const;
-  /// Locks a shard, recording the wait into "pqo_manager.shard_lock_wait".
-  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
   StatePtr GetOrCreate(const std::string& key);
   /// Snapshot of every live template state (one shard locked at a time).
   std::vector<StatePtr> AllStates() const;
 
   /// Picks lambda from the warm-up observations and builds the cache.
-  /// Caller holds st->mu.
-  void FinishWarmupLocked(TemplateState* st);
+  void FinishWarmupLocked(TemplateState* st) REQUIRES(st->mu);
 
   // Per-state accessors that take the state's own lock when the cache is a
   // sync Scr (AsyncScr locks internally).
@@ -189,14 +221,22 @@ class PqoManager {
   /// is the template that served the in-flight instance; within it the
   /// plan with `pinned_signature` is never evicted.
   void EnforceGlobalBudget(TemplateState* current, uint64_t pinned_signature,
-                           int instance_id);
+                           int instance_id) EXCLUDES(evict_mu_);
 
-  PqoManagerOptions options_;
+  /// Immutable after construction; read lock-free everywhere.
+  const PqoManagerOptions options_;
+  /// The shard vector itself is immutable after construction (each Shard
+  /// carries its own mutex for its contents).
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Serializes global-budget sweeps so concurrent optimizing threads do
-  /// not race each other into over-eviction.
-  std::mutex evict_mu_;
+  /// not race each other into over-eviction. Ordering: evict_mu_ is taken
+  /// before any shard lock or TemplateState mutex (the sweep walks every
+  /// shard), never the other way around. The shard/state edges of that
+  /// order cross class boundaries and are documented in DESIGN.md §4g;
+  /// the evict_mu_ → obs_mu_ edge is expressible here and checked by
+  /// -Wthread-safety-beta.
+  Mutex evict_mu_ ACQUIRED_BEFORE(obs_mu_);
 
   std::atomic<int64_t> global_evictions_{0};
   std::atomic<int64_t> warmup_fallbacks_{0};
@@ -204,9 +244,12 @@ class PqoManager {
   // --- observability (null = disabled) ---
   // The hooks struct is guarded by obs_mu_ (copied when creating caches);
   // the cached sink pointers are atomics so hot-path reads stay lock-free
-  // even if SetObs is re-attached between traffic windows.
-  mutable std::mutex obs_mu_;
-  ObsHooks obs_;
+  // even if SetObs is re-attached between traffic windows. obs_mu_ is a
+  // leaf lock: nothing else is ever acquired while it is held
+  // (FinishWarmupLocked takes it *under* a TemplateState mutex, so the
+  // documented order is st->mu before obs_mu_).
+  mutable Mutex obs_mu_;
+  ObsHooks obs_ GUARDED_BY(obs_mu_);
   /// True when a tracer is attached, so OnInstance knows whether to open a
   /// getPlan span without taking obs_mu_ on the hot path.
   std::atomic<bool> span_enabled_{false};

@@ -7,6 +7,7 @@
 
 #include "common/math_util.h"
 #include "common/status.h"
+#include "obs/emit.h"
 #include "obs/scoped_timer.h"
 #include "optimizer/plan_memory.h"
 
@@ -91,7 +92,7 @@ void Scr::EmitEvent(DecisionEvent event, int instance_id,
       event.stages = *b;
     }
   }
-  obs_.tracer->Record(std::move(event));
+  EmitDecisionEvent(obs_.tracer, std::move(event));
 }
 
 int64_t Scr::NumInstancesStored() const {
@@ -309,7 +310,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
             double plan_cost_at_e = e.subopt * e.opt_cost;
             if (new_cost > kViolationSlack * gl.g * plan_cost_at_e ||
                 new_cost * kViolationSlack < plan_cost_at_e / c.l) {
-              e.cost_check_disabled.store(true);
+              e.cost_check_disabled.Store(true);
               violations_detected_.Add(1);
               return true;  // keep scanning; this entry is now excluded
             }

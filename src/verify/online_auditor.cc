@@ -3,6 +3,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/emit.h"
+
 namespace scrpqo {
 
 namespace {
@@ -89,7 +91,7 @@ void OnlineAuditor::Consume(const std::vector<DecisionEvent>& events) {
 
   std::vector<DecisionEvent> alerts;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     checked_ += static_cast<int64_t>(decisions.size());
     violations_ += static_cast<int64_t>(report.violations.size());
     for (const DecisionEvent& e : decisions) {
@@ -130,7 +132,7 @@ void OnlineAuditor::Consume(const std::vector<DecisionEvent>& events) {
   }
   // Emit outside mu_: Record may re-enter tracer machinery.
   for (DecisionEvent& alert : alerts) {
-    options_.alert_tracer->Record(std::move(alert));
+    EmitDecisionEvent(options_.alert_tracer, std::move(alert));
   }
 }
 
@@ -141,23 +143,23 @@ void OnlineAuditor::PublishLocked() {
 }
 
 int64_t OnlineAuditor::checked() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return checked_;
 }
 
 int64_t OnlineAuditor::violations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return violations_;
 }
 
 double OnlineAuditor::worst_margin() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return worst_margin_;
 }
 
 std::map<std::string, OnlineAuditor::TemplateStats>
 OnlineAuditor::PerTemplate() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return per_template_;
 }
 

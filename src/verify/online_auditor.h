@@ -31,10 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics_registry.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -60,7 +60,8 @@ class OnlineAuditor : public TraceSink {
 
   /// Audits one exporter batch. Thread-safe (the exporter serializes
   /// batches, but tests may drive this directly from several threads).
-  void Consume(const std::vector<DecisionEvent>& events) override;
+  void Consume(const std::vector<DecisionEvent>& events) override
+      EXCLUDES(mu_);
 
   /// Streaming rollup for one template ("" = events without a key).
   struct TemplateStats {
@@ -71,22 +72,24 @@ class OnlineAuditor : public TraceSink {
     double worst_margin;
   };
 
-  int64_t checked() const;
-  int64_t violations() const;
+  int64_t checked() const EXCLUDES(mu_);
+  int64_t violations() const EXCLUDES(mu_);
   /// Process-wide worst margin (+inf until any inequality is evaluated).
-  double worst_margin() const;
-  std::map<std::string, TemplateStats> PerTemplate() const;
+  double worst_margin() const EXCLUDES(mu_);
+  std::map<std::string, TemplateStats> PerTemplate() const EXCLUDES(mu_);
 
  private:
-  void PublishLocked();
+  void PublishLocked() REQUIRES(mu_);
 
-  OnlineAuditorOptions options_;
+  /// Immutable after construction (alert emission reads the tracer
+  /// pointer lock-free outside mu_).
+  const OnlineAuditorOptions options_;
 
-  mutable std::mutex mu_;
-  int64_t checked_ = 0;
-  int64_t violations_ = 0;
-  double worst_margin_;
-  std::map<std::string, TemplateStats> per_template_;
+  mutable Mutex mu_;
+  int64_t checked_ GUARDED_BY(mu_) = 0;
+  int64_t violations_ GUARDED_BY(mu_) = 0;
+  double worst_margin_ GUARDED_BY(mu_);
+  std::map<std::string, TemplateStats> per_template_ GUARDED_BY(mu_);
 
   // Cached metric handles (resolved once in the constructor — the
   // registry's string-keyed lookup never runs on the consume path).

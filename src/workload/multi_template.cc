@@ -72,7 +72,7 @@ MultiTemplateRunResult RunMultiTemplate(
   }
   if (timed) {
     std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
-    stop.store(true);
+    stop.store(true, std::memory_order_relaxed);
   }
   for (std::thread& th : pool) th.join();
   auto t1 = std::chrono::steady_clock::now();

@@ -133,6 +133,62 @@ TEST(RingTracerTest, ConcurrentProducersLoseNothingBelowCapacity) {
   EXPECT_EQ(instances.size(), events.size());
 }
 
+TEST(RingTracerTest, SinkRegistrationRacesExporterAndFlush) {
+  // Exporter-side state (sinks_, next_seq_, scratch buffers) is guarded by
+  // export_mu_: late AddSink and explicit Flush race the background
+  // exporter loop while producers keep recording. TSan certifies the
+  // guard; functionally, a sink added mid-stream sees a suffix of the
+  // stream with strictly increasing sequence numbers.
+  RingTracer::Options opts;
+  opts.ring_capacity = 1 << 12;
+  opts.window_capacity = 1 << 14;
+  opts.drain_interval_micros = 50;  // keep the exporter loop hot
+  RingTracer tracer(opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  std::atomic<int> produced{0};
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&tracer, &stop, &produced, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        tracer.Record(Ev(t * 1000000 + i++));
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread flusher([&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(tracer.Flush().ok());
+      std::this_thread::yield();
+    }
+  });
+
+  // Register sinks while the exporter loop and flusher are both draining.
+  std::vector<std::shared_ptr<InMemorySink>> late_sinks;
+  for (int s = 0; s < 4; ++s) {
+    while (produced.load(std::memory_order_relaxed) < (s + 1) * 200) {
+      std::this_thread::yield();
+    }
+    auto sink = std::make_shared<InMemorySink>(1 << 14);
+    tracer.AddSink(sink);
+    late_sinks.push_back(std::move(sink));
+  }
+
+  stop.store(true);
+  for (std::thread& th : producers) th.join();
+  flusher.join();
+  ASSERT_TRUE(tracer.Flush().ok());
+
+  for (const auto& sink : late_sinks) {
+    std::vector<DecisionEvent> events = sink->Snapshot();
+    ASSERT_FALSE(events.empty());
+    for (size_t i = 1; i < events.size(); ++i) {
+      EXPECT_GT(events[i].seq, events[i - 1].seq);
+    }
+  }
+}
+
 TEST(RingTracerTest, AccountsDropsAboveCapacityInBand) {
   RingTracer::Options opts;
   opts.ring_capacity = 8;

@@ -145,6 +145,106 @@ TEST(PqoManagerConcurrentTest, InvalidationChaosKeepsServing) {
             0);
 }
 
+TEST(PqoManagerConcurrentTest, WarmupOptimizeRunsOutsideTemplateLock) {
+  // All threads pile onto ONE cold template whose warm-up needs several
+  // instances. Warm-up Optimize runs outside TemplateState::mu (tracked by
+  // warmup_inflight), so optimizations overlap; any arrival in the gap
+  // between the last counted attempt and its completion takes an extra
+  // Optimize-Always pass — bound exactly 1, nothing lost, and warm-up
+  // still terminates. TSan validates the inflight handshake.
+  TemplateFleet fleet(1, 8);
+  PqoManagerOptions opts;
+  opts.warmup_instances = 4;
+  PqoManager mgr(opts);
+  Tracer tracer(1 << 13);
+  MetricsRegistry registry;
+  mgr.SetObs(ObsHooks{&tracer, &registry});
+
+  const ServedTemplate& st = fleet.served()[0];
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int64_t> lost{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const WorkloadInstance& wi =
+            (*st.instances)[static_cast<size_t>(t + i) % st.instances->size()];
+        PlanChoice c = mgr.OnInstance(st.key, wi, st.engine);
+        if (c.plan == nullptr) lost.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(lost.load(), 0);
+  // Warm-up completed (enough attempts landed and no optimize was left
+  // inflight), so the template now serves under a selected lambda >= 1.
+  EXPECT_GE(mgr.LambdaFor(st.key), 1.0);
+  AuditReport report = AuditTrace(tracer.Snapshot(), AuditConfig{});
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(PqoManagerConcurrentTest, StatuszJsonRacesServingAndInvalidation) {
+  // StatuszJson reads each template's const `key` without that template's
+  // lock while servers create/serve templates and a chaos thread tears
+  // them down. TSan certifies the publication discipline (key set before
+  // the shared_ptr is published to the shard map).
+  constexpr int kTemplates = 8;
+  TemplateFleet fleet(kTemplates, 6);
+  PqoManagerOptions opts;
+  opts.warmup_instances = 1;
+  opts.num_shards = 4;
+  PqoManager mgr(opts);
+
+  const std::vector<ServedTemplate>& served = fleet.served();
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string json = mgr.StatuszJson();
+      EXPECT_NE(json.find("\"templates\""), std::string::npos);
+      std::this_thread::yield();
+    }
+  });
+  std::thread chaos([&] {
+    size_t k = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      mgr.InvalidateTemplate(served[k % served.size()].key);
+      ++k;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        const ServedTemplate& s =
+            served[static_cast<size_t>(t + i) % served.size()];
+        const WorkloadInstance& wi =
+            (*s.instances)[static_cast<size_t>(i) % s.instances->size()];
+        PlanChoice c = mgr.OnInstance(s.key, wi, s.engine);
+        EXPECT_NE(c.plan, nullptr);
+      }
+    });
+  }
+  for (std::thread& th : servers) th.join();
+  stop.store(true);
+  reader.join();
+  chaos.join();
+
+  // A trailing invalidation may have removed a template for good; serve
+  // one instance per template to re-create it, then the snapshot must
+  // reflect the full fleet.
+  for (const ServedTemplate& s : served) {
+    (void)mgr.OnInstance(s.key, (*s.instances)[0], s.engine);
+  }
+  std::string json = mgr.StatuszJson();
+  for (const ServedTemplate& s : served) {
+    EXPECT_NE(json.find(s.key), std::string::npos) << s.key;
+  }
+}
+
 TEST(PqoManagerConcurrentTest, ShardLockWaitHistogramPopulated) {
   TemplateFleet fleet(4, 4);
   PqoManagerOptions opts;

@@ -1,0 +1,39 @@
+// lint-path: src/pqo/fixture_atomic_order.cc
+// Fixture for the atomic-order rule: default-seq_cst atomic operations in
+// the serving layers must name their memory order.
+#include <atomic>
+
+namespace scrpqo_fixture {
+
+struct Stats {
+  std::atomic<long> hits{0};
+  std::atomic<bool> enabled{false};
+};
+
+long ReadBare(Stats& s) {
+  return s.hits.load();  // scrpqo-lint: expect(atomic-order)
+}
+
+void WriteBare(Stats& s) {
+  s.enabled.store(true);  // scrpqo-lint: expect(atomic-order)
+}
+
+long ReadExplicit(Stats& s) {
+  // Explicit order: clean.
+  return s.hits.load(std::memory_order_relaxed);
+}
+
+void MultiLineExplicit(Stats& s) {
+  // The order is on the continuation line; the checker must scan the full
+  // argument list before deciding.
+  s.hits.store(7,
+               std::memory_order_relaxed);
+}
+
+long SeqCstOnPurpose(Stats& s) {
+  // Deliberate seq_cst as a publication fence; suppressed with a reason.
+  // scrpqo-lint: allow(atomic-order)
+  return s.hits.fetch_add(1);
+}
+
+}  // namespace scrpqo_fixture

@@ -1,0 +1,32 @@
+// lint-path: src/common/fixture_nodiscard_status.cc
+// Fixture for the nodiscard-status rule: error-carrying types in
+// src/common/ must be [[nodiscard]].
+
+namespace scrpqo_fixture {
+
+class Status {  // scrpqo-lint: expect(nodiscard-status)
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+// scrpqo-lint: expect(nodiscard-status)
+struct Result {
+  T value;
+};
+
+class [[nodiscard]] StatusGood {
+ public:
+  bool ok() const { return true; }
+};
+
+// Forward declarations are not definitions: clean.
+class StatusFwd;
+
+// A deliberate fire-and-forget status type; suppressed.
+// scrpqo-lint: allow(nodiscard-status)
+struct Status final {
+  int code = 0;
+};
+
+}  // namespace scrpqo_fixture

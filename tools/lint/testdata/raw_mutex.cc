@@ -1,0 +1,27 @@
+// lint-path: src/obs/fixture_raw_mutex.cc
+// Fixture for the raw-mutex rule: raw std synchronization primitives are
+// invisible to the thread-safety analysis and banned outside
+// common/thread_annotations.h.
+#include <mutex>
+#include <shared_mutex>
+
+namespace scrpqo_fixture {
+
+struct Registry {
+  std::mutex mu_;  // scrpqo-lint: expect(raw-mutex)
+  std::shared_mutex rw_mu_;  // scrpqo-lint: expect(raw-mutex)
+
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // scrpqo-lint: expect(raw-mutex)
+  }
+
+  // Interop with a third-party API that hands us a std::unique_lock;
+  // suppressed at the boundary.
+  // scrpqo-lint: allow(raw-mutex)
+  void Adopt(std::unique_lock<std::mutex> external);
+};
+
+// Mentioning the banned names in comments is fine: std::mutex,
+// std::condition_variable. The checker reads comment-stripped code.
+
+}  // namespace scrpqo_fixture
