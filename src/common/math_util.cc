@@ -7,10 +7,6 @@
 
 namespace scrpqo {
 
-namespace {
-constexpr double kSelectivityFloor = 1e-9;
-}  // namespace
-
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

@@ -5,7 +5,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/simd.h"
+
 namespace scrpqo {
+
+/// Selectivities are clamped to this floor before ratio computation so
+/// G/L stay finite (shared by ComputeGl / ComputeGlFast /
+/// SelectivityRatios).
+inline constexpr double kSelectivityFloor = 1e-9;
 
 /// \brief Percentile of a sample using linear interpolation between order
 /// statistics (the "R-7" definition used by numpy). `p` in [0, 100].
@@ -42,6 +49,44 @@ struct GlFactors {
 /// getPlan. Identical results to ComputeG/ComputeL over SelectivityRatios.
 GlFactors ComputeGl(const std::vector<double>& from,
                     const std::vector<double>& to);
+
+/// ComputeGl with the dimension loop unrolled over four independent
+/// accumulator lanes (auto-vectorizable, and the lanes software-pipeline
+/// regardless) plus a scalar tail. Same clamping and branch predicates as
+/// ComputeGl; the horizontal product at the end reorders multiplications,
+/// so results agree only to ~1 ulp — use ComputeGl where bit-exact
+/// G/L identities are asserted, ComputeGlFast on the getPlan hot loop
+/// (every consumer there compares against thresholds with slack).
+inline GlFactors ComputeGlFast(const std::vector<double>& from,
+                               const std::vector<double>& to) {
+  const size_t n = from.size();
+  const double* f = from.data();
+  const double* t = to.data();
+  const Vec4dScalar one(1.0);
+  const Vec4dScalar floor_v(kSelectivityFloor);
+  Vec4dScalar g4(1.0);
+  Vec4dScalar l4(1.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    Vec4dScalar fv = VecMax(Vec4dScalar::Load(f + i), floor_v);
+    Vec4dScalar tv = VecMax(Vec4dScalar::Load(t + i), floor_v);
+    Vec4dScalar r = tv / fv;
+    // g *= (r > 1 ? r : 1);  l *= (r < 1 ? 1/r : 1)
+    g4 = g4 * VecSelectGt(r, one, r, one);
+    l4 = l4 * VecSelectGt(one, r, one / r, one);
+  }
+  GlFactors out;
+  out.g = g4.v[0] * g4.v[1] * g4.v[2] * g4.v[3];
+  out.l = l4.v[0] * l4.v[1] * l4.v[2] * l4.v[3];
+  for (; i < n; ++i) {
+    double fc = VecMax(f[i], kSelectivityFloor);
+    double tc = VecMax(t[i], kSelectivityFloor);
+    double r = tc / fc;
+    if (r > 1.0) out.g *= r;
+    if (r < 1.0) out.l /= r;
+  }
+  return out;
+}
 
 /// Euclidean distance between two selectivity vectors.
 double EuclideanDistance(const std::vector<double>& a,

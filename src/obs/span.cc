@@ -8,8 +8,8 @@ thread_local StageBreakdown* SpanContext::current_ = nullptr;
 
 namespace {
 constexpr const char* kStageNames[kNumStages] = {
-    "shard_wait", "svector",  "index_probe", "sel_check",
-    "recost",     "optimize", "manage_cache"};
+    "shard_wait", "svector",  "index_probe",  "sel_check",
+    "recost",     "optimize", "manage_cache", "batch_recost"};
 }  // namespace
 
 const char* StageName(Stage stage) {

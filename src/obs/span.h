@@ -11,9 +11,11 @@
 //   svector       selectivity-vector computation (harness/engine side)
 //   index_probe   spatial-index range query / nearest-by-GL sweep
 //   sel_check     instance-list selectivity-check scan
-//   recost        Recost calls of the cost check (flat-program sweeps)
+//   recost        scalar Recost calls (tree walks, one-off programs)
 //   optimize      full optimizer call on a miss
 //   manage_cache  Algorithm 2 bookkeeping (store-or-reuse, eviction)
+//   batch_recost  batched recost sweeps (RecostMany blocks and the
+//                 SIMD bundle's EvalMany passes)
 #pragma once
 
 #include <chrono>
@@ -31,8 +33,9 @@ enum class Stage : int {
   kRecost = 4,
   kOptimize = 5,
   kManageCache = 6,
+  kBatchRecost = 7,
 };
-inline constexpr int kNumStages = 7;
+inline constexpr int kNumStages = 8;
 
 /// Stable wire name ("shard_wait", "svector", ...), used both as the JSONL
 /// sub-key of the event's "stages" object and as the metric-name fragment
@@ -41,7 +44,7 @@ const char* StageName(Stage stage);
 
 /// Per-decision stage latency breakdown; -1 marks a stage that never ran.
 struct StageBreakdown {
-  int64_t micros[kNumStages] = {-1, -1, -1, -1, -1, -1, -1};
+  int64_t micros[kNumStages] = {-1, -1, -1, -1, -1, -1, -1, -1};
 
   bool any() const {
     for (int64_t v : micros) {

@@ -1,10 +1,13 @@
-// Per-operator cost arithmetic shared by the two re-costing paths:
+// Per-operator cost arithmetic shared by every re-costing path:
 // CostModel's recursive tree walk (optimization-time derivation and the
-// legacy RecostTree) and RecostProgram's flat postorder scan. Keeping the
-// formulas in one place guarantees the flat kernel cannot drift from the
-// tree walker — the flat-vs-tree property test then only has to absorb
-// multiplication-reordering noise in leaf selectivity products, never a
-// formula divergence.
+// legacy RecostTree), RecostProgram's flat postorder scan, and the
+// SIMD-batched RecostBundle kernels. The width-generic formula bodies live
+// in cost_formulas_core.h (templated on the value type V); this header
+// binds them at V = double under the historical names, so existing scalar
+// callers are untouched while the vector kernels instantiate the exact
+// same arithmetic — the flat-vs-tree and bundle-vs-flat property tests
+// then only have to absorb multiplication-reordering / FMA-contraction
+// noise (~1 ulp, bounded at 1e-9 relative), never a formula divergence.
 //
 // Every function returns output cardinality plus *cumulative* cost (the
 // paper's Cost(P, q)); callers pass children as already-derived
@@ -13,82 +16,45 @@
 // discontinuities above the memory grant.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
-
+#include "optimizer/cost_formulas_core.h"
 #include "optimizer/cost_model.h"
 
 namespace scrpqo::cost_formulas {
 
-/// Minimum cardinality used when clamping intermediate row counts.
-constexpr double kMinRows = 1.0;
-
-struct Derived {
-  double rows = 0.0;
-  double cost = 0.0;  // cumulative
-};
+using Derived = DerivedT<double>;
 
 inline Derived TableScan(const CostParams& p, double base_rows, double sel) {
-  double pages = base_rows / static_cast<double>(p.rows_per_page);
-  return {base_rows * sel,
-          pages * p.io_per_page + base_rows * p.cpu_per_row};
+  return TableScanT<double>(p, base_rows, sel);
 }
 
 /// `seek_sel` is the selectivity of the sargable predicate driving the
 /// seek (1.0 for a parent-driven INLJ inner, which ignores this cost).
 inline Derived IndexSeek(const CostParams& p, double base_rows, double sel,
                          double seek_sel) {
-  double matching = std::max(base_rows * seek_sel, 0.0);
-  return {base_rows * sel,
-          p.seek_base + matching * (p.index_row_cpu + p.rid_lookup +
-                                    p.cpu_per_row)};
+  return IndexSeekT<double>(p, base_rows, sel, seek_sel);
 }
 
 inline Derived IndexScanOrdered(const CostParams& p, double base_rows,
                                 double sel) {
-  return {base_rows * sel,
-          p.seek_base + base_rows * (p.index_row_cpu + p.rid_lookup +
-                                     p.cpu_per_row)};
+  return IndexScanOrderedT<double>(p, base_rows, sel);
 }
 
 inline double SortCost(const CostParams& p, double rows) {
-  rows = std::max(rows, kMinRows);
-  double cost = p.sort_per_row_log * rows * std::log2(rows + 2.0);
-  if (rows > p.memory_rows) {
-    double pages = rows / static_cast<double>(p.rows_per_page);
-    cost += p.spill_io_factor * pages * p.io_per_page;
-  }
-  return cost;
+  return SortCostT<double>(p, rows);
 }
 
 inline Derived Sort(const CostParams& p, const Derived& c0) {
-  return {c0.rows, c0.cost + SortCost(p, c0.rows)};
+  return SortT<double>(p, c0);
 }
 
 inline Derived HashJoin(const CostParams& p, double join_sel,
                         const Derived& c0, const Derived& c1) {
-  double probe = std::max(c0.rows, 0.0);
-  double build = std::max(c1.rows, 0.0);
-  Derived out;
-  out.rows = probe * build * join_sel;
-  double local = build * p.hash_build_per_row +
-                 probe * p.hash_probe_per_row + out.rows * p.cpu_per_row;
-  if (build > p.memory_rows) {
-    double pages = (build + probe) / static_cast<double>(p.rows_per_page);
-    local += p.spill_io_factor * pages * p.io_per_page;
-  }
-  out.cost = c0.cost + c1.cost + local;
-  return out;
+  return HashJoinT<double>(p, join_sel, c0, c1);
 }
 
 inline Derived MergeJoin(const CostParams& p, double join_sel,
                          const Derived& c0, const Derived& c1) {
-  Derived out;
-  out.rows = c0.rows * c1.rows * join_sel;
-  double local = (c0.rows + c1.rows) * p.merge_per_row +
-                 out.rows * p.cpu_per_row;
-  out.cost = c0.cost + c1.cost + local;
-  return out;
+  return MergeJoinT<double>(p, join_sel, c0, c1);
 }
 
 /// IndexedNLJ: the inner is a single-table leaf accessed via its index, so
@@ -99,46 +65,23 @@ inline Derived MergeJoin(const CostParams& p, double join_sel,
 inline Derived IndexedNlj(const CostParams& p, double join_sel,
                           double per_probe_matches, double inner_base_rows,
                           double inner_sel, const Derived& c0) {
-  double outer_rows = std::max(c0.rows, 0.0);
-  double probe_cost =
-      0.5 * p.seek_base +
-      per_probe_matches * (p.index_row_cpu + p.rid_lookup + p.cpu_per_row);
-  Derived out;
-  out.rows = outer_rows * inner_base_rows * inner_sel * join_sel;
-  double local = outer_rows * probe_cost + out.rows * p.cpu_per_row;
-  out.cost = c0.cost + local;
-  return out;
+  return IndexedNljT<double>(p, join_sel, per_probe_matches,
+                             inner_base_rows, inner_sel, c0);
 }
 
 inline Derived NaiveNlj(const CostParams& p, double join_sel,
                         const Derived& c0, const Derived& c1) {
-  double outer_rows = std::max(c0.rows, kMinRows);
-  Derived out;
-  out.rows = c0.rows * c1.rows * join_sel;
-  double local = outer_rows * c1.cost + out.rows * p.cpu_per_row;
-  out.cost = c0.cost + c1.cost + local;
-  return out;
+  return NaiveNljT<double>(p, join_sel, c0, c1);
 }
 
 inline Derived HashAggregate(const CostParams& p, double group_distinct,
                              const Derived& c0) {
-  Derived out;
-  out.rows = std::min(group_distinct, std::max(c0.rows, kMinRows));
-  double local = c0.rows * p.hash_build_per_row + out.rows * p.cpu_per_row;
-  if (out.rows > p.memory_rows) {
-    double pages = c0.rows / static_cast<double>(p.rows_per_page);
-    local += p.spill_io_factor * pages * p.io_per_page;
-  }
-  out.cost = c0.cost + local;
-  return out;
+  return HashAggregateT<double>(p, group_distinct, c0);
 }
 
 inline Derived StreamAggregate(const CostParams& p, double group_distinct,
                                const Derived& c0) {
-  Derived out;
-  out.rows = std::min(group_distinct, std::max(c0.rows, kMinRows));
-  out.cost = c0.cost + c0.rows * p.cpu_per_row;
-  return out;
+  return StreamAggregateT<double>(p, group_distinct, c0);
 }
 
 }  // namespace scrpqo::cost_formulas

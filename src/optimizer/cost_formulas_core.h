@@ -1,0 +1,260 @@
+// Width-generic per-operator cost arithmetic — the single source of truth
+// behind every re-costing path in the system:
+//
+//   V = double        CostModel's tree walk and RecostProgram's scalar scan
+//                     (bit-identical to the historical branching scalar
+//                     code: the double overloads of VecMax/VecSelectGt are
+//                     plain ternaries, and the conditional spill terms add
+//                     a literal +0.0 on the untaken branch).
+//   V = Vec4d*        RecostBundle's 4-plans-per-pass kernels (scalar,
+//                     NEON, AVX2 tiers), instantiated from
+//                     recost_bundle_kernel.h.
+//
+// Deliberately self-contained: no cost_model.h / physical_plan.h include,
+// because the AVX2 kernel translation unit (compiled with -mavx2 -mfma)
+// must not instantiate inline functions from shared heavy headers — a
+// linker picking that TU's COMDAT copy would leak AVX2 code into generic
+// builds. `P` is any struct with CostParams' field names (CostParams
+// itself, or the kernel's mirrored RecostKernelParams POD).
+//
+// Formula shapes follow paper Section 5.4; see cost_formulas.h for the
+// operator-by-operator commentary.
+#pragma once
+
+#include "common/simd.h"
+
+namespace scrpqo::cost_formulas {
+
+/// Minimum cardinality used when clamping intermediate row counts.
+constexpr double kMinRows = 1.0;
+
+/// Deliberately trivially-constructible: the bundle kernel keeps a
+/// kMaxBundleSteps-deep array of these on the stack, and NSDMIs would
+/// make the compiler memset 4 KB per group pass — measurably more than
+/// the pass's own arithmetic. Formulas assign both fields before use.
+template <typename V>
+struct DerivedT {
+  V rows;
+  V cost;  // cumulative
+};
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> TableScanT(const P& p, V base_rows, V sel) {
+  // Multiply by the reciprocal: the scalar divide is off the dependency
+  // chain (and CSE-able), where a per-lane divide would serialize on the
+  // divider — the single slowest unit in every tier.
+  V pages = base_rows * V(1.0 / static_cast<double>(p.rows_per_page));
+  return {base_rows * sel,
+          pages * V(p.io_per_page) + base_rows * V(p.cpu_per_row)};
+}
+
+/// `seek_sel` is the selectivity of the sargable predicate driving the
+/// seek (1.0 for a parent-driven INLJ inner, which ignores this cost).
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexSeekT(const P& p, V base_rows, V sel,
+                                         V seek_sel) {
+  V matching = VecMax(base_rows * seek_sel, V(0.0));
+  const double per_match =
+      p.index_row_cpu + p.rid_lookup + p.cpu_per_row;
+  return {base_rows * sel, V(p.seek_base) + matching * V(per_match)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexScanOrderedT(const P& p, V base_rows,
+                                                V sel) {
+  const double per_row = p.index_row_cpu + p.rid_lookup + p.cpu_per_row;
+  return {base_rows * sel, V(p.seek_base) + base_rows * V(per_row)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE V SortCostT(const P& p, V rows) {
+  rows = VecMax(rows, V(kMinRows));
+  V cost = V(p.sort_per_row_log) * rows * VecLog2(rows + V(2.0));
+  V pages = rows * V(1.0 / static_cast<double>(p.rows_per_page));
+  V spill = V(p.spill_io_factor) * pages * V(p.io_per_page);
+  return cost + VecSelectGt(rows, V(p.memory_rows), spill, V(0.0));
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> SortT(const P& p, const DerivedT<V>& c0) {
+  return {c0.rows, c0.cost + SortCostT<V>(p, c0.rows)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> HashJoinT(const P& p, V join_sel,
+                                        const DerivedT<V>& c0,
+                                        const DerivedT<V>& c1) {
+  V probe = VecMax(c0.rows, V(0.0));
+  V build = VecMax(c1.rows, V(0.0));
+  DerivedT<V> out;
+  out.rows = probe * build * join_sel;
+  V local = build * V(p.hash_build_per_row) +
+            probe * V(p.hash_probe_per_row) + out.rows * V(p.cpu_per_row);
+  V pages = (build + probe) * V(1.0 / static_cast<double>(p.rows_per_page));
+  V spill = V(p.spill_io_factor) * pages * V(p.io_per_page);
+  local = local + VecSelectGt(build, V(p.memory_rows), spill, V(0.0));
+  out.cost = c0.cost + c1.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> MergeJoinT(const P& p, V join_sel,
+                                         const DerivedT<V>& c0,
+                                         const DerivedT<V>& c1) {
+  DerivedT<V> out;
+  out.rows = c0.rows * c1.rows * join_sel;
+  V local = (c0.rows + c1.rows) * V(p.merge_per_row) +
+            out.rows * V(p.cpu_per_row);
+  out.cost = c0.cost + c1.cost + local;
+  return out;
+}
+
+/// IndexedNLJ: the inner is a single-table leaf accessed via its index, so
+/// only the outer child's cumulative cost is charged; the inner's
+/// standalone derivation is ignored. `per_probe_matches` is
+/// inner.base_rows * per_probe_sel (instance-independent); `inner_sel` is
+/// the inner leaf's full predicate selectivity under the current sVector.
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexedNljT(const P& p, V join_sel,
+                                          V per_probe_matches,
+                                          V inner_base_rows, V inner_sel,
+                                          const DerivedT<V>& c0) {
+  V outer_rows = VecMax(c0.rows, V(0.0));
+  const double per_match =
+      p.index_row_cpu + p.rid_lookup + p.cpu_per_row;
+  V probe_cost =
+      V(0.5 * p.seek_base) + per_probe_matches * V(per_match);
+  DerivedT<V> out;
+  out.rows = outer_rows * inner_base_rows * inner_sel * join_sel;
+  V local = outer_rows * probe_cost + out.rows * V(p.cpu_per_row);
+  out.cost = c0.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> NaiveNljT(const P& p, V join_sel,
+                                        const DerivedT<V>& c0,
+                                        const DerivedT<V>& c1) {
+  V outer_rows = VecMax(c0.rows, V(kMinRows));
+  DerivedT<V> out;
+  out.rows = c0.rows * c1.rows * join_sel;
+  V local = outer_rows * c1.cost + out.rows * V(p.cpu_per_row);
+  out.cost = c0.cost + c1.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> HashAggregateT(const P& p, V group_distinct,
+                                             const DerivedT<V>& c0) {
+  DerivedT<V> out;
+  out.rows = VecMin(group_distinct, VecMax(c0.rows, V(kMinRows)));
+  V local = c0.rows * V(p.hash_build_per_row) + out.rows * V(p.cpu_per_row);
+  V pages = c0.rows * V(1.0 / static_cast<double>(p.rows_per_page));
+  V spill = V(p.spill_io_factor) * pages * V(p.io_per_page);
+  local = local + VecSelectGt(out.rows, V(p.memory_rows), spill, V(0.0));
+  out.cost = c0.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> StreamAggregateT(const P& p, V group_distinct,
+                                               const DerivedT<V>& c0) {
+  DerivedT<V> out;
+  out.rows = VecMin(group_distinct, VecMax(c0.rows, V(kMinRows)));
+  out.cost = c0.cost + c0.rows * V(p.cpu_per_row);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hoisted forms ("HT"): the same formulas with every parameter-only
+// subexpression folded into a derived field, computed ONCE per sweep
+// instead of once per step per lane. `P` must additionally carry
+//
+//   scan_cost_per_row = io_per_page / rows_per_page + cpu_per_row
+//   per_match         = index_row_cpu + rid_lookup + cpu_per_row
+//   half_seek_base    = 0.5 * seek_base
+//   spill_per_row     = spill_io_factor * io_per_page / rows_per_page
+//
+// (RecostKernelParams does; see RecostBundle::ToKernelParams). Each HT
+// body equals its T counterpart up to reassociation of those products —
+// a few ulp, bounded by the bundle property suite's 1e-9 relative check.
+// Operators with nothing to hoist (MergeJoin, NaiveNlj, StreamAggregate)
+// have no HT form; the kernel uses the T original.
+// ---------------------------------------------------------------------------
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> TableScanHT(const P& p, V base_rows, V sel) {
+  // (base_rows/rpp)*io + base_rows*cpu == base_rows * scan_cost_per_row.
+  return {base_rows * sel, base_rows * V(p.scan_cost_per_row)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexSeekHT(const P& p, V base_rows, V sel,
+                                          V seek_sel) {
+  V matching = VecMax(base_rows * seek_sel, V(0.0));
+  return {base_rows * sel, V(p.seek_base) + matching * V(p.per_match)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexScanOrderedHT(const P& p, V base_rows,
+                                                 V sel) {
+  return {base_rows * sel, V(p.seek_base) + base_rows * V(p.per_match)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE V SortCostHT(const P& p, V rows) {
+  rows = VecMax(rows, V(kMinRows));
+  V cost = V(p.sort_per_row_log) * rows * VecLog2(rows + V(2.0));
+  V spill = rows * V(p.spill_per_row);
+  return cost + VecSelectGt(rows, V(p.memory_rows), spill, V(0.0));
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> SortHT(const P& p, const DerivedT<V>& c0) {
+  return {c0.rows, c0.cost + SortCostHT<V>(p, c0.rows)};
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> HashJoinHT(const P& p, V join_sel,
+                                         const DerivedT<V>& c0,
+                                         const DerivedT<V>& c1) {
+  V probe = VecMax(c0.rows, V(0.0));
+  V build = VecMax(c1.rows, V(0.0));
+  DerivedT<V> out;
+  out.rows = probe * build * join_sel;
+  V local = build * V(p.hash_build_per_row) +
+            probe * V(p.hash_probe_per_row) + out.rows * V(p.cpu_per_row);
+  V spill = (build + probe) * V(p.spill_per_row);
+  local = local + VecSelectGt(build, V(p.memory_rows), spill, V(0.0));
+  out.cost = c0.cost + c1.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> IndexedNljHT(const P& p, V join_sel,
+                                           V per_probe_matches,
+                                           V inner_base_rows, V inner_sel,
+                                           const DerivedT<V>& c0) {
+  V outer_rows = VecMax(c0.rows, V(0.0));
+  V probe_cost =
+      V(p.half_seek_base) + per_probe_matches * V(p.per_match);
+  DerivedT<V> out;
+  out.rows = outer_rows * inner_base_rows * inner_sel * join_sel;
+  V local = outer_rows * probe_cost + out.rows * V(p.cpu_per_row);
+  out.cost = c0.cost + local;
+  return out;
+}
+
+template <typename V, typename P>
+SCRPQO_VEC_INLINE DerivedT<V> HashAggregateHT(const P& p, V group_distinct,
+                                              const DerivedT<V>& c0) {
+  DerivedT<V> out;
+  out.rows = VecMin(group_distinct, VecMax(c0.rows, V(kMinRows)));
+  V local = c0.rows * V(p.hash_build_per_row) + out.rows * V(p.cpu_per_row);
+  V spill = c0.rows * V(p.spill_per_row);
+  local = local + VecSelectGt(out.rows, V(p.memory_rows), spill, V(0.0));
+  out.cost = c0.cost + local;
+  return out;
+}
+
+}  // namespace scrpqo::cost_formulas

@@ -75,22 +75,56 @@ class RecostService {
   /// lambda_r, and SCR's cost check stops at the first passing candidate.
   /// Returns the number of plans actually re-costed (each is charged as
   /// one Recost call).
+  ///
+  /// Runs of consecutive block-eligible programs (compiled, small, fully
+  /// bound — see RecostBlockEligible) execute through the 4-way pipelined
+  /// block interpreter; ineligible plans fall back to one scalar pass.
+  /// Visit order, per-plan costs, and — because billing counts only plans
+  /// the visitor saw — the charged call count are all identical to the
+  /// one-Run-per-plan loop; a mid-block early exit merely discards lane
+  /// results that were computed for free.
   template <typename Visitor>
   size_t RecostMany(std::span<const CachedPlan* const> plans,
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) const {
     SCRPQO_CHECK(out_costs.size() >= plans.size(),
                  "RecostMany output span too small");
-    size_t scanned = 0;
-    while (scanned < plans.size()) {
-      double c = RecostNoCount(*plans[scanned], sv);
-      out_costs[scanned] = c;
-      ++scanned;
-      if (!visit(scanned - 1, c)) break;
+    size_t visited = 0;
+    size_t i = 0;
+    bool stop = false;
+    while (i < plans.size() && !stop) {
+      const RecostProgram* progs[kRecostBlockLanes];
+      int n = 0;
+      while (n < kRecostBlockLanes && i + static_cast<size_t>(n) <
+                                          plans.size()) {
+        const RecostProgram& prog = plans[i + static_cast<size_t>(n)]->program;
+        if (!RecostBlockEligible(prog, sv.size())) break;
+        progs[n] = &prog;
+        ++n;
+      }
+      if (n >= 2) {
+        double costs[kRecostBlockLanes];
+        RunRecostBlock(progs, n, sv, cost_model_->params(), costs);
+        for (int l = 0; l < n; ++l) {
+          out_costs[i + static_cast<size_t>(l)] = costs[l];
+          ++visited;
+          if (!visit(i + static_cast<size_t>(l), costs[l])) {
+            stop = true;
+            break;
+          }
+        }
+        i += static_cast<size_t>(n);
+      } else {
+        const double c = RecostNoCount(*plans[i], sv);
+        out_costs[i] = c;
+        ++visited;
+        if (!visit(i, c)) stop = true;
+        ++i;
+      }
     }
-    num_calls_.fetch_add(static_cast<int64_t>(scanned),
+    num_calls_.fetch_add(static_cast<int64_t>(visited),
                          std::memory_order_relaxed);
-    return scanned;
+    return visited;
   }
 
   size_t RecostMany(std::span<const CachedPlan* const> plans,
@@ -103,6 +137,13 @@ class RecostService {
     return num_calls_.load(std::memory_order_relaxed);
   }
   void ResetCounters() { num_calls_.store(0, std::memory_order_relaxed); }
+
+  /// Bills `n` Recost-equivalent evaluations performed outside this
+  /// service (RecostBundle::EvalMany visits), keeping num_calls() the
+  /// single source of recost accounting.
+  void ChargeCalls(int64_t n) const {
+    num_calls_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
   double RecostNoCount(const CachedPlan& plan, const SVector& sv) const {

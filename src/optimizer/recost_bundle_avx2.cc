@@ -1,0 +1,36 @@
+// AVX2+FMA instantiation of the bundle group kernel. This is the ONLY
+// translation unit compiled with -mavx2 -mfma (per-source COMPILE_OPTIONS
+// in src/optimizer/CMakeLists.txt, x86-64 + GCC/Clang only) — the default
+// build carries no -march flags, and RecostBundle::EvalGroup only calls
+// EvalGroupAvx2 after __builtin_cpu_supports("avx2")/"fma") passes at
+// runtime, so binaries stay runnable on any x86-64.
+//
+// The function deliberately instantiates nothing but the self-contained
+// recost_bundle_kernel.h / cost_formulas_core.h / common/simd.h templates
+// (all always_inline): no COMDAT symbol compiled with extended ISA can
+// escape this TU and get picked by the linker over a generic copy.
+#include "optimizer/recost_bundle_kernel.h"
+
+namespace scrpqo::bundle_kernel {
+
+#if SCRPQO_SIMD_AVX2_TU
+
+bool HaveAvx2Kernel() { return true; }
+
+void EvalGroupAvx2(const GroupView& g, const double* s,
+                   const RecostKernelParams& p, double* out_cost) {
+  EvalGroupT<Vec4dAvx2>(g, s, p, out_cost);
+}
+
+#else  // Non-x86 build, or a toolchain where the flags were not applied.
+
+bool HaveAvx2Kernel() { return false; }
+
+void EvalGroupAvx2(const GroupView&, const double*,
+                   const RecostKernelParams&, double*) {
+  // Unreachable by construction: dispatch requires HaveAvx2Kernel().
+}
+
+#endif
+
+}  // namespace scrpqo::bundle_kernel

@@ -1,0 +1,62 @@
+// AVX-512 instantiation of the bundle group kernel. This is the ONLY
+// translation unit compiled with -mavx512f -mavx512dq -mavx512vl (per-source
+// COMPILE_OPTIONS in src/optimizer/CMakeLists.txt, x86-64 + GCC/Clang
+// only) — the default build carries no -march flags, and
+// RecostBundle::EvalGroup only calls EvalGroupAvx512 after
+// __builtin_cpu_supports("avx512f"/"avx512dq"/"avx512vl") passes at
+// runtime, so binaries stay runnable on any x86-64.
+//
+// Multi-block groups run the paired kernel: adjacent 4-lane blocks of a
+// cell are contiguous in the pack layout, so one 512-bit op covers two
+// blocks and the per-step op count halves. An odd trailing block (and a
+// one-block group) falls back to the 256-bit kernel — instantiated here
+// with Vec4dAvx2, which the AVX-512 flags subsume.
+//
+// The function deliberately instantiates nothing but the self-contained
+// recost_bundle_kernel.h / cost_formulas_core.h / common/simd.h templates
+// (all always_inline): no COMDAT symbol compiled with extended ISA can
+// escape this TU and get picked by the linker over a generic copy.
+#include "optimizer/recost_bundle_kernel.h"
+
+namespace scrpqo::bundle_kernel {
+
+#if SCRPQO_SIMD_AVX512_TU
+
+bool HaveAvx512Kernel() { return true; }
+
+void EvalGroupAvx512(const GroupView& g, const double* s,
+                     const RecostKernelParams& p, double* out_cost) {
+  static_assert(kMaxBundleBlocks == 4);
+  // Size-aware: 512-bit ops only pay off on wide groups. On single-FMA-unit
+  // parts (Skylake-SP class) a 512-bit op costs ~2x a 256-bit op, so the
+  // paired kernel's halved instruction count only nets out ahead when a
+  // pass covers >= 3 blocks; small groups route to the 256-bit entry in
+  // the AVX2 TU, which also keeps a mixed-shape sweep's hot code footprint
+  // to the few instantiations it actually needs.
+  switch (g.num_blocks) {
+    case 1:
+    case 2:
+      EvalGroupAvx2(g, s, p, out_cost);
+      return;
+    case 3:
+      EvalGroupPairedT<Vec8dAvx512, 1, 3>(g, s, p, out_cost);
+      EvalGroupNbT<Vec4dAvx2, 1, 3, 2>(g, s, p, out_cost);
+      return;
+    default:
+      EvalGroupPairedT<Vec8dAvx512, 2, 4>(g, s, p, out_cost);
+      return;
+  }
+}
+
+#else  // Non-x86 build, or a toolchain where the flags were not applied.
+
+bool HaveAvx512Kernel() { return false; }
+
+void EvalGroupAvx512(const GroupView&, const double*,
+                     const RecostKernelParams&, double*) {
+  // Unreachable by construction: dispatch requires HaveAvx512Kernel().
+}
+
+#endif
+
+}  // namespace scrpqo::bundle_kernel

@@ -1,0 +1,580 @@
+// Width-generic group-evaluation kernel for RecostBundle: evaluates up to
+// kMaxBundleBlocks blocks of four plans (one shared op-kind stream) against
+// one sVector in a single pass. The per-step switch is dispatched once per
+// step and its body loops over blocks, so independent 4-lane chains overlap
+// in the out-of-order core while the dispatch cost is amortized.
+//
+// Deliberately self-contained — includes only common/simd.h and
+// cost_formulas_core.h, never cost_model.h / physical_plan.h /
+// recost_program.h. The AVX2 instantiation lives in a translation unit
+// compiled with -mavx2 -mfma (recost_bundle_avx2.cc); if that TU
+// instantiated inline functions from shared heavy headers, the linker
+// could keep ITS COMDAT copies and leak AVX2 code into generic builds.
+// So this header mirrors the two structs it needs as PODs:
+//
+//   KernelOpKind         numeric mirror of PhysicalOpKind (static_asserts
+//                        in recost_bundle.cc pin the values).
+//   RecostKernelParams   field-name mirror of CostParams, so the shared
+//                        cost_formulas_core.h templates instantiate
+//                        unchanged (they only name fields).
+//
+// GroupView is the structure-of-arrays layout a bundle group exposes:
+// kind-major steps, coefficient rows cell-major where a cell is one
+// (step, block) pair ([(step*num_blocks + block)*4 + lane], 64-byte
+// aligned so a 4-lane vector load never splits a cache line),
+// per-(cell,lane) selectivity-slot ranges into one shared slot pool.
+// Dead lanes are padded with a live lane's data at pack time — they
+// compute a garbage-but-finite cost the caller masks off.
+#pragma once
+
+#include <cstdint>
+
+#include "common/simd.h"
+#include "optimizer/cost_formulas_core.h"
+
+namespace scrpqo::bundle_kernel {
+
+/// SIMD lane width of one block (plans evaluated per vector op).
+inline constexpr int kBundleLanes = 4;
+
+/// Maximum 4-lane blocks per group. Groups are per-shape: all plans with
+/// one op-kind sequence share a group of up to kMaxBundleBlocks blocks, so
+/// a single step loop (one switch dispatch, one mode load per step) drives
+/// up to 16 plans, and the blocks' independent dependency chains overlap
+/// in the out-of-order core.
+inline constexpr int kMaxBundleBlocks = 4;
+
+/// Maximum packed steps per group — matches RecostProgram::kInlineSlots
+/// (static_assert in recost_bundle.cc); longer programs stay on the
+/// scalar path.
+inline constexpr int kMaxBundleSteps = 64;
+
+/// Numeric mirror of PhysicalOpKind (values pinned by static_asserts in
+/// recost_bundle.cc, which sees both enums).
+enum class KernelOpKind : uint8_t {
+  kTableScan = 0,
+  kIndexSeek = 1,
+  kIndexScanOrdered = 2,
+  kSort = 3,
+  kHashJoin = 4,
+  kMergeJoin = 5,
+  kIndexedNestedLoopsJoin = 6,
+  kNaiveNestedLoopsJoin = 7,
+  kHashAggregate = 8,
+  kStreamAggregate = 9,
+};
+
+/// Field-name mirror of CostParams (the formula templates only access
+/// fields by name), extended with the derived products the hoisted (HT)
+/// formula forms consume — see cost_formulas_core.h for the identities.
+/// RecostBundle converts once per sweep, not per plan.
+struct RecostKernelParams {
+  double cpu_per_row;
+  double io_per_page;
+  int64_t rows_per_page;
+  double seek_base;
+  double index_row_cpu;
+  double rid_lookup;
+  double hash_build_per_row;
+  double hash_probe_per_row;
+  double merge_per_row;
+  double sort_per_row_log;
+  double memory_rows;
+  double spill_io_factor;
+  // Derived (ToKernelParams): parameter-only subexpressions folded once
+  // per sweep so the kernel broadcasts one scalar instead of recomputing
+  // the product per step per block.
+  double scan_cost_per_row;  // io_per_page / rows_per_page + cpu_per_row
+  double per_match;          // index_row_cpu + rid_lookup + cpu_per_row
+  double half_seek_base;     // 0.5 * seek_base
+  double spill_per_row;      // spill_io_factor * io_per_page / rows_per_page
+};
+
+/// Per-step selectivity fast-path classes (GroupView::sel_mode). Bundles
+/// classify each step at pack time; the kernel dispatches on the class so
+/// the overwhelmingly common shapes skip the per-lane range loop. Lanes
+/// hold plans of one template, so a step's leaf usually binds the SAME
+/// sVector slots in every lane — kSelUniform turns those gathers into one
+/// scalar product and a broadcast, the cheapest possible form.
+inline constexpr uint8_t kSelGeneral = 0;     // per-lane range loop
+inline constexpr uint8_t kSelOneSlot = 1;     // every lane binds one slot
+inline constexpr uint8_t kSelAllLiteral = 2;  // no lane binds any slot
+inline constexpr uint8_t kSelUniform = 3;     // identical slot list all lanes
+
+/// Per-step seek-value classes (GroupView::seek_mode), same idea for
+/// IndexSeek's sargable-predicate operand.
+inline constexpr uint8_t kSeekMixed = 0;        // per-lane slot-or-constant
+inline constexpr uint8_t kSeekAllConst = 1;     // every lane folded constant
+inline constexpr uint8_t kSeekUniformSlot = 2;  // one shared sVector slot
+
+/// Read-only SoA view of one packed group of `num_blocks` 4-lane blocks.
+/// A (step, block) pair is a "cell": cell = step * num_blocks + block.
+/// Coefficient rows are lane-major per cell — element [cell*4 + lane] —
+/// and a/b/c/sel_lit rows are kSimdAlign-aligned, so one aligned vector
+/// load feeds a whole block's step. Fast-path classes (sel_mode,
+/// seek_mode) are classified per cell: a block's four lanes usually bind
+/// identical slots even when its sibling blocks differ.
+struct GroupView {
+  int num_steps;
+  int num_blocks;            // 1..kMaxBundleBlocks
+  const uint8_t* kinds;      // [step]
+  const double* a;           // [cell*4 + lane]
+  const double* b;           // [cell*4 + lane]
+  const double* c;           // [cell*4 + lane]
+  const double* sel_lit;     // [cell*4 + lane]
+  const uint32_t* sel_begin; // [cell*4 + lane] — range into `slots`
+  const uint32_t* sel_end;   // [cell*4 + lane]
+  const int32_t* seek_slot;  // [cell*4 + lane] — -1 = constant (in c)
+  const int32_t* slots;      // shared slot pool (sVector indices)
+  const uint8_t* sel_mode;   // [cell] — kSel* class
+  const int32_t* sel_slot1;  // [cell*4 + lane] — slot when kSelOneSlot
+  const uint8_t* seek_mode;  // [cell] — kSeek* class (IndexSeek steps)
+  // Step-level hoists (classified at pack time): when EVERY cell of a
+  // step is kSelUniform with the identical slot list — the dominant case
+  // once lanes are binding-clustered — the kernel computes the shared
+  // slot product once per STEP instead of once per block, the single
+  // biggest uop saving in a multi-block pass.
+  const uint8_t* step_sel_shared;   // [step] — 1 = shared uniform slot list
+  const uint32_t* step_sel_begin;   // [step] — shared range into `slots`
+  const uint32_t* step_sel_end;     // [step]
+};
+
+/// Per-lane leaf selectivity for one cell: folded literal product times
+/// the bound sVector slots. The sel_mode classes keep the common one-slot
+/// and literal-only cells branch- and loop-free — one-slot uses the
+/// tier's Gather (hardware vgatherdpd on AVX2; a staging buffer's scalar
+/// stores followed by a vector load would defeat store-to-load
+/// forwarding). Only the rare multi-slot general class walks the ranges.
+/// Products run in slot order starting from the literal, so every mode is
+/// IEEE-identical to RecostProgram::Run's accumulation.
+template <typename V>
+SCRPQO_VEC_INLINE V LaneSel(const GroupView& g, int cell, const double* s) {
+  const int base = cell * kBundleLanes;
+  if (g.sel_mode[cell] == kSelAllLiteral) {
+    return V::Load(g.sel_lit + base);
+  }
+  if (g.sel_mode[cell] == kSelUniform) {
+    // Every lane binds the same slot list: form the shared slot product
+    // once in scalar and broadcast it. With one slot this is exactly
+    // flat Run's sel_lit * s[slot]; with more, the shared product is
+    // grouped first (a <= 1 ulp reordering inside the 1e-9 bound).
+    const uint32_t b0 = g.sel_begin[base];
+    const uint32_t e0 = g.sel_end[base];
+    double m = s[g.slots[b0]];
+    for (uint32_t k = b0 + 1; k != e0; ++k) m *= s[g.slots[k]];
+    return V::Load(g.sel_lit + base) * V(m);
+  }
+  if (g.sel_mode[cell] == kSelOneSlot) {
+    return V::Load(g.sel_lit + base) * V::Gather(s, g.sel_slot1 + base);
+  }
+  alignas(kSimdAlign) double buf[kBundleLanes];
+  for (int l = 0; l < kBundleLanes; ++l) {
+    const int idx = base + l;
+    double sel = g.sel_lit[idx];
+    for (uint32_t k = g.sel_begin[idx]; k != g.sel_end[idx]; ++k) {
+      sel *= s[g.slots[k]];
+    }
+    buf[l] = sel;
+  }
+  return V::Load(buf);
+}
+
+/// Shared slot product of a step_sel_shared step: every lane of every
+/// block binds this one list, so one scalar product serves the whole
+/// step. Association matches LaneSel's kSelUniform path exactly.
+SCRPQO_VEC_INLINE double StepSelProduct(const GroupView& g, int step,
+                                        const double* s) {
+  const uint32_t b0 = g.step_sel_begin[step];
+  const uint32_t e0 = g.step_sel_end[step];
+  double m = s[g.slots[b0]];
+  for (uint32_t k = b0 + 1; k != e0; ++k) m *= s[g.slots[k]];
+  return m;
+}
+
+/// Evaluates every block of `g` against sVector data `s` and stores each
+/// lane's cumulative root cost into out_cost[0 .. num_blocks*4). One step
+/// loop drives all blocks: the switch dispatch and kind load are paid
+/// once per step per SHAPE, and the blocks' disjoint dependency chains
+/// overlap in the out-of-order core. Per-lane results are identical to
+/// the corresponding RecostProgram::Run up to the value type's arithmetic
+/// and the hoisted-form reassociations (exact association for Vec4dScalar
+/// modulo the HT folds; FMA contraction adds ~1 ulp in the AVX2 tier —
+/// all absorbed by the 1e-9 equivalence bound).
+/// NBT is the group's total block count (the cell-index stride) and B0 the
+/// first block this pass covers — both default to a full-group pass. The
+/// AVX-512 dispatcher uses a partial pass (NBT=3, B0=2, NB=1) for the odd
+/// trailing block of a three-block group.
+template <typename V, int NB, int NBT = NB, int B0 = 0>
+SCRPQO_VEC_INLINE void EvalGroupNbT(const GroupView& g, const double* s,
+                                    const RecostKernelParams& p,
+                                    double* out_cost) {
+  namespace cf = scrpqo::cost_formulas;
+  // Compile-time block count: the per-case block loops below fully unroll
+  // and every stk index folds to a constant, so a single-block group pays
+  // no loop or indexing overhead at all.
+  constexpr int nb = NB;
+  // Value stack, one slot per (depth, block): stk[depth*nb + blk].
+  // Trivially-constructible on purpose (no zero-init): value-initializing
+  // this array would memset kilobytes per pass — more than the arithmetic.
+  cf::DerivedT<V> stk[kMaxBundleSteps * NB];
+  int sp = 0;
+  for (int step = 0; step < g.num_steps; ++step) {
+    const int cell0 = step * NBT + B0;
+    switch (static_cast<KernelOpKind>(g.kinds[step])) {
+      case KernelOpKind::kTableScan: {
+        // Step-shared hoist (multi-block only; for one block LaneSel's
+        // kSelUniform path is already this): one scalar product for the
+        // whole step instead of one per block.
+        const bool shd = NB > 1 && g.step_sel_shared[step] != 0;
+        const V sm = shd ? V(StepSelProduct(g, step, s)) : V(0.0);
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          const V sel = shd ? V::Load(g.sel_lit + base) * sm
+                            : LaneSel<V>(g, cell0 + blk, s);
+          stk[sp * nb + blk] =
+              cf::TableScanHT<V>(p, V::Load(g.a + base), sel);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kIndexSeek: {
+        const bool shd = NB > 1 && g.step_sel_shared[step] != 0;
+        const V sm = shd ? V(StepSelProduct(g, step, s)) : V(0.0);
+        for (int blk = 0; blk < nb; ++blk) {
+          const int cell = cell0 + blk;
+          const int base = cell * kBundleLanes;
+          V sel = shd ? V::Load(g.sel_lit + base) * sm
+                      : LaneSel<V>(g, cell, s);
+          // Seek operand by pack-time class: all-constant lanes load the
+          // folded c row, one shared slot broadcasts, and only mixed
+          // blocks pay the masked gather.
+          V seek;
+          if (g.seek_mode[cell] == kSeekAllConst) {
+            seek = V::Load(g.c + base);
+          } else if (g.seek_mode[cell] == kSeekUniformSlot) {
+            seek = V(s[g.seek_slot[base]]);
+          } else {
+            seek = V::GatherOrDefault(s, g.seek_slot + base, g.c + base);
+          }
+          stk[sp * nb + blk] =
+              cf::IndexSeekHT<V>(p, V::Load(g.a + base), sel, seek);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kIndexScanOrdered: {
+        const bool shd = NB > 1 && g.step_sel_shared[step] != 0;
+        const V sm = shd ? V(StepSelProduct(g, step, s)) : V(0.0);
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          const V sel = shd ? V::Load(g.sel_lit + base) * sm
+                            : LaneSel<V>(g, cell0 + blk, s);
+          stk[sp * nb + blk] =
+              cf::IndexScanOrderedHT<V>(p, V::Load(g.a + base), sel);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kSort:
+        for (int blk = 0; blk < nb; ++blk) {
+          cf::DerivedT<V>& top = stk[(sp - 1) * nb + blk];
+          top = cf::SortHT<V>(p, top);
+        }
+        break;
+      case KernelOpKind::kHashJoin:
+        --sp;
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          stk[(sp - 1) * nb + blk] =
+              cf::HashJoinHT<V>(p, V::Load(g.a + base),
+                                stk[(sp - 1) * nb + blk], stk[sp * nb + blk]);
+        }
+        break;
+      case KernelOpKind::kMergeJoin:
+        --sp;
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          stk[(sp - 1) * nb + blk] =
+              cf::MergeJoinT<V>(p, V::Load(g.a + base),
+                                stk[(sp - 1) * nb + blk], stk[sp * nb + blk]);
+        }
+        break;
+      case KernelOpKind::kIndexedNestedLoopsJoin: {
+        // Unary: the inner leaf was elided at compile time; this op
+        // carries the inner's binding (sel range) and coefficients.
+        const bool shd = NB > 1 && g.step_sel_shared[step] != 0;
+        const V sm = shd ? V(StepSelProduct(g, step, s)) : V(0.0);
+        for (int blk = 0; blk < nb; ++blk) {
+          const int cell = cell0 + blk;
+          const int base = cell * kBundleLanes;
+          const V sel = shd ? V::Load(g.sel_lit + base) * sm
+                            : LaneSel<V>(g, cell, s);
+          cf::DerivedT<V>& top = stk[(sp - 1) * nb + blk];
+          top = cf::IndexedNljHT<V>(p, V::Load(g.a + base),
+                                    V::Load(g.b + base), V::Load(g.c + base),
+                                    sel, top);
+        }
+        break;
+      }
+      case KernelOpKind::kNaiveNestedLoopsJoin:
+        --sp;
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          stk[(sp - 1) * nb + blk] =
+              cf::NaiveNljT<V>(p, V::Load(g.a + base),
+                               stk[(sp - 1) * nb + blk], stk[sp * nb + blk]);
+        }
+        break;
+      case KernelOpKind::kHashAggregate:
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          cf::DerivedT<V>& top = stk[(sp - 1) * nb + blk];
+          top = cf::HashAggregateHT<V>(p, V::Load(g.a + base), top);
+        }
+        break;
+      case KernelOpKind::kStreamAggregate:
+        for (int blk = 0; blk < nb; ++blk) {
+          const int base = (cell0 + blk) * kBundleLanes;
+          cf::DerivedT<V>& top = stk[(sp - 1) * nb + blk];
+          top = cf::StreamAggregateT<V>(p, V::Load(g.a + base), top);
+        }
+        break;
+    }
+  }
+  for (int blk = 0; blk < nb; ++blk) {
+    stk[blk].cost.Store(out_cost + (B0 + blk) * kBundleLanes);
+  }
+}
+
+/// Width dispatch: one branch on the group's block count selects the
+/// fully-unrolled instantiation.
+template <typename V>
+SCRPQO_VEC_INLINE void EvalGroupT(const GroupView& g, const double* s,
+                                  const RecostKernelParams& p,
+                                  double* out_cost) {
+  static_assert(kMaxBundleBlocks == 4);
+  switch (g.num_blocks) {
+    case 1:
+      EvalGroupNbT<V, 1>(g, s, p, out_cost);
+      return;
+    case 2:
+      EvalGroupNbT<V, 2>(g, s, p, out_cost);
+      return;
+    case 3:
+      EvalGroupNbT<V, 3>(g, s, p, out_cost);
+      return;
+    default:
+      EvalGroupNbT<V, 4>(g, s, p, out_cost);
+      return;
+  }
+}
+
+/// Per-PAIR leaf selectivity: one 8-lane vector covering two adjacent
+/// blocks (cells cellA and cellA+1, whose lane rows are contiguous).
+/// Modes are still classified per cell, so a fast path applies only when
+/// BOTH cells agree — the common case, because the bundle clusters lanes
+/// by binding hash and block-aligns the clusters on growth. Disagreeing
+/// pairs take the general per-lane loop, which matches flat Run's
+/// product association exactly for every mode.
+template <typename V8>
+SCRPQO_VEC_INLINE V8 PairSel(const GroupView& g, int cellA, const double* s) {
+  const int base = cellA * kBundleLanes;
+  const uint8_t ma = g.sel_mode[cellA];
+  const uint8_t mb = g.sel_mode[cellA + 1];
+  if (ma == kSelAllLiteral && mb == kSelAllLiteral) {
+    return V8::Load(g.sel_lit + base);
+  }
+  if (ma == kSelUniform && mb == kSelUniform) {
+    // Each block's shared slot product in scalar, then one two-way
+    // broadcast — the pair analogue of LaneSel's kSelUniform path.
+    const uint32_t ba = g.sel_begin[base];
+    const uint32_t ea = g.sel_end[base];
+    double pa = s[g.slots[ba]];
+    for (uint32_t k = ba + 1; k != ea; ++k) pa *= s[g.slots[k]];
+    const uint32_t bb = g.sel_begin[base + kBundleLanes];
+    const uint32_t eb = g.sel_end[base + kBundleLanes];
+    double pb = s[g.slots[bb]];
+    for (uint32_t k = bb + 1; k != eb; ++k) pb *= s[g.slots[k]];
+    return V8::Load(g.sel_lit + base) * V8::BroadcastPair(pa, pb);
+  }
+  if (ma == kSelOneSlot && mb == kSelOneSlot) {
+    return V8::Load(g.sel_lit + base) * V8::Gather(s, g.sel_slot1 + base);
+  }
+  alignas(kSimdAlign) double buf[2 * kBundleLanes];
+  for (int l = 0; l < 2 * kBundleLanes; ++l) {
+    const int idx = base + l;
+    double sel = g.sel_lit[idx];
+    for (uint32_t k = g.sel_begin[idx]; k != g.sel_end[idx]; ++k) {
+      sel *= s[g.slots[k]];
+    }
+    buf[l] = sel;
+  }
+  return V8::Load(buf);
+}
+
+/// Paired-block kernel: each vector op spans TWO adjacent blocks (eight
+/// lanes), halving the per-step op count relative to EvalGroupNbT on the
+/// identical pack layout — pair pr covers blocks B0+2pr and B0+2pr+1.
+/// V8 must expose the Vec4d interface widened to eight lanes plus
+/// BroadcastPair (Vec8dAvx512). An odd trailing block is NOT handled
+/// here; the dispatcher runs it as a one-block EvalGroupNbT pass.
+template <typename V8, int NP, int NBT, int B0 = 0>
+SCRPQO_VEC_INLINE void EvalGroupPairedT(const GroupView& g, const double* s,
+                                        const RecostKernelParams& p,
+                                        double* out_cost) {
+  namespace cf = scrpqo::cost_formulas;
+  constexpr int np = NP;
+  cf::DerivedT<V8> stk[kMaxBundleSteps * NP];
+  int sp = 0;
+  for (int step = 0; step < g.num_steps; ++step) {
+    const int cell0 = step * NBT + B0;
+    switch (static_cast<KernelOpKind>(g.kinds[step])) {
+      case KernelOpKind::kTableScan: {
+        // Step-shared hoist: one scalar product + one broadcast for the
+        // whole step (PairSel's per-pair path would redo it per pair).
+        const bool shd = g.step_sel_shared[step] != 0;
+        const V8 sm = shd ? V8(StepSelProduct(g, step, s)) : V8(0.0);
+        for (int pr = 0; pr < np; ++pr) {
+          const int cell = cell0 + 2 * pr;
+          const int base = cell * kBundleLanes;
+          const V8 sel = shd ? V8::Load(g.sel_lit + base) * sm
+                             : PairSel<V8>(g, cell, s);
+          stk[sp * np + pr] =
+              cf::TableScanHT<V8>(p, V8::Load(g.a + base), sel);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kIndexSeek: {
+        const bool shd = g.step_sel_shared[step] != 0;
+        const V8 sm = shd ? V8(StepSelProduct(g, step, s)) : V8(0.0);
+        for (int pr = 0; pr < np; ++pr) {
+          const int cell = cell0 + 2 * pr;
+          const int base = cell * kBundleLanes;
+          const V8 sel = shd ? V8::Load(g.sel_lit + base) * sm
+                             : PairSel<V8>(g, cell, s);
+          // Seek operand: fast paths only when both cells agree; the
+          // masked gather covers every mixed combination exactly (the
+          // per-lane seek_slot rows are always packed, whatever the
+          // cell's classification).
+          const uint8_t sa = g.seek_mode[cell];
+          const uint8_t sb = g.seek_mode[cell + 1];
+          V8 seek;
+          if (sa == kSeekAllConst && sb == kSeekAllConst) {
+            seek = V8::Load(g.c + base);
+          } else if (sa == kSeekUniformSlot && sb == kSeekUniformSlot) {
+            seek = V8::BroadcastPair(s[g.seek_slot[base]],
+                                     s[g.seek_slot[base + kBundleLanes]]);
+          } else {
+            seek = V8::GatherOrDefault(s, g.seek_slot + base, g.c + base);
+          }
+          stk[sp * np + pr] =
+              cf::IndexSeekHT<V8>(p, V8::Load(g.a + base), sel, seek);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kIndexScanOrdered: {
+        const bool shd = g.step_sel_shared[step] != 0;
+        const V8 sm = shd ? V8(StepSelProduct(g, step, s)) : V8(0.0);
+        for (int pr = 0; pr < np; ++pr) {
+          const int cell = cell0 + 2 * pr;
+          const int base = cell * kBundleLanes;
+          const V8 sel = shd ? V8::Load(g.sel_lit + base) * sm
+                             : PairSel<V8>(g, cell, s);
+          stk[sp * np + pr] =
+              cf::IndexScanOrderedHT<V8>(p, V8::Load(g.a + base), sel);
+        }
+        ++sp;
+        break;
+      }
+      case KernelOpKind::kSort:
+        for (int pr = 0; pr < np; ++pr) {
+          cf::DerivedT<V8>& top = stk[(sp - 1) * np + pr];
+          top = cf::SortHT<V8>(p, top);
+        }
+        break;
+      case KernelOpKind::kHashJoin:
+        --sp;
+        for (int pr = 0; pr < np; ++pr) {
+          const int base = (cell0 + 2 * pr) * kBundleLanes;
+          stk[(sp - 1) * np + pr] =
+              cf::HashJoinHT<V8>(p, V8::Load(g.a + base),
+                                 stk[(sp - 1) * np + pr], stk[sp * np + pr]);
+        }
+        break;
+      case KernelOpKind::kMergeJoin:
+        --sp;
+        for (int pr = 0; pr < np; ++pr) {
+          const int base = (cell0 + 2 * pr) * kBundleLanes;
+          stk[(sp - 1) * np + pr] =
+              cf::MergeJoinT<V8>(p, V8::Load(g.a + base),
+                                 stk[(sp - 1) * np + pr], stk[sp * np + pr]);
+        }
+        break;
+      case KernelOpKind::kIndexedNestedLoopsJoin: {
+        const bool shd = g.step_sel_shared[step] != 0;
+        const V8 sm = shd ? V8(StepSelProduct(g, step, s)) : V8(0.0);
+        for (int pr = 0; pr < np; ++pr) {
+          const int cell = cell0 + 2 * pr;
+          const int base = cell * kBundleLanes;
+          const V8 sel = shd ? V8::Load(g.sel_lit + base) * sm
+                             : PairSel<V8>(g, cell, s);
+          cf::DerivedT<V8>& top = stk[(sp - 1) * np + pr];
+          top = cf::IndexedNljHT<V8>(p, V8::Load(g.a + base),
+                                     V8::Load(g.b + base),
+                                     V8::Load(g.c + base), sel, top);
+        }
+        break;
+      }
+      case KernelOpKind::kNaiveNestedLoopsJoin:
+        --sp;
+        for (int pr = 0; pr < np; ++pr) {
+          const int base = (cell0 + 2 * pr) * kBundleLanes;
+          stk[(sp - 1) * np + pr] =
+              cf::NaiveNljT<V8>(p, V8::Load(g.a + base),
+                                stk[(sp - 1) * np + pr], stk[sp * np + pr]);
+        }
+        break;
+      case KernelOpKind::kHashAggregate:
+        for (int pr = 0; pr < np; ++pr) {
+          const int base = (cell0 + 2 * pr) * kBundleLanes;
+          cf::DerivedT<V8>& top = stk[(sp - 1) * np + pr];
+          top = cf::HashAggregateHT<V8>(p, V8::Load(g.a + base), top);
+        }
+        break;
+      case KernelOpKind::kStreamAggregate:
+        for (int pr = 0; pr < np; ++pr) {
+          const int base = (cell0 + 2 * pr) * kBundleLanes;
+          cf::DerivedT<V8>& top = stk[(sp - 1) * np + pr];
+          top = cf::StreamAggregateT<V8>(p, V8::Load(g.a + base), top);
+        }
+        break;
+    }
+  }
+  for (int pr = 0; pr < np; ++pr) {
+    stk[pr].cost.Store(out_cost + (B0 + 2 * pr) * kBundleLanes);
+  }
+}
+
+/// Signature of a tier's group-evaluation entry point.
+using EvalGroupFn = void (*)(const GroupView&, const double*,
+                             const RecostKernelParams&, double*);
+
+/// AVX2 tier, exported by recost_bundle_avx2.cc. HaveAvx2Kernel() reports
+/// whether that TU was compiled with the kernel (x86-64 + supported
+/// flags); EvalGroupAvx2 must only be called when it returns true AND
+/// CpuSupportsAvx2Fma() — it is a safe no-kernel stub otherwise.
+bool HaveAvx2Kernel();
+void EvalGroupAvx2(const GroupView& g, const double* s,
+                   const RecostKernelParams& p, double* out_cost);
+
+/// AVX-512 tier, exported by recost_bundle_avx512.cc: multi-block groups
+/// run the paired kernel (two blocks per 512-bit op); single blocks fall
+/// back to the 256-bit kernel inside the same TU. Same contract as the
+/// AVX2 pair: call only when HaveAvx512Kernel() AND CpuSupportsAvx512().
+bool HaveAvx512Kernel();
+void EvalGroupAvx512(const GroupView& g, const double* s,
+                     const RecostKernelParams& p, double* out_cost);
+
+}  // namespace scrpqo::bundle_kernel

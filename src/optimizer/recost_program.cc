@@ -118,6 +118,13 @@ void RecostProgram::Emit(const PhysicalPlanNode& node) {
 RecostProgram RecostProgram::Compile(const PhysicalPlanNode& root) {
   RecostProgram program;
   program.Emit(root);
+  // Emit grows by push_back, so capacity can be up to 2x size. Compiled
+  // programs are immutable from here on and live for the cache lifetime of
+  // their plan; shrinking makes memory_bytes() exact instead of a
+  // growth-policy overshoot (which inflated PqoManager's
+  // global_memory_bytes eviction pressure).
+  program.ops_.shrink_to_fit();
+  program.slots_.shrink_to_fit();
   return program;
 }
 

@@ -36,6 +36,7 @@
 // relative).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -66,33 +67,12 @@ class RecostProgram {
   /// compilation needs no CostModel handle at MakeCachedPlan time).
   static RecostProgram Compile(const PhysicalPlanNode& root);
 
-  /// True for a default-constructed (never compiled) program — callers
-  /// fall back to the tree walker.
-  bool empty() const { return ops_.empty(); }
-
-  /// Op count. At most the plan's node count — INLJ inner leaves are
-  /// elided at compile time.
-  int num_nodes() const { return static_cast<int>(ops_.size()); }
-
-  /// Highest sVector slot the program binds; -1 when fully literal.
-  int max_binding_slot() const { return max_slot_; }
-
-  /// Heap bytes held by the compiled op stream + binding-slot table (for
-  /// cache-memory budgeting; see Scr::EstimatedMemoryBytes).
-  int64_t memory_bytes() const {
-    return static_cast<int64_t>(ops_.capacity() * sizeof(Op)) +
-           static_cast<int64_t>(slots_.capacity() * sizeof(int32_t));
-  }
-
-  /// Cost(P, q) for selectivity vector `sv` — one linear scan. Defined
-  /// inline below so RecostService and the benches inline the whole
-  /// kernel into their call sites.
-  double Run(const SVector& sv, const CostParams& params) const;
-
- private:
   /// One postorder micro-op. Doubles first so the struct packs to 48 bytes
   /// with no interior padding — the whole stream is a dense sequential
-  /// read.
+  /// read. Public (read-only via ops()) so the batched kernels —
+  /// RecostBundle's SoA packer and the 4-way pipelined block interpreter
+  /// in recost_program_run.h — can consume the stream without a second
+  /// compile path.
   struct Op {
     // Meaning by kind:            a                b                  c
     //   TableScan/IndexScanOrd    base_rows        -                  -
@@ -110,6 +90,43 @@ class RecostProgram {
     uint8_t kind = 0;
   };
 
+  /// True for a default-constructed (never compiled) program — callers
+  /// fall back to the tree walker.
+  bool empty() const { return ops_.empty(); }
+
+  /// Op count. At most the plan's node count — INLJ inner leaves are
+  /// elided at compile time.
+  int num_nodes() const { return static_cast<int>(ops_.size()); }
+
+  /// Highest sVector slot the program binds; -1 when fully literal.
+  int max_binding_slot() const { return max_slot_; }
+
+  /// Binding-slot table length (entries referenced by the ops' sel
+  /// ranges).
+  int num_binding_slots() const { return static_cast<int>(slots_.size()); }
+
+  /// Heap bytes held by the compiled op stream + binding-slot table (for
+  /// cache-memory budgeting; see Scr::EstimatedMemoryBytes). Compile
+  /// shrinks both buffers to fit, so capacity here equals size and the
+  /// figure is exact, not a growth-policy overshoot that would inflate
+  /// PqoManager's global_memory_bytes eviction pressure.
+  int64_t memory_bytes() const {
+    return static_cast<int64_t>(ops_.capacity() * sizeof(Op)) +
+           static_cast<int64_t>(slots_.capacity() * sizeof(int32_t));
+  }
+
+  static constexpr std::size_t kOpBytes = sizeof(Op);
+
+  /// Read-only view of the compiled stream, for the batched kernels.
+  const Op* ops() const { return ops_.data(); }
+  const int32_t* slots() const { return slots_.data(); }
+
+  /// Cost(P, q) for selectivity vector `sv` — one linear scan. Defined
+  /// inline below so RecostService and the benches inline the whole
+  /// kernel into their call sites.
+  double Run(const SVector& sv, const CostParams& params) const;
+
+ private:
   double RunOps(const SVector& sv, const CostParams& params,
                 double* SCRPQO_RESTRICT rows_stk,
                 double* SCRPQO_RESTRICT cost_stk) const;

@@ -1,4 +1,4 @@
-// Inline definition of the RecostProgram evaluation kernel. Included at
+// Inline definition of the RecostProgram evaluation kernels. Included at
 // the bottom of recost_program.h — never include this file directly.
 //
 // The program is postorder, so evaluation is RPN on a tiny value stack:
@@ -6,6 +6,17 @@
 // (except IndexedNLJ, whose elided inner makes it unary).
 // The stack top stays in registers for the plan shapes the optimizer
 // emits, and the op stream is one dense sequential read.
+//
+// Two entry points share the per-op switch (RecostStepOp):
+//   RecostProgram::Run   one program, one sVector — the scalar path.
+//   RunRecostBlock       up to four programs against one sVector in
+//                        interleaved lockstep: one op per lane per round,
+//                        four independent stack/instruction-pointer sets.
+//                        The lanes' dependency chains are disjoint, so the
+//                        out-of-order core overlaps them (software
+//                        pipelining) — the guaranteed-everywhere batching
+//                        tier under RecostService::RecostMany, no SIMD
+//                        required.
 #pragma once
 
 #include "common/status.h"
@@ -14,11 +25,91 @@
 
 namespace scrpqo {
 
+/// Executes one micro-op against a value-stack pair. `sel` is the already
+/// computed leaf selectivity (folded literals times bound slots). Shared
+/// by the scalar scan and the pipelined block interpreter so the dispatch
+/// logic cannot drift between them.
+SCRPQO_VEC_INLINE void RecostStepOp(const RecostProgram::Op& op, double sel,
+                                    const double* SCRPQO_RESTRICT s,
+                                    const CostParams& params,
+                                    double* SCRPQO_RESTRICT rows_stk,
+                                    double* SCRPQO_RESTRICT cost_stk,
+                                    int& sp) {
+  namespace cf = cost_formulas;
+  cf::Derived out{};  // two scalars; DerivedT itself no longer zero-inits
+  switch (static_cast<PhysicalOpKind>(op.kind)) {
+    case PhysicalOpKind::kTableScan:
+      out = cf::TableScan(params, op.a, sel);
+      break;
+    case PhysicalOpKind::kIndexSeek: {
+      double seek_sel = op.seek_slot >= 0 ? s[op.seek_slot] : op.c;
+      out = cf::IndexSeek(params, op.a, sel, seek_sel);
+      break;
+    }
+    case PhysicalOpKind::kIndexScanOrdered:
+      out = cf::IndexScanOrdered(params, op.a, sel);
+      break;
+    case PhysicalOpKind::kSort:
+      out = cf::Sort(params, {rows_stk[sp - 1], cost_stk[sp - 1]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kHashJoin:
+      --sp;
+      out = cf::HashJoin(params, op.a,
+                         {rows_stk[sp - 1], cost_stk[sp - 1]},
+                         {rows_stk[sp], cost_stk[sp]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kMergeJoin:
+      --sp;
+      out = cf::MergeJoin(params, op.a,
+                          {rows_stk[sp - 1], cost_stk[sp - 1]},
+                          {rows_stk[sp], cost_stk[sp]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kIndexedNestedLoopsJoin:
+      // Unary in the flat form: the inner leaf was elided at compile
+      // time (its standalone derivation is ignored by the formula), so
+      // this rewrites the outer child's slot in place.
+      out = cf::IndexedNlj(params, op.a, op.b, op.c, sel,
+                           {rows_stk[sp - 1], cost_stk[sp - 1]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kNaiveNestedLoopsJoin:
+      --sp;
+      out = cf::NaiveNlj(params, op.a,
+                         {rows_stk[sp - 1], cost_stk[sp - 1]},
+                         {rows_stk[sp], cost_stk[sp]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kHashAggregate:
+      out = cf::HashAggregate(params, op.a,
+                              {rows_stk[sp - 1], cost_stk[sp - 1]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+    case PhysicalOpKind::kStreamAggregate:
+      out = cf::StreamAggregate(params, op.a,
+                                {rows_stk[sp - 1], cost_stk[sp - 1]});
+      rows_stk[sp - 1] = out.rows;
+      cost_stk[sp - 1] = out.cost;
+      return;
+  }
+  // Leaf push (the switch falls through here only for leaf kinds).
+  rows_stk[sp] = out.rows;
+  cost_stk[sp] = out.cost;
+  ++sp;
+}
+
 inline double RecostProgram::RunOps(const SVector& sv,
                                     const CostParams& params,
                                     double* SCRPQO_RESTRICT rows_stk,
                                     double* SCRPQO_RESTRICT cost_stk) const {
-  namespace cf = cost_formulas;
   // Hoisted raw pointers: the compiler cannot otherwise prove the stack
   // stores don't alias the program's own buffers and would reload them
   // every op.
@@ -35,74 +126,7 @@ inline double RecostProgram::RunOps(const SVector& sv,
     for (uint32_t k = op.sel_begin; k != op.sel_end; ++k) {
       sel *= s[slots[k]];
     }
-    cf::Derived out;
-    switch (static_cast<PhysicalOpKind>(op.kind)) {
-      case PhysicalOpKind::kTableScan:
-        out = cf::TableScan(params, op.a, sel);
-        break;
-      case PhysicalOpKind::kIndexSeek: {
-        double seek_sel = op.seek_slot >= 0 ? s[op.seek_slot] : op.c;
-        out = cf::IndexSeek(params, op.a, sel, seek_sel);
-        break;
-      }
-      case PhysicalOpKind::kIndexScanOrdered:
-        out = cf::IndexScanOrdered(params, op.a, sel);
-        break;
-      case PhysicalOpKind::kSort:
-        out = cf::Sort(params, {rows_stk[sp - 1], cost_stk[sp - 1]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kHashJoin:
-        --sp;
-        out = cf::HashJoin(params, op.a,
-                           {rows_stk[sp - 1], cost_stk[sp - 1]},
-                           {rows_stk[sp], cost_stk[sp]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kMergeJoin:
-        --sp;
-        out = cf::MergeJoin(params, op.a,
-                            {rows_stk[sp - 1], cost_stk[sp - 1]},
-                            {rows_stk[sp], cost_stk[sp]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kIndexedNestedLoopsJoin:
-        // Unary in the flat form: the inner leaf was elided at compile
-        // time (its standalone derivation is ignored by the formula), so
-        // this rewrites the outer child's slot in place.
-        out = cf::IndexedNlj(params, op.a, op.b, op.c, sel,
-                             {rows_stk[sp - 1], cost_stk[sp - 1]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kNaiveNestedLoopsJoin:
-        --sp;
-        out = cf::NaiveNlj(params, op.a,
-                           {rows_stk[sp - 1], cost_stk[sp - 1]},
-                           {rows_stk[sp], cost_stk[sp]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kHashAggregate:
-        out = cf::HashAggregate(params, op.a,
-                                {rows_stk[sp - 1], cost_stk[sp - 1]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-      case PhysicalOpKind::kStreamAggregate:
-        out = cf::StreamAggregate(params, op.a,
-                                  {rows_stk[sp - 1], cost_stk[sp - 1]});
-        rows_stk[sp - 1] = out.rows;
-        cost_stk[sp - 1] = out.cost;
-        continue;
-    }
-    // Leaf push (the switch falls through here only for leaf kinds).
-    rows_stk[sp] = out.rows;
-    cost_stk[sp] = out.cost;
-    ++sp;
+    RecostStepOp(op, sel, s, params, rows_stk, cost_stk, sp);
   }
   return cost_stk[0];
 }
@@ -129,6 +153,56 @@ inline double RecostProgram::Run(const SVector& sv,
     cost_buf.resize(n);
   }
   return RunOps(sv, params, rows_buf.data(), cost_buf.data());
+}
+
+/// Lane count of the pipelined block interpreter.
+inline constexpr int kRecostBlockLanes = 4;
+
+/// True when `p` can run as one lane of RunRecostBlock for an sVector of
+/// `sv_size` dimensions: compiled, small enough for stack scratch, and
+/// fully bound by the vector.
+inline bool RecostBlockEligible(const RecostProgram& p,
+                                std::size_t sv_size) {
+  return !p.empty() &&
+         p.num_nodes() <= RecostProgram::kInlineSlots &&
+         p.max_binding_slot() < static_cast<int>(sv_size);
+}
+
+/// Runs `n` (1..4) flat programs against one sVector in interleaved
+/// lockstep and writes each program's cost into out_costs[0..n). Every
+/// program must satisfy RecostBlockEligible. Per-lane results are
+/// identical to RecostProgram::Run — only the evaluation order across
+/// lanes changes, which is what lets the core overlap the four
+/// independent dependency chains.
+inline void RunRecostBlock(const RecostProgram* const* progs, int n,
+                           const SVector& sv, const CostParams& params,
+                           double* out_costs) {
+  double rows_stk[kRecostBlockLanes][RecostProgram::kInlineSlots];
+  double cost_stk[kRecostBlockLanes][RecostProgram::kInlineSlots];
+  const RecostProgram::Op* ops[kRecostBlockLanes];
+  const int32_t* slots[kRecostBlockLanes];
+  size_t len[kRecostBlockLanes];
+  int sp[kRecostBlockLanes] = {0, 0, 0, 0};
+  const double* const s = sv.data();
+  size_t max_len = 0;
+  for (int l = 0; l < n; ++l) {
+    ops[l] = progs[l]->ops();
+    slots[l] = progs[l]->slots();
+    len[l] = static_cast<size_t>(progs[l]->num_nodes());
+    if (len[l] > max_len) max_len = len[l];
+  }
+  for (size_t i = 0; i < max_len; ++i) {
+    for (int l = 0; l < n; ++l) {
+      if (i >= len[l]) continue;
+      const RecostProgram::Op& op = ops[l][i];
+      double sel = op.sel_lit;
+      for (uint32_t k = op.sel_begin; k != op.sel_end; ++k) {
+        sel *= s[slots[l][k]];
+      }
+      RecostStepOp(op, sel, s, params, rows_stk[l], cost_stk[l], sp[l]);
+    }
+  }
+  for (int l = 0; l < n; ++l) out_costs[l] = cost_stk[l][0];
 }
 
 }  // namespace scrpqo

@@ -16,6 +16,7 @@
 #include "obs/span.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/recost.h"
+#include "optimizer/recost_bundle.h"
 #include "query/query_instance.h"
 
 namespace scrpqo {
@@ -41,7 +42,13 @@ class EngineContext {
   EngineContext(const Database* db, const Optimizer* optimizer)
       : db_(db),
         optimizer_(optimizer),
-        recost_service_(&optimizer->cost_model()) {}
+        recost_service_(&optimizer->cost_model()),
+        // Kernel params and tier are invariant for the context's lifetime
+        // (cost params live in the optimizer, tier in the CPU): prepared
+        // once here, immutable afterwards, so concurrent RecostBundled
+        // readers share it without synchronization.
+        bundle_prepared_(
+            RecostBundle::Prepare(optimizer->cost_model().params())) {}
 
   const Database& db() const { return *db_; }
   const Optimizer& optimizer() const { return *optimizer_; }
@@ -69,21 +76,40 @@ class EngineContext {
     return recost_service_.Recost(plan, sv);
   }
 
-  /// Batched Recost (see RecostService::RecostMany): one call, N flat
-  /// program scans, visitor-controlled early exit. Each scanned plan is
-  /// charged as one Recost call; the whole batch records one latency
-  /// sample ("engine.recost_batch_micros").
+  /// Batched Recost (see RecostService::RecostMany): one call, N program
+  /// scans in 4-way pipelined blocks, visitor-controlled early exit. Each
+  /// visited plan is charged as one Recost call; the whole batch records
+  /// one latency sample ("engine.recost_batch_micros") and lands in the
+  /// span's batch_recost stage.
   template <typename Visitor>
   size_t RecostMany(std::span<const CachedPlan* const> plans,
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) {
-    StageTimer timer(Stage::kRecost, recost_batch_micros_);
+    StageTimer timer(Stage::kBatchRecost, recost_batch_micros_);
     size_t scanned = recost_service_.RecostMany(
         plans, sv, out_costs, std::forward<Visitor>(visit));
     if (recost_calls_ != nullptr) {
       recost_calls_->Increment(static_cast<int64_t>(scanned));
     }
     return scanned;
+  }
+
+  /// SIMD-bundled Recost: evaluates `plan_ids` (all packed in `bundle`)
+  /// through grouped 4-lane passes, same visitor contract and billing as
+  /// RecostMany. The caller owns the bundle (PlanStore) and must hold its
+  /// shared lock across the call.
+  template <typename Visitor>
+  size_t RecostBundled(const RecostBundle& bundle,
+                       std::span<const int> plan_ids, const SVector& sv,
+                       std::span<double> out_costs, Visitor&& visit) {
+    StageTimer timer(Stage::kBatchRecost, recost_batch_micros_);
+    size_t visited = bundle.EvalMany(plan_ids, sv, bundle_prepared_,
+                                     out_costs, std::forward<Visitor>(visit));
+    recost_service_.ChargeCalls(static_cast<int64_t>(visited));
+    if (recost_calls_ != nullptr) {
+      recost_calls_->Increment(static_cast<int64_t>(visited));
+    }
+    return visited;
   }
 
   size_t RecostMany(std::span<const CachedPlan* const> plans,
@@ -131,6 +157,8 @@ class EngineContext {
   const Database* db_;
   const Optimizer* optimizer_;
   RecostService recost_service_;
+  /// Set in the constructor, never mutated (see ctor comment).
+  const RecostBundle::Prepared bundle_prepared_;
   OptimizeOracle oracle_;
   /// Relaxed atomic: Optimize runs un-serialized on the concurrent getPlan
   /// miss path, so several threads may bump this at once.

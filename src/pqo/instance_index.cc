@@ -2,15 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
+#include "common/math_util.h"
 #include "common/status.h"
 
 namespace scrpqo {
-
-namespace {
-constexpr double kSelFloor = 1e-9;
-}  // namespace
 
 InstanceKdTree::InstanceKdTree(int dimensions) : dimensions_(dimensions) {
   SCRPQO_CHECK(dimensions >= 1, "k-d tree needs at least one dimension");
@@ -21,7 +17,20 @@ std::vector<double> InstanceKdTree::ToLogPoint(const SVector& sv) const {
                "selectivity vector dimensionality mismatch");
   std::vector<double> p(sv.size());
   for (size_t i = 0; i < sv.size(); ++i) {
-    p[i] = std::log(std::max(sv[i], kSelFloor));
+    p[i] = std::log(std::max(sv[i], kSelectivityFloor));
+  }
+  return p;
+}
+
+const double* InstanceKdTree::ToLogPointArena(const SVector& sv) const {
+  SCRPQO_CHECK(static_cast<int>(sv.size()) == dimensions_,
+               "selectivity vector dimensionality mismatch");
+  // No Scope here: the point must stay valid while the caller's output
+  // ArenaVec grows, so it lives in the caller's (required) enclosing
+  // Scope. Bounded: d doubles per query.
+  double* p = ScratchArena::Tls().AllocateArray<double>(sv.size());
+  for (size_t i = 0; i < sv.size(); ++i) {
+    p[i] = std::log(std::max(sv[i], kSelectivityFloor));
   }
   return p;
 }
@@ -63,94 +72,22 @@ void InstanceKdTree::Remove(int64_t id) {
   }
 }
 
-void InstanceKdTree::RangeRec(const Node* node, const std::vector<double>& q,
-                              double bound, std::vector<Match>* out,
-                              int64_t* visited) const {
-  if (node == nullptr) return;
-  ++*visited;
-  double dist = 0.0;
-  for (size_t i = 0; i < q.size(); ++i) {
-    dist += std::fabs(q[i] - node->point[i]);
-    if (dist > bound) break;
-  }
-  if (node->live && dist <= bound) {
-    out->push_back(Match{node->id, dist});
-  }
-  int dim = node->split_dim;
-  double delta = q[static_cast<size_t>(dim)] -
-                 node->point[static_cast<size_t>(dim)];
-  // The near side always; the far side only if the splitting plane is
-  // within `bound` (L1 balls project to intervals per axis).
-  const Node* near = delta < 0 ? node->left.get() : node->right.get();
-  const Node* far = delta < 0 ? node->right.get() : node->left.get();
-  RangeRec(near, q, bound, out, visited);
-  if (std::fabs(delta) <= bound) RangeRec(far, q, bound, out, visited);
-}
-
 std::vector<InstanceKdTree::Match> InstanceKdTree::RangeQuery(
     const SVector& sv, double gl_bound) const {
   std::vector<Match> out;
-  int64_t visited = 0;
-  if (gl_bound >= 1.0) {
-    RangeRec(root_.get(), ToLogPoint(sv), std::log(gl_bound), &out,
-             &visited);
-  }
-  nodes_visited_.Store(visited);
+  // The output is heap-backed, so this wrapper owns the arena Scope that
+  // the Into form requires from its caller.
+  ScratchArena::Scope scope(ScratchArena::Tls());
+  RangeQueryInto(sv, gl_bound, &out);
   return out;
-}
-
-void InstanceKdTree::NearestRec(const Node* node,
-                                const std::vector<double>& q, int k,
-                                std::vector<Match>* heap,
-                                int64_t* visited) const {
-  if (node == nullptr) return;
-  ++*visited;
-  double dist = 0.0;
-  for (size_t i = 0; i < q.size(); ++i) {
-    dist += std::fabs(q[i] - node->point[i]);
-  }
-  auto worst = [&heap]() {
-    return heap->empty() ? std::numeric_limits<double>::infinity()
-                         : heap->front().log_gl;
-  };
-  auto cmp = [](const Match& a, const Match& b) {
-    return a.log_gl < b.log_gl;  // max-heap on distance
-  };
-  if (node->live &&
-      (static_cast<int>(heap->size()) < k || dist < worst())) {
-    heap->push_back(Match{node->id, dist});
-    std::push_heap(heap->begin(), heap->end(), cmp);
-    if (static_cast<int>(heap->size()) > k) {
-      std::pop_heap(heap->begin(), heap->end(), cmp);
-      heap->pop_back();
-    }
-  }
-  int dim = node->split_dim;
-  double delta = q[static_cast<size_t>(dim)] -
-                 node->point[static_cast<size_t>(dim)];
-  const Node* near = delta < 0 ? node->left.get() : node->right.get();
-  const Node* far = delta < 0 ? node->right.get() : node->left.get();
-  NearestRec(near, q, k, heap, visited);
-  if (static_cast<int>(heap->size()) < k || std::fabs(delta) < worst()) {
-    NearestRec(far, q, k, heap, visited);
-  }
 }
 
 std::vector<InstanceKdTree::Match> InstanceKdTree::NearestByGl(
     const SVector& sv, int k) const {
-  std::vector<Match> heap;
-  if (k <= 0) {
-    nodes_visited_.Store(0);
-    return heap;
-  }
-  int64_t visited = 0;
-  NearestRec(root_.get(), ToLogPoint(sv), k, &heap, &visited);
-  nodes_visited_.Store(visited);
-  std::sort(heap.begin(), heap.end(),
-            [](const Match& a, const Match& b) {
-              return a.log_gl < b.log_gl;
-            });
-  return heap;
+  std::vector<Match> out;
+  ScratchArena::Scope scope(ScratchArena::Tls());
+  NearestByGlInto(sv, k, &out);
+  return out;
 }
 
 }  // namespace scrpqo

@@ -1,7 +1,9 @@
 #include "pqo/plan_store.h"
 
 #include <limits>
+#include <span>
 
+#include "common/scratch_arena.h"
 #include "common/status.h"
 
 namespace scrpqo {
@@ -23,34 +25,47 @@ PlanStore::StoreResult PlanStore::StoreOrReuse(const CachedPlan& plan,
 
   if (lambda_r >= 1.0 && num_live_ > 0) {
     // Redundancy check: one batched Recost sweep over the live cached
-    // plans (one sVector bind, N flat program scans). The sweep stops as
-    // soon as the running best is already within lambda_r of optimal —
-    // the plan will be rejected either way, and the entry records that
-    // plan's measured sub-optimality, so the lambda guarantee is
-    // unaffected by not scanning the tail.
-    std::vector<const CachedPlan*> live_plans;
-    std::vector<int> live_ids;
-    live_plans.reserve(static_cast<size_t>(num_live_));
-    live_ids.reserve(static_cast<size_t>(num_live_));
+    // plans (one sVector bind, N program scans — grouped 4-lane bundle
+    // passes when every live plan is packed, pipelined blocks otherwise).
+    // The sweep stops as soon as the running best is already within
+    // lambda_r of optimal — the plan will be rejected either way, and the
+    // entry records that plan's measured sub-optimality, so the lambda
+    // guarantee is unaffected by not scanning the tail.
+    ScratchArena& arena = ScratchArena::Tls();
+    ScratchArena::Scope scope(arena);
+    ArenaVec<const CachedPlan*> live_plans(
+        arena, static_cast<size_t>(num_live_));
+    ArenaVec<int> live_ids(arena, static_cast<size_t>(num_live_));
     for (size_t i = 0; i < entries_.size(); ++i) {
       if (!entries_[i].live) continue;
       live_plans.push_back(entries_[i].plan.get());
       live_ids.push_back(static_cast<int>(i));
     }
-    std::vector<double> costs(live_plans.size());
+    ArenaVec<double> costs(arena, live_plans.size());
+    costs.resize(live_plans.size());
     double min_cost = std::numeric_limits<double>::infinity();
     size_t min_pos = live_plans.size();
     double early_exit_below =
         opt_cost > 0.0 ? lambda_r * opt_cost
                        : -std::numeric_limits<double>::infinity();
-    engine->RecostMany(live_plans, sv, costs,
-                       [&](size_t i, double c) {
-                         if (c < min_cost) {
-                           min_cost = c;
-                           min_pos = i;
-                         }
-                         return min_cost > early_exit_below;
-                       });
+    auto sweep_visitor = [&](size_t i, double c) {
+      if (c < min_cost) {
+        min_cost = c;
+        min_pos = i;
+      }
+      return min_cost > early_exit_below;
+    };
+    std::span<double> cost_span(costs.data(), costs.size());
+    if (BundleComplete()) {
+      engine->RecostBundled(
+          bundle_, std::span<const int>(live_ids.data(), live_ids.size()),
+          sv, cost_span, sweep_visitor);
+    } else {
+      engine->RecostMany(
+          std::span<const CachedPlan* const>(live_plans.data(),
+                                             live_plans.size()),
+          sv, cost_span, sweep_visitor);
+    }
     if (min_pos < live_plans.size() && opt_cost > 0.0) {
       double s_min = min_cost / opt_cost;
       if (s_min <= lambda_r) {
@@ -72,6 +87,12 @@ PlanStore::StoreResult PlanStore::StoreOrReuse(const CachedPlan& plan,
   by_signature_[plan.signature] = id;
   ++num_live_;
   peak_ = std::max(peak_, num_live_);
+  // Pack the stored plan's program into the SIMD bundle. The program's
+  // address is stable: entries are never erased (Drop only marks dead)
+  // and the CachedPlan sits behind a shared_ptr.
+  if (!bundle_.Add(id, &entries_[static_cast<size_t>(id)].plan->program)) {
+    ++num_unbundled_;
+  }
   result.plan_id = id;
   result.subopt = 1.0;
   return result;
@@ -91,6 +112,11 @@ void PlanStore::Drop(int plan_id) {
   e.live = false;
   --num_live_;
   by_signature_.erase(e.plan->signature);
+  if (bundle_.Contains(plan_id)) {
+    bundle_.Remove(plan_id);
+  } else {
+    --num_unbundled_;
+  }
 }
 
 int PlanStore::MinUsagePlanId(int exclude_plan_id) const {

@@ -17,6 +17,7 @@
 #include "common/atomics.h"
 #include "common/status.h"
 #include "optimizer/recost.h"
+#include "optimizer/recost_bundle.h"
 #include "pqo/engine_context.h"
 
 namespace scrpqo {
@@ -93,6 +94,24 @@ class PlanStore {
   int64_t NumLive() const { return num_live_; }
   int64_t Peak() const { return peak_; }
 
+  /// The SIMD recost bundle packing the live plans' flat programs,
+  /// maintained by StoreOrReuse/Drop. Readers (SCR's cost check) must
+  /// hold the owning technique's shared lock.
+  const RecostBundle& bundle() const { return bundle_; }
+
+  /// True when every live plan is packed in bundle() — the precondition
+  /// for serving a sweep or cost check entirely from the bundle. False
+  /// while any live plan was rejected by RecostBundle::Add (hand-built /
+  /// restored plans with no compiled program, or programs too long to
+  /// pack); those revert the affected sweeps to the scalar path.
+  bool BundleComplete() const { return num_unbundled_ == 0; }
+
+  /// Wires the bundle's batching telemetry ("recost.lanes_active",
+  /// "recost.bundle_rebuilds"); either may be nullptr.
+  void SetObsCounters(Counter* lanes_active, Counter* bundle_rebuilds) {
+    bundle_.SetObsCounters(lanes_active, bundle_rebuilds);
+  }
+
  private:
   void CheckId(int plan_id) const {
     SCRPQO_CHECK(plan_id >= 0 &&
@@ -104,6 +123,9 @@ class PlanStore {
   std::map<uint64_t, int> by_signature_;
   int64_t num_live_ = 0;
   int64_t peak_ = 0;
+  RecostBundle bundle_;
+  /// Live plans RecostBundle::Add rejected (see BundleComplete).
+  int64_t num_unbundled_ = 0;
 };
 
 }  // namespace scrpqo

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <utility>
 
 #include "common/math_util.h"
+#include "common/scratch_arena.h"
 #include "common/status.h"
 #include "obs/emit.h"
 #include "obs/scoped_timer.h"
@@ -65,12 +67,15 @@ void Scr::SetObs(const ObsHooks& hooks) {
     cost_check_candidates_ =
         obs_.metrics->histogram("scr.cost_check_candidates");
     stage_hists_ = StageHistograms::FromRegistry(obs_.metrics);
+    store_.SetObsCounters(obs_.metrics->counter("recost.lanes_active"),
+                          obs_.metrics->counter("recost.bundle_rebuilds"));
   } else {
     for (Counter*& c : decision_counters_) c = nullptr;
     get_plan_micros_ = nullptr;
     manage_cache_micros_ = nullptr;
     cost_check_candidates_ = nullptr;
     stage_hists_.Reset();
+    store_.SetObsCounters(nullptr, nullptr);
   }
 }
 
@@ -143,6 +148,14 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
   PlanChoice& choice = *choice_out;
   const SVector& sv = wi.svector;
 
+  // scrpqo-lint: hot-path begin
+  // Everything below runs once per query on the reuse path; after warm-up
+  // it must not touch the heap (recost_bundle_test.cc asserts this with
+  // the arena watermark). Scratch lives in the thread's arena and dies
+  // when this scope unwinds.
+  ScratchArena& arena = ScratchArena::Tls();
+  ScratchArena::Scope arena_scope(arena);
+
   // ---- Selectivity check (Algorithm 1, first loop) ----
   // While scanning, collect cost-check candidates in increasing GL order
   // (Section 6.2 heuristic: small GL is most likely to pass).
@@ -151,7 +164,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     size_t entry;
     double l;
   };
-  std::vector<Candidate> candidates;
+  ArenaVec<Candidate> candidates(arena);
   if (options_.use_spatial_index && index_ != nullptr) {
     // Spatial path (Section 6.2): log(G*L) is the L1 distance in
     // log-selectivity space, so the selectivity check is a range query with
@@ -161,7 +174,8 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
         options_.dynamic_lambda ? options_.lambda_max : options_.lambda;
     StageTimer probe_timer(Stage::kIndexProbe,
                            stage_hists_[Stage::kIndexProbe]);
-    const auto matches = index_->RangeQuery(sv, envelope);
+    ArenaVec<InstanceKdTree::Match> matches(arena);
+    index_->RangeQueryInto(sv, envelope, &matches);
     probe_timer.Stop();
     StageTimer sel_timer(Stage::kSelCheck, stage_hists_[Stage::kSelCheck]);
     for (const auto& m : matches) {
@@ -179,7 +193,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
           ev.subopt = e.subopt;
           ev.lambda = LambdaFor(e);
           if (obs_.tracer != nullptr) {
-            GlFactors gl = ComputeGl(e.v, sv);
+            GlFactors gl = ComputeGlFast(e.v, sv);
             ev.g = gl.g;
             ev.l = gl.l;
           }
@@ -197,14 +211,15 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
                      : static_cast<int>(instances_.size());
       StageTimer near_timer(Stage::kIndexProbe,
                             stage_hists_[Stage::kIndexProbe]);
-      const auto nearest = index_->NearestByGl(sv, 2 * want + 4);
+      ArenaVec<InstanceKdTree::Match> nearest(arena);
+      index_->NearestByGlInto(sv, 2 * want + 4, &nearest);
       near_timer.Stop();
       for (const auto& m : nearest) {
         InstanceEntry& e = instances_[static_cast<size_t>(m.id)];
         if (!e.live || e.cost_check_disabled.value()) continue;
         candidates.push_back(Candidate{std::exp(m.log_gl),
                                        static_cast<size_t>(m.id),
-                                       ComputeGl(e.v, sv).l});
+                                       ComputeGlFast(e.v, sv).l});
       }
     }
   } else {
@@ -212,7 +227,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     for (size_t i = 0; i < instances_.size(); ++i) {
       InstanceEntry& e = instances_[i];
       if (!e.live) continue;
-      GlFactors gl = ComputeGl(e.v, sv);
+      GlFactors gl = ComputeGlFast(e.v, sv);
       double g = gl.g;
       double l = gl.l;
       double bound = LambdaFor(e) / e.subopt;
@@ -279,50 +294,68 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
     cost_check_candidates_->Record(static_cast<double>(candidates.size()));
   }
   // One batched Recost sweep: the sVector is bound once and each candidate
-  // costs one flat program scan, in the heuristic order fixed above. The
-  // visitor stops the sweep at the first candidate that passes its bound,
-  // so the Recost-call count is identical to the old one-call-per-loop
-  // form (Section 7.3's overhead accounting depends on this).
+  // costs one flat program scan, in the heuristic order fixed above —
+  // grouped 4-lane bundle passes when every cached plan is packed,
+  // pipelined blocks otherwise. The visitor stops the sweep at the first
+  // candidate that passes its bound, and both forms bill visited plans
+  // only, so the Recost-call count is identical to the old
+  // one-call-per-loop form (Section 7.3's overhead accounting depends on
+  // this).
   int recosts = 0;
   int hit = -1;
   double hit_r = 0.0;
   if (!candidates.empty()) {
-    std::vector<const CachedPlan*> cand_plans;
-    cand_plans.reserve(candidates.size());
-    for (const Candidate& c : candidates) {
-      cand_plans.push_back(
-          store_.entry(instances_[c.entry].plan_id).plan.get());
+    ArenaVec<double> cand_costs(arena, candidates.size());
+    cand_costs.resize(candidates.size());
+    std::span<double> cost_span(cand_costs.data(), cand_costs.size());
+    auto cost_visitor = [&](size_t idx, double new_cost) {
+      const Candidate& c = candidates[idx];
+      InstanceEntry& e = instances_[c.entry];
+      ++recosts;
+      double r = new_cost / std::max(e.opt_cost, 1e-30);
+
+      if (options_.detect_violations) {
+        // Appendix G: the cached plan's cost at qe is S * C. BCG
+        // implies cost(P, qc) <= G * cost(P, qe) and
+        // >= cost(P, qe) / L; observing either bound broken means the
+        // assumption failed for this entry.
+        GlFactors gl = ComputeGlFast(e.v, sv);
+        double plan_cost_at_e = e.subopt * e.opt_cost;
+        if (new_cost > kViolationSlack * gl.g * plan_cost_at_e ||
+            new_cost * kViolationSlack < plan_cost_at_e / c.l) {
+          e.cost_check_disabled.Store(true);
+          violations_detected_.Add(1);
+          return true;  // keep scanning; this entry is now excluded
+        }
+      }
+
+      if (r * c.l <= LambdaFor(e) / e.subopt) {
+        hit = static_cast<int>(idx);
+        hit_r = r;
+        return false;  // cost check passed — stop the sweep
+      }
+      return true;
+    };
+    if (store_.BundleComplete()) {
+      ArenaVec<int> cand_ids(arena, candidates.size());
+      for (const Candidate& c : candidates) {
+        cand_ids.push_back(instances_[c.entry].plan_id);
+      }
+      engine->RecostBundled(
+          store_.bundle(),
+          std::span<const int>(cand_ids.data(), cand_ids.size()), sv,
+          cost_span, cost_visitor);
+    } else {
+      ArenaVec<const CachedPlan*> cand_plans(arena, candidates.size());
+      for (const Candidate& c : candidates) {
+        cand_plans.push_back(
+            store_.entry(instances_[c.entry].plan_id).plan.get());
+      }
+      engine->RecostMany(
+          std::span<const CachedPlan* const>(cand_plans.data(),
+                                             cand_plans.size()),
+          sv, cost_span, cost_visitor);
     }
-    std::vector<double> cand_costs(candidates.size());
-    engine->RecostMany(
-        cand_plans, sv, cand_costs, [&](size_t idx, double new_cost) {
-          const Candidate& c = candidates[idx];
-          InstanceEntry& e = instances_[c.entry];
-          ++recosts;
-          double r = new_cost / std::max(e.opt_cost, 1e-30);
-
-          if (options_.detect_violations) {
-            // Appendix G: the cached plan's cost at qe is S * C. BCG
-            // implies cost(P, qc) <= G * cost(P, qe) and
-            // >= cost(P, qe) / L; observing either bound broken means the
-            // assumption failed for this entry.
-            GlFactors gl = ComputeGl(e.v, sv);
-            double plan_cost_at_e = e.subopt * e.opt_cost;
-            if (new_cost > kViolationSlack * gl.g * plan_cost_at_e ||
-                new_cost * kViolationSlack < plan_cost_at_e / c.l) {
-              e.cost_check_disabled.Store(true);
-              violations_detected_.Add(1);
-              return true;  // keep scanning; this entry is now excluded
-            }
-          }
-
-          if (r * c.l <= LambdaFor(e) / e.subopt) {
-            hit = static_cast<int>(idx);
-            hit_r = r;
-            return false;  // cost check passed — stop the sweep
-          }
-          return true;
-        });
   }
   if (hit >= 0) {
     const Candidate& c = candidates[static_cast<size_t>(hit)];
@@ -350,6 +383,7 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
   max_recost_calls_per_get_plan_.UpdateMax(recosts);
   choice.recost_calls_in_get_plan = recosts;
   return false;
+  // scrpqo-lint: hot-path end
 }
 
 void Scr::ManageCache(const WorkloadInstance& wi,

@@ -97,7 +97,9 @@ class Scr : public PqoTechnique {
   /// long as no structural mutation (RegisterOptimization / OnInstance
   /// miss path / Restore) runs concurrently — AsyncScr enforces this with
   /// a shared/exclusive lock. Everything TryReuse writes (usage counters,
-  /// violation flags, recost-call maxima) is a relaxed atomic.
+  /// violation flags, recost-call maxima) is a relaxed atomic. Scratch
+  /// buffers come from the calling thread's ScratchArena, so once warmed
+  /// the whole reuse attempt performs no heap allocation.
   [[nodiscard]] bool TryReuse(const WorkloadInstance& wi,
                               EngineContext* engine,
                 PlanChoice* choice);

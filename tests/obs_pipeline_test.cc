@@ -346,6 +346,23 @@ TEST(DecisionEventStagesTest, StagesAndDroppedRoundTripThroughJsonl) {
   EXPECT_EQ(p.stages.get(Stage::kOptimize), -1);
 }
 
+TEST(DecisionEventStagesTest, BatchRecostStageIsNamedAndRoundTrips) {
+  // The bundled-sweep stage added for SIMD recost batching must be a
+  // first-class taxonomy member: stable wire name, serde round-trip, and
+  // distinct from the scalar recost slot (trace_summarize attributes the
+  // two separately).
+  EXPECT_STREQ(StageName(Stage::kBatchRecost), "batch_recost");
+  DecisionEvent e = Ev(4, DecisionOutcome::kCostCheckHit);
+  e.stages.Add(Stage::kBatchRecost, 23);
+  e.stages.Add(Stage::kRecost, 11);
+  std::string line = DecisionEventToJsonl(e);
+  EXPECT_NE(line.find("\"batch_recost\":23"), std::string::npos);
+  auto parsed = DecisionEventFromJsonl(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().stages.get(Stage::kBatchRecost), 23);
+  EXPECT_EQ(parsed.ValueOrDie().stages.get(Stage::kRecost), 11);
+}
+
 TEST(DecisionEventStagesTest, LegacyWireFormatUnchangedWithoutStages) {
   DecisionEvent e = Ev(1);
   std::string line = DecisionEventToJsonl(e);

@@ -187,6 +187,28 @@ TEST_F(RecostProgramTest, InljInnerBindingRebinds) {
   }
 }
 
+TEST_F(RecostProgramTest, MemoryBytesIsExactAfterCompile) {
+  // Compile shrinks ops_/slots_ to fit, so memory_bytes() must equal the
+  // size-based expectation exactly — no growth-policy overshoot inflating
+  // PqoManager's global_memory_bytes eviction pressure.
+  auto tmpl = testing::MakeJoinTemplate();
+  Optimizer optimizer(&db_);
+  for (double s : {0.01, 0.2, 0.7}) {
+    QueryInstance q = InstanceForSelectivities(db_, *tmpl, {s, 0.3});
+    OptimizationResult r = optimizer.Optimize(q);
+    ASSERT_NE(r.plan, nullptr);
+    CachedPlan cached = MakeCachedPlan(r);
+    const RecostProgram& p = cached.program;
+    ASSERT_FALSE(p.empty());
+    EXPECT_EQ(p.memory_bytes(),
+              static_cast<int64_t>(p.num_nodes()) *
+                      static_cast<int64_t>(RecostProgram::kOpBytes) +
+                  static_cast<int64_t>(p.num_binding_slots()) *
+                      static_cast<int64_t>(sizeof(int32_t)))
+        << "s=" << s;
+  }
+}
+
 TEST_F(RecostProgramTest, MaxBindingSlotAndEmpty) {
   RecostProgram fresh;
   EXPECT_TRUE(fresh.empty());

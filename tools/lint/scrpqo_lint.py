@@ -36,6 +36,18 @@ Five rules, each encoding an invariant the thread-safety annotations
                            invisible to the thread-safety analysis and
                            silently exempt every field they guard.
 
+  alloc-in-hotpath         In src/pqo/ regions fenced by
+                           `// scrpqo-lint: hot-path begin` ...
+                           `// scrpqo-lint: hot-path end` (the
+                           getPlan-reachable reuse path, e.g.
+                           Scr::TryReuse) no heap allocation may appear:
+                           `new`, std::make_unique / make_shared,
+                           std::vector / std::string / std::map
+                           construction. Scratch belongs in the thread's
+                           ScratchArena (ArenaVec) so the warmed path
+                           stays allocation-free — the property the
+                           arena-watermark test asserts.
+
 Suppression: append `// scrpqo-lint: allow(<rule>)` to the offending line
 (or place it alone on the immediately preceding line). Every suppression
 should carry a justification in a nearby comment.
@@ -71,6 +83,7 @@ RULES = (
     "tracer-record-outside-obs",
     "nodiscard-status",
     "raw-mutex",
+    "alloc-in-hotpath",
 )
 
 # --------------------------------------------------------------------------
@@ -445,12 +458,66 @@ def check_raw_mutex(src: SourceFile) -> list[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------
+# Rule: alloc-in-hotpath
+# --------------------------------------------------------------------------
+
+HOT_BEGIN_RE = re.compile(r"//\s*scrpqo-lint:\s*hot-path\s+begin\b")
+HOT_END_RE = re.compile(r"//\s*scrpqo-lint:\s*hot-path\s+end\b")
+
+# Heap-allocating constructs. `\bnew\b` does not match identifiers like
+# `new_cost` (underscore continues the word); placement/new-expression
+# distinctions don't matter — any `new` in a hot region is wrong.
+ALLOC_RE = re.compile(
+    r"(?:"
+    r"\bnew\b(?!\s*\()\s*[\w:<]|"           # new T / new T[n]
+    r"\bstd::make_(?:unique|shared)\b|"
+    r"\bstd::(?:vector|deque|list|map|set|unordered_map|"
+    r"unordered_set)\s*<[^;]*>\s*\w+\s*[({;=]|"  # container declaration
+    r"\bstd::string\s+\w+\s*[({;=]"
+    r")"
+)
+
+
+def check_alloc_in_hotpath(src: SourceFile) -> list[Finding]:
+    if not src.rel.startswith("src/pqo/"):
+        return []
+    findings = []
+    hot = False
+    for idx, raw in enumerate(src.raw_lines):
+        # Markers live in comments, so scan raw lines for them but match
+        # allocation constructs on the comment-stripped text.
+        if HOT_BEGIN_RE.search(raw):
+            hot = True
+            continue
+        if HOT_END_RE.search(raw):
+            hot = False
+            continue
+        if not hot:
+            continue
+        m = ALLOC_RE.search(src.code_lines[idx])
+        if m:
+            findings.append(
+                Finding(
+                    "alloc-in-hotpath",
+                    src.rel,
+                    idx + 1,
+                    f"heap allocation `{m.group(0).strip()}` inside a "
+                    "hot-path region — use the thread's ScratchArena / "
+                    "ArenaVec so the warmed reuse path stays "
+                    "allocation-free",
+                )
+            )
+    return findings
+
+
 CHECKS = {
     "atomic-order": check_atomic_order,
     "blocking-under-lock": check_blocking_under_lock,
     "tracer-record-outside-obs": check_tracer_record,
     "nodiscard-status": check_nodiscard_status,
     "raw-mutex": check_raw_mutex,
+    "alloc-in-hotpath": check_alloc_in_hotpath,
 }
 
 

@@ -1,0 +1,58 @@
+// lint-path: src/pqo/fixture_alloc_in_hotpath.cc
+// Fixture for the alloc-in-hotpath rule: no heap allocation between
+// `hot-path begin` and `hot-path end` markers in src/pqo/.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scrpqo_fixture {
+
+struct Plan {
+  int id;
+};
+
+// Outside any hot region: allocation is fine, the rule must stay silent.
+std::vector<int> ColdPath() {
+  std::vector<int> out;
+  auto p = std::make_unique<Plan>();
+  out.push_back(p->id);
+  return out;
+}
+
+int HotReusePath(int n) {
+  // scrpqo-lint: hot-path begin
+  int* raw = new int[8];  // scrpqo-lint: expect(alloc-in-hotpath)
+  auto owned = std::make_unique<Plan>();  // scrpqo-lint: expect(alloc-in-hotpath)
+  auto shared = std::make_shared<Plan>();  // scrpqo-lint: expect(alloc-in-hotpath)
+  std::vector<double> costs;  // scrpqo-lint: expect(alloc-in-hotpath)
+  std::string label;  // scrpqo-lint: expect(alloc-in-hotpath)
+
+  // Identifiers containing "new" are not the new operator.
+  double new_cost = 1.0;
+  int renewed = n;
+
+  // A comment mentioning std::vector<int> v; or new Plan is not code.
+
+  // Justified exception (cold sub-branch kept for clarity):
+  // scrpqo-lint: allow(alloc-in-hotpath)
+  std::vector<int> debug_ids;
+  debug_ids.push_back(n);
+
+  (void)raw;
+  (void)owned;
+  (void)shared;
+  (void)costs;
+  (void)new_cost;
+  (void)renewed;
+  return static_cast<int>(debug_ids.size());
+  // scrpqo-lint: hot-path end
+}
+
+// After the end marker the rule is inactive again.
+std::vector<int> ColdAgain() {
+  std::vector<int> out;
+  out.push_back(1);
+  return out;
+}
+
+}  // namespace scrpqo_fixture
