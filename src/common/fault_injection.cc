@@ -1,0 +1,238 @@
+#include "common/fault_injection.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace scrpqo {
+namespace {
+
+/// FNV-1a over the point name: mixes the global seed with the point so
+/// every point gets an independent, reproducible stream.
+uint64_t HashPointName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool ParseDoubleClause(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt64Clause(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+/// Parses one `TRIGGER[@PARAM]` clause into `spec`.
+Status ParseTriggerClause(std::string_view point, std::string_view clause,
+                          FaultSpec* spec) {
+  std::string_view trigger = clause;
+  if (size_t at = clause.find('@'); at != std::string_view::npos) {
+    trigger = clause.substr(0, at);
+    std::string_view param = clause.substr(at + 1);
+    if (!ParseDoubleClause(param, &spec->param)) {
+      return Status::InvalidArgument("fault point '" + std::string(point) +
+                                     "': bad param '" + std::string(param) +
+                                     "'");
+    }
+  }
+  if (trigger == "once") {
+    spec->trigger = FaultTrigger::kOneShot;
+    return Status::OK();
+  }
+  if (trigger.size() >= 2 && trigger[0] == 'p') {
+    double p = 0.0;
+    if (!ParseDoubleClause(trigger.substr(1), &p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(
+          "fault point '" + std::string(point) +
+          "': probability must be in [0,1], got '" + std::string(trigger) +
+          "'");
+    }
+    spec->trigger = FaultTrigger::kProbability;
+    spec->probability = p;
+    return Status::OK();
+  }
+  if (trigger.size() >= 2 && trigger[0] == 'n') {
+    int64_t n = 0;
+    if (!ParseInt64Clause(trigger.substr(1), &n) || n < 1) {
+      return Status::InvalidArgument(
+          "fault point '" + std::string(point) +
+          "': every-Nth period must be >= 1, got '" + std::string(trigger) +
+          "'");
+    }
+    spec->trigger = FaultTrigger::kEveryNth;
+    spec->nth = n;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "fault point '" + std::string(point) + "': unknown trigger '" +
+      std::string(trigger) + "' (want p<float>, n<int>, or once)");
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(std::string_view point, FaultSpec spec) {
+  MutexLock lock(mu_);
+  PointState state;
+  state.spec = spec;
+  state.rng = Pcg32(seed_ ^ HashPointName(point), HashPointName(point) | 1);
+  auto [it, inserted] = points_.insert_or_assign(std::string(point), state);
+  (void)it;
+  if (inserted) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool FaultRegistry::Disarm(std::string_view point) {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  points_.erase(it);
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::DisarmAll() {
+  MutexLock lock(mu_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+  on_fire_ = nullptr;
+}
+
+void FaultRegistry::SetSeed(uint64_t seed) {
+  MutexLock lock(mu_);
+  seed_ = seed;
+  ReseedLocked();
+}
+
+void FaultRegistry::ReseedLocked() {
+  for (auto& [name, state] : points_) {
+    state.rng = Pcg32(seed_ ^ HashPointName(name), HashPointName(name) | 1);
+    state.evaluations = 0;
+    state.fires = 0;
+    state.exhausted = false;
+  }
+}
+
+Status FaultRegistry::ConfigureFromString(std::string_view config) {
+  // Parse everything before arming anything so a bad clause rejects the
+  // whole schedule instead of leaving it half-applied.
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t semi = config.find(';', pos);
+    std::string_view clause = config.substr(
+        pos, semi == std::string_view::npos ? std::string_view::npos
+                                            : semi - pos);
+    pos = (semi == std::string_view::npos) ? config.size() + 1 : semi + 1;
+    if (clause.empty()) continue;
+    size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault clause '" + std::string(clause) +
+                                     "': want point=trigger");
+    }
+    std::string_view point = clause.substr(0, eq);
+    FaultSpec spec;
+    SCRPQO_RETURN_NOT_OK(
+        ParseTriggerClause(point, clause.substr(eq + 1), &spec));
+    parsed.emplace_back(std::string(point), spec);
+  }
+  for (auto& [point, spec] : parsed) {
+    Arm(point, spec);
+  }
+  return Status::OK();
+}
+
+Status FaultRegistry::ConfigureFromEnv() {
+  if (const char* seed = std::getenv("SCRPQO_FAULT_SEED");
+      seed != nullptr && *seed != '\0') {
+    int64_t v = 0;
+    if (ParseInt64Clause(seed, &v)) SetSeed(static_cast<uint64_t>(v));
+  }
+  const char* faults = std::getenv("SCRPQO_FAULTS");
+  if (faults == nullptr || *faults == '\0') return Status::OK();
+  return ConfigureFromString(faults);
+}
+
+bool FaultRegistry::ShouldFire(std::string_view point, double* param) {
+  std::function<void(std::string_view, double)> hook;
+  double fired_param = 0.0;
+  {
+    MutexLock lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return false;
+    PointState& state = it->second;
+    state.evaluations++;
+    bool fire = false;
+    switch (state.spec.trigger) {
+      case FaultTrigger::kProbability:
+        fire = state.rng.UniformDouble() < state.spec.probability;
+        break;
+      case FaultTrigger::kEveryNth:
+        fire = ((state.evaluations - 1) % state.spec.nth) == 0;
+        break;
+      case FaultTrigger::kOneShot:
+        fire = !state.exhausted;
+        state.exhausted = true;
+        break;
+    }
+    if (!fire) return false;
+    state.fires++;
+    fired_param = state.spec.param;
+    hook = on_fire_;  // copied so it runs outside the lock
+  }
+  if (param != nullptr) *param = fired_param;
+  if (hook) hook(point, fired_param);
+  return true;
+}
+
+FaultPointStats FaultRegistry::StatsFor(std::string_view point) const {
+  MutexLock lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  return {it->second.evaluations, it->second.fires};
+}
+
+int64_t FaultRegistry::TotalFires() const {
+  MutexLock lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, state] : points_) total += state.fires;
+  return total;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) names.push_back(name);
+  return names;
+}
+
+void FaultRegistry::SetOnFire(
+    std::function<void(std::string_view point, double param)> hook) {
+  MutexLock lock(mu_);
+  on_fire_ = std::move(hook);
+}
+
+}  // namespace scrpqo

@@ -14,9 +14,10 @@ namespace scrpqo {
 namespace {
 
 constexpr const char* kOutcomeNames[] = {
-    "sel-check-hit", "cost-check-hit", "optimized", "redundant-discard",
-    "evicted",       "audit-alert",    "ring-dropped"};
-constexpr int kNumOutcomes = 7;
+    "sel-check-hit", "cost-check-hit", "optimized",
+    "redundant-discard", "evicted",    "audit-alert",
+    "ring-dropped",  "degraded",      "fault-injected"};
+constexpr int kNumOutcomes = 9;
 
 void AppendEscaped(const std::string& s, std::string* out) {
   for (char c : s) {
@@ -150,10 +151,12 @@ bool IsDecisionOutcome(DecisionOutcome outcome) {
     case DecisionOutcome::kCostCheckHit:
     case DecisionOutcome::kOptimized:
     case DecisionOutcome::kRedundantDiscard:
+    case DecisionOutcome::kDegraded:
       return true;
     case DecisionOutcome::kEvicted:
     case DecisionOutcome::kAuditAlert:
     case DecisionOutcome::kRingDropped:
+    case DecisionOutcome::kFaultInjected:
       return false;
   }
   return false;

@@ -25,15 +25,23 @@ namespace scrpqo {
 
 /// What the technique concluded for one event.
 ///
-/// The first four are per-instance *decisions* — every instance produces
-/// exactly one of them (`kOptimized` and `kRedundantDiscard` both imply an
-/// optimizer call; the latter means the redundancy check then discarded the
-/// fresh plan in favor of a cached one). The rest are meta events emitted
-/// on top of the per-instance stream: `kEvicted` per evicted plan,
-/// `kAuditAlert` by the online lambda-compliance monitor when a traced
-/// decision violates its bound (verify/online_auditor.h), and
-/// `kRingDropped` by the RingTracer exporter to account for events lost to
-/// a full SPSC ring (the `dropped` field carries the count).
+/// The first four plus `kDegraded` are per-instance *decisions* — every
+/// instance produces exactly one of them (`kOptimized` and
+/// `kRedundantDiscard` both imply an optimizer call; the latter means the
+/// redundancy check then discarded the fresh plan in favor of a cached
+/// one). `kDegraded` is the failure-handling decision: the optimizer was
+/// unavailable (failure, deadline overrun, exhausted retries) and the
+/// technique served the best plan it could WITHOUT the lambda guarantee —
+/// audits must exclude it from the guaranteed set and report it
+/// separately. The rest are meta events emitted on top of the
+/// per-instance stream: `kEvicted` per evicted plan, `kAuditAlert` by the
+/// online lambda-compliance monitor when a traced decision violates its
+/// bound (verify/online_auditor.h), `kRingDropped` by the RingTracer
+/// exporter to account for events lost to a full SPSC ring (the `dropped`
+/// field carries the count), and `kFaultInjected` recorded once per fired
+/// fault-injection point (common/fault_injection.h; the `technique` field
+/// carries the point name) so chaos runs are auditable from the JSONL
+/// alone.
 enum class DecisionOutcome : int {
   kSelCheckHit = 0,
   kCostCheckHit = 1,
@@ -42,6 +50,8 @@ enum class DecisionOutcome : int {
   kEvicted = 4,
   kAuditAlert = 5,
   kRingDropped = 6,
+  kDegraded = 7,
+  kFaultInjected = 8,
 };
 
 /// Stable wire name ("sel-check-hit", ...).
@@ -51,7 +61,7 @@ const char* DecisionOutcomeName(DecisionOutcome outcome);
 bool ParseDecisionOutcome(const std::string& name, DecisionOutcome* out);
 
 /// True for the per-instance decision outcomes (everything but the meta
-/// events kEvicted / kAuditAlert / kRingDropped).
+/// events kEvicted / kAuditAlert / kRingDropped / kFaultInjected).
 bool IsDecisionOutcome(DecisionOutcome outcome);
 
 /// One traced decision. Fields that do not apply to an outcome stay at

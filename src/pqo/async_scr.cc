@@ -1,5 +1,9 @@
 #include "pqo/async_scr.h"
 
+#include <chrono>
+
+#include "common/fault_injection.h"
+
 namespace scrpqo {
 
 AsyncScr::AsyncScr(ScrOptions options) : inner_(options) {
@@ -47,15 +51,24 @@ void AsyncScr::WorkerLoop() {
       // update — exactly the background-thread model of the paper.
       WriterMutexLock cache_lock(cache_mu_);
       if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
-      // The worker's own span, pre-seeded with the critical-path stages
-      // captured at enqueue time, so the deferred decision event carries
-      // the whole getPlan breakdown.
-      GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
-      span.Seed(task.stages);
-      inner_.RegisterOptimization(task.wi, std::move(task.result),
-                                  engine_.load(std::memory_order_relaxed),
-                                  task.get_plan_recosts,
-                                  task.get_plan_candidates);
+      if (FaultShouldFire(faults::kAsyncTaskFail)) [[unlikely]] {
+        // Deferred manageCache dropped (simulated task failure): the
+        // fresh plan was already served on the critical path, so
+        // correctness and the guarantee are intact — the cache just
+        // doesn't learn from this instance and the next similar one
+        // re-optimizes.
+        if (tasks_dropped_ != nullptr) tasks_dropped_->Increment();
+      } else {
+        // The worker's own span, pre-seeded with the critical-path stages
+        // captured at enqueue time, so the deferred decision event
+        // carries the whole getPlan breakdown.
+        GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
+        span.Seed(task.stages);
+        inner_.RegisterOptimization(task.wi, std::move(task.result),
+                                    engine_.load(std::memory_order_relaxed),
+                                    task.get_plan_recosts,
+                                    task.get_plan_candidates);
+      }
     }
     queue_mu_.Lock();
     ++tasks_processed_;
@@ -70,9 +83,11 @@ void AsyncScr::SetObs(const ObsHooks& hooks) {
   if (hooks.metrics != nullptr) {
     lock_shared_ = hooks.metrics->counter("async_scr.lock_shared");
     lock_exclusive_ = hooks.metrics->counter("async_scr.lock_exclusive");
+    tasks_dropped_ = hooks.metrics->counter("async_scr.tasks_dropped");
   } else {
     lock_shared_ = nullptr;
     lock_exclusive_ = nullptr;
+    tasks_dropped_ = nullptr;
   }
   span_enabled_.store(hooks.tracer != nullptr, std::memory_order_relaxed);
 }
@@ -96,6 +111,20 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
   // the bookkeeping to the worker, and return the fresh optimal plan. The
   // optimizer call runs outside every lock.
   auto result = engine->Optimize(wi);
+  if (result == nullptr) [[unlikely]] {
+    // Optimizer unavailable: fall back to the wrapped cache's degraded
+    // path. ServeDegraded may mutate the cache (retry success runs
+    // manageCache inline), so it takes the exclusive side.
+    PlanChoice degraded;
+    degraded.recost_calls_in_get_plan = probe.recost_calls_in_get_plan;
+    degraded.cost_check_candidates_in_get_plan =
+        probe.cost_check_candidates_in_get_plan;
+    WriterMutexLock cache_lock(cache_mu_);
+    if (lock_exclusive_ != nullptr) lock_exclusive_->Increment();
+    inner_.ServeDegraded(wi, engine, &degraded,
+                         std::chrono::steady_clock::now());
+    return degraded;
+  }
   PlanChoice choice;
   choice.optimized = true;
   // Recost calls the failed reuse attempt made still belong to this

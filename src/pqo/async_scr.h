@@ -138,6 +138,9 @@ class AsyncScr : public PqoTechnique {
   /// under at least the shared side.
   Counter* lock_shared_ GUARDED_BY(cache_mu_) = nullptr;
   Counter* lock_exclusive_ GUARDED_BY(cache_mu_) = nullptr;
+  /// Deferred manageCache tasks dropped by the async_scr.task_fail fault
+  /// point ("async_scr.tasks_dropped").
+  Counter* tasks_dropped_ GUARDED_BY(cache_mu_) = nullptr;
   /// Whether getPlan spans are collected (tracer attached). Atomic: read
   /// on every OnInstance and by the worker, written by SetObs.
   std::atomic<bool> span_enabled_{false};

@@ -1,15 +1,83 @@
 #include "pqo/cache_persistence.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "optimizer/plan_serde.h"
 
 namespace scrpqo {
 
 namespace {
 constexpr char kHeader[] = "scrpqo-cache-v1";
+
+/// Parses and validates one `I ...` instance record (without the leading
+/// "I " tag). Every numeric field is range-checked — the snapshot is
+/// external input that may be truncated, bit-flipped or hostile, so
+/// nothing unvalidated may reach e.v.resize() or the cache (the trace
+/// serde applies the same finite-values policy).
+Status ParseInstanceLine(const std::string& body, Scr::SnapshotEntry* e) {
+  std::istringstream ls(body);
+  int disabled = 0;
+  int64_t d = 0;
+  if (!(ls >> e->plan_ordinal >> e->opt_cost >> e->subopt >> e->usage >>
+        disabled >> d)) {
+    return Status::InvalidArgument("malformed instance entry: " + body);
+  }
+  if (e->plan_ordinal < 0) {
+    return Status::InvalidArgument("instance entry has negative plan ordinal");
+  }
+  if (!std::isfinite(e->opt_cost) || e->opt_cost <= 0.0) {
+    return Status::InvalidArgument("instance entry has bad opt_cost");
+  }
+  if (!std::isfinite(e->subopt) || e->subopt < 1.0) {
+    return Status::InvalidArgument("instance entry has bad subopt");
+  }
+  if (e->usage < 0) {
+    return Status::InvalidArgument("instance entry has negative usage");
+  }
+  // Bound the dimension before the resize: a corrupt count here would
+  // otherwise trigger a multi-GB allocation or bad_alloc. Templates have
+  // one dimension per parameterized predicate, so the cap is generous.
+  if (d < 0 || d > kMaxSnapshotDims) {
+    return Status::InvalidArgument("instance entry has bad dimension count");
+  }
+  e->cost_check_disabled = disabled != 0;
+  e->v.resize(static_cast<size_t>(d));
+  for (int64_t i = 0; i < d; ++i) {
+    if (!(ls >> e->v[static_cast<size_t>(i)])) {
+      return Status::InvalidArgument("truncated selectivity vector");
+    }
+    double s = e->v[static_cast<size_t>(i)];
+    if (!std::isfinite(s) || s <= 0.0 || s > 1.0) {
+      return Status::InvalidArgument("selectivity out of (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+/// Chaos hooks for restore-path testing: with the snapshot.truncate /
+/// snapshot.bitflip points armed, the loaded bytes are deterministically
+/// corrupted before parsing — exercising exactly what a crash mid-write
+/// or storage rot would produce.
+void ApplySnapshotFaults(std::string* bytes) {
+  if (bytes->empty()) return;
+  double fraction = 0.0;
+  if (FaultShouldFire(faults::kSnapshotTruncate, &fraction)) {
+    if (!(fraction > 0.0 && fraction < 1.0)) fraction = 0.5;
+    bytes->resize(static_cast<size_t>(
+        static_cast<double>(bytes->size()) * fraction));
+  }
+  double pos = 0.0;
+  if (FaultShouldFire(faults::kSnapshotBitFlip, &pos)) {
+    size_t at = pos > 0.0 ? static_cast<size_t>(pos) % bytes->size()
+                          : bytes->size() / 2;
+    (*bytes)[at] = static_cast<char>((*bytes)[at] ^ 0x10);
+  }
+}
+
 }  // namespace
 
 std::string SaveScrCache(const Scr& scr) {
@@ -48,26 +116,70 @@ Status ParseScrCacheSnapshot(const std::string& snapshot,
       if (!plan.ok()) return plan.status();
       plans->push_back(plan.MoveValueOrDie());
     } else if (line[0] == 'I') {
-      std::istringstream ls(line.substr(2));
       Scr::SnapshotEntry e;
-      int disabled = 0;
-      size_t d = 0;
-      if (!(ls >> e.plan_ordinal >> e.opt_cost >> e.subopt >> e.usage >>
-            disabled >> d)) {
-        return Status::InvalidArgument("malformed instance entry: " + line);
-      }
-      e.cost_check_disabled = disabled != 0;
-      e.v.resize(d);
-      for (size_t i = 0; i < d; ++i) {
-        if (!(ls >> e.v[i])) {
-          return Status::InvalidArgument("truncated selectivity vector");
-        }
-      }
+      SCRPQO_RETURN_NOT_OK(ParseInstanceLine(line.substr(2), &e));
       entries->push_back(std::move(e));
     } else {
       return Status::InvalidArgument("unknown snapshot record: " + line);
     }
   }
+  return Status::OK();
+}
+
+Status ParseScrCacheSnapshotLenient(const std::string& snapshot,
+                                    std::vector<PlanPtr>* plans,
+                                    std::vector<Scr::SnapshotEntry>* entries,
+                                    SnapshotRestoreReport* report) {
+  *report = SnapshotRestoreReport{};
+  std::istringstream is(snapshot);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    return Status::InvalidArgument("bad cache snapshot header");
+  }
+  // Corruption model: a crash mid-write (or a fault-injected truncation /
+  // bit flip) damages a suffix or a single record. Records before the
+  // first bad line are intact and internally validated, so the valid
+  // prefix is kept; everything from the first failure on is dropped —
+  // later records may reference plans we cannot trust to have parsed.
+  bool corrupt = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (corrupt) {
+      ++report->records_dropped;
+      continue;
+    }
+    Status st = Status::OK();
+    if (line[0] == 'P') {
+      Result<PlanPtr> plan = DeserializePlan(line.substr(2));
+      if (plan.ok()) {
+        plans->push_back(plan.MoveValueOrDie());
+        ++report->plans_restored;
+      } else {
+        st = plan.status();
+      }
+    } else if (line[0] == 'I') {
+      Scr::SnapshotEntry e;
+      st = ParseInstanceLine(line.substr(2), &e);
+      if (st.ok()) {
+        if (e.plan_ordinal < report->plans_restored) {
+          entries->push_back(std::move(e));
+          ++report->entries_restored;
+        } else {
+          st = Status::InvalidArgument(
+              "instance entry references unparsed plan");
+        }
+      }
+    } else {
+      st = Status::InvalidArgument("unknown snapshot record: " + line);
+    }
+    if (!st.ok()) {
+      corrupt = true;
+      ++report->records_dropped;
+      report->first_error = st.ToString();
+    }
+  }
+  // A snapshot that ends without a trailing newline mid-record shows up
+  // as a short final line, caught above; a fully empty tail is fine.
   return Status::OK();
 }
 
@@ -78,23 +190,68 @@ Status LoadScrCache(const std::string& snapshot, Scr* scr) {
   return scr->Restore(plans, entries);
 }
 
-Status SaveScrCacheToFile(const Scr& scr, const std::string& path) {
-  std::ofstream f(path);
-  if (!f.is_open()) {
-    return Status::Internal("cannot open cache file for writing: " + path);
-  }
-  f << SaveScrCache(scr);
-  return f.good() ? Status::OK() : Status::Internal("write failed: " + path);
+Status LoadScrCacheLenient(const std::string& snapshot, Scr* scr,
+                           SnapshotRestoreReport* report) {
+  std::vector<PlanPtr> plans;
+  std::vector<Scr::SnapshotEntry> entries;
+  SCRPQO_RETURN_NOT_OK(
+      ParseScrCacheSnapshotLenient(snapshot, &plans, &entries, report));
+  return scr->Restore(plans, entries);
 }
 
-Status LoadScrCacheFromFile(const std::string& path, Scr* scr) {
+Status SaveScrCacheToFile(const Scr& scr, const std::string& path) {
+  // Write-to-temp + atomic rename: a crash mid-save leaves either the old
+  // snapshot or no snapshot, never a truncated file that half-loads on
+  // restart. The temp file lives next to the target so the rename cannot
+  // cross filesystems.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f.is_open()) {
+      return Status::Internal("cannot open cache file for writing: " + tmp);
+    }
+    f << SaveScrCache(scr);
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return Status::Internal("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status SlurpSnapshotFile(const std::string& path, std::string* bytes) {
   std::ifstream f(path);
   if (!f.is_open()) {
     return Status::NotFound("cache file not found: " + path);
   }
   std::stringstream buf;
   buf << f.rdbuf();
-  return LoadScrCache(buf.str(), scr);
+  *bytes = buf.str();
+  ApplySnapshotFaults(bytes);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadScrCacheFromFile(const std::string& path, Scr* scr) {
+  std::string bytes;
+  SCRPQO_RETURN_NOT_OK(SlurpSnapshotFile(path, &bytes));
+  return LoadScrCache(bytes, scr);
+}
+
+Status LoadScrCacheFromFileLenient(const std::string& path, Scr* scr,
+                                   SnapshotRestoreReport* report) {
+  std::string bytes;
+  SCRPQO_RETURN_NOT_OK(SlurpSnapshotFile(path, &bytes));
+  return LoadScrCacheLenient(bytes, scr, report);
 }
 
 }  // namespace scrpqo

@@ -17,6 +17,22 @@
 
 namespace scrpqo {
 
+/// Upper bound on a snapshot entry's selectivity-vector dimension.
+/// Templates carry one dimension per parameterized predicate, so real
+/// snapshots stay far below this; anything larger is treated as
+/// corruption (it would otherwise size an e.v.resize() allocation).
+inline constexpr int64_t kMaxSnapshotDims = 256;
+
+/// What a lenient (valid-prefix) restore kept and dropped.
+struct SnapshotRestoreReport {
+  int plans_restored = 0;
+  int entries_restored = 0;
+  /// Records dropped from the first corrupt line onward.
+  int records_dropped = 0;
+  /// Parse error of the first corrupt record (empty when nothing dropped).
+  std::string first_error;
+};
+
 /// Serializes the live portion of the cache (plans + instance entries).
 std::string SaveScrCache(const Scr& scr);
 
@@ -28,13 +44,32 @@ Status ParseScrCacheSnapshot(const std::string& snapshot,
                              std::vector<PlanPtr>* plans,
                              std::vector<Scr::SnapshotEntry>* entries);
 
+/// Lenient variant for crash/corruption recovery: keeps every record up
+/// to the first malformed line (the valid prefix — what a crash mid-write
+/// or a flipped byte leaves behind) and reports what was dropped instead
+/// of failing the whole restore. Only the header must be intact.
+Status ParseScrCacheSnapshotLenient(const std::string& snapshot,
+                                    std::vector<PlanPtr>* plans,
+                                    std::vector<Scr::SnapshotEntry>* entries,
+                                    SnapshotRestoreReport* report);
+
 /// Restores a snapshot into `scr`, which must be freshly constructed (its
 /// cache empty) and configured compatibly (same lambda family). Returns
 /// InvalidArgument on malformed input.
 Status LoadScrCache(const std::string& snapshot, Scr* scr);
 
-/// File convenience wrappers.
+/// Valid-prefix restore (see ParseScrCacheSnapshotLenient); `scr` must be
+/// fresh. Returns OK with a partial cache on mid-file corruption.
+Status LoadScrCacheLenient(const std::string& snapshot, Scr* scr,
+                           SnapshotRestoreReport* report);
+
+/// File convenience wrappers. Saving writes to a temporary file, checks
+/// the stream, and atomically renames into place, so a crash mid-save
+/// never leaves a truncated snapshot at `path`. Loading honors the
+/// snapshot.truncate / snapshot.bitflip fault points (chaos testing).
 Status SaveScrCacheToFile(const Scr& scr, const std::string& path);
 Status LoadScrCacheFromFile(const std::string& path, Scr* scr);
+Status LoadScrCacheFromFileLenient(const std::string& path, Scr* scr,
+                                   SnapshotRestoreReport* report);
 
 }  // namespace scrpqo

@@ -6,12 +6,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
 #include "optimizer/optimizer.h"
@@ -55,6 +59,12 @@ class EngineContext {
 
   /// Traditional optimizer call (charged to the calling technique).
   /// Thread-safe when the installed oracle (if any) is.
+  ///
+  /// Returns null when the optimizer is unavailable: a fault-injected
+  /// failure (faults::kOptimizeFail) or a configured deadline overrun.
+  /// Callers must degrade gracefully — Scr/AsyncScr fall back to the best
+  /// cached plan traced as kDegraded; PqoManager retries with bounded
+  /// backoff during warm-up.
   std::shared_ptr<const OptimizationResult> Optimize(
       const WorkloadInstance& wi) {
     // StageTimer instead of ScopedTimer: besides the histogram, engine
@@ -63,9 +73,39 @@ class EngineContext {
     StageTimer timer(Stage::kOptimize, optimize_micros_);
     num_optimizer_calls_.fetch_add(1, std::memory_order_relaxed);
     if (optimize_calls_ != nullptr) optimize_calls_->Increment();
-    if (oracle_) return oracle_(wi);
-    auto result = std::make_shared<OptimizationResult>(
-        optimizer_->OptimizeWithSVector(wi.instance, wi.svector));
+    const int64_t deadline_us = optimize_deadline_micros_;
+    std::chrono::steady_clock::time_point started;
+    if (deadline_us > 0) started = std::chrono::steady_clock::now();
+    if (FaultRegistry::Global().enabled()) [[unlikely]] {
+      double param = 0.0;
+      if (FaultShouldFire(faults::kOptimizeLatency, &param)) {
+        // Models a slow optimizer; with a deadline configured this
+        // becomes a deadline overrun below. Default 10ms.
+        int64_t sleep_us =
+            param > 0.0 ? static_cast<int64_t>(param) : 10000;
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+      if (FaultShouldFire(faults::kOptimizeFail)) return nullptr;
+    }
+    std::shared_ptr<const OptimizationResult> result;
+    if (oracle_) {
+      result = oracle_(wi);
+    } else {
+      result = std::make_shared<OptimizationResult>(
+          optimizer_->OptimizeWithSVector(wi.instance, wi.svector));
+    }
+    if (deadline_us > 0) {
+      int64_t elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+      if (elapsed > deadline_us) {
+        deadline_overruns_.fetch_add(1, std::memory_order_relaxed);
+        if (deadline_overrun_counter_ != nullptr) {
+          deadline_overrun_counter_->Increment();
+        }
+        return nullptr;
+      }
+    }
     return result;
   }
 
@@ -73,7 +113,11 @@ class EngineContext {
   [[nodiscard]] double Recost(const CachedPlan& plan, const SVector& sv) {
     StageTimer timer(Stage::kRecost, recost_micros_);
     if (recost_calls_ != nullptr) recost_calls_->Increment();
-    return recost_service_.Recost(plan, sv);
+    double cost = recost_service_.Recost(plan, sv);
+    if (FaultRegistry::Global().enabled()) [[unlikely]] {
+      cost = ApplyRecostFaults(cost);
+    }
+    return cost;
   }
 
   /// Batched Recost (see RecostService::RecostMany): one call, N program
@@ -86,8 +130,16 @@ class EngineContext {
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) {
     StageTimer timer(Stage::kBatchRecost, recost_batch_micros_);
-    size_t scanned = recost_service_.RecostMany(
-        plans, sv, out_costs, std::forward<Visitor>(visit));
+    size_t scanned;
+    if (FaultRegistry::Global().enabled()) [[unlikely]] {
+      scanned = recost_service_.RecostMany(
+          plans, sv, out_costs, [&](size_t i, double c) {
+            return visit(i, ApplyRecostFaults(c));
+          });
+    } else {
+      scanned = recost_service_.RecostMany(plans, sv, out_costs,
+                                           std::forward<Visitor>(visit));
+    }
     if (recost_calls_ != nullptr) {
       recost_calls_->Increment(static_cast<int64_t>(scanned));
     }
@@ -103,8 +155,16 @@ class EngineContext {
                        std::span<const int> plan_ids, const SVector& sv,
                        std::span<double> out_costs, Visitor&& visit) {
     StageTimer timer(Stage::kBatchRecost, recost_batch_micros_);
-    size_t visited = bundle.EvalMany(plan_ids, sv, bundle_prepared_,
-                                     out_costs, std::forward<Visitor>(visit));
+    size_t visited;
+    if (FaultRegistry::Global().enabled()) [[unlikely]] {
+      visited = bundle.EvalMany(plan_ids, sv, bundle_prepared_, out_costs,
+                                [&](size_t i, double c) {
+                                  return visit(i, ApplyRecostFaults(c));
+                                });
+    } else {
+      visited = bundle.EvalMany(plan_ids, sv, bundle_prepared_, out_costs,
+                                std::forward<Visitor>(visit));
+    }
     recost_service_.ChargeCalls(static_cast<int64_t>(visited));
     if (recost_calls_ != nullptr) {
       recost_calls_->Increment(static_cast<int64_t>(visited));
@@ -127,6 +187,18 @@ class EngineContext {
 
   void SetOracle(OptimizeOracle oracle) { oracle_ = std::move(oracle); }
 
+  /// Arms a wall-clock budget for Optimize: calls that exceed it return
+  /// null (counted in "engine.optimize_deadline_overruns") and the caller
+  /// takes its degraded path. 0 (default) disables the check. Set before
+  /// serving traffic; not synchronized with in-flight calls.
+  void SetOptimizeDeadlineMicros(int64_t micros) {
+    optimize_deadline_micros_ = micros > 0 ? micros : 0;
+  }
+
+  int64_t optimize_deadline_overruns() const {
+    return deadline_overruns_.load(std::memory_order_relaxed);
+  }
+
   /// Attaches a metrics registry: both engine calls are then counted
   /// ("engine.optimize_calls" / "engine.recost_calls") and timed
   /// ("engine.optimize_micros" / "engine.recost_micros"). Null detaches.
@@ -134,6 +206,7 @@ class EngineContext {
     if (metrics == nullptr) {
       optimize_calls_ = recost_calls_ = nullptr;
       optimize_micros_ = recost_micros_ = recost_batch_micros_ = nullptr;
+      deadline_overrun_counter_ = nullptr;
       return;
     }
     optimize_calls_ = metrics->counter("engine.optimize_calls");
@@ -141,6 +214,8 @@ class EngineContext {
     optimize_micros_ = metrics->histogram("engine.optimize_micros");
     recost_micros_ = metrics->histogram("engine.recost_micros");
     recost_batch_micros_ = metrics->histogram("engine.recost_batch_micros");
+    deadline_overrun_counter_ =
+        metrics->counter("engine.optimize_deadline_overruns");
   }
 
   int64_t num_optimizer_calls() const {
@@ -154,6 +229,20 @@ class EngineContext {
   }
 
  private:
+  /// Applies armed recost fault points to one produced cost. Only reached
+  /// when some fault is armed (the callers gate on the registry's relaxed
+  /// enabled() load), so the disabled-path cost stays one load per batch.
+  static double ApplyRecostFaults(double cost) {
+    if (FaultShouldFire(faults::kRecostNonFinite)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    double factor = 0.0;
+    if (FaultShouldFire(faults::kRecostPerturb, &factor)) {
+      return cost * (factor != 0.0 ? factor : 10.0);
+    }
+    return cost;
+  }
+
   const Database* db_;
   const Optimizer* optimizer_;
   RecostService recost_service_;
@@ -163,9 +252,13 @@ class EngineContext {
   /// Relaxed atomic: Optimize runs un-serialized on the concurrent getPlan
   /// miss path, so several threads may bump this at once.
   std::atomic<int64_t> num_optimizer_calls_{0};
+  /// Optimize wall-clock budget; 0 disables (see SetOptimizeDeadlineMicros).
+  int64_t optimize_deadline_micros_ = 0;
+  std::atomic<int64_t> deadline_overruns_{0};
   // Cached registry handles (null = metrics disabled).
   Counter* optimize_calls_ = nullptr;
   Counter* recost_calls_ = nullptr;
+  Counter* deadline_overrun_counter_ = nullptr;
   LogHistogram* optimize_micros_ = nullptr;
   LogHistogram* recost_micros_ = nullptr;
   LogHistogram* recost_batch_micros_ = nullptr;

@@ -1,5 +1,6 @@
 #include "pqo/pcm.h"
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -35,9 +36,11 @@ void Pcm::SetObs(const ObsHooks& hooks) {
     optimized_ = obs_.metrics->counter("decision.optimized");
     redundant_discards_ =
         obs_.metrics->counter("decision.redundant_discards");
+    degraded_ = obs_.metrics->counter("pqo.degraded_decisions");
     get_plan_micros_ = obs_.metrics->histogram("pcm.get_plan_micros");
   } else {
-    cost_check_hits_ = optimized_ = redundant_discards_ = nullptr;
+    cost_check_hits_ = optimized_ = redundant_discards_ = degraded_ =
+        nullptr;
     get_plan_micros_ = nullptr;
   }
 }
@@ -87,7 +90,12 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
     }
   }
   sel_timer.Stop();
+  // Non-finite guard on the cost ratio R = best_upper / best_lower: a NaN
+  // compares false through the bound below (no unsound reuse), but the
+  // explicit check keeps an inf/NaN from reaching the traced `r` and the
+  // stats pipeline.
   if (upper_plan >= 0 && have_lower && best_lower > 0.0 &&
+      std::isfinite(best_upper) && std::isfinite(best_lower) &&
       best_upper <= options_.lambda * best_lower) {
     store_.AddUsage(upper_plan, 1);
     choice.plan = store_.entry(upper_plan).plan;
@@ -107,6 +115,34 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
 
   // Optimize and store.
   auto result = engine->Optimize(wi);
+  if (result == nullptr) [[unlikely]] {
+    // Optimizer unavailable: serve the cheapest cached plan by recost,
+    // without the guarantee (traced as kDegraded, lambda unset).
+    choice.degraded = true;
+    int best_id = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int id : store_.LivePlanIds()) {
+      double c = engine->Recost(*store_.entry(id).plan, sv);
+      ++choice.recost_calls_in_get_plan;
+      if (std::isfinite(c) && c < best_cost) {
+        best_cost = c;
+        best_id = id;
+      }
+    }
+    if (best_id >= 0) {
+      store_.AddUsage(best_id, 1);
+      choice.plan = store_.entry(best_id).plan;
+    }
+    if (degraded_ != nullptr) degraded_->Increment();
+    if (obs_.tracer != nullptr) {
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kDegraded;
+      ev.matched_entry = best_id;
+      ev.recost_calls = choice.recost_calls_in_get_plan;
+      EmitEvent(std::move(ev), wi.id, start);
+    }
+    return choice;
+  }
   choice.optimized = true;
   CachedPlan cached = MakeCachedPlan(*result);
   // The H.6 redundancy variant issues Recost calls inside StoreOrReuse;
@@ -118,7 +154,13 @@ PlanChoice Pcm::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
   manage_timer.Stop();
   choice.recost_calls_in_get_plan =
       static_cast<int>(engine->num_recost_calls() - recosts_before);
-  points_.push_back(Point{sv, result->cost, stored.plan_id});
+  // A non-finite optimal cost must never seed an inference point: it
+  // would poison every future dominance bound it participates in. The
+  // plan is still served (it is the optimizer's answer); only inference
+  // from this instance is quarantined.
+  if (std::isfinite(result->cost) && result->cost > 0.0) {
+    points_.push_back(Point{sv, result->cost, stored.plan_id});
+  }
   choice.plan = store_.entry(stored.plan_id).plan;
   if (stored.reused_existing) {
     if (redundant_discards_ != nullptr) redundant_discards_->Increment();

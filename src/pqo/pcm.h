@@ -59,6 +59,7 @@ class Pcm : public PqoTechnique {
   Counter* cost_check_hits_ = nullptr;
   Counter* optimized_ = nullptr;
   Counter* redundant_discards_ = nullptr;
+  Counter* degraded_ = nullptr;
   LogHistogram* get_plan_micros_ = nullptr;
 };
 

@@ -59,12 +59,16 @@ void PqoManager::SetObs(const ObsHooks& hooks) {
       warmup_fallbacks_counter_.store(
           hooks.metrics->counter("pqo_manager.warmup_fallbacks"),
           std::memory_order_relaxed);
+      degraded_counter_.store(
+          hooks.metrics->counter("pqo.degraded_decisions"),
+          std::memory_order_relaxed);
     } else {
       shard_lock_wait_.store(nullptr, std::memory_order_relaxed);
       templates_created_.store(nullptr, std::memory_order_relaxed);
       invalidations_.store(nullptr, std::memory_order_relaxed);
       global_evictions_counter_.store(nullptr, std::memory_order_relaxed);
       warmup_fallbacks_counter_.store(nullptr, std::memory_order_relaxed);
+      degraded_counter_.store(nullptr, std::memory_order_relaxed);
     }
   }
   // Forward to existing caches. obs_mu_ is NOT held here: SetObs acquires
@@ -208,6 +212,15 @@ PlanChoice PqoManager::OnInstance(const std::string& template_key,
   }
   if (warming) {
     auto result = engine->Optimize(wi);
+    // Warm-up is Optimize-Always with no cache to fall back on, so a
+    // failed optimizer call (fault or deadline overrun) is retried with
+    // bounded exponential backoff before the sample is given up. Runs
+    // outside every lock, like the first attempt.
+    for (int attempt = 0; result == nullptr && attempt < 3; ++attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(int64_t{100} << attempt));
+      result = engine->Optimize(wi);
+    }
     choice.optimized = true;
     MutexLock st_lock(state->mu);
     --state->warmup_inflight;
@@ -215,6 +228,28 @@ PlanChoice PqoManager::OnInstance(const std::string& template_key,
       ++state->warmup_seen;
       state->warmup_cost_sum += result->cost;
       choice.plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+    } else {
+      // Every retry failed: this instance cannot be served (plan stays
+      // null) and the decision is explicitly degraded — traced so chaos
+      // audits can separate it from guaranteed decisions.
+      choice.degraded = true;
+      choice.optimized = false;
+      Tracer* tracer = nullptr;
+      {
+        MutexLock obs_lock(obs_mu_);
+        tracer = obs_.tracer;
+      }
+      if (Counter* c = degraded_counter_.load(std::memory_order_relaxed)) {
+        c->Increment();
+      }
+      if (tracer != nullptr) {
+        DecisionEvent ev;
+        ev.outcome = DecisionOutcome::kDegraded;
+        ev.instance_id = wi.id;
+        ev.technique = "PqoManager(warmup-optimize-failed)";
+        ev.template_key = state->key;
+        EmitDecisionEvent(tracer, std::move(ev));
+      }
     }
     // Leave warm-up only once the attempt target is reached AND every
     // in-flight optimize has reported its cost sample back, so the lambda

@@ -258,6 +258,10 @@ class PqoManager {
   std::atomic<Counter*> invalidations_{nullptr};
   std::atomic<Counter*> global_evictions_counter_{nullptr};
   std::atomic<Counter*> warmup_fallbacks_counter_{nullptr};
+  /// "pqo.degraded_decisions": manager-level degraded servings (warm-up
+  /// optimize retries exhausted). Techniques bump the same counter for
+  /// their own degraded paths.
+  std::atomic<Counter*> degraded_counter_{nullptr};
 };
 
 }  // namespace scrpqo

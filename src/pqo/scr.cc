@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 #include "common/scratch_arena.h"
 #include "common/status.h"
@@ -61,6 +63,8 @@ void Scr::SetObs(const ObsHooks& hooks) {
         obs_.metrics->counter("decision.redundant_discards");
     decision_counters_[static_cast<int>(DecisionOutcome::kEvicted)] =
         obs_.metrics->counter("cache.evictions");
+    decision_counters_[static_cast<int>(DecisionOutcome::kDegraded)] =
+        obs_.metrics->counter("pqo.degraded_decisions");
     get_plan_micros_ = obs_.metrics->histogram("scr.get_plan_micros");
     manage_cache_micros_ =
         obs_.metrics->histogram("scr.manage_cache_micros");
@@ -118,9 +122,66 @@ PlanChoice Scr::OnInstance(const WorkloadInstance& wi, EngineContext* engine) {
 
   // ---- Optimize + manageCache (Algorithm 2) ----
   auto result = engine->Optimize(wi);
+  if (result == nullptr) [[unlikely]] {
+    // Optimizer unavailable (fault or deadline overrun): serve whatever
+    // the cache has, without the guarantee.
+    ServeDegraded(wi, engine, &choice, start);
+    return choice;
+  }
   choice.optimized = true;
   ManageCache(wi, result, engine, &choice, start);
   return choice;
+}
+
+void Scr::ServeDegraded(const WorkloadInstance& wi, EngineContext* engine,
+                        PlanChoice* choice,
+                        std::chrono::steady_clock::time_point start) {
+  choice->degraded = true;
+  const SVector& sv = wi.svector;
+  // Best cached plan by recost: the selectivity/cost checks already
+  // rejected lambda-bounded reuse, so this is explicitly NOT
+  // lambda-optimal — it is merely the least-bad plan available.
+  int best_id = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int id : store_.LivePlanIds()) {
+    double c = engine->Recost(*store_.entry(id).plan, sv);
+    ++choice->recost_calls_in_get_plan;
+    if (std::isfinite(c) && c < best_cost) {
+      best_cost = c;
+      best_id = id;
+    }
+  }
+  if (best_id < 0) {
+    // Empty (or all-non-finite) cache: nothing to fall back on. Retry the
+    // optimizer a few times with short exponential backoff — during
+    // warm-up this is the only way to make progress.
+    for (int attempt = 0; attempt < 3 && best_id < 0; ++attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(int64_t{100} << attempt));
+      auto retry = engine->Optimize(wi);
+      if (retry != nullptr) {
+        // The optimizer recovered: this is a normal optimized decision
+        // after all (guarantee intact), not a degraded one.
+        choice->degraded = false;
+        choice->optimized = true;
+        ManageCache(wi, retry, engine, choice, start);
+        return;
+      }
+    }
+  } else {
+    store_.AddUsage(best_id, 1);
+    choice->plan = store_.entry(best_id).plan;
+  }
+  if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+    DecisionEvent ev;
+    ev.outcome = DecisionOutcome::kDegraded;
+    ev.matched_entry = best_id;
+    // No lambda claim: audits must not fold this decision into the
+    // guaranteed set (lambda stays -1).
+    ev.recost_calls = choice->recost_calls_in_get_plan;
+    ev.candidates_scanned = choice->cost_check_candidates_in_get_plan;
+    EmitEvent(std::move(ev), wi.id, start);
+  }
 }
 
 void Scr::RegisterOptimization(
@@ -314,6 +375,20 @@ bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
       ++recosts;
       double r = new_cost / std::max(e.opt_cost, 1e-30);
 
+      // A non-finite or non-positive recost (engine mis-costing; also
+      // reachable through the recost.nonfinite fault point) must never
+      // enter the R*L <= lambda/S comparison: NaN compares false on
+      // every branch and would silently corrupt stats downstream.
+      // Quarantine the entry through the Appendix-G path — the sweep
+      // continues, and with no passing candidate getPlan falls through
+      // to a fresh optimization.
+      if (!std::isfinite(new_cost) || new_cost <= 0.0 ||
+          !std::isfinite(r)) {
+        e.cost_check_disabled.Store(true);
+        violations_detected_.Add(1);
+        return true;
+      }
+
       if (options_.detect_violations) {
         // Appendix G: the cached plan's cost at qe is S * C. BCG
         // implies cost(P, qc) <= G * cost(P, qe) and
@@ -396,6 +471,23 @@ void Scr::ManageCache(const WorkloadInstance& wi,
   // (budget eviction, instance-list push) stays unattributed.
   StageTimer manage_cache_timer(Stage::kManageCache, manage_cache_micros_);
   const SVector& sv = wi.svector;
+  if (FaultShouldFire(faults::kColdAllocFail)) [[unlikely]] {
+    // Simulated allocation failure on the cold path: serve the freshly
+    // optimized plan but skip cache insertion. The served plan is the
+    // optimal one, so the decision keeps the guarantee — only cache
+    // growth is lost (the next similar instance re-optimizes).
+    manage_cache_timer.Stop();
+    choice->plan = std::make_shared<CachedPlan>(MakeCachedPlan(*result));
+    if (obs_.tracer != nullptr || obs_.metrics != nullptr) {
+      DecisionEvent ev;
+      ev.outcome = DecisionOutcome::kOptimized;
+      ev.matched_entry = -1;
+      ev.candidates_scanned = choice->cost_check_candidates_in_get_plan;
+      ev.recost_calls = choice->recost_calls_in_get_plan;
+      EmitEvent(std::move(ev), wi.id, start);
+    }
+    return;
+  }
   cost_sum_ += result->cost;
   ++cost_count_;
 
@@ -566,6 +658,12 @@ Status Scr::Restore(const std::vector<PlanPtr>& plans,
     }
     if (!(se.opt_cost > 0.0) || se.subopt < 1.0) {
       return Status::InvalidArgument("instance entry has bad cost fields");
+    }
+    // One template means one selectivity dimension; a mismatched entry is
+    // corruption and would poison the k-d index and the sel check.
+    if (se.v.size() != entries.front().v.size()) {
+      return Status::InvalidArgument(
+          "instance entry has mismatched selectivity dimensions");
     }
     InstanceEntry e;
     e.v = se.v;

@@ -113,6 +113,19 @@ class Scr : public PqoTechnique {
                             EngineContext* engine, int get_plan_recosts = 0,
                             int get_plan_candidates = 0);
 
+  /// Failure path of getPlan: the optimizer returned null (failure or
+  /// deadline overrun). Serves the cheapest cached plan by recost — chosen
+  /// WITHOUT the lambda guarantee — or, on an empty cache, retries the
+  /// optimizer with bounded backoff (and runs the normal manageCache when
+  /// a retry succeeds). Emits one kDegraded decision on the fallback path;
+  /// `choice->plan` stays null only when every retry failed on an empty
+  /// cache. Thread-compatible: may mutate the cache structurally, so
+  /// callers serialize it with other structural mutation (AsyncScr takes
+  /// the exclusive lock).
+  void ServeDegraded(const WorkloadInstance& wi, EngineContext* engine,
+                     PlanChoice* choice,
+                     std::chrono::steady_clock::time_point start);
+
   int64_t NumPlansCached() const override { return store_.NumLive(); }
   int64_t PeakPlansCached() const override { return store_.Peak(); }
 
@@ -209,6 +222,7 @@ class Scr : public PqoTechnique {
                    EngineContext* engine, PlanChoice* choice,
                    std::chrono::steady_clock::time_point start);
 
+
   /// Enforces the per-cache plan budget by LFU eviction. `pinned_plan_id`
   /// is the plan just stored/chosen for the in-flight instance: it must
   /// never be the victim (a fresh plan has usage 0 and would otherwise be
@@ -240,7 +254,7 @@ class Scr : public PqoTechnique {
 
   // --- observability (null = disabled) ---
   ObsHooks obs_;
-  Counter* decision_counters_[5] = {};  // indexed by DecisionOutcome
+  Counter* decision_counters_[9] = {};  // indexed by DecisionOutcome
   LogHistogram* get_plan_micros_ = nullptr;
   LogHistogram* manage_cache_micros_ = nullptr;
   LogHistogram* cost_check_candidates_ = nullptr;

@@ -26,10 +26,17 @@ struct ObsHooks {
 
 /// What the technique decided for one instance.
 struct PlanChoice {
-  /// The plan handed to the executor. Never null.
+  /// The plan handed to the executor. Null only when `degraded` is true
+  /// AND the technique had no cached plan to fall back on (optimizer
+  /// unavailable on a cold cache): callers must treat that as "cannot
+  /// serve this instance" rather than dereference.
   std::shared_ptr<const CachedPlan> plan;
   /// True when the technique invoked the optimizer for this instance.
   bool optimized = false;
+  /// True when the optimizer was unavailable (failure/deadline/exhausted
+  /// retries) and the plan was chosen WITHOUT the lambda guarantee — the
+  /// decision is traced as kDegraded and excluded from guarantee audits.
+  bool degraded = false;
   /// Recost calls made inside this getPlan invocation (SCR cost check);
   /// used for per-call overhead reporting.
   int recost_calls_in_get_plan = 0;

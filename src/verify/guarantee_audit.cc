@@ -157,14 +157,25 @@ void AuditEvent(const DecisionEvent& e, const AuditConfig& config,
       }
       break;
     }
+    case DecisionOutcome::kDegraded:
+      // Degraded servings claim no bound (lambda unset by contract), so
+      // there is no inequality to re-derive — but a degraded event that
+      // DOES claim a lambda is itself a contract violation worth flagging:
+      // audits must never fold these decisions into the guaranteed set.
+      if (Present(e.lambda)) {
+        f.Flag("degraded decision claims a lambda bound (" + Fmt(e.lambda) +
+               "); degraded servings are excluded from the guarantee");
+      }
+      break;
     case DecisionOutcome::kOptimized:
     case DecisionOutcome::kEvicted:
     case DecisionOutcome::kAuditAlert:
     case DecisionOutcome::kRingDropped:
+    case DecisionOutcome::kFaultInjected:
       // No guarantee arithmetic: optimizing is always lambda-optimal,
       // eviction drops the instance entries with the plan (Section 6.3.1),
-      // and audit-alert / ring-dropped are meta events the online monitor
-      // synthesizes about the stream rather than decisions in it.
+      // and audit-alert / ring-dropped / fault-injected are meta events
+      // synthesized about the stream rather than decisions in it.
       break;
   }
 }

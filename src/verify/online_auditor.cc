@@ -45,6 +45,10 @@ double EventMargin(const DecisionEvent& e) {
     case DecisionOutcome::kEvicted:
     case DecisionOutcome::kAuditAlert:
     case DecisionOutcome::kRingDropped:
+    case DecisionOutcome::kDegraded:
+    case DecisionOutcome::kFaultInjected:
+      // kDegraded explicitly claims NO bound (lambda unset), so there is
+      // no inequality to monitor; fault-injected is a meta event.
       return kInf;
   }
   return kInf;

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "pqo/cache_persistence.h"
@@ -125,6 +128,183 @@ TEST_F(CachePersistenceTest, SpatialIndexRebuiltOnRestore) {
   EngineContext e2(&db_, &optimizer_);
   PlanChoice c = restored.OnInstance(MakeWi(5000, 0.3, 0.3), &e2);
   EXPECT_NE(c.plan, nullptr);
+}
+
+// --- restore edge cases and corruption hardening ---
+
+TEST_F(CachePersistenceTest, RejectsEntriesWithUnvalidatedFields) {
+  // Every numeric field of an instance record is range-checked before it
+  // can size an allocation or enter the cache. Pair each bad record with
+  // a plan line so rejection is attributable to the field, not a missing
+  // plan reference.
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 10);
+  std::string snapshot = SaveScrCache(scr);
+  std::string plan_line = snapshot.substr(snapshot.find("P "));
+  plan_line = plan_line.substr(0, plan_line.find('\n') + 1);
+  const std::string head = "scrpqo-cache-v1\n" + plan_line;
+
+  auto rejects = [&](const std::string& entry) {
+    Scr fresh(ScrOptions{.lambda = 1.5});
+    return !LoadScrCache(head + entry, &fresh).ok();
+  };
+  // A dimension count that would size a multi-GB resize.
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 4000000000 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 257 0.5\n"));  // > kMaxSnapshotDims
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 -1 0.5\n"));
+  // Non-finite or out-of-(0,1] selectivities.
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 2 nan 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 2 inf 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 2 0.0 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 2 1.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 1 0 2 -0.5 0.5\n"));
+  // Negative usage, bad opt_cost, bad subopt.
+  EXPECT_TRUE(rejects("I 0 1.0 1.0 -3 0 2 0.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 0.0 1.0 1 0 2 0.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 -2.0 1.0 1 0 2 0.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 nan 1.0 1 0 2 0.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 0.5 1 0 2 0.5 0.5\n"));
+  EXPECT_TRUE(rejects("I 0 1.0 inf 1 0 2 0.5 0.5\n"));
+  // The well-formed control passes.
+  Scr fresh(ScrOptions{.lambda = 1.5});
+  EXPECT_TRUE(
+      LoadScrCache(head + "I 0 1.0 1.2 1 0 2 0.5 0.5\n", &fresh).ok());
+}
+
+TEST_F(CachePersistenceTest, RejectsDimensionMismatchedEntries) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 10);
+  std::string snapshot = SaveScrCache(scr);
+  std::string plan_line = snapshot.substr(snapshot.find("P "));
+  plan_line = plan_line.substr(0, plan_line.find('\n') + 1);
+
+  // Two internally-valid entries with different selectivity dimensions:
+  // corruption a per-line parse cannot see, caught by Restore.
+  Scr fresh(ScrOptions{.lambda = 1.5});
+  Status st = LoadScrCache("scrpqo-cache-v1\n" + plan_line +
+                               "I 0 1.0 1.2 1 0 2 0.5 0.5\n"
+                               "I 0 1.0 1.2 1 0 3 0.5 0.5 0.5\n",
+                           &fresh);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(CachePersistenceTest, LenientRestoreRequiresEmptyCacheToo) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 20);
+  std::string snapshot = SaveScrCache(scr);
+  SnapshotRestoreReport report;
+  EXPECT_FALSE(LoadScrCacheLenient(snapshot, &scr, &report).ok());
+}
+
+TEST_F(CachePersistenceTest, CostCheckDisabledSurvivesRoundTrip) {
+  // Appendix-G quarantine flags must survive persistence: a restored
+  // cache that forgot its quarantined entries would resume inferring
+  // from instances known to violate the BCG assumption.
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 10);
+  std::string snapshot = SaveScrCache(scr);
+  std::string plan_line = snapshot.substr(snapshot.find("P "));
+  plan_line = plan_line.substr(0, plan_line.find('\n') + 1);
+
+  Scr loaded(ScrOptions{.lambda = 1.5});
+  ASSERT_TRUE(LoadScrCache("scrpqo-cache-v1\n" + plan_line +
+                               "I 0 1.0 1.2 4 1 2 0.5 0.5\n"
+                               "I 0 2.0 1.1 2 0 2 0.25 0.75\n",
+                           &loaded)
+                  .ok());
+  std::vector<Scr::SnapshotEntry> entries = loaded.SnapshotInstances();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].cost_check_disabled);
+  EXPECT_EQ(entries[0].usage, 4);
+  EXPECT_FALSE(entries[1].cost_check_disabled);
+
+  // And once more through the text format.
+  Scr again(ScrOptions{.lambda = 1.5});
+  ASSERT_TRUE(LoadScrCache(SaveScrCache(loaded), &again).ok());
+  entries = again.SnapshotInstances();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].cost_check_disabled);
+  EXPECT_FALSE(entries[1].cost_check_disabled);
+}
+
+TEST_F(CachePersistenceTest, LenientRestoreKeepsValidPrefixAndReports) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 10);
+  std::string snapshot = SaveScrCache(scr);
+  std::string plan_line = snapshot.substr(snapshot.find("P "));
+  plan_line = plan_line.substr(0, plan_line.find('\n') + 1);
+
+  // Valid plan + one valid entry, then a rotted line, then a line that
+  // would parse fine — everything after the first corruption is dropped
+  // (a suffix that follows damage cannot be trusted).
+  const std::string corrupt = "scrpqo-cache-v1\n" + plan_line +
+                              "I 0 1.0 1.2 1 0 2 0.5 0.5\n"
+                              "I 0 1.0 gibberish\n"
+                              "I 0 1.0 1.2 1 0 2 0.25 0.25\n";
+  Scr fresh(ScrOptions{.lambda = 1.5});
+  SnapshotRestoreReport report;
+  Status st = LoadScrCacheLenient(corrupt, &fresh, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(report.plans_restored, 1);
+  EXPECT_EQ(report.entries_restored, 1);
+  EXPECT_EQ(report.records_dropped, 2);
+  EXPECT_FALSE(report.first_error.empty());
+  EXPECT_EQ(fresh.NumInstancesStored(), 1);
+
+  // The strict loader refuses the same bytes outright.
+  Scr strict(ScrOptions{.lambda = 1.5});
+  EXPECT_FALSE(LoadScrCache(corrupt, &strict).ok());
+
+  // A pristine snapshot reports nothing dropped.
+  Scr clean(ScrOptions{.lambda = 1.5});
+  SnapshotRestoreReport clean_report;
+  ASSERT_TRUE(LoadScrCacheLenient(snapshot, &clean, &clean_report).ok());
+  EXPECT_EQ(clean_report.records_dropped, 0);
+  EXPECT_TRUE(clean_report.first_error.empty());
+  EXPECT_EQ(clean.NumInstancesStored(), scr.NumInstancesStored());
+}
+
+TEST_F(CachePersistenceTest, LenientRestoreRejectsEntryBeforeItsPlan) {
+  // Lenient mode still refuses an instance record that references a plan
+  // the (possibly truncated) prefix has not produced.
+  const std::string snapshot =
+      "scrpqo-cache-v1\nI 0 1.0 1.2 1 0 2 0.5 0.5\n";
+  Scr fresh(ScrOptions{.lambda = 1.5});
+  SnapshotRestoreReport report;
+  ASSERT_TRUE(LoadScrCacheLenient(snapshot, &fresh, &report).ok());
+  EXPECT_EQ(report.entries_restored, 0);
+  EXPECT_EQ(report.records_dropped, 1);
+}
+
+TEST_F(CachePersistenceTest, SaveIsAtomicAndDetectsWriteFailure) {
+  Scr scr(ScrOptions{.lambda = 1.5});
+  EngineContext engine(&db_, &optimizer_);
+  Warm(&scr, &engine, 20);
+
+  // Successful save leaves no temp file behind and overwrites the old
+  // snapshot in one step.
+  const std::string path = ::testing::TempDir() + "/scrpqo_atomic_save.txt";
+  {
+    std::ofstream old(path);
+    old << "stale contents\n";
+  }
+  ASSERT_TRUE(SaveScrCacheToFile(scr, path).ok());
+  EXPECT_EQ(std::remove((path + ".tmp").c_str()), -1)
+      << "temp file must not outlive a successful save";
+  Scr restored(ScrOptions{.lambda = 1.5});
+  EXPECT_TRUE(LoadScrCacheFromFile(path, &restored).ok());
+  EXPECT_EQ(restored.NumPlansCached(), scr.NumPlansCached());
+  std::remove(path.c_str());
+
+  // An unwritable destination is reported, not silently dropped.
+  const std::string bad =
+      ::testing::TempDir() + "/no_such_dir_scrpqo/cache.txt";
+  EXPECT_FALSE(SaveScrCacheToFile(scr, bad).ok());
 }
 
 }  // namespace

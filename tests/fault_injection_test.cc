@@ -1,0 +1,243 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace scrpqo {
+namespace {
+
+/// Every test leaves the process-global registry exactly as it found it
+/// (disarmed, seed 0, no hook) — other suites in this binary rely on the
+/// disabled fast path.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().SetSeed(0);
+  }
+  void TearDown() override {
+    FaultRegistry::Global().DisarmAll();
+    FaultRegistry::Global().SetSeed(0);
+    unsetenv("SCRPQO_FAULTS");
+    unsetenv("SCRPQO_FAULT_SEED");
+  }
+};
+
+TEST_F(FaultInjectionTest, DisabledRegistryNeverFires) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(FaultShouldFire("anything"));
+  EXPECT_FALSE(reg.ShouldFire(faults::kOptimizeFail));
+  EXPECT_EQ(reg.TotalFires(), 0);
+  EXPECT_EQ(reg.StatsFor(faults::kOptimizeFail).evaluations, 0);
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+}
+
+TEST_F(FaultInjectionTest, UnarmedPointNeverFiresEvenWhenEnabled) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 1.0;
+  reg.Arm("test.other", spec);
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_FALSE(FaultShouldFire("test.unarmed"));
+  EXPECT_TRUE(FaultShouldFire("test.other"));
+}
+
+TEST_F(FaultInjectionTest, OneShotFiresExactlyOnce) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kOneShot;
+  reg.Arm("test.once", spec);
+  EXPECT_TRUE(FaultShouldFire("test.once"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultShouldFire("test.once")) << "extra fire at " << i;
+  }
+  FaultPointStats stats = reg.StatsFor("test.once");
+  EXPECT_EQ(stats.evaluations, 11);
+  EXPECT_EQ(stats.fires, 1);
+  // Re-arming resets the one-shot.
+  reg.Arm("test.once", spec);
+  EXPECT_TRUE(FaultShouldFire("test.once"));
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnSchedule) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kEveryNth;
+  spec.nth = 3;
+  reg.Arm("test.nth", spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(FaultShouldFire("test.nth"));
+  // Fires on invocations 1, 4, 7 (index % nth == 0).
+  EXPECT_EQ(fired, (std::vector<bool>{true, false, false, true, false,
+                                      false, true, false, false}));
+  EXPECT_EQ(reg.StatsFor("test.nth").fires, 3);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicForAGivenSeed) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 0.5;
+
+  auto run = [&](uint64_t seed) {
+    reg.Arm("test.prob", spec);
+    reg.SetSeed(seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(FaultShouldFire("test.prob"));
+    return fired;
+  };
+  std::vector<bool> a = run(42);
+  std::vector<bool> b = run(42);
+  std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b) << "same seed must replay the exact same fault schedule";
+  EXPECT_NE(a, c) << "different seeds should diverge";
+}
+
+TEST_F(FaultInjectionTest, ProbabilityFiresAtRoughlyTheConfiguredRate) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 0.3;
+  reg.Arm("test.rate", spec);
+  int fires = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (FaultShouldFire("test.rate")) ++fires;
+  }
+  EXPECT_GT(fires, 2000 * 0.3 * 0.7);
+  EXPECT_LT(fires, 2000 * 0.3 * 1.3);
+}
+
+TEST_F(FaultInjectionTest, IndependentPointsGetIndependentStreams) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 0.5;
+  reg.Arm("test.stream_a", spec);
+  reg.Arm("test.stream_b", spec);
+  reg.SetSeed(7);
+  std::vector<bool> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(FaultShouldFire("test.stream_a"));
+    b.push_back(FaultShouldFire("test.stream_b"));
+  }
+  EXPECT_NE(a, b) << "points must not share one RNG stream";
+}
+
+TEST_F(FaultInjectionTest, ParamIsDeliveredOnFire) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kOneShot;
+  spec.param = 20000.0;
+  reg.Arm("test.param", spec);
+  double param = -1.0;
+  EXPECT_TRUE(FaultShouldFire("test.param", &param));
+  EXPECT_DOUBLE_EQ(param, 20000.0);
+  // No fire: param untouched.
+  param = -1.0;
+  EXPECT_FALSE(FaultShouldFire("test.param", &param));
+  EXPECT_DOUBLE_EQ(param, -1.0);
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromStringArmsAllClauses) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  Status st = reg.ConfigureFromString(
+      "optimizer.fail=p0.1;optimizer.latency=n5@20000;snapshot.bitflip=once");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::vector<std::string> armed = reg.ArmedPoints();
+  ASSERT_EQ(armed.size(), 3u);
+  EXPECT_EQ(armed[0], "optimizer.fail");
+  EXPECT_EQ(armed[1], "optimizer.latency");
+  EXPECT_EQ(armed[2], "snapshot.bitflip");
+  // The n5@20000 clause delivers its param on the first (fired) call.
+  double param = 0.0;
+  EXPECT_TRUE(FaultShouldFire("optimizer.latency", &param));
+  EXPECT_DOUBLE_EQ(param, 20000.0);
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromStringRejectsWholeScheduleOnBadClause) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  // First clause is fine, second is junk — nothing may be armed.
+  EXPECT_FALSE(reg.ConfigureFromString("optimizer.fail=p0.1;bogus").ok());
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(reg.ConfigureFromString("optimizer.fail=p1.5").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("optimizer.fail=n0").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("=p0.5").ok());
+  EXPECT_FALSE(reg.ConfigureFromString("optimizer.fail=p0.1@nan").ok());
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromEnvReadsSeedAndSchedule) {
+  setenv("SCRPQO_FAULT_SEED", "99", 1);
+  setenv("SCRPQO_FAULTS", "test.env=once@7", 1);
+  FaultRegistry& reg = FaultRegistry::Global();
+  ASSERT_TRUE(reg.ConfigureFromEnv().ok());
+  double param = 0.0;
+  EXPECT_TRUE(FaultShouldFire("test.env", &param));
+  EXPECT_DOUBLE_EQ(param, 7.0);
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromEnvWithNothingSetIsANoOp) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  ASSERT_TRUE(reg.ConfigureFromEnv().ok());
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FaultInjectionTest, OnFireHookSeesPointAndParam) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  std::vector<std::pair<std::string, double>> fired;
+  reg.SetOnFire([&fired](std::string_view point, double param) {
+    fired.emplace_back(std::string(point), param);
+  });
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kEveryNth;
+  spec.nth = 2;
+  spec.param = 3.5;
+  reg.Arm("test.hook", spec);
+  for (int i = 0; i < 4; ++i) FaultShouldFire("test.hook");
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].first, "test.hook");
+  EXPECT_DOUBLE_EQ(fired[0].second, 3.5);
+  // DisarmAll clears the hook.
+  reg.DisarmAll();
+  reg.Arm("test.hook", spec);
+  FaultShouldFire("test.hook");
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsOnePointOnly) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kProbability;
+  spec.probability = 1.0;
+  reg.Arm("test.a", spec);
+  reg.Arm("test.b", spec);
+  EXPECT_TRUE(reg.Disarm("test.a"));
+  EXPECT_FALSE(reg.Disarm("test.a"));
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_FALSE(FaultShouldFire("test.a"));
+  EXPECT_TRUE(FaultShouldFire("test.b"));
+  EXPECT_TRUE(reg.Disarm("test.b"));
+  EXPECT_FALSE(reg.enabled());
+}
+
+TEST_F(FaultInjectionTest, SetSeedResetsCountersAndSchedules) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSpec spec;
+  spec.trigger = FaultTrigger::kOneShot;
+  reg.Arm("test.reseed", spec);
+  EXPECT_TRUE(FaultShouldFire("test.reseed"));
+  EXPECT_FALSE(FaultShouldFire("test.reseed"));
+  reg.SetSeed(5);
+  EXPECT_EQ(reg.TotalFires(), 0);
+  EXPECT_EQ(reg.StatsFor("test.reseed").evaluations, 0);
+  // The one-shot is live again after a reseed.
+  EXPECT_TRUE(FaultShouldFire("test.reseed"));
+}
+
+}  // namespace
+}  // namespace scrpqo

@@ -161,13 +161,17 @@ TEST_F(PqoManagerTest, WarmupWithNoObservedCostFallsBackToDefault) {
   });
   for (int i = 0; i < 3; ++i) {
     PlanChoice c = mgr.OnInstance("join", JoinWi(i, 0.3, 0.3), &engine);
-    EXPECT_TRUE(c.optimized);
-    EXPECT_EQ(c.plan, nullptr);  // failed optimize yields no plan
+    // A failed warm-up optimize yields no plan, so the decision is
+    // explicitly degraded (no guarantee claimed) rather than "optimized".
+    EXPECT_EQ(c.plan, nullptr);
+    EXPECT_TRUE(c.degraded);
+    EXPECT_FALSE(c.optimized);
   }
   EXPECT_EQ(mgr.LambdaFor("join"), 1.7);
   EXPECT_EQ(mgr.warmup_fallbacks(), 1);
   EXPECT_EQ(registry.Snapshot().CounterValue("pqo_manager.warmup_fallbacks"),
             1);
+  EXPECT_EQ(registry.Snapshot().CounterValue("pqo.degraded_decisions"), 3);
   // The fallback is traced with the template it happened on.
   bool traced = false;
   for (const DecisionEvent& e : tracer.Snapshot()) {

@@ -19,7 +19,9 @@
 #include <string>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "obs/admin_server.h"
+#include "obs/emit.h"
 #include "obs/metrics_registry.h"
 #include "obs/ring_tracer.h"
 #include "obs/trace.h"
@@ -72,6 +74,11 @@ struct CliOptions {
   std::string tracer_kind = "ring";
   /// Streaming lambda-compliance monitor on the exporter stream.
   bool online_audit = false;
+  /// Fault-injection schedule (FaultRegistry::ConfigureFromString syntax);
+  /// merged on top of the SCRPQO_FAULTS environment schedule.
+  std::string faults;
+  /// Fault seed override (empty = SCRPQO_FAULT_SEED / 0).
+  std::string fault_seed;
   /// Embedded admin HTTP server port (0 = ephemeral); -1 disables.
   int admin_port = -1;
   /// Keep the admin server up this long after the run so an operator or
@@ -92,6 +99,7 @@ int Usage() {
       "                  [--save-cache F] [--load-cache F]\n"
       "                  [--trace-events F] [--metrics-json F]\n"
       "                  [--tracer ring|mutex] [--online-audit]\n"
+      "                  [--faults SPEC] [--fault-seed S]\n"
       "                  [--admin-port P] [--admin-linger-ms MS]\n"
       "                  [--explain] [--trace] [--audit]\n");
   return 2;
@@ -177,6 +185,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->tracer_kind = v;
     } else if (arg == "--online-audit") {
       opts->online_audit = true;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return false;
+      opts->faults = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts->fault_seed = v;
     } else if (arg == "--admin-port") {
       const char* v = next();
       if (!v) return false;
@@ -238,6 +254,33 @@ int main(int argc, char** argv) {
                   nt.database.c_str(), nt.description.c_str());
     }
     return 0;
+  }
+
+  // Fault schedule: environment first (chaos CI arms through SCRPQO_FAULTS
+  // so the binary under test needs no special flags), then explicit flags
+  // layered on top.
+  FaultRegistry& faultreg = FaultRegistry::Global();
+  {
+    Status st = faultreg.ConfigureFromEnv();
+    if (st.ok() && !opts.fault_seed.empty()) {
+      faultreg.SetSeed(static_cast<uint64_t>(std::atoll(
+          opts.fault_seed.c_str())));
+    }
+    if (st.ok() && !opts.faults.empty()) {
+      st = faultreg.ConfigureFromString(opts.faults);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "fault config error: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
+  }
+  if (faultreg.enabled()) {
+    std::printf("fault injection armed:");
+    for (const std::string& p : faultreg.ArmedPoints()) {
+      std::printf(" %s", p.c_str());
+    }
+    std::printf("\n");
   }
 
   SchemaScale scale;
@@ -337,7 +380,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--load-cache requires --technique scr\n");
       return 2;
     }
-    Status st = LoadScrCacheFromFile(opts.load_cache, scr_ptr);
+    // Lenient restore: a truncated or bit-flipped snapshot yields its
+    // valid prefix (a smaller warm cache) instead of an empty one — a
+    // cold start is the worst case, never a crash.
+    SnapshotRestoreReport restore;
+    Status st = LoadScrCacheFromFileLenient(opts.load_cache, scr_ptr,
+                                            &restore);
     if (!st.ok()) {
       std::fprintf(stderr, "cache error: %s\n", st.ToString().c_str());
       return 1;
@@ -345,6 +393,13 @@ int main(int argc, char** argv) {
     std::printf("restored plan cache: %lld plans, %lld instance entries\n",
                 static_cast<long long>(scr_ptr->NumPlansCached()),
                 static_cast<long long>(scr_ptr->NumInstancesStored()));
+    if (restore.records_dropped > 0) {
+      std::printf("  snapshot corrupt after valid prefix: dropped %d "
+                  "record%s (%s)\n",
+                  restore.records_dropped,
+                  restore.records_dropped == 1 ? "" : "s",
+                  restore.first_error.c_str());
+    }
   }
 
   if (opts.trace) {
@@ -400,6 +455,23 @@ int main(int argc, char** argv) {
       opts.online_audit) {
     registry = std::make_unique<MetricsRegistry>();
     ropts.metrics = registry.get();
+  }
+
+  // Every fired fault leaves a kFaultInjected meta event (point name in
+  // the technique field) and bumps faults.fired, so chaos runs are
+  // auditable from the JSONL/metrics alone.
+  if (faultreg.enabled() && (tracer != nullptr || registry != nullptr)) {
+    Tracer* fault_tracer = tracer.get();
+    Counter* fault_counter =
+        registry != nullptr ? registry->counter("faults.fired") : nullptr;
+    faultreg.SetOnFire([fault_tracer, fault_counter](std::string_view point,
+                                                     double /*param*/) {
+      if (fault_counter != nullptr) fault_counter->Increment();
+      DecisionEvent e;
+      e.outcome = DecisionOutcome::kFaultInjected;
+      e.technique = std::string(point);
+      EmitDecisionEvent(fault_tracer, std::move(e));
+    });
   }
 
   const bool is_scr_family =
@@ -543,6 +615,19 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     if (online_auditor->violations() > 0) rc = 1;
+  }
+
+  if (faultreg.enabled()) {
+    std::printf("\nfault injection: %lld total fires\n",
+                static_cast<long long>(faultreg.TotalFires()));
+    for (const std::string& p : faultreg.ArmedPoints()) {
+      FaultPointStats s = faultreg.StatsFor(p);
+      std::printf("  %-24s evaluations=%lld fires=%lld\n", p.c_str(),
+                  static_cast<long long>(s.evaluations),
+                  static_cast<long long>(s.fires));
+    }
+    // The hook captures the tracer/registry, which die with main.
+    faultreg.SetOnFire(nullptr);
   }
 
   if (admin != nullptr && opts.admin_linger_ms > 0) {

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   std::map<DecisionOutcome, int64_t> counts;
   std::map<std::string, int64_t> techniques;
   std::map<std::string, int64_t> template_totals;
+  std::map<std::string, int64_t> fault_fires;  // point name -> fires
   std::vector<double> decision_micros;
   std::vector<double> candidates;
   std::vector<double> recosts;
@@ -82,11 +83,21 @@ int main(int argc, char** argv) {
   int64_t dropped_total = 0;
   for (const DecisionEvent& e : events) {
     ++counts[e.outcome];
-    if (!e.technique.empty()) ++techniques[e.technique];
+    // Fault meta events overload the technique field with the point name;
+    // keep them out of the technique header line.
+    if (!e.technique.empty() &&
+        e.outcome != DecisionOutcome::kFaultInjected) {
+      ++techniques[e.technique];
+    }
     ++template_totals[e.template_key];
     if (e.outcome == DecisionOutcome::kRingDropped) {
       ++drop_events;
       dropped_total += e.dropped;
+    }
+    if (e.outcome == DecisionOutcome::kFaultInjected) {
+      // Fault-injection meta events carry the fault point name in the
+      // technique field (see obs/trace.h).
+      ++fault_fires[e.technique.empty() ? "(unnamed)" : e.technique];
     }
     if (IsDecisionOutcome(e.outcome)) {
       ++decisions;
@@ -116,7 +127,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(decisions));
   for (DecisionOutcome outcome :
        {DecisionOutcome::kSelCheckHit, DecisionOutcome::kCostCheckHit,
-        DecisionOutcome::kOptimized, DecisionOutcome::kRedundantDiscard}) {
+        DecisionOutcome::kOptimized, DecisionOutcome::kRedundantDiscard,
+        DecisionOutcome::kDegraded}) {
     auto it = counts.find(outcome);
     int64_t n = it == counts.end() ? 0 : it->second;
     std::printf("  %-18s %8lld  (%5.1f%%)\n", DecisionOutcomeName(outcome),
@@ -156,6 +168,27 @@ int main(int argc, char** argv) {
                 "by the online monitor\n",
                 static_cast<long long>(
                     counts[DecisionOutcome::kAuditAlert]));
+  }
+
+  // Degraded servings and injected faults: a fault-injection run is
+  // auditable from the JSONL alone — every fired fault leaves a
+  // kFaultInjected meta event, and every serving that had to drop the
+  // lambda guarantee leaves a kDegraded decision.
+  const int64_t degraded = counts.count(DecisionOutcome::kDegraded)
+                               ? counts[DecisionOutcome::kDegraded]
+                               : 0;
+  if (degraded > 0 || !fault_fires.empty()) {
+    std::printf("\ndegraded servings / injected faults:\n");
+    std::printf("  degraded decisions %7lld  (%5.1f%% of decisions; served "
+                "WITHOUT the lambda guarantee)\n",
+                static_cast<long long>(degraded),
+                decisions > 0 ? 100.0 * static_cast<double>(degraded) /
+                                    static_cast<double>(decisions)
+                              : 0.0);
+    for (const auto& [point, n] : fault_fires) {
+      std::printf("  fault %-24s %8lld fire%s\n", point.c_str(),
+                  static_cast<long long>(n), n == 1 ? "" : "s");
+    }
   }
 
   // Per-template totals (multi-template traces from a PqoManager run;
