@@ -87,7 +87,8 @@ Status ParseTriggerClause(std::string_view point, std::string_view clause,
 
 }  // namespace
 
-FaultRegistry& FaultRegistry::Global() {
+FaultRegistry& FaultRegistry::Global()
+    SCRPQO_EFFECT_ALLOW(alloc, "one-time leaked singleton construction on first use (intentionally leaked so chaos hooks survive exit); every later call is a guarded static-local load") {
   static FaultRegistry* registry = new FaultRegistry();
   return *registry;
 }

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -180,7 +181,10 @@ class FaultRegistry {
 /// Fast-path helper every instrumented site calls: one relaxed atomic load
 /// when no fault is armed anywhere in the process.
 inline bool FaultShouldFire(std::string_view point,
-                            double* param = nullptr) {
+                            double* param = nullptr)
+    SCRPQO_EFFECT_ALLOW(lock, "armed-faults slow path only: the registry mutex and point map are touched when a chaos test has armed a fault; the production fast path is one relaxed atomic load")
+    SCRPQO_EFFECT_ALLOW(alloc, "same armed-only slow path: point-state map lookups never run with zero armed faults")
+    SCRPQO_EFFECT_ALLOW(block, "the on-fire hook may log in chaos harnesses; unarmed serving never enters ShouldFire") {
   FaultRegistry& reg = FaultRegistry::Global();
   if (!reg.enabled()) [[likely]] {
     return false;

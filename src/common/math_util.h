@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/simd.h"
 
 namespace scrpqo {
@@ -57,8 +58,10 @@ GlFactors ComputeGl(const std::vector<double>& from,
 /// so results agree only to ~1 ulp — use ComputeGl where bit-exact
 /// G/L identities are asserted, ComputeGlFast on the getPlan hot loop
 /// (every consumer there compares against thresholds with slack).
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
 inline GlFactors ComputeGlFast(const std::vector<double>& from,
-                               const std::vector<double>& to) {
+                               const std::vector<double>& to) noexcept {
   const size_t n = from.size();
   const double* f = from.data();
   const double* t = to.data();

@@ -36,6 +36,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/effects.h"
+
 namespace scrpqo {
 
 class ScratchArena {
@@ -84,7 +86,8 @@ class ScratchArena {
   /// Bump-allocates `bytes` aligned to `align` (a power of two). The
   /// memory is uninitialized and valid until the innermost enclosing
   /// Scope rewinds past it.
-  void* Allocate(std::size_t bytes, std::size_t align = alignof(double)) {
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(double))
+      SCRPQO_EFFECT_ALLOW(alloc, "chunk growth is the arena's whole purpose: a warmed arena bump-allocates from retained chunks and only grows on a new high-water mark, so steady-state callers see zero heap traffic") {
     assert((align & (align - 1)) == 0);
     // Offsets are aligned relative to the chunk base, which new char[]
     // guarantees to alignof(std::max_align_t) only.

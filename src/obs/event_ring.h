@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/effects.h"
 #include "obs/trace.h"
 
 namespace scrpqo {
@@ -39,7 +40,12 @@ class SpscEventRing {
   size_t capacity() const { return slots_.size(); }
 
   /// Producer side. Returns false (and counts a drop) when full.
-  bool TryPush(DecisionEvent event) {
+  /// Wait-free: two atomic loads, one slot move, one release store —
+  /// proved alloc-free and non-blocking by the effect analyzer; noexcept
+  /// because DecisionEvent's members are all nothrow-movable.
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_NOTHROW
+  SCRPQO_LOCK_BOUNDED()
+  bool TryPush(DecisionEvent event) noexcept {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) {

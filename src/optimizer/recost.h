@@ -19,6 +19,7 @@
 #include <span>
 #include <string>
 
+#include "common/effects.h"
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
@@ -62,8 +63,10 @@ class RecostService {
 
   /// Re-derives the plan's cost for `sv`. Thread-safe and allocation-free
   /// on the hot path.
-  [[nodiscard]] double Recost(const CachedPlan& plan,
-                              const SVector& sv) const {
+  [[nodiscard]] SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING
+  SCRPQO_FP_DETERMINISTIC SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
+  double Recost(const CachedPlan& plan,
+                const SVector& sv) const {
     num_calls_.fetch_add(1, std::memory_order_relaxed);
     return RecostNoCount(plan, sv);
   }
@@ -84,6 +87,8 @@ class RecostService {
   /// one-Run-per-plan loop; a mid-block early exit merely discards lane
   /// results that were computed for free.
   template <typename Visitor>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+  SCRPQO_LOCK_BOUNDED()
   size_t RecostMany(std::span<const CachedPlan* const> plans,
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) const {

@@ -608,8 +608,11 @@ RecostBundle::PackStats RecostBundle::pack_stats() const {
   return st;
 }
 
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_LOCK_BOUNDED()
 void RecostBundle::EvalGroup(const Group& g, const SVector& sv,
                              const Prepared& prep, double* out_cost) const {
+  // scrpqo-lint: hot-path begin
   if (g.num_active == 1) {
     // Sparse group: one scalar Run beats a vector pass that computes
     // every padded lane for nothing.
@@ -637,6 +640,7 @@ void RecostBundle::EvalGroup(const Group& g, const SVector& sv,
       bk::EvalGroupT<Vec4dScalar>(g.view, sv.data(), prep.kp, out_cost);
       return;
   }
+  // scrpqo-lint: hot-path end
 }
 
 SimdTier RecostBundle::ActiveTier() {

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/effects.h"
 #include "common/scratch_arena.h"
 #include "common/simd.h"
 #include "common/status.h"
@@ -148,9 +149,12 @@ class RecostBundle {
   /// plans the visitor saw, matching the scalar loop's billing in every
   /// early-exit case.
   template <typename Visitor>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+  SCRPQO_LOCK_BOUNDED()
   size_t EvalMany(std::span<const int> plan_ids, const SVector& sv,
                   const Prepared& prep, std::span<double> out_costs,
                   Visitor&& visit) const {
+    // scrpqo-lint: hot-path begin
     SCRPQO_CHECK(out_costs.size() >= plan_ids.size(),
                  "EvalMany output span too small");
     const size_t n = plan_ids.size();
@@ -210,6 +214,7 @@ class RecostBundle {
       lanes_active_->Increment(lanes_sum);
     }
     return visited;
+    // scrpqo-lint: hot-path end
   }
 
   /// Convenience overload: prepares per call. Hot paths that sweep many

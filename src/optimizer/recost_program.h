@@ -48,6 +48,7 @@
 #define SCRPQO_RESTRICT
 #endif
 
+#include "common/effects.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/physical_plan.h"
 #include "query/query_instance.h"
@@ -123,13 +124,15 @@ class RecostProgram {
 
   /// Cost(P, q) for selectivity vector `sv` — one linear scan. Defined
   /// inline below so RecostService and the benches inline the whole
-  /// kernel into their call sites.
-  double Run(const SVector& sv, const CostParams& params) const;
+  /// kernel into their call sites. noexcept: proved non-throwing by the
+  /// effect analyzer (SCRPQO_NOTHROW on the definition); a failed
+  /// SCRPQO_CHECK aborts, it does not throw.
+  double Run(const SVector& sv, const CostParams& params) const noexcept;
 
  private:
   double RunOps(const SVector& sv, const CostParams& params,
                 double* SCRPQO_RESTRICT rows_stk,
-                double* SCRPQO_RESTRICT cost_stk) const;
+                double* SCRPQO_RESTRICT cost_stk) const noexcept;
 
   void Emit(const PhysicalPlanNode& node);
 

@@ -29,12 +29,14 @@ namespace scrpqo {
 /// computed leaf selectivity (folded literals times bound slots). Shared
 /// by the scalar scan and the pipelined block interpreter so the dispatch
 /// logic cannot drift between them.
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
 SCRPQO_VEC_INLINE void RecostStepOp(const RecostProgram::Op& op, double sel,
                                     const double* SCRPQO_RESTRICT s,
                                     const CostParams& params,
                                     double* SCRPQO_RESTRICT rows_stk,
                                     double* SCRPQO_RESTRICT cost_stk,
-                                    int& sp) {
+                                    int& sp) noexcept {
   namespace cf = cost_formulas;
   cf::Derived out{};  // two scalars; DerivedT itself no longer zero-inits
   switch (static_cast<PhysicalOpKind>(op.kind)) {
@@ -106,10 +108,12 @@ SCRPQO_VEC_INLINE void RecostStepOp(const RecostProgram::Op& op, double sel,
   ++sp;
 }
 
-inline double RecostProgram::RunOps(const SVector& sv,
-                                    const CostParams& params,
-                                    double* SCRPQO_RESTRICT rows_stk,
-                                    double* SCRPQO_RESTRICT cost_stk) const {
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
+inline double RecostProgram::RunOps(
+    const SVector& sv, const CostParams& params,
+    double* SCRPQO_RESTRICT rows_stk,
+    double* SCRPQO_RESTRICT cost_stk) const noexcept {
   // Hoisted raw pointers: the compiler cannot otherwise prove the stack
   // stores don't alias the program's own buffers and would reload them
   // every op.
@@ -131,8 +135,10 @@ inline double RecostProgram::RunOps(const SVector& sv,
   return cost_stk[0];
 }
 
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
 inline double RecostProgram::Run(const SVector& sv,
-                                 const CostParams& params) const {
+                                 const CostParams& params) const noexcept {
   SCRPQO_CHECK(!empty(), "Run on an empty (uncompiled) recost program");
   SCRPQO_CHECK(max_slot_ < static_cast<int>(sv.size()),
                "selectivity vector too short for recost program");
@@ -149,7 +155,9 @@ inline double RecostProgram::Run(const SVector& sv,
   thread_local std::vector<double> rows_buf;
   thread_local std::vector<double> cost_buf;
   if (rows_buf.size() < n) {
+    SCRPQO_EFFECT_ALLOW(alloc, "deep-plan spill: the thread-local scratch grows once to the deepest plan seen, then every later Run is allocation-free");
     rows_buf.resize(n);
+    SCRPQO_EFFECT_ALLOW(alloc, "second half of the same sticky thread-local spill");
     cost_buf.resize(n);
   }
   return RunOps(sv, params, rows_buf.data(), cost_buf.data());
@@ -174,9 +182,11 @@ inline bool RecostBlockEligible(const RecostProgram& p,
 /// identical to RecostProgram::Run — only the evaluation order across
 /// lanes changes, which is what lets the core overlap the four
 /// independent dependency chains.
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+SCRPQO_NOTHROW SCRPQO_LOCK_BOUNDED()
 inline void RunRecostBlock(const RecostProgram* const* progs, int n,
                            const SVector& sv, const CostParams& params,
-                           double* out_costs) {
+                           double* out_costs) noexcept {
   double rows_stk[kRecostBlockLanes][RecostProgram::kInlineSlots];
   double cost_stk[kRecostBlockLanes][RecostProgram::kInlineSlots];
   const RecostProgram::Op* ops[kRecostBlockLanes];

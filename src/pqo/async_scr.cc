@@ -92,6 +92,16 @@ void AsyncScr::SetObs(const ObsHooks& hooks) {
   span_enabled_.store(hooks.tracer != nullptr, std::memory_order_relaxed);
 }
 
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_LOCK_BOUNDED(cache_mu_)
+bool AsyncScr::TryReuseFast(const WorkloadInstance& wi,
+                            EngineContext* engine, PlanChoice* probe) {
+  // Shared side: reuse attempts from any number of request threads
+  // proceed in parallel; they only wait when the worker is mid-update.
+  ReaderMutexLock cache_lock(cache_mu_);
+  if (lock_shared_ != nullptr) lock_shared_->Increment();
+  return inner_.TryReuse(wi, engine, probe);
+}
+
 PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
                                 EngineContext* engine) {
   // Span for the critical-path half (reuse attempt + optimize); a no-op
@@ -99,13 +109,7 @@ PlanChoice AsyncScr::OnInstance(const WorkloadInstance& wi,
   GetPlanSpan span(span_enabled_.load(std::memory_order_relaxed));
   engine_.store(engine, std::memory_order_relaxed);
   PlanChoice probe;
-  {
-    // Shared side: reuse attempts from any number of request threads
-    // proceed in parallel; they only wait when the worker is mid-update.
-    ReaderMutexLock cache_lock(cache_mu_);
-    if (lock_shared_ != nullptr) lock_shared_->Increment();
-    if (inner_.TryReuse(wi, engine, &probe)) return probe;
-  }
+  if (TryReuseFast(wi, engine, &probe)) return probe;
 
   // Cache miss: optimize on the critical path (the query must run), hand
   // the bookkeeping to the worker, and return the fresh optimal plan. The

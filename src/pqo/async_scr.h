@@ -104,6 +104,14 @@ class AsyncScr : public PqoTechnique {
 
   void WorkerLoop();
 
+  /// The warmed getPlan fast path: one shared acquisition of cache_mu_
+  /// around the inner SCR's reuse attempt. Split out of OnInstance so the
+  /// effect analyzer (tools/analyze) can root its SCRPQO_HOT /
+  /// SCRPQO_NOALLOC / SCRPQO_NONBLOCKING / SCRPQO_LOCK_BOUNDED(cache_mu_)
+  /// contracts at exactly the code a cache hit executes.
+  bool TryReuseFast(const WorkloadInstance& wi, EngineContext* engine,
+                    PlanChoice* probe) EXCLUDES(cache_mu_);
+
   /// Reader/writer split over the cache: shared for TryReuse (and stat
   /// reads), exclusive for the worker's RegisterOptimization and SetObs.
   mutable SharedMutex cache_mu_;

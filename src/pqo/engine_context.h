@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/effects.h"
 #include "common/fault_injection.h"
 #include "obs/metrics_registry.h"
 #include "obs/span.h"
@@ -110,7 +111,9 @@ class EngineContext {
   }
 
   /// Recost API call (charged).
-  [[nodiscard]] double Recost(const CachedPlan& plan, const SVector& sv) {
+  [[nodiscard]] SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING
+  SCRPQO_FP_DETERMINISTIC SCRPQO_LOCK_BOUNDED()
+  double Recost(const CachedPlan& plan, const SVector& sv) {
     StageTimer timer(Stage::kRecost, recost_micros_);
     if (recost_calls_ != nullptr) recost_calls_->Increment();
     double cost = recost_service_.Recost(plan, sv);
@@ -126,6 +129,8 @@ class EngineContext {
   /// one latency sample ("engine.recost_batch_micros") and lands in the
   /// span's batch_recost stage.
   template <typename Visitor>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+  SCRPQO_LOCK_BOUNDED()
   size_t RecostMany(std::span<const CachedPlan* const> plans,
                     const SVector& sv, std::span<double> out_costs,
                     Visitor&& visit) {
@@ -151,6 +156,8 @@ class EngineContext {
   /// RecostMany. The caller owns the bundle (PlanStore) and must hold its
   /// shared lock across the call.
   template <typename Visitor>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_FP_DETERMINISTIC
+  SCRPQO_LOCK_BOUNDED()
   size_t RecostBundled(const RecostBundle& bundle,
                        std::span<const int> plan_ids, const SVector& sv,
                        std::span<double> out_costs, Visitor&& visit) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/atomics.h"
+#include "common/effects.h"
 #include "common/scratch_arena.h"
 #include "query/query_instance.h"
 
@@ -54,6 +55,7 @@ class InstanceKdTree {
   /// ArenaVec (TryReuse's scope covers this); the std::vector wrapper
   /// below opens its own.
   template <typename OutVec>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_LOCK_BOUNDED()
   void RangeQueryInto(const SVector& sv, double gl_bound, OutVec* out) const {
     int64_t visited = 0;
     if (gl_bound >= 1.0) {
@@ -68,6 +70,7 @@ class InstanceKdTree {
   /// contract as RangeQueryInto; `out` must be empty on entry (it is used
   /// as the working heap).
   template <typename OutVec>
+  SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_LOCK_BOUNDED()
   void NearestByGlInto(const SVector& sv, int k, OutVec* out) const {
     if (k <= 0) {
       nodes_visited_.Store(0);

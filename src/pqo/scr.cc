@@ -84,7 +84,10 @@ void Scr::SetObs(const ObsHooks& hooks) {
 }
 
 void Scr::EmitEvent(DecisionEvent event, int instance_id,
-                    std::chrono::steady_clock::time_point start) {
+                    std::chrono::steady_clock::time_point start)
+    SCRPQO_EFFECT_ALLOW(alloc, "observability emission: only reachable with a tracer/metrics sink attached; the event's string stamps (technique/template key) are bounded and the untraced serving config — the one the arena-watermark test pins — never enters this function")
+    SCRPQO_EFFECT_ALLOW(lock, "capture-side locks only: the production capture path is the wait-free SPSC ring (obs/ring_tracer.h); the mutexed Tracer behind the same funnel is the wire-format reference used by tests and the CLI")
+    SCRPQO_EFFECT_ALLOW(block, "sink fan-out may flush to files in test/CLI configs; the serving config records into the SPSC ring and never blocks") {
   Counter* counter = decision_counters_[static_cast<int>(event.outcome)];
   if (counter != nullptr) counter->Increment();
   if (obs_.tracer == nullptr) return;
@@ -197,6 +200,7 @@ void Scr::RegisterOptimization(
               std::chrono::steady_clock::now());
 }
 
+SCRPQO_HOT SCRPQO_NOALLOC SCRPQO_NONBLOCKING SCRPQO_LOCK_BOUNDED()
 bool Scr::TryReuse(const WorkloadInstance& wi, EngineContext* engine,
                    PlanChoice* choice_out) {
   // Standalone reuse attempts (AsyncScr's critical path) get their own

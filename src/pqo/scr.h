@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/atomics.h"
+#include "common/effects.h"
 #include "pqo/instance_index.h"
 #include "pqo/plan_store.h"
 #include "pqo/technique.h"
@@ -99,7 +100,9 @@ class Scr : public PqoTechnique {
   /// a shared/exclusive lock. Everything TryReuse writes (usage counters,
   /// violation flags, recost-call maxima) is a relaxed atomic. Scratch
   /// buffers come from the calling thread's ScratchArena, so once warmed
-  /// the whole reuse attempt performs no heap allocation.
+  /// the whole reuse attempt performs no heap allocation — the definition
+  /// carries SCRPQO_HOT / SCRPQO_NOALLOC / SCRPQO_NONBLOCKING /
+  /// SCRPQO_LOCK_BOUNDED() contracts proved by tools/analyze.
   [[nodiscard]] bool TryReuse(const WorkloadInstance& wi,
                               EngineContext* engine,
                 PlanChoice* choice);

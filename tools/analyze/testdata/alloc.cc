@@ -1,0 +1,33 @@
+// Fixture: SCRPQO_NOALLOC — one seeded transitive violation (the root
+// never allocates directly; its callee does) and one sanctioned
+// function-scope SCRPQO_EFFECT_ALLOW(alloc) that must stay silent.
+// Fixtures are parsed, never compiled, so the effect macros are spelled
+// bare (the analyzer greps for the tokens, mirroring tools/lint/testdata).
+
+namespace fx {
+
+struct Helper {
+  void Grow() {
+    data_ = new double[8];  // effects-expect(alloc)
+  }
+
+  void Bump()
+      SCRPQO_EFFECT_ALLOW(alloc, "fixture: amortized chunk growth, pinned by a watermark test") {
+    slots_ = new int[4];
+  }
+
+  double* data_;
+  int* slots_;
+};
+
+SCRPQO_NOALLOC
+void HotAlloc(Helper& h) {
+  h.Grow();
+}
+
+SCRPQO_NOALLOC
+void HotAllowed(Helper& h) {
+  h.Bump();
+}
+
+}  // namespace fx

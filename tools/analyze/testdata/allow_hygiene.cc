@@ -1,0 +1,16 @@
+// Fixture: escape hygiene — an SCRPQO_EFFECT_ALLOW with an empty
+// justification, or naming an unknown rule, is itself a gating finding.
+
+namespace fx {
+
+int* ColdUnjustified()
+    SCRPQO_EFFECT_ALLOW(alloc, "") {  // effects-expect(allow)
+  return new int;
+}
+
+int* ColdTypoRule()
+    SCRPQO_EFFECT_ALLOW(allocs, "typo in the rule name") {  // effects-expect(allow)
+  return new int;
+}
+
+}  // namespace fx

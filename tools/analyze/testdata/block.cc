@@ -1,0 +1,29 @@
+// Fixture: SCRPQO_NONBLOCKING — a sleep reachable through a callee is a
+// finding; the sanctioned degraded-path escape stays silent.
+
+namespace fx {
+
+struct Worker {
+  void Nap() {
+    std::this_thread::sleep_for(backoff_);  // effects-expect(block)
+  }
+
+  void NapAllowed()
+      SCRPQO_EFFECT_ALLOW(block, "fixture: degraded serving path sleeps by design") {
+    std::this_thread::sleep_for(backoff_);
+  }
+
+  int backoff_;
+};
+
+SCRPQO_NONBLOCKING
+void Serve(Worker& w) {
+  w.Nap();
+}
+
+SCRPQO_NONBLOCKING
+void ServeAllowed(Worker& w) {
+  w.NapAllowed();
+}
+
+}  // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: SCRPQO_FP_DETERMINISTIC — a raw libm transcendental outside
+// src/common/simd.h reachable from the root is a finding; the sanctioned
+// escape stays silent.
+
+namespace fx {
+
+double Transcend(double x) {
+  return std::exp(x);  // effects-expect(fp)
+}
+
+double TranscendAllowed(double x)
+    SCRPQO_EFFECT_ALLOW(fp, "fixture: offline report path, never compared across tiers") {
+  return std::exp(x);
+}
+
+SCRPQO_FP_DETERMINISTIC
+double Cost(double x) {
+  return Transcend(x);
+}
+
+SCRPQO_FP_DETERMINISTIC
+double CostAllowed(double x) {
+  return TranscendAllowed(x);
+}
+
+}  // namespace fx

@@ -1,0 +1,37 @@
+// Fixture: SCRPQO_LOCK_BOUNDED — acquiring a capability outside the
+// declared bound (even transitively) is a finding; the sanctioned
+// escape on the cold-side callee stays silent.
+
+namespace fx {
+
+class Cache {
+ public:
+  SCRPQO_LOCK_BOUNDED(cache_mu_)
+  int Read() {
+    ReaderMutexLock lock(cache_mu_);
+    return Touch();
+  }
+
+  int Touch() {
+    MutexLock lock(other_mu_);  // effects-expect(lock)
+    return 1;
+  }
+
+  SCRPQO_LOCK_BOUNDED(cache_mu_)
+  int ReadSanctioned() {
+    ReaderMutexLock lock(cache_mu_);
+    return TouchAllowed();
+  }
+
+  int TouchAllowed()
+      SCRPQO_EFFECT_ALLOW(lock, "fixture: maintenance path may take the eviction lock") {
+    MutexLock lock(other_mu_);
+    return 2;
+  }
+
+ private:
+  SharedMutex cache_mu_;
+  Mutex other_mu_;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: lint/analyzer dedupe — an allocation on a line inside a
+// `// scrpqo-lint: hot-path begin/end` fence in a lint-covered path is
+// OWNED BY scrpqo_lint's alloc-in-hotpath rule; the analyzer records it
+// under `delegated_to_lint` and stays silent, so every allocation
+// finding has exactly one reporting tool.
+
+namespace fx {
+
+struct Probe {
+  void Fill() {
+    // scrpqo-lint: hot-path begin
+    buf_ = new char[16];
+    // scrpqo-lint: hot-path end
+  }
+
+  char* buf_;
+};
+
+SCRPQO_NOALLOC
+void HotDelegated(Probe& p) {
+  p.Fill();
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: SCRPQO_NOTHROW — a throw expression reachable through a
+// callee is a finding; the sanctioned escape stays silent.
+
+namespace fx {
+
+int Inner(const char* s) {
+  if (!s) throw 1;  // effects-expect(throw)
+  return 0;
+}
+
+int InnerAllowed(const char* s)
+    SCRPQO_EFFECT_ALLOW(throw, "fixture: cold validation path may throw") {
+  if (!s) throw 2;
+  return 0;
+}
+
+SCRPQO_NOTHROW
+int Parse(const char* s) {
+  return Inner(s);
+}
+
+SCRPQO_NOTHROW
+int ParseAllowed(const char* s) {
+  return InnerAllowed(s);
+}
+
+}  // namespace fx

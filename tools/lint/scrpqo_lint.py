@@ -36,11 +36,13 @@ Five rules, each encoding an invariant the thread-safety annotations
                            invisible to the thread-safety analysis and
                            silently exempt every field they guard.
 
-  alloc-in-hotpath         In src/pqo/ regions fenced by
-                           `// scrpqo-lint: hot-path begin` ...
+  alloc-in-hotpath         In src/pqo/ and the SIMD recost-bundle TUs
+                           (src/optimizer/recost_bundle*), regions fenced
+                           by `// scrpqo-lint: hot-path begin` ...
                            `// scrpqo-lint: hot-path end` (the
                            getPlan-reachable reuse path, e.g.
-                           Scr::TryReuse) no heap allocation may appear:
+                           Scr::TryReuse or RecostBundle::EvalMany) no
+                           heap allocation may appear:
                            `new`, std::make_unique / make_shared,
                            std::vector / std::string / std::map
                            construction. Scratch belongs in the thread's
@@ -462,6 +464,12 @@ def check_raw_mutex(src: SourceFile) -> list[Finding]:
 # Rule: alloc-in-hotpath
 # --------------------------------------------------------------------------
 
+# Path prefixes where the alloc-in-hotpath rule is live. The effect
+# analyzer (tools/analyze/scrpqo_effects.py) imports this: a direct
+# allocation on a fenced line under these prefixes is OWNED by this lint
+# and reported by the analyzer only as "delegated", never double-reported.
+ALLOC_HOTPATH_SCOPE = ("src/pqo/", "src/optimizer/recost_bundle")
+
 HOT_BEGIN_RE = re.compile(r"//\s*scrpqo-lint:\s*hot-path\s+begin\b")
 HOT_END_RE = re.compile(r"//\s*scrpqo-lint:\s*hot-path\s+end\b")
 
@@ -480,7 +488,7 @@ ALLOC_RE = re.compile(
 
 
 def check_alloc_in_hotpath(src: SourceFile) -> list[Finding]:
-    if not src.rel.startswith("src/pqo/"):
+    if not src.rel.startswith(ALLOC_HOTPATH_SCOPE):
         return []
     findings = []
     hot = False
@@ -593,21 +601,43 @@ SRC_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
 
 def collect_files(root: str, compile_db: str | None) -> list[str]:
-    """Files to lint: every .h/.cc under src/ (headers never appear in a
-    compilation database, and most of the locking surface is in headers).
-    The compile db, when given, is used only to sanity-check that it
-    exists — the scan set is the tree."""
+    """Files to lint: the compilation database's TUs under root/src plus
+    every header under src/ (headers never appear in a compilation
+    database, and most of the locking surface is in headers). Driving the
+    TU set from the database means a source the build no longer compiles
+    is no longer linted — and one the build adds is linted without a glob
+    edit here. Without a database the scan set falls back to the tree
+    walk."""
     if compile_db is not None and not os.path.exists(compile_db):
         print(f"error: compilation database not found: {compile_db}",
               file=sys.stderr)
         sys.exit(2)
-    out = []
-    src_root = os.path.join(root, "src")
+    src_root = os.path.realpath(os.path.join(root, "src"))
+    files: set[str] = set()
+    if compile_db is not None:
+        with open(compile_db, encoding="utf-8") as f:
+            try:
+                entries = json.load(f)
+            except json.JSONDecodeError as exc:
+                print(f"error: bad compilation database {compile_db}: {exc}",
+                      file=sys.stderr)
+                sys.exit(2)
+        for entry in entries:
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(entry.get("directory", ""), path)
+            path = os.path.realpath(path)
+            if path.startswith(src_root + os.sep):
+                files.add(path)
+        if not files:
+            print(f"error: {compile_db} contains no TUs under {src_root}",
+                  file=sys.stderr)
+            sys.exit(2)
     for dirpath, _dirnames, filenames in os.walk(src_root):
         for name in sorted(filenames):
-            if name.endswith(SRC_EXTENSIONS):
-                out.append(os.path.join(dirpath, name))
-    return out
+            if name.endswith(".h") or                     (compile_db is None and name.endswith(SRC_EXTENSIONS)):
+                files.add(os.path.realpath(os.path.join(dirpath, name)))
+    return sorted(files)
 
 
 def run_checks(paths: list[str], root: str,

@@ -1,0 +1,40 @@
+// lint-path: src/optimizer/recost_bundle_fixture.cc
+// Fixture for the alloc-in-hotpath rule's recost-bundle scope: the SIMD
+// bundle evaluation TUs (src/optimizer/recost_bundle*) carry the same
+// fenced no-allocation discipline as src/pqo/. Pack/repack (Add, GrowGroup,
+// Compact) stay cold and may allocate; the EvalMany/EvalGroup sweep may
+// not.
+#include <memory>
+#include <vector>
+
+namespace scrpqo_fixture {
+
+struct Group {
+  int num_active;
+};
+
+// Cold repack path: allocation outside the fences is fine.
+std::vector<Group> Repack(int n) {
+  std::vector<Group> groups;
+  groups.resize(static_cast<size_t>(n));
+  return groups;
+}
+
+double EvalSweep(const std::vector<Group>& groups) {
+  double total = 0.0;
+  // scrpqo-lint: hot-path begin
+  double* lane_costs = new double[4];  // scrpqo-lint: expect(alloc-in-hotpath)
+  std::vector<double> spill;  // scrpqo-lint: expect(alloc-in-hotpath)
+  for (const Group& g : groups) {
+    total += static_cast<double>(g.num_active);
+  }
+  // Sticky one-time scratch kept for a documented reason:
+  // scrpqo-lint: allow(alloc-in-hotpath)
+  auto dbg = std::make_unique<double[]>(4);
+  total += dbg[0] + lane_costs[0] + static_cast<double>(spill.size());
+  delete[] lane_costs;
+  // scrpqo-lint: hot-path end
+  return total;
+}
+
+}  // namespace scrpqo_fixture
